@@ -1,0 +1,43 @@
+"""E3 — Figure 5(b): maintenance cost of deleting lineitem batches.
+
+Same three series as the insertion experiment; the paper reports GK
+"much worse than ours" for deletions, which the shape benchmark asserts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GriffinKumarMaintainer
+from repro.core import ViewMaintainer
+
+from conftest import clone_state, scaled_batches
+
+
+def _maintainer(name, db, view):
+    if name == "gk":
+        return GriffinKumarMaintainer(db, view)
+    return ViewMaintainer(db, view)
+
+
+@pytest.mark.parametrize("batch_size", scaled_batches())
+@pytest.mark.parametrize("algorithm", ["core", "ours", "gk"])
+def test_delete_lineitems(
+    algorithm, batch_size, v3_state, core_state, workbench, benchmark
+):
+    state = core_state if algorithm == "core" else v3_state
+
+    def setup():
+        db, view = clone_state(state)
+        doomed = workbench.generator.lineitem_delete_batch(
+            db, batch_size, seed=2000 + batch_size
+        )
+        return (_maintainer(algorithm, db, view), doomed), {}
+
+    def run(maintainer, doomed):
+        return maintainer.delete("lineitem", doomed)
+
+    report = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["batch_size"] = batch_size
+    assert report.base_rows == batch_size

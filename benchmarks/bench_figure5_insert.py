@@ -1,0 +1,48 @@
+"""E2 — Figure 5(a): maintenance cost of inserting lineitem batches.
+
+Three series, as in the paper: the core (inner-join) view, the outer-join
+view under our algorithm, and the Griffin–Kumar baseline.  The paper's
+finding — outer-join maintenance costs about the same as inner-join
+maintenance while GK degrades — is asserted on the measured means in
+``bench_figure5_shape.py``; here each (algorithm, batch) cell becomes one
+pytest-benchmark entry so `--benchmark-compare` works across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import GriffinKumarMaintainer
+from repro.core import ViewMaintainer
+
+from conftest import clone_state, scaled_batches
+
+
+def _maintainer(name, db, view):
+    if name == "gk":
+        return GriffinKumarMaintainer(db, view)
+    return ViewMaintainer(db, view)
+
+
+@pytest.mark.parametrize("batch_size", scaled_batches())
+@pytest.mark.parametrize("algorithm", ["core", "ours", "gk"])
+def test_insert_lineitems(
+    algorithm, batch_size, v3_state, core_state, workbench, benchmark
+):
+    state = core_state if algorithm == "core" else v3_state
+    batch = workbench.generator.lineitem_insert_batch(
+        batch_size, seed=1000 + batch_size
+    )
+
+    def setup():
+        db, view = clone_state(state)
+        return (_maintainer(algorithm, db, view),), {}
+
+    def run(maintainer):
+        return maintainer.insert("lineitem", list(batch))
+
+    report = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["algorithm"] = algorithm
+    benchmark.extra_info["batch_size"] = batch_size
+    benchmark.extra_info["view_changes"] = report.total_view_changes
+    assert report.base_rows == batch_size

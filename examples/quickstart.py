@@ -1,0 +1,92 @@
+"""Quickstart: define, materialize and incrementally maintain an
+outer-join view.
+
+Run with::
+
+    python examples/quickstart.py
+
+The scenario is the paper's introductory one in miniature: orders and
+their lineitems, where we want a view that keeps *all* orders — even the
+ones with no lineitems yet — so a left outer join is required, and
+classic SPJ view maintenance no longer applies.
+"""
+
+from repro import (
+    Database,
+    MaterializedView,
+    Q,
+    ViewDefinition,
+    ViewMaintainer,
+    eq,
+)
+
+
+def print_view(view, title):
+    print(f"\n{title}")
+    for row in sorted(view.rows(), key=repr):
+        print("   ", dict(zip(view.schema.columns, row)))
+
+
+def main():
+    # ------------------------------------------------------------------
+    # 1. Base tables: every table needs a unique key; foreign keys are
+    #    optional but unlock the paper's Section 6 optimizations.
+    # ------------------------------------------------------------------
+    db = Database()
+    db.create_table("orders", ["o_orderkey", "o_customer"], key=["o_orderkey"])
+    db.create_table(
+        "lineitem",
+        ["l_orderkey", "l_linenumber", "l_quantity"],
+        key=["l_orderkey", "l_linenumber"],
+        not_null=["l_orderkey"],
+    )
+    db.add_foreign_key("lineitem", ["l_orderkey"], "orders", ["o_orderkey"])
+
+    db.insert("orders", [(1, "alice"), (2, "bob")])
+    db.insert("lineitem", [(1, 1, 5)])  # order 2 has no lineitems yet
+
+    # ------------------------------------------------------------------
+    # 2. An outer-join view: all orders, with lineitems when they exist.
+    # ------------------------------------------------------------------
+    expr = (
+        Q.table("orders")
+        .left_outer_join(
+            "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+        )
+        .build()
+    )
+    definition = ViewDefinition("order_lines", expr)
+    view = MaterializedView.materialize(definition, db)
+    print_view(view, "Initial view (order 2 is null-extended):")
+
+    # ------------------------------------------------------------------
+    # 3. Incremental maintenance: inserts and deletes flow through the
+    #    maintainer, which computes primary + secondary deltas instead of
+    #    recomputing the join.
+    # ------------------------------------------------------------------
+    maintainer = ViewMaintainer(db, view)
+
+    report = maintainer.insert("lineitem", [(2, 1, 3)])
+    print(f"\nAfter first lineitem for order 2: {report.summary()}")
+    print("  (primary delta inserted the joined row; the secondary delta")
+    print("   removed order 2's null-extended orphan row)")
+    print_view(view, "View now:")
+
+    report = maintainer.delete("lineitem", [(2, 1, 3)])
+    print(f"\nAfter deleting it again: {report.summary()}")
+    print_view(view, "View back to the orphan state:")
+
+    # New orders are a one-row insert — the foreign key guarantees no
+    # existing lineitem can join them.
+    report = maintainer.insert("orders", [(3, "carol")])
+    print(f"\nAfter a new order: {report.summary()}")
+
+    # ------------------------------------------------------------------
+    # 4. The safety net used across this repo's test suite.
+    # ------------------------------------------------------------------
+    maintainer.check_consistency()
+    print("\ncheck_consistency(): view matches a full recompute. ✓")
+
+
+if __name__ == "__main__":
+    main()

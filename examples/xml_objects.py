@@ -1,0 +1,149 @@
+"""Tree-structured object construction — the paper's second motivating
+use case: "Outer-join queries are also used for constructing
+tree-structured objects (e.g. XML) from data stored in flat tables.
+Outer joins are needed so we can also retain objects that lack some
+subobjects."
+
+Run with::
+
+    python examples/xml_objects.py
+
+A customer → orders → lineitems hierarchy is flattened into one
+materialized outer-join view; nesting the view's rows reconstructs the
+object tree, including customers without orders and orders without
+lines.  Incremental maintenance keeps the serialized objects fresh
+without re-joining the tables.
+"""
+
+from collections import defaultdict
+
+from repro import (
+    Database,
+    MaterializedView,
+    Q,
+    ViewDefinition,
+    ViewMaintainer,
+    eq,
+)
+
+
+def build_database() -> Database:
+    db = Database()
+    db.create_table("customer", ["ck", "name"], key=["ck"])
+    db.create_table(
+        "orders", ["ok", "ck", "status"], key=["ok"], not_null=["ck"]
+    )
+    db.create_table(
+        "lineitem",
+        ["ok", "line", "item", "qty"],
+        key=["ok", "line"],
+        not_null=["ok"],
+    )
+    db.add_foreign_key("orders", ["ck"], "customer", ["ck"])
+    db.add_foreign_key("lineitem", ["ok"], "orders", ["ok"])
+
+    db.insert("customer", [(1, "acme"), (2, "globex"), (3, "initech")])
+    db.insert("orders", [(10, 1, "open"), (11, 1, "shipped"), (12, 2, "open")])
+    db.insert("lineitem", [(10, 1, "bolt", 100), (10, 2, "nut", 200)])
+    # initech has no orders; order 11 and 12 have no lineitems
+    return db
+
+
+def object_view() -> ViewDefinition:
+    """customer ⟕ (orders ⟕ lineitem): every customer survives, every
+    order survives — the flattened object tree."""
+    expr = (
+        Q.table("customer")
+        .left_outer_join(
+            Q.table("orders").left_outer_join(
+                "lineitem", on=eq("lineitem.ok", "orders.ok")
+            ),
+            on=eq("orders.ck", "customer.ck"),
+        )
+        .build()
+    )
+    return ViewDefinition("customer_objects", expr)
+
+
+def to_objects(view: MaterializedView):
+    """Nest the flat view rows back into customer → order → line trees."""
+    schema = view.schema
+    col = {name: schema.index_of(name) for name in schema.columns}
+    customers = {}
+    orders = {}
+    lines = defaultdict(list)
+    for row in view.rows():
+        ck = row[col["customer.ck"]]
+        customers.setdefault(
+            ck, {"name": row[col["customer.name"]], "orders": {}}
+        )
+        ok = row[col["orders.ok"]]
+        if ok is not None:
+            orders[(ck, ok)] = {"status": row[col["orders.status"]]}
+            if row[col["lineitem.line"]] is not None:
+                lines[(ck, ok)].append(
+                    {
+                        "line": row[col["lineitem.line"]],
+                        "item": row[col["lineitem.item"]],
+                        "qty": row[col["lineitem.qty"]],
+                    }
+                )
+    tree = {}
+    for ck, customer in sorted(customers.items()):
+        entry = {"name": customer["name"], "orders": []}
+        for (owner, ok), order in sorted(orders.items()):
+            if owner == ck:
+                entry["orders"].append(
+                    {
+                        "ok": ok,
+                        "status": order["status"],
+                        "lines": sorted(
+                            lines[(ck, ok)], key=lambda l: l["line"]
+                        ),
+                    }
+                )
+        tree[ck] = entry
+    return tree
+
+
+def render(tree):
+    for ck, customer in tree.items():
+        print(f"  <customer id={ck} name={customer['name']!r}>")
+        for order in customer["orders"]:
+            print(f"    <order id={order['ok']} status={order['status']!r}>")
+            for line in order["lines"]:
+                print(
+                    f"      <line n={line['line']} item={line['item']!r} "
+                    f"qty={line['qty']}/>"
+                )
+            print("    </order>")
+        print("  </customer>")
+
+
+def main():
+    db = build_database()
+    definition = object_view()
+    view = MaterializedView.materialize(definition, db)
+    maintainer = ViewMaintainer(db, view)
+
+    print("Initial object tree (note: initech has no orders, order 11/12")
+    print("no lines — the outer joins retained them):")
+    render(to_objects(view))
+
+    print("\n→ initech places its first order with one line ...")
+    maintainer.insert("orders", [(13, 3, "open")])
+    maintainer.insert("lineitem", [(13, 1, "widget", 7)])
+    maintainer.check_consistency()
+    render({3: to_objects(view)[3]})
+
+    print("\n→ acme's order 10 is emptied (lines deleted) ...")
+    maintainer.delete("lineitem", [(10, 1, "bolt", 100), (10, 2, "nut", 200)])
+    maintainer.check_consistency()
+    render({1: to_objects(view)[1]})
+
+    print("\nAll updates were applied to the flat view incrementally;")
+    print("no re-join of customer/orders/lineitem ever ran.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""A small fluent builder for SPOJ view expressions.
+
+The examples and the TPC-H view definitions read almost like the paper's
+SQL when written with this builder::
+
+    oj_view = (
+        Q.table("part")
+        .full_outer_join(
+            Q.table("orders").left_outer_join(
+                "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+            ),
+            on=eq("part.p_partkey", "lineitem.l_partkey"),
+        )
+        .build()
+    )
+
+``build()`` validates the paper's Section 2 restrictions (no self-joins,
+null-rejecting predicates, SPOJ operators only).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from .expr import (
+    FULL,
+    INNER,
+    Join,
+    LEFT,
+    Project,
+    RelExpr,
+    Relation,
+    RIGHT,
+    Select,
+    validate_spoj,
+)
+from .predicates import Predicate
+
+
+class Q:
+    """Wraps a :class:`RelExpr` and offers chainable SPOJ constructors."""
+
+    __slots__ = ("expr",)
+
+    def __init__(self, expr: RelExpr):
+        self.expr = expr
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def table(name: str) -> "Q":
+        """Start a query from base table *name*."""
+        return Q(Relation(name))
+
+    @staticmethod
+    def _coerce(other: Union["Q", RelExpr, str]) -> RelExpr:
+        if isinstance(other, Q):
+            return other.expr
+        if isinstance(other, RelExpr):
+            return other
+        if isinstance(other, str):
+            return Relation(other)
+        raise TypeError(f"cannot join with {other!r}")
+
+    # ------------------------------------------------------------------
+    def where(self, pred: Predicate) -> "Q":
+        """``σ_pred`` on top of the current expression."""
+        return Q(Select(self.expr, pred))
+
+    def project(self, columns: Sequence[str]) -> "Q":
+        """``π_columns`` on top of the current expression."""
+        return Q(Project(self.expr, columns))
+
+    def join(self, other, on: Predicate) -> "Q":
+        """Inner join."""
+        return Q(Join(INNER, self.expr, self._coerce(other), on))
+
+    def left_outer_join(self, other, on: Predicate) -> "Q":
+        return Q(Join(LEFT, self.expr, self._coerce(other), on))
+
+    def right_outer_join(self, other, on: Predicate) -> "Q":
+        return Q(Join(RIGHT, self.expr, self._coerce(other), on))
+
+    def full_outer_join(self, other, on: Predicate) -> "Q":
+        return Q(Join(FULL, self.expr, self._coerce(other), on))
+
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> RelExpr:
+        """Return the underlying expression, optionally validating the
+        paper's restrictions."""
+        if validate:
+            validate_spoj(self.expr)
+        return self.expr

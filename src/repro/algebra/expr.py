@@ -1,0 +1,344 @@
+"""Logical SPOJ expression trees.
+
+A view definition — and every delta expression the maintenance algorithm
+derives from it — is a tree of these nodes.  The node set mirrors the
+operators of the paper:
+
+* :class:`Relation` — a base-table leaf.
+* :class:`Bound` — a leaf resolved from a binding environment at
+  evaluation time: ``ΔT`` in delta expressions (the paper's substitution
+  step 3), the materialized view in Section 5.2 expressions, temporary
+  results, ...
+* :class:`Select`, :class:`Project`, :class:`Distinct` — ``σ``, ``π``,
+  ``δ``.
+* :class:`Join` — inner/left/right/full outer joins plus the left
+  semijoin ``⋉^ls`` and anti-semijoin ``⋉^la``.
+* :class:`NullIf` — the ``λ^c_p`` operator of Section 4.1.
+* :class:`FixUp` — duplicate elimination plus keyed subsumption removal,
+  the clean-up required after a null-if (see DESIGN.md).
+
+Nodes are immutable; rewrites build new trees.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Sequence, Tuple
+
+from ..errors import ExpressionError
+from .predicates import Predicate, TruePred
+
+INNER = "inner"
+LEFT = "left"
+RIGHT = "right"
+FULL = "full"
+SEMI = "semi"
+ANTI = "anti"
+
+OUTER_KINDS = (LEFT, RIGHT, FULL)
+JOIN_KINDS = (INNER, LEFT, RIGHT, FULL, SEMI, ANTI)
+
+
+class RelExpr:
+    """Base class for logical expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["RelExpr", ...]:
+        raise NotImplementedError
+
+    def base_tables(self) -> FrozenSet[str]:
+        """Names of base tables referenced anywhere below this node.
+        ``Bound`` leaves contribute the tables they are declared over."""
+        out: FrozenSet[str] = frozenset()
+        for child in self.children():
+            out |= child.base_tables()
+        return out
+
+    def leaves(self) -> List["RelExpr"]:
+        found: List[RelExpr] = []
+        stack: List[RelExpr] = [self]
+        while stack:
+            node = stack.pop()
+            kids = node.children()
+            if not kids:
+                found.append(node)
+            else:
+                stack.extend(reversed(kids))
+        return found
+
+    def pretty(self, indent: int = 0) -> str:
+        """Readable multi-line rendering of the operator tree."""
+        pad = "  " * indent
+        label = self._label()
+        kids = self.children()
+        if not kids:
+            return pad + label
+        lines = [pad + label]
+        for child in kids:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+class Relation(RelExpr):
+    """A base table leaf."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return ()
+
+    def base_tables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def _label(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r})"
+
+
+class Bound(RelExpr):
+    """A leaf resolved from the evaluation-time binding environment.
+
+    Parameters
+    ----------
+    label:
+        The binding name, e.g. ``"delta:lineitem"`` or ``"view"``.
+    over:
+        Base tables whose columns the bound table carries.  ``ΔT`` is
+        declared over ``{T}``; the bound view over all view tables.  This
+        keeps :meth:`base_tables` meaningful for rewrites on delta trees.
+    """
+
+    __slots__ = ("label", "over")
+
+    def __init__(self, label: str, over: Sequence[str] = ()):
+        self.label = label
+        self.over = frozenset(over)
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return ()
+
+    def base_tables(self) -> FrozenSet[str]:
+        return self.over
+
+    def _label(self) -> str:
+        return f"<{self.label}>"
+
+    def __repr__(self) -> str:
+        return f"Bound({self.label!r})"
+
+
+def delta_label(table: str) -> str:
+    """Binding label used for the delta of base table *table*."""
+    return f"delta:{table}"
+
+
+def delta_relation(table: str) -> Bound:
+    """``ΔT`` — the paper's step-3 substitution target."""
+    return Bound(delta_label(table), over=(table,))
+
+
+class Select(RelExpr):
+    """``σ_p(child)``."""
+
+    __slots__ = ("child", "pred")
+
+    def __init__(self, child: RelExpr, pred: Predicate):
+        self.child = child
+        self.pred = pred
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"σ[{self.pred!r}]"
+
+
+class Project(RelExpr):
+    """``π_c(child)`` — projection without duplicate elimination."""
+
+    __slots__ = ("child", "columns")
+
+    def __init__(self, child: RelExpr, columns: Sequence[str]):
+        self.child = child
+        self.columns = tuple(columns)
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"π[{', '.join(self.columns)}]"
+
+
+class Distinct(RelExpr):
+    """``δ(child)`` — duplicate elimination."""
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: RelExpr):
+        self.child = child
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return "δ"
+
+
+class Join(RelExpr):
+    """A join of any paper kind; ``pred`` is the ON condition."""
+
+    __slots__ = ("kind", "left", "right", "pred")
+
+    def __init__(self, kind: str, left: RelExpr, right: RelExpr, pred: Predicate):
+        if kind not in JOIN_KINDS:
+            raise ExpressionError(f"unknown join kind {kind!r}")
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.pred = pred
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return (self.left, self.right)
+
+    def _label(self) -> str:
+        symbol = {
+            INNER: "⋈",
+            LEFT: "⟕",
+            RIGHT: "⟖",
+            FULL: "⟗",
+            SEMI: "⋉ls",
+            ANTI: "⋉la",
+        }[self.kind]
+        return f"{symbol}[{self.pred!r}]"
+
+    def with_children(self, left: RelExpr, right: RelExpr) -> "Join":
+        return Join(self.kind, left, right, self.pred)
+
+
+class NullIf(RelExpr):
+    """``λ^columns_pred(child)`` — Section 4.1's null-if operator."""
+
+    __slots__ = ("child", "pred", "columns")
+
+    def __init__(self, child: RelExpr, pred: Predicate, columns: Sequence[str]):
+        self.child = child
+        self.pred = pred
+        self.columns = tuple(columns)
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"λ[{self.pred!r} → null({', '.join(self.columns)})]"
+
+
+class FixUp(RelExpr):
+    """Duplicate elimination + subsumption removal within groups sharing
+    *key_columns* — the δ the associativity rules require (see DESIGN.md
+    "Fix-up after null-if")."""
+
+    __slots__ = ("child", "key_columns")
+
+    def __init__(self, child: RelExpr, key_columns: Sequence[str]):
+        self.child = child
+        self.key_columns = tuple(key_columns)
+
+    def children(self) -> Tuple[RelExpr, ...]:
+        return (self.child,)
+
+    def _label(self) -> str:
+        return f"fixup[key: {', '.join(self.key_columns)}]"
+
+
+# ---------------------------------------------------------------------------
+# convenience constructors (used by the builder and by tests)
+# ---------------------------------------------------------------------------
+def inner_join(left, right, pred) -> Join:
+    return Join(INNER, _as_expr(left), _as_expr(right), pred)
+
+
+def left_outer_join(left, right, pred) -> Join:
+    return Join(LEFT, _as_expr(left), _as_expr(right), pred)
+
+
+def right_outer_join(left, right, pred) -> Join:
+    return Join(RIGHT, _as_expr(left), _as_expr(right), pred)
+
+
+def full_outer_join(left, right, pred) -> Join:
+    return Join(FULL, _as_expr(left), _as_expr(right), pred)
+
+
+def semijoin(left, right, pred) -> Join:
+    return Join(SEMI, _as_expr(left), _as_expr(right), pred)
+
+
+def antijoin(left, right, pred) -> Join:
+    return Join(ANTI, _as_expr(left), _as_expr(right), pred)
+
+
+def _as_expr(value) -> RelExpr:
+    if isinstance(value, RelExpr):
+        return value
+    if isinstance(value, str):
+        return Relation(value)
+    raise ExpressionError(f"cannot interpret {value!r} as an expression")
+
+
+# ---------------------------------------------------------------------------
+# structural checks the paper assumes
+# ---------------------------------------------------------------------------
+def validate_spoj(expr: RelExpr) -> None:
+    """Enforce the paper's Section 2 restrictions on a *view* expression:
+
+    * no self-joins (each base table referenced at most once);
+    * all join/selection predicates null-rejecting on the tables they
+      reference;
+    * only SPOJ operators (no semijoins, null-ifs, ... in view definitions).
+    """
+    seen: dict = {}
+    for leaf in expr.leaves():
+        if isinstance(leaf, Relation):
+            seen[leaf.name] = seen.get(leaf.name, 0) + 1
+        else:
+            raise ExpressionError(
+                f"view definitions may only reference base tables, got {leaf!r}"
+            )
+    duplicated = sorted(name for name, count in seen.items() if count > 1)
+    if duplicated:
+        raise ExpressionError(f"self-joins are not supported: {duplicated}")
+
+    stack: List[RelExpr] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Join):
+            if node.kind in (SEMI, ANTI):
+                raise ExpressionError(
+                    "semijoins are not allowed in view definitions"
+                )
+            _require_null_rejecting(node.pred, f"join {node._label()}")
+        elif isinstance(node, Select):
+            _require_null_rejecting(node.pred, f"select {node._label()}")
+        elif isinstance(node, (NullIf, FixUp, Distinct)):
+            raise ExpressionError(
+                f"{type(node).__name__} is not allowed in view definitions"
+            )
+        stack.extend(node.children())
+
+
+def _require_null_rejecting(pred: Predicate, where: str) -> None:
+    if isinstance(pred, TruePred):
+        raise ExpressionError(f"{where}: predicates must not be trivially true")
+    if not pred.is_null_rejecting():
+        raise ExpressionError(
+            f"{where}: predicate {pred!r} is not null-rejecting on all "
+            "referenced tables (paper Section 2 restriction)"
+        )

@@ -1,0 +1,297 @@
+"""Join-disjunctive normal form (Galindo-Legaria; paper Section 2.2).
+
+An SPOJ expression over tables ``U`` converts into a **minimum union of
+terms** ``E = E₁ ⊕ … ⊕ Eₙ`` where each term is a select/inner-join over a
+unique *source set* ``Tᵢ ⊆ U``:
+
+    ``Eᵢ = σ_pᵢ(Tᵢ₁ × Tᵢ₂ × … × Tᵢₘ)``
+
+The conversion walks the operator tree bottom-up, "multiplying" the terms
+of join operands and retaining preserved-side terms for outer joins.  Two
+prunings keep the term count far below the worst-case ``2^N + N``:
+
+* **Null-rejecting predicates** — a combined term only survives if every
+  table referenced by the join predicate is in its source set (a
+  null-extended operand makes a strong predicate false).
+* **Foreign keys** — a preserved-side term is dropped when a foreign key
+  guarantees every one of its tuples joins (Example 1: every lineitem has
+  a part, so no ``{orders, lineitem}``-only tuples survive the full outer
+  join with part).
+
+Terms know how to evaluate themselves (used by the Table 1 experiment and
+by the recompute oracle for Theorem 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from ..engine.catalog import Database
+from ..engine.table import Table
+from ..errors import ExpressionError
+from .expr import (
+    FULL,
+    INNER,
+    LEFT,
+    Join,
+    Project,
+    RelExpr,
+    Relation,
+    RIGHT,
+    Select,
+)
+from .predicates import Comparison, Predicate, conjoin, conjuncts
+
+
+@dataclass(frozen=True)
+class Term:
+    """One term of the join-disjunctive normal form."""
+
+    source: FrozenSet[str]
+    predicates: FrozenSet[Predicate]
+
+    def predicate(self) -> Predicate:
+        """The term's selection predicate ``pᵢ`` as one conjunction."""
+        return conjoin(sorted(self.predicates, key=repr))
+
+    def label(self) -> str:
+        """Human-readable source-set label, e.g. ``{R,S,T}``."""
+        return "{" + ",".join(sorted(self.source)) + "}"
+
+    def __repr__(self) -> str:
+        return f"Term({self.label()})"
+
+
+def normal_form(
+    expr: RelExpr,
+    db: Database,
+    use_foreign_keys: bool = True,
+    prune_unsatisfiable: bool = True,
+) -> List[Term]:
+    """Convert *expr* to its join-disjunctive normal form.
+
+    Terms come back sorted by descending source-set size, then
+    alphabetically — the top term (over all tables that survive) first.
+
+    *use_foreign_keys* toggles the FK-based term pruning; switching it off
+    is only useful for ablation experiments and for modelling systems that
+    ignore constraints (the Griffin–Kumar baseline).
+    *prune_unsatisfiable* additionally drops terms whose accumulated
+    predicate is provably empty (e.g. ``a.v < 2 AND a.v > 5``), a sound
+    sharpening in the spirit of the paper's null-rejecting pruning.
+    """
+    terms = _walk(expr, db, use_foreign_keys)
+    if prune_unsatisfiable:
+        from .simplify import term_is_unsatisfiable
+
+        terms = [t for t in terms if not term_is_unsatisfiable(t.predicates)]
+    return sorted(terms, key=lambda t: (-len(t.source), sorted(t.source)))
+
+
+def _walk(expr: RelExpr, db: Database, use_fks: bool) -> List[Term]:
+    if isinstance(expr, Relation):
+        return [Term(frozenset((expr.name,)), frozenset())]
+
+    if isinstance(expr, Project):
+        return _walk(expr.child, db, use_fks)
+
+    if isinstance(expr, Select):
+        out: List[Term] = []
+        needed = expr.pred.tables()
+        for term in _walk(expr.child, db, use_fks):
+            if needed <= term.source:
+                out.append(
+                    Term(term.source, term.predicates | set(conjuncts(expr.pred)))
+                )
+            # else: null-rejecting predicate kills the null-extended term
+        return out
+
+    if isinstance(expr, Join):
+        if expr.kind not in (INNER, LEFT, RIGHT, FULL):
+            raise ExpressionError(
+                f"normal form is defined for SPOJ expressions only, got "
+                f"{expr.kind!r} join"
+            )
+        left_terms = _walk(expr.left, db, use_fks)
+        right_terms = _walk(expr.right, db, use_fks)
+        pred_parts = set(conjuncts(expr.pred))
+        needed = expr.pred.tables()
+
+        combined = [
+            Term(
+                lt.source | rt.source,
+                lt.predicates | rt.predicates | pred_parts,
+            )
+            for lt in left_terms
+            for rt in right_terms
+            if needed <= (lt.source | rt.source)
+        ]
+
+        preserved: List[Term] = []
+        if expr.kind in (LEFT, FULL):
+            preserved.extend(
+                t
+                for t in left_terms
+                if not (
+                    use_fks
+                    and _always_joins(t, right_terms, expr.pred, db)
+                )
+            )
+        if expr.kind in (RIGHT, FULL):
+            preserved.extend(
+                t
+                for t in right_terms
+                if not (
+                    use_fks
+                    and _always_joins(t, left_terms, expr.pred, db)
+                )
+            )
+        return combined + preserved
+
+    raise ExpressionError(f"cannot normalize node {expr!r}")
+
+
+def _always_joins(
+    term: Term,
+    other_side_terms: List[Term],
+    pred: Predicate,
+    db: Database,
+) -> bool:
+    """True when a foreign key guarantees every tuple of *term* joins some
+    tuple of the other operand under *pred*, making the preserved copy of
+    *term* empty.
+
+    Requirements (all conservative):
+
+    * a foreign key runs from a table ``A ∈ term.source`` to a table ``B``
+      on the other side, with NOT NULL referencing columns;
+    * *pred* consists **exactly** of the equijoin conjuncts pairing the
+      FK's columns (any extra conjunct could reject the guaranteed match);
+    * the other side has an unfiltered term ``{B}`` (so every B row is
+      present to be matched).
+    """
+    other_tables: FrozenSet[str] = frozenset().union(
+        *[t.source for t in other_side_terms]
+    ) if other_side_terms else frozenset()
+
+    parts = conjuncts(pred)
+    for a_table in term.source:
+        for fk in db.foreign_keys_from(a_table):
+            if fk.target not in other_tables or not fk.source_not_null:
+                continue
+            if not _pred_is_exactly_fk_equijoin(parts, fk):
+                continue
+            bare_target = any(
+                t.source == frozenset((fk.target,)) and not t.predicates
+                for t in other_side_terms
+            )
+            if bare_target:
+                return True
+    return False
+
+
+def _pred_is_exactly_fk_equijoin(parts: Sequence[Predicate], fk) -> bool:
+    wanted = {frozenset(pair) for pair in fk.column_pairs()}
+    got = set()
+    for part in parts:
+        if not (isinstance(part, Comparison) and part.is_equijoin()):
+            return False
+        got.add(frozenset((part.left.qualified, part.right.qualified)))
+    return got == wanted
+
+
+# ---------------------------------------------------------------------------
+# term evaluation
+# ---------------------------------------------------------------------------
+def term_expression(
+    term: Term,
+    db: Database,
+    replacements: Optional[Dict[str, RelExpr]] = None,
+) -> RelExpr:
+    """Build an executable inner-join tree for *term*.
+
+    Joins are ordered greedily along equijoin conjuncts so evaluation uses
+    hash joins instead of cross products whenever the term's predicate
+    graph is connected.  *replacements* substitutes an arbitrary expression
+    for a base table (used when a term must be computed against ``ΔT`` or
+    against ``T ± ΔT``).
+    """
+    replacements = replacements or {}
+
+    def leaf(name: str) -> RelExpr:
+        return replacements.get(name, Relation(name))
+
+    tables = sorted(term.source)
+    remaining_preds: List[Predicate] = list(term.predicates)
+    start = tables[0]
+    placed = {start}
+    tree: RelExpr = leaf(start)
+
+    def take_applicable() -> List[Predicate]:
+        nonlocal remaining_preds
+        ready = [p for p in remaining_preds if p.tables() <= placed]
+        remaining_preds = [p for p in remaining_preds if p not in ready]
+        return ready
+
+    ready = take_applicable()
+    if ready:
+        tree = Select(tree, conjoin(ready))
+
+    todo = [t for t in tables if t not in placed]
+    while todo:
+        # Prefer a table connected to the placed set by some predicate.
+        chosen = None
+        for cand in todo:
+            link = [
+                p
+                for p in remaining_preds
+                if cand in p.tables() and p.tables() <= (placed | {cand})
+            ]
+            if link:
+                chosen = (cand, link)
+                break
+        if chosen is None:
+            cand = todo[0]
+            chosen = (cand, [])
+        cand, link = chosen
+        placed.add(cand)
+        todo.remove(cand)
+        if link:
+            remaining_preds = [p for p in remaining_preds if p not in link]
+            tree = Join(INNER, tree, leaf(cand), conjoin(link))
+        else:
+            from .predicates import TruePred
+
+            tree = Join(INNER, tree, leaf(cand), TruePred())
+        ready = take_applicable()
+        if ready:
+            tree = Select(tree, conjoin(ready))
+
+    if remaining_preds:
+        tree = Select(tree, conjoin(remaining_preds))
+    return tree
+
+
+def evaluate_term(
+    term: Term,
+    db: Database,
+    bindings: Optional[Dict[str, Table]] = None,
+    replacements: Optional[Dict[str, RelExpr]] = None,
+) -> Table:
+    """Evaluate ``Eᵢ = σ_pᵢ(Tᵢ₁ × … × Tᵢₘ)``."""
+    from .evaluate import evaluate
+
+    return evaluate(term_expression(term, db, replacements), db, bindings)
+
+
+def source_key_columns(source: FrozenSet[str], db: Database) -> Tuple[str, ...]:
+    """Qualified key columns of all tables in *source* (``eq(Tᵢ)`` columns),
+    in a stable order."""
+    out: List[str] = []
+    for name in sorted(source):
+        table = db.table(name)
+        if table.key is None:
+            raise ExpressionError(f"table {name!r} has no unique key")
+        out.extend(table.key)
+    return tuple(out)

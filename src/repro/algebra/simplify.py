@@ -1,0 +1,214 @@
+"""Predicate-level simplification: constant folding, redundancy removal
+and contradiction detection.
+
+The join-disjunctive normal form collects every selection and join
+conjunct that applies to a term.  Terms whose accumulated predicate is
+*unsatisfiable* (``a.v < 2 AND a.v > 5``) are provably empty and can be
+pruned exactly like the foreign-key-guaranteed ones — fewer terms means
+fewer deltas to compute and fewer orphan probes.
+
+The analysis is deliberately conservative (sound, incomplete):
+
+* literal-vs-literal comparisons fold to TRUE/FALSE;
+* duplicate conjuncts collapse;
+* per-column bound tracking over conjuncts of the form ``col op literal``
+  detects empty ranges (including ``=`` against disjoint bounds);
+* equality transitivity between columns propagates literal bounds
+  (``a.v = b.v AND a.v = 3 AND b.v = 4`` is contradictory).
+
+Anything it cannot reason about is left untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .predicates import (
+    Col,
+    Comparison,
+    Lit,
+    Predicate,
+    TruePred,
+    conjoin,
+    conjuncts,
+)
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Contradiction(Exception):
+    """Internal signal: the conjunction is unsatisfiable."""
+
+
+class _Bounds:
+    """An open/closed interval plus disequalities for one column."""
+
+    __slots__ = ("lower", "lower_strict", "upper", "upper_strict", "not_equal")
+
+    def __init__(self):
+        self.lower = None
+        self.lower_strict = False
+        self.upper = None
+        self.upper_strict = False
+        self.not_equal: set = set()
+
+    # ------------------------------------------------------------------
+    def add(self, op: str, value) -> None:
+        if op == "=":
+            self.add(">=", value)
+            self.add("<=", value)
+            if value in self.not_equal:
+                raise Contradiction
+            return
+        if op == "<>":
+            self.not_equal.add(value)
+            if (
+                self.lower == self.upper == value
+                and not self.lower_strict
+                and not self.upper_strict
+            ):
+                raise Contradiction
+            return
+        if op in (">", ">="):
+            strict = op == ">"
+            if self.lower is None or value > self.lower or (
+                value == self.lower and strict and not self.lower_strict
+            ):
+                self.lower = value
+                self.lower_strict = strict
+        else:  # < or <=
+            strict = op == "<"
+            if self.upper is None or value < self.upper or (
+                value == self.upper and strict and not self.upper_strict
+            ):
+                self.upper = value
+                self.upper_strict = strict
+        self._check()
+
+    def _check(self) -> None:
+        if self.lower is None or self.upper is None:
+            return
+        try:
+            if self.lower > self.upper:
+                raise Contradiction
+            if self.lower == self.upper:
+                if self.lower_strict or self.upper_strict:
+                    raise Contradiction
+                if self.lower in self.not_equal:
+                    raise Contradiction
+        except TypeError:
+            # incomparable literal types: stay conservative
+            return
+
+
+def simplify_conjunction(pred: Predicate) -> Optional[Predicate]:
+    """Simplify a conjunction; returns ``None`` when it is provably
+    unsatisfiable, otherwise an equivalent (possibly smaller) predicate.
+    """
+    kept: List[Predicate] = []
+    seen = set()
+    bounds: Dict[str, _Bounds] = {}
+    # union-find over columns connected by equality (for bound sharing)
+    parent: Dict[str, str] = {}
+
+    def find(column: str) -> str:
+        parent.setdefault(column, column)
+        while parent[column] != column:
+            parent[column] = parent[parent[column]]
+            column = parent[column]
+        return column
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra == rb:
+            return
+        parent[rb] = ra
+        merged = bounds.pop(rb, None)
+        if merged is not None:
+            target = bounds.setdefault(ra, _Bounds())
+            if merged.lower is not None:
+                target.add(">" if merged.lower_strict else ">=", merged.lower)
+            if merged.upper is not None:
+                target.add("<" if merged.upper_strict else "<=", merged.upper)
+            for value in merged.not_equal:
+                target.add("<>", value)
+
+    try:
+        for part in conjuncts(pred):
+            if isinstance(part, TruePred):
+                continue
+            if part in seen:
+                continue  # duplicate conjunct
+            folded = _fold(part)
+            if folded is True:
+                continue
+            if folded is False:
+                return None
+            seen.add(part)
+            kept.append(part)
+
+            if isinstance(part, Comparison):
+                left_col = isinstance(part.left, Col)
+                right_col = isinstance(part.right, Col)
+                # Only Col-vs-Lit shapes feed the bound tracker; anything
+                # involving arithmetic operands stays unanalyzed (sound).
+                if left_col and isinstance(part.right, Lit):
+                    bounds.setdefault(find(part.left.qualified), _Bounds()).add(
+                        part.op, part.right.value
+                    )
+                elif right_col and isinstance(part.left, Lit):
+                    bounds.setdefault(
+                        find(part.right.qualified), _Bounds()
+                    ).add(_mirror(part.op), part.left.value)
+                elif left_col and right_col and part.op == "=":
+                    union(part.left.qualified, part.right.qualified)
+    except Contradiction:
+        return None
+
+    # re-check every group once all equalities are known
+    try:
+        for part in kept:
+            if (
+                isinstance(part, Comparison)
+                and isinstance(part.left, Col)
+                and isinstance(part.right, Lit)
+            ):
+                root = find(part.left.qualified)
+                bucket = bounds.setdefault(root, _Bounds())
+                bucket.add(part.op, part.right.value)
+    except Contradiction:
+        return None
+
+    return conjoin(kept)
+
+
+def _mirror(op: str) -> str:
+    return {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "<>": "<>"}[
+        op
+    ]
+
+
+def _fold(part: Predicate):
+    """Fold literal-vs-literal comparisons; returns True/False/part."""
+    if (
+        isinstance(part, Comparison)
+        and isinstance(part.left, Lit)
+        and isinstance(part.right, Lit)
+    ):
+        try:
+            return _OPS[part.op](part.left.value, part.right.value)
+        except TypeError:
+            return part
+    return part
+
+
+def term_is_unsatisfiable(predicates) -> bool:
+    """True when a normal-form term's conjunct set is provably empty."""
+    return simplify_conjunction(conjoin(sorted(predicates, key=repr))) is None

@@ -1,0 +1,159 @@
+"""Subsumption graphs and net contributions (paper Sections 2.3–2.4).
+
+The **subsumption graph** has one node per normal-form term, with an edge
+from node ``nᵢ`` to ``nⱼ`` when ``Sᵢ`` is a *minimal* superset of ``Sⱼ``.
+A tuple of a term can only be subsumed by tuples of (transitive) parent
+terms, and Lemma 1 shows checking immediate parents suffices.
+
+The **net contribution** of a term, ``Dᵢ``, is what the term actually adds
+to the view once subsumed tuples are gone:
+
+    ``Dᵢ = Eᵢ ⋉^la_eq(Tᵢ) (Eᵢ₁ ⊎ … ⊎ Eᵢₘ)``   (Lemma 1)
+
+and Theorem 1 rewrites the whole view as ``D₁ ⊎ … ⊎ Dₙ`` — the form that
+makes per-term maintenance possible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..engine import operators as ops
+from ..engine.catalog import Database
+from ..engine.schema import Schema
+from ..engine.table import Table
+from ..errors import ExpressionError
+from .normalform import Term, evaluate_term, source_key_columns
+
+
+class SubsumptionGraph:
+    """DAG over normal-form terms ordered by minimal source-set inclusion."""
+
+    def __init__(self, terms: List[Term]):
+        self.terms = list(terms)
+        self._by_source: Dict[FrozenSet[str], Term] = {
+            t.source: t for t in self.terms
+        }
+        if len(self._by_source) != len(self.terms):
+            raise ExpressionError("duplicate source sets in normal form")
+        self._parents: Dict[FrozenSet[str], List[Term]] = {}
+        self._children: Dict[FrozenSet[str], List[Term]] = {}
+        for term in self.terms:
+            self._parents[term.source] = self._minimal_supersets(term)
+        for term in self.terms:
+            self._children[term.source] = [
+                child
+                for child in self.terms
+                if term in self._parents[child.source]
+            ]
+
+    def _minimal_supersets(self, term: Term) -> List[Term]:
+        supersets = [
+            other
+            for other in self.terms
+            if term.source < other.source
+        ]
+        minimal = [
+            cand
+            for cand in supersets
+            if not any(
+                cand is not other and term.source < other.source < cand.source
+                for other in supersets
+            )
+        ]
+        return minimal
+
+    # ------------------------------------------------------------------
+    def term_for(self, source: FrozenSet[str]) -> Term:
+        try:
+            return self._by_source[frozenset(source)]
+        except KeyError:
+            raise ExpressionError(
+                f"no term with source set {sorted(source)}"
+            ) from None
+
+    def parents(self, term: Term) -> List[Term]:
+        return list(self._parents[term.source])
+
+    def children(self, term: Term) -> List[Term]:
+        return list(self._children[term.source])
+
+    def ancestors(self, term: Term) -> List[Term]:
+        out: List[Term] = []
+        frontier = self.parents(term)
+        seen = set()
+        while frontier:
+            node = frontier.pop()
+            if node.source in seen:
+                continue
+            seen.add(node.source)
+            out.append(node)
+            frontier.extend(self.parents(node))
+        return out
+
+    def edges(self) -> List[Tuple[Term, Term]]:
+        """``(parent, child)`` pairs — the arrows of Figure 1(a)."""
+        out = []
+        for child in self.terms:
+            for parent in self._parents[child.source]:
+                out.append((parent, child))
+        return out
+
+    def pretty(self) -> str:
+        lines = []
+        for child in self.terms:
+            parents = self._parents[child.source]
+            arrow = (
+                " <- " + ", ".join(p.label() for p in parents)
+                if parents
+                else ""
+            )
+            lines.append(child.label() + arrow)
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# net contributions (Lemma 1 / Theorem 1)
+# ---------------------------------------------------------------------------
+def net_contribution(
+    term: Term,
+    graph: SubsumptionGraph,
+    db: Database,
+    bindings: Optional[Dict[str, Table]] = None,
+) -> Table:
+    """``Dᵢ`` — the tuples of term ``Eᵢ`` not subsumed by any parent term.
+
+    Computed exactly as Lemma 1 prescribes: evaluate the term, outer-union
+    the parent terms and anti-semijoin on the key of ``Tᵢ``.
+    """
+    own = evaluate_term(term, db, bindings)
+    parents = graph.parents(term)
+    if not parents:
+        return own
+    union: Optional[Table] = None
+    for parent in parents:
+        parent_rows = evaluate_term(parent, db, bindings)
+        union = (
+            parent_rows
+            if union is None
+            else ops.outer_union(union, parent_rows)
+        )
+    key_cols = source_key_columns(term.source, db)
+    pairs = [(c, c) for c in key_cols]
+    return ops.join(own, union, "anti", equi=pairs)
+
+
+def net_contribution_form(
+    graph: SubsumptionGraph,
+    db: Database,
+    full_schema: Schema,
+    bindings: Optional[Dict[str, Table]] = None,
+) -> Table:
+    """``D₁ ⊎ D₂ ⊎ … ⊎ Dₙ`` aligned to *full_schema* (Theorem 1's
+    right-hand side).  Equals the direct evaluation of the view."""
+    result = Table("net", full_schema, [])
+    for term in graph.terms:
+        contribution = net_contribution(term, graph, db, bindings)
+        aligned = ops.align_to_schema(contribution, full_schema)
+        result.rows.extend(aligned)
+    return result

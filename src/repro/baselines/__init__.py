@@ -1,0 +1,19 @@
+"""Comparison algorithms: full recompute, the inner-join core view, and a
+Griffin–Kumar-style change propagation baseline."""
+
+from .griffin_kumar import GriffinKumarMaintainer, griffin_kumar_options
+from .innerjoin import (
+    core_expression,
+    core_view_definition,
+    core_view_maintainer,
+)
+from .recompute import RecomputeMaintainer
+
+__all__ = [
+    "RecomputeMaintainer",
+    "GriffinKumarMaintainer",
+    "griffin_kumar_options",
+    "core_expression",
+    "core_view_definition",
+    "core_view_maintainer",
+]

@@ -1,0 +1,69 @@
+"""Core-view baseline (the paper's experimental comparison point).
+
+The **core view** of an outer-join view is "the view obtained by replacing
+all outer joins with regular inner joins" (Section 7).  It is the
+well-understood SPJ case: its normal form has a single term, so
+maintenance is a pure primary delta with no secondary step — the cost
+floor the paper measures its outer-join maintenance against.
+
+:func:`core_view_definition` derives the core view from an SPOJ
+definition; maintenance then reuses the ordinary
+:class:`~repro.core.maintain.ViewMaintainer` (which degenerates to
+classic SPJ delta propagation for inner-join views).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra.expr import (
+    INNER,
+    Join,
+    Project,
+    RelExpr,
+    Relation,
+    Select,
+)
+from ..core.maintain import MaintenanceOptions, ViewMaintainer
+from ..core.view import MaterializedView, ViewDefinition
+from ..engine.catalog import Database
+from ..errors import ExpressionError
+
+
+def core_expression(expr: RelExpr) -> RelExpr:
+    """Replace every outer join in *expr* with an inner join."""
+    if isinstance(expr, Relation):
+        return expr
+    if isinstance(expr, Select):
+        return Select(core_expression(expr.child), expr.pred)
+    if isinstance(expr, Project):
+        return Project(core_expression(expr.child), expr.columns)
+    if isinstance(expr, Join):
+        return Join(
+            INNER,
+            core_expression(expr.left),
+            core_expression(expr.right),
+            expr.pred,
+        )
+    raise ExpressionError(f"cannot derive core expression from {expr!r}")
+
+
+def core_view_definition(
+    definition: ViewDefinition, name: Optional[str] = None
+) -> ViewDefinition:
+    """The core (inner-join) view of *definition*, same output columns."""
+    expr: RelExpr = core_expression(definition.join_expr)
+    if definition._output is not None:
+        expr = Project(expr, definition._output)
+    return ViewDefinition(name or f"{definition.name}_core", expr)
+
+
+def core_view_maintainer(
+    definition: ViewDefinition,
+    db: Database,
+    options: Optional[MaintenanceOptions] = None,
+) -> ViewMaintainer:
+    """Materialize the core view of *definition* and return its maintainer."""
+    core_defn = core_view_definition(definition)
+    view = MaterializedView.materialize(core_defn, db)
+    return ViewMaintainer(db, view, options)

@@ -1,0 +1,339 @@
+"""Aggregated outer-join views (paper Section 3.3).
+
+An aggregated outer-join view is an SPOJ view with a GROUP BY on top.
+Maintenance reuses the non-aggregated machinery: the primary delta
+``ΔV^D`` is computed exactly as before, aggregated, and merged into the
+stored groups; the secondary delta ``ΔV^I`` must be computed **from base
+tables** (Section 5.3) because individual terms can no longer be extracted
+from aggregated rows.
+
+Per the paper, every group carries a regular row count plus a **not-null
+count for every table that is null-extended in some term**; rows whose
+count reaches zero are deleted, and when the not-null count of table T
+drops to zero all aggregates over T's columns become NULL.  (We also keep
+exact per-aggregate non-null input counts, which give the same NULL
+behaviour at column granularity; the per-table counts are what the paper's
+SQL Server implementation stores and are exposed for inspection.)
+
+Supported aggregates: COUNT(*), COUNT(col), SUM(col), AVG(col).  MIN/MAX
+are not self-maintainable under deletions and are outside the paper's
+scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebra.expr import delta_label
+from ..algebra.evaluate import evaluate
+from ..engine.catalog import Database
+from ..engine.schema import Schema
+from ..engine.table import Row, Table
+from ..errors import MaintenanceError, UnsupportedViewError
+from .maintain import (
+    MaintenanceOptions,
+    MaintenanceReport,
+    SECONDARY_FROM_BASE,
+)
+from .maintgraph import MaintenanceGraph
+from .secondary import DELETE, INSERT, secondary_from_base
+from .view import ViewDefinition
+
+COUNT_STAR = "count"
+COUNT = "count_col"
+SUM = "sum"
+AVG = "avg"
+
+_KINDS = (COUNT_STAR, COUNT, SUM, AVG)
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate output: ``kind(column) AS alias``."""
+
+    kind: str
+    alias: str
+    column: Optional[str] = None
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise UnsupportedViewError(
+                f"unsupported aggregate {self.kind!r}; the paper's scheme "
+                f"covers {_KINDS}"
+            )
+        if self.kind != COUNT_STAR and self.column is None:
+            raise UnsupportedViewError(f"{self.kind} needs a column")
+
+
+def count_star(alias: str = "row_count") -> Aggregate:
+    return Aggregate(COUNT_STAR, alias)
+
+
+def count_col(column: str, alias: str) -> Aggregate:
+    return Aggregate(COUNT, alias, column)
+
+
+def agg_sum(column: str, alias: str) -> Aggregate:
+    return Aggregate(SUM, alias, column)
+
+
+def agg_avg(column: str, alias: str) -> Aggregate:
+    return Aggregate(AVG, alias, column)
+
+
+class _Group:
+    """Mutable per-group state: counts and accumulators."""
+
+    __slots__ = ("row_count", "notnull", "sums", "counts")
+
+    def __init__(self, n_aggs: int, nullable_tables: Sequence[str]):
+        self.row_count = 0
+        self.notnull = {t: 0 for t in nullable_tables}
+        self.sums = [0] * n_aggs
+        self.counts = [0] * n_aggs
+
+
+class AggregatedView:
+    """A materialized GROUP BY over an SPOJ view, maintained incrementally."""
+
+    def __init__(
+        self,
+        definition: ViewDefinition,
+        group_by: Sequence[str],
+        aggregates: Sequence[Aggregate],
+        db: Database,
+    ):
+        definition.validate(db)
+        self.definition = definition
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        self.db = db
+        self.options = MaintenanceOptions(
+            secondary_strategy=SECONDARY_FROM_BASE
+        )
+
+        self._graph = definition.subsumption_graph(db)
+        always_present = frozenset.intersection(
+            *[t.source for t in self._graph.terms]
+        ) if self._graph.terms else frozenset()
+        self.nullable_tables: Tuple[str, ...] = tuple(
+            sorted(definition.tables - always_present)
+        )
+        self._table_key_col: Dict[str, str] = {
+            t: db.table(t).key[0] for t in self.nullable_tables
+        }
+
+        full = definition.full_schema(db)
+        for col in self.group_by:
+            full.index_of(col)
+        for agg in self.aggregates:
+            if agg.column is not None:
+                full.index_of(agg.column)
+
+        self.groups: Dict[Row, _Group] = {}
+        self._mgraphs: Dict[str, MaintenanceGraph] = {}
+        self._populate()
+
+    # ------------------------------------------------------------------
+    def _populate(self) -> None:
+        base = evaluate(self.definition.join_expr, self.db)
+        self._fold(base, sign=1)
+
+    def _fold(self, table: Table, sign: int) -> int:
+        """Merge delta rows into the group store; returns rows folded."""
+        schema = table.schema
+        group_pos = [
+            schema.index_of(c) if c in schema else None for c in self.group_by
+        ]
+        agg_pos = [
+            schema.index_of(a.column)
+            if a.column is not None and a.column in schema
+            else None
+            for a in self.aggregates
+        ]
+        null_pos = [
+            (t, schema.index_of(col)) if col in schema else (t, None)
+            for t, col in self._table_key_col.items()
+        ]
+        for row in table.rows:
+            key = tuple(
+                row[p] if p is not None else None for p in group_pos
+            )
+            group = self.groups.get(key)
+            if group is None:
+                group = _Group(len(self.aggregates), self.nullable_tables)
+                self.groups[key] = group
+            group.row_count += sign
+            for t, pos in null_pos:
+                if pos is not None and row[pos] is not None:
+                    group.notnull[t] += sign
+            for i, agg in enumerate(self.aggregates):
+                pos = agg_pos[i]
+                value = row[pos] if pos is not None else None
+                if agg.kind == COUNT_STAR:
+                    continue
+                if value is not None:
+                    group.counts[i] += sign
+                    if agg.kind in (SUM, AVG):
+                        group.sums[i] += sign * value
+            if group.row_count == 0:
+                self._assert_empty(key, group)
+                del self.groups[key]
+            elif group.row_count < 0:
+                raise MaintenanceError(
+                    f"group {key!r} reached negative row count — "
+                    "inconsistent delta"
+                )
+        return len(table.rows)
+
+    @staticmethod
+    def _assert_empty(key: Row, group: _Group) -> None:
+        if any(group.counts) or any(group.notnull.values()):
+            raise MaintenanceError(
+                f"group {key!r} emptied with dangling counters"
+            )
+
+    # ------------------------------------------------------------------
+    def rows(self) -> List[Row]:
+        """Current contents: group-by values followed by aggregate values
+        (NULL where no non-null input remains), sorted by group key."""
+        out: List[Row] = []
+        for key in sorted(self.groups, key=repr):
+            group = self.groups[key]
+            values: List[object] = list(key)
+            for i, agg in enumerate(self.aggregates):
+                if agg.kind == COUNT_STAR:
+                    values.append(group.row_count)
+                elif agg.kind == COUNT:
+                    values.append(group.counts[i])
+                elif agg.kind == SUM:
+                    values.append(group.sums[i] if group.counts[i] else None)
+                else:  # AVG
+                    values.append(
+                        group.sums[i] / group.counts[i]
+                        if group.counts[i]
+                        else None
+                    )
+            out.append(tuple(values))
+        return out
+
+    def as_table(self) -> Table:
+        columns = list(self.group_by) + [
+            f"agg.{a.alias}" for a in self.aggregates
+        ]
+        return Table(
+            f"{self.definition.name}_agg", Schema(columns), self.rows()
+        )
+
+    def notnull_count(self, group_key: Row, table: str) -> int:
+        """The paper's per-table not-null count for one group."""
+        return self.groups[tuple(group_key)].notnull[table]
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def insert(self, table: str, rows: Iterable[Row]) -> MaintenanceReport:
+        delta = self.db.insert(table, rows)
+        return self.maintain(table, delta, INSERT)
+
+    def delete(self, table: str, rows: Iterable[Row]) -> MaintenanceReport:
+        delta = self.db.delete(table, rows)
+        return self.maintain(table, delta, DELETE)
+
+    def update(self, table: str, old_rows, new_rows):
+        """UPDATE as delete + insert.  The Section 6 caveat applies here
+        exactly as for plain views: foreign-key shortcuts are disabled
+        for both halves because the "deleted" key is about to return."""
+        delete_delta = self.db.delete(table, old_rows, check=False)
+        delete_report = self.maintain(table, delete_delta, DELETE, fk_allowed=False)
+        insert_delta = self.db.insert(table, new_rows, check=False)
+        insert_report = self.maintain(table, insert_delta, INSERT, fk_allowed=False)
+        return delete_report, insert_report
+
+    def maintain(
+        self, table: str, delta: Table, operation: str, fk_allowed: bool = True
+    ) -> MaintenanceReport:
+        """Aggregate-and-merge maintenance: compute ΔV^D / ΔV^I for the
+        underlying SPOJ view and fold them with the appropriate signs."""
+        report = MaintenanceReport(
+            view=self.definition.name,
+            table=table,
+            operation=operation,
+            base_rows=len(delta),
+        )
+        if table not in self.definition.tables or not len(delta):
+            return report
+
+        key = (table, fk_allowed)
+        if key not in self._mgraphs:
+            self._mgraphs[key] = MaintenanceGraph(
+                self._graph, table, self.db, use_foreign_keys=fk_allowed
+            )
+        mgraph = self._mgraphs[key]
+        report.direct_terms = [t.label() for t in mgraph.directly_affected]
+        report.indirect_terms = [t.label() for t in mgraph.indirectly_affected]
+
+        if not mgraph.directly_affected:
+            report.primary_skipped = True
+            return report
+
+        from .primary import primary_delta_expression
+        from .fk import simplify_tree
+        from .leftdeep import to_left_deep
+
+        expr = primary_delta_expression(self.definition.join_expr, table)
+        try:
+            expr = to_left_deep(expr, self.db)
+        except UnsupportedViewError:
+            pass
+        if fk_allowed:
+            simplified = simplify_tree(expr, table, self.db)
+            if simplified.is_empty:
+                report.primary_skipped = True
+                return report
+            expr = simplified.expression
+
+        primary = evaluate(expr, self.db, {delta_label(table): delta})
+        sign = 1 if operation == INSERT else -1
+        report.primary_rows = self._fold(primary, sign)
+
+        for term in mgraph.indirectly_affected:
+            rows = secondary_from_base(
+                term, mgraph, primary, self.db, operation, table, delta
+            )
+            report.secondary_rows[term.label()] = self._fold(rows, -sign)
+        return report
+
+    # ------------------------------------------------------------------
+    def recompute_rows(self) -> List[Row]:
+        """Full-recompute oracle: group the freshly evaluated view."""
+        fresh = AggregatedView(
+            self.definition, self.group_by, self.aggregates, self.db
+        )
+        return fresh.rows()
+
+    def check_consistency(self) -> None:
+        """Compare against the recompute oracle; float aggregates are
+        compared with a relative tolerance because incremental and batch
+        summation accumulate rounding in different orders."""
+        import math
+
+        mine = self.rows()
+        fresh = self.recompute_rows()
+        if len(mine) != len(fresh):
+            raise MaintenanceError(
+                f"aggregated view {self.definition.name!r} diverged from "
+                f"recompute: {len(mine)} vs {len(fresh)} groups"
+            )
+        for row_a, row_b in zip(mine, fresh):
+            for a, b in zip(row_a, row_b):
+                if isinstance(a, float) and isinstance(b, float):
+                    same = math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-6)
+                else:
+                    same = a == b
+                if not same:
+                    raise MaintenanceError(
+                        f"aggregated view {self.definition.name!r} diverged "
+                        f"from recompute: {row_a} vs {row_b}"
+                    )

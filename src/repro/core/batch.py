@@ -1,0 +1,152 @@
+"""Update batching with delta netting.
+
+Warehouse load jobs frequently touch the same keys repeatedly — staging
+rows that are inserted and later deleted, corrections that delete and
+re-insert.  Maintaining views per statement pays for every intermediate
+state; :class:`UpdateBatch` accumulates a table's inserts and deletes,
+**nets them by key**, and runs one maintenance pass per table over the
+net effect:
+
+* insert then delete of the same key → nothing happens at all;
+* delete then insert of the same key → an UPDATE pair (maintained with
+  the paper's Section 6 caveat 1: foreign-key shortcuts disabled);
+* delete then re-insert of the *identical* row → dropped entirely;
+* everything else flows through unchanged.
+
+Works against any number of maintenance targets —
+:class:`~repro.core.maintain.ViewMaintainer` and
+:class:`~repro.core.aggregate.AggregatedView` share the ``maintain``
+protocol the batch drives.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..engine.catalog import Database
+from ..engine.table import Row
+from ..errors import MaintenanceError
+from .maintain import MaintenanceReport
+from .secondary import DELETE, INSERT
+
+
+class _Pending:
+    __slots__ = ("deleted", "inserted")
+
+    def __init__(self):
+        self.deleted: Optional[Row] = None
+        self.inserted: Optional[Row] = None
+
+
+class UpdateBatch:
+    """Accumulate updates, net them, flush as one pass per table."""
+
+    def __init__(self, db: Database, targets: Sequence):
+        self.db = db
+        self.targets = list(targets)
+        self._pending: Dict[str, Dict[Row, _Pending]] = {}
+        self._flushed = False
+
+    # ------------------------------------------------------------------
+    def _key(self, table: str, row: Row) -> Row:
+        return self.db.table(table).key_of(tuple(row))
+
+    def _slot(self, table: str, row: Row) -> _Pending:
+        per_table = self._pending.setdefault(table, {})
+        return per_table.setdefault(self._key(table, row), _Pending())
+
+    def insert(self, table: str, rows: Iterable[Row]) -> "UpdateBatch":
+        self._require_open()
+        for row in rows:
+            row = tuple(row)
+            slot = self._slot(table, row)
+            if slot.inserted is not None:
+                raise MaintenanceError(
+                    f"duplicate insert for key {self._key(table, row)!r} "
+                    f"of {table!r} within the batch"
+                )
+            slot.inserted = row
+        return self
+
+    def delete(self, table: str, rows: Iterable[Row]) -> "UpdateBatch":
+        self._require_open()
+        for row in rows:
+            row = tuple(row)
+            slot = self._slot(table, row)
+            if slot.inserted is not None:
+                # deleting a row inserted earlier in this batch: both
+                # sides vanish — the database never sees either.
+                if slot.inserted != row:
+                    raise MaintenanceError(
+                        f"batch delete of {self._key(table, row)!r} does "
+                        "not match the row inserted earlier in the batch"
+                    )
+                slot.inserted = None
+            else:
+                if slot.deleted is not None:
+                    raise MaintenanceError(
+                        f"duplicate delete for key "
+                        f"{self._key(table, row)!r} of {table!r}"
+                    )
+                slot.deleted = row
+        return self
+
+    def _require_open(self) -> None:
+        if self._flushed:
+            raise MaintenanceError("batch already flushed")
+
+    # ------------------------------------------------------------------
+    @property
+    def net_counts(self) -> Dict[str, Tuple[int, int]]:
+        """``{table: (net deletes, net inserts)}`` if flushed now."""
+        out = {}
+        for table, slots in self._pending.items():
+            deletes, inserts, __ = self._net(slots)
+            out[table] = (len(deletes), len(inserts))
+        return out
+
+    @staticmethod
+    def _net(slots: Dict[Row, _Pending]):
+        deletes: List[Row] = []
+        inserts: List[Row] = []
+        update_pair = False
+        for slot in slots.values():
+            if slot.deleted is not None and slot.deleted == slot.inserted:
+                continue  # delete + identical re-insert: no net change
+            if slot.deleted is not None:
+                deletes.append(slot.deleted)
+            if slot.inserted is not None:
+                inserts.append(slot.inserted)
+            if slot.deleted is not None and slot.inserted is not None:
+                update_pair = True
+        return deletes, inserts, update_pair
+
+    def flush(self) -> Dict[str, List[MaintenanceReport]]:
+        """Apply the net effect table by table; returns the maintenance
+        reports per table (delete pass then insert pass, where present).
+        """
+        self._require_open()
+        self._flushed = True
+        reports: Dict[str, List[MaintenanceReport]] = {}
+        for table, slots in self._pending.items():
+            deletes, inserts, update_pair = self._net(slots)
+            fk_allowed = not update_pair
+            table_reports: List[MaintenanceReport] = []
+            if deletes:
+                delta = self.db.delete(table, deletes, check=False)
+                for target in self.targets:
+                    table_reports.append(
+                        target.maintain(
+                            table, delta, DELETE, fk_allowed=fk_allowed
+                        )
+                    )
+            if inserts:
+                delta = self.db.insert(table, inserts)
+                for target in self.targets:
+                    table_reports.append(
+                        target.maintain(
+                            table, delta, INSERT, fk_allowed=fk_allowed
+                        )
+                    )
+            reports[table] = table_reports
+        return reports

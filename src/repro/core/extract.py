@@ -1,0 +1,75 @@
+"""Extraction of per-term deltas from ΔV^D (paper Section 5.1 / Theorem 2).
+
+Every term has a unique source-table set and is null-extended on all other
+view tables, so its tuples inside the primary delta are identified by a
+conjunction of ``null`` / ``¬null`` probes on one non-null (key) column
+per table:
+
+    ``ΔDᵢ = π_{Tᵢ.*} σ_{nn(Tᵢ) ∧ n(U−Tᵢ)} ΔV^D``  (net-contribution delta)
+    ``ΔEᵢ = δ π_{Tᵢ.*} σ_{nn(Tᵢ)} ΔV^D``          (complete term delta)
+
+The duplicate elimination in ``ΔEᵢ`` is required because a term tuple may
+appear joined with several tuples of the extra tables (a TRS tuple joined
+with multiple U tuples, in the paper's example).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, List, Tuple
+
+from ..algebra.normalform import Term
+from ..algebra.predicates import (
+    IsNull,
+    NotNull,
+    Predicate,
+    compile_predicate,
+    conjoin,
+)
+from ..engine import operators as ops
+from ..engine.catalog import Database
+from ..engine.table import Table
+
+
+def nn_predicate(tables: Iterable[str], db: Database) -> Predicate:
+    """``nn(T₁,…,Tₖ)`` — every listed table present (non-null key)."""
+    parts: List[Predicate] = [
+        NotNull(db.table(t).key[0]) for t in sorted(tables)
+    ]
+    return conjoin(parts)
+
+
+def n_predicate(tables: Iterable[str], db: Database) -> Predicate:
+    """``n(T₁,…,Tₖ)`` — every listed table null-extended (null key)."""
+    parts: List[Predicate] = [
+        IsNull(db.table(t).key[0]) for t in sorted(tables)
+    ]
+    return conjoin(parts)
+
+
+def term_columns(term: Term, schema_columns: Iterable[str]) -> Tuple[str, ...]:
+    """``Tᵢ.*`` — the columns of *schema_columns* owned by the term's
+    source tables, in input order."""
+    prefixes = tuple(f"{t}." for t in term.source)
+    return tuple(c for c in schema_columns if c.startswith(prefixes))
+
+
+def extract_net_delta(
+    delta: Table, term: Term, view_tables: FrozenSet[str], db: Database
+) -> Table:
+    """``ΔDᵢ`` — the net-contribution delta of *term* inside ΔV^D."""
+    pred = conjoin(
+        [
+            nn_predicate(term.source, db),
+            n_predicate(view_tables - term.source, db),
+        ]
+    )
+    selected = ops.select(delta, compile_predicate(pred, delta.schema))
+    return ops.project(selected, term_columns(term, delta.schema.columns))
+
+
+def extract_full_delta(delta: Table, term: Term, db: Database) -> Table:
+    """``ΔEᵢ`` — the complete delta of *term* (subsumed tuples included)."""
+    pred = nn_predicate(term.source, db)
+    selected = ops.select(delta, compile_predicate(pred, delta.schema))
+    projected = ops.project(selected, term_columns(term, delta.schema.columns))
+    return ops.distinct(projected)

@@ -1,0 +1,167 @@
+"""Foreign-key simplification of ΔV^D expressions (paper Section 6.1).
+
+When a table ``U`` holds a foreign key into the updated table ``T`` and
+the view joins them on exactly that key, no ``ΔT`` tuple can join any
+``U`` tuple: a ``U`` row referencing a freshly inserted key would have
+violated the constraint before the insert, and one referencing a deleted
+key would violate it after the delete.  ``SimplifyTree`` exploits this
+along the delta tree's main path:
+
+* a **left outer join** whose match is impossible passes its left input
+  through unchanged — drop the join and remember that all right-side
+  columns are now NULL in every delta row;
+* an **inner join or selection** whose predicate is null-rejecting on a
+  table known to be all-NULL can never pass — the whole delta is empty.
+
+The null knowledge propagates: dropping one join can make later join
+predicates unsatisfiable, cascading into more drops (the set ``S`` of the
+paper's procedure).
+
+The optimization must be skipped (caller's responsibility, surfaced via
+``allow_fk_optimizations`` on the maintainer) when the update is an UPDATE
+decomposed into delete+insert; constraints with cascading deletes or
+deferrable checking are rejected here per-constraint.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from ..algebra.expr import (
+    Bound,
+    FixUp,
+    INNER,
+    Join,
+    LEFT,
+    NullIf,
+    Project,
+    RelExpr,
+    Relation,
+    Select,
+)
+from ..algebra.predicates import Comparison, Predicate, conjuncts
+from ..engine.catalog import Database
+from ..errors import MaintenanceError
+
+
+class SimplifyResult:
+    """Outcome of :func:`simplify_tree`.
+
+    ``expression`` is ``None`` when the delta is provably empty.
+    ``null_tables`` lists tables whose columns are all-NULL in every
+    delta row (useful to the caller for padding and for diagnostics).
+    """
+
+    def __init__(self, expression: Optional[RelExpr], null_tables: FrozenSet[str]):
+        self.expression = expression
+        self.null_tables = null_tables
+
+    @property
+    def is_empty(self) -> bool:
+        return self.expression is None
+
+
+def simplify_tree(
+    expr: RelExpr, updated_table: str, db: Database
+) -> SimplifyResult:
+    """Apply the paper's ``SimplifyTree`` procedure to a ΔV^D tree."""
+    null_tables: Set[str] = set()
+    simplified = _walk(expr, updated_table, db, null_tables)
+    return SimplifyResult(simplified, frozenset(null_tables))
+
+
+def _walk(
+    node: RelExpr,
+    updated_table: str,
+    db: Database,
+    null_tables: Set[str],
+) -> Optional[RelExpr]:
+    """Rebuild the main (leftmost) path bottom-up, returning ``None`` when
+    the subtree is provably empty."""
+    if isinstance(node, (Relation, Bound)):
+        return node
+
+    if isinstance(node, Select):
+        child = _walk(node.child, updated_table, db, null_tables)
+        if child is None:
+            return None
+        if node.pred.null_rejecting_tables() & null_tables:
+            return None  # step 1: the selection can never pass
+        return Select(child, node.pred)
+
+    if isinstance(node, Project):
+        child = _walk(node.child, updated_table, db, null_tables)
+        return None if child is None else Project(child, node.columns)
+
+    if isinstance(node, NullIf):
+        child = _walk(node.child, updated_table, db, null_tables)
+        if child is None:
+            return None
+        targeted = {c.split(".", 1)[0] for c in node.columns}
+        if targeted <= null_tables:
+            # The null-if only nulls columns already proven all-NULL.
+            return child
+        return NullIf(child, node.pred, node.columns)
+
+    if isinstance(node, FixUp):
+        child = _walk(node.child, updated_table, db, null_tables)
+        if child is None:
+            return None
+        if isinstance(child, (Relation, Bound)):
+            # A keyed base (delta) table has neither duplicates nor
+            # subsumed rows; the fix-up is a no-op.
+            return child
+        return FixUp(child, node.key_columns)
+
+    if isinstance(node, Join):
+        left = _walk(node.left, updated_table, db, null_tables)
+        if left is None:
+            return None
+        right_tables = node.right.base_tables()
+        impossible = _match_impossible(
+            node.pred, right_tables, updated_table, db, null_tables
+        )
+        if not impossible:
+            return node.with_children(left, node.right)
+        if node.kind == LEFT:
+            # Step 2: the join passes its left input through; all right
+            # columns become NULL in every row.
+            null_tables.update(right_tables)
+            return left
+        if node.kind in (INNER, "semi"):
+            return None  # step 1: no row can ever match
+        raise MaintenanceError(
+            f"unexpected join kind {node.kind!r} on a ΔV^D main path"
+        )
+
+    raise MaintenanceError(f"cannot simplify node {node!r}")
+
+
+def _match_impossible(
+    pred: Predicate,
+    right_tables: FrozenSet[str],
+    updated_table: str,
+    db: Database,
+    null_tables: Set[str],
+) -> bool:
+    """True when no delta row can satisfy *pred* against the right input:
+    either the predicate is null-rejecting on an all-NULL table, or it
+    contains the equijoin of a foreign key from a right-side table into
+    the updated table."""
+    if pred.null_rejecting_tables() & null_tables:
+        return True
+    join_pairs = {
+        frozenset((part.left.qualified, part.right.qualified))
+        for part in conjuncts(pred)
+        if isinstance(part, Comparison) and part.is_equijoin()
+    }
+    for source in right_tables:
+        for fk in db.foreign_keys_from(source):
+            if fk.target != updated_table:
+                continue
+            if not fk.usable_for_optimization():
+                continue
+            wanted = {frozenset(pair) for pair in fk.column_pairs()}
+            if wanted <= join_pairs:
+                return True
+    return False

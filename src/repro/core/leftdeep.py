@@ -1,0 +1,180 @@
+"""Conversion of ΔV^D expressions to left-deep join trees (Section 4.1).
+
+The tree produced by :mod:`repro.core.primary` may contain bushy joins of
+base tables (e.g. ``R ⟗ S`` as the right operand of the main-path join in
+Figure 3(a)); for a small ``ΔT`` this wastes work on large intermediates.
+The paper fixes this with associativity rules that repeatedly pull the top
+operator of a compound right operand into the main path, so every join's
+right operand becomes a single (possibly selected) base table.
+
+With the main path already limited to selects, inner joins and left outer
+joins (the output of the Section 4 algorithm), the rules are:
+
+* inner main join — plain associativity: ``e1 ⋈ (e2 X e3)`` becomes
+  ``(e1 ⋈ e2) X' e3`` where ``X'`` is ``⟕`` for ``X ∈ {⟕, ⟗}`` and ``⋈``
+  for ``X ∈ {⋈, ⟖}``; a selected operand hoists the selection above.
+* left outer main join — the paper's rules 1–5::
+
+      (1) e1 ⟕ σ_p2(e2)      = fix( λ^{e2.*}_{¬p2}(e1 ⟕ e2) )
+      (2) e1 ⟕ (e2 ⟗ e3)     = (e1 ⟕ e2) ⟕ e3
+      (3) e1 ⟕ (e2 ⟕ e3)     = (e1 ⟕ e2) ⟕ e3
+      (4) e1 ⟕ (e2 ⟖ e3)     = fix( λ^{e2.*,e3.*}_{¬p23}((e1 ⟕ e2) ⟕ e3) )
+      (5) e1 ⟕ (e2 ⋈ e3)     = fix( λ^{e2.*,e3.*}_{¬p23}((e1 ⟕ e2) ⟕ e3) )
+
+``fix`` is duplicate elimination plus subsumption removal within groups
+sharing ``e1``'s key (see DESIGN.md): the null-if may produce duplicates
+*and* rows subsumed by surviving matches of the same ``e1`` tuple.  The
+``¬p`` guards use IS-NOT-TRUE semantics so UNKNOWN predicates null-extend
+exactly like FALSE ones.
+
+All rules require join predicates to be null-rejecting and to reference
+tables on only two "sides"; :func:`to_left_deep` raises
+:class:`UnsupportedViewError` when a predicate spans the wrong operands,
+and callers fall back to evaluating the bushy tree.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..algebra.evaluate import key_columns
+from ..algebra.expr import (
+    Bound,
+    FULL,
+    FixUp,
+    INNER,
+    Join,
+    LEFT,
+    NullIf,
+    Project,
+    RIGHT,
+    RelExpr,
+    Relation,
+    Select,
+)
+from ..algebra.predicates import NotTrue, Predicate
+from ..engine.catalog import Database
+from ..errors import UnsupportedViewError
+
+
+def to_left_deep(expr: RelExpr, db: Database) -> RelExpr:
+    """Rewrite a ΔV^D tree so every join's right operand is a base table
+    (possibly under a selection).  Semantically equivalent to the input —
+    verified by property tests against the bushy evaluation."""
+    return _build(expr, db)
+
+
+def _build(node: RelExpr, db: Database) -> RelExpr:
+    if isinstance(node, (Relation, Bound)):
+        return node
+    if isinstance(node, Select):
+        return Select(_build(node.child, db), node.pred)
+    if isinstance(node, Project):
+        return Project(_build(node.child, db), node.columns)
+    if isinstance(node, Join):
+        left = _build(node.left, db)
+        return _attach(left, node.kind, node.right, node.pred, db)
+    raise UnsupportedViewError(f"cannot convert node {node!r} to left-deep")
+
+
+def _is_simple(node: RelExpr) -> bool:
+    """A valid right operand of a left-deep join: a base table, possibly
+    under selections."""
+    while isinstance(node, Select):
+        node = node.child
+    return isinstance(node, (Relation, Bound))
+
+
+def _columns_of(node: RelExpr, db: Database) -> Tuple[str, ...]:
+    """All base-table columns under *node* (for null-if column lists)."""
+    out: List[str] = []
+    for table in sorted(node.base_tables()):
+        out.extend(db.table(table).schema.columns)
+    return tuple(out)
+
+
+def _attach(
+    left: RelExpr, kind: str, right: RelExpr, pred: Predicate, db: Database
+) -> RelExpr:
+    """Attach *right* to the left-deep chain *left* under *kind*/*pred*,
+    flattening compound right operands with the associativity rules."""
+    if _is_simple(right):
+        inner_selects: List[Predicate] = []
+        core = right
+        while isinstance(core, Select):
+            inner_selects.append(core.pred)
+            core = core.child
+        if not inner_selects:
+            return Join(kind, left, right, pred)
+        if kind == INNER:
+            # σ commutes freely over the inner join.
+            out: RelExpr = Join(kind, left, core, pred)
+            for p in reversed(inner_selects):
+                out = Select(out, p)
+            return out
+        # Rule 1 (left outer join over a selected table).
+        out = Join(LEFT, left, core, pred)
+        columns = _columns_of(core, db)
+        for p in reversed(inner_selects):
+            out = NullIf(out, NotTrue(p), columns)
+        return FixUp(out, key_columns(left, db))
+
+    if isinstance(right, Project):
+        raise UnsupportedViewError(
+            "projections inside join operands are not supported"
+        )
+
+    if isinstance(right, Select):
+        # Compound selected operand: σ_p2(e2 X e3).  Handle via rule 1 /
+        # σ-hoisting after flattening the join underneath.
+        flattened = _attach(left, kind, right.child, pred, db)
+        if kind == INNER:
+            return Select(flattened, right.pred)
+        columns = _columns_of(right.child, db)
+        return FixUp(
+            NullIf(flattened, NotTrue(right.pred), columns),
+            key_columns(left, db),
+        )
+
+    if not isinstance(right, Join):
+        raise UnsupportedViewError(f"unexpected right operand {right!r}")
+
+    e2, e3, p23, inner_kind = right.left, right.right, right.pred, right.kind
+
+    # The pulled-up predicate must not reference e3's tables; if it only
+    # touches e3 (not e2), commute the right child first.
+    if pred.tables() & e3.base_tables():
+        if pred.tables() & e2.base_tables():
+            raise UnsupportedViewError(
+                f"join predicate {pred!r} spans both operands of a compound "
+                "right input; left-deep conversion needs binary predicates"
+            )
+        swapped = {INNER: INNER, FULL: FULL, LEFT: RIGHT, RIGHT: LEFT}
+        e2, e3 = e3, e2
+        inner_kind = swapped[inner_kind]
+
+    if kind == INNER:
+        base = _attach(left, INNER, e2, pred, db)
+        if inner_kind in (INNER, RIGHT):
+            # e3-only tuples are rejected by the null-rejecting predicate.
+            return _attach(base, INNER, e3, p23, db)
+        return _attach(base, LEFT, e3, p23, db)
+
+    if kind != LEFT:
+        raise UnsupportedViewError(
+            f"main-path joins must be inner or left outer, got {kind!r}"
+        )
+
+    base = _attach(left, LEFT, e2, pred, db)
+    if inner_kind in (FULL, LEFT):
+        # Rules 2 and 3: plain re-association.
+        return _attach(base, LEFT, e3, p23, db)
+
+    # Rules 4 and 5: re-associate, then null out e2/e3 columns of rows
+    # whose inner predicate did not hold, then fix up.
+    out = _attach(base, LEFT, e3, p23, db)
+    columns = _columns_of(e2, db) + _columns_of(e3, db)
+    return FixUp(
+        NullIf(out, NotTrue(p23), columns),
+        key_columns(left, db),
+    )

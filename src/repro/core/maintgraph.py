@@ -1,0 +1,165 @@
+"""Maintenance graphs (paper Sections 3.1 and 6.2).
+
+Given the subsumption graph of a view and an updated base table ``T``,
+each term is classified as
+
+* **directly affected** — ``T`` is one of its source tables,
+* **indirectly affected** — ``T`` is absent from the term but present in
+  at least one (immediate) parent term, or
+* **unaffected** — otherwise.
+
+Section 6.2 / Theorem 3 sharpens this using foreign keys: a directly
+affected term whose source set contains a table ``R`` with a foreign key
+to ``T``, joined on exactly that key, has an *unchanged* net contribution
+(an inserted/deleted T row cannot join any R row without violating the
+constraint).  Eliminating such terms may strand indirectly affected terms
+without any remaining directly affected parent; those are eliminated too,
+yielding the **reduced maintenance graph** of Figure 4(b).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, List
+
+from ..algebra.normalform import Term
+from ..algebra.predicates import Comparison, Predicate
+from ..algebra.subsumption import SubsumptionGraph
+from ..engine.catalog import Database
+
+
+class Affect(Enum):
+    DIRECT = "direct"
+    INDIRECT = "indirect"
+    UNAFFECTED = "unaffected"
+
+
+class MaintenanceGraph:
+    """Classification of a view's terms for an update of one base table.
+
+    Parameters
+    ----------
+    graph:
+        The view's subsumption graph.
+    updated_table:
+        The base table receiving the insert/delete.
+    db:
+        Catalog (for foreign keys).
+    use_foreign_keys:
+        Apply the Theorem 3 reduction.  Must be ``False`` when the update
+        is an UPDATE decomposed into delete+insert, or when the relevant
+        constraints cascade or are deferrable (the paper's three caveats;
+        per-constraint properties are checked here, the update-shape caveat
+        is the caller's).
+    """
+
+    def __init__(
+        self,
+        graph: SubsumptionGraph,
+        updated_table: str,
+        db: Database,
+        use_foreign_keys: bool = True,
+    ):
+        self.graph = graph
+        self.updated_table = updated_table
+        self.classification: Dict[FrozenSet[str], Affect] = {}
+
+        direct: List[Term] = []
+        for term in graph.terms:
+            if updated_table in term.source:
+                if use_foreign_keys and self._fk_unaffected(term, db):
+                    self.classification[term.source] = Affect.UNAFFECTED
+                else:
+                    self.classification[term.source] = Affect.DIRECT
+                    direct.append(term)
+            else:
+                self.classification[term.source] = Affect.UNAFFECTED
+
+        for term in graph.terms:
+            if self.classification[term.source] is not Affect.UNAFFECTED:
+                continue
+            if updated_table in term.source:
+                continue  # eliminated by Theorem 3; stays unaffected
+            parents = graph.parents(term)
+            if any(
+                self.classification[p.source] is Affect.DIRECT for p in parents
+            ):
+                self.classification[term.source] = Affect.INDIRECT
+
+    # ------------------------------------------------------------------
+    def _fk_unaffected(self, term: Term, db: Database) -> bool:
+        """Theorem 3: the term's net contribution is unchanged if some
+        source table R references the updated table through a foreign key
+        and the term joins R and T on exactly that key."""
+        t = self.updated_table
+        for fk in db.foreign_keys_to(t):
+            if fk.source not in term.source or fk.source == t:
+                continue
+            if not fk.usable_for_optimization():
+                continue
+            if self._term_joins_on_fk(term, fk):
+                return True
+        return False
+
+    @staticmethod
+    def _term_joins_on_fk(term: Term, fk) -> bool:
+        wanted = {frozenset(pair) for pair in fk.column_pairs()}
+        present = set()
+        for pred in term.predicates:
+            if isinstance(pred, Comparison) and pred.is_equijoin():
+                present.add(
+                    frozenset((pred.left.qualified, pred.right.qualified))
+                )
+        return wanted <= present
+
+    # ------------------------------------------------------------------
+    @property
+    def directly_affected(self) -> List[Term]:
+        return [
+            t
+            for t in self.graph.terms
+            if self.classification[t.source] is Affect.DIRECT
+        ]
+
+    @property
+    def indirectly_affected(self) -> List[Term]:
+        return [
+            t
+            for t in self.graph.terms
+            if self.classification[t.source] is Affect.INDIRECT
+        ]
+
+    @property
+    def unaffected(self) -> List[Term]:
+        return [
+            t
+            for t in self.graph.terms
+            if self.classification[t.source] is Affect.UNAFFECTED
+        ]
+
+    def direct_parents(self, term: Term) -> List[Term]:
+        """``pard(n)`` — directly affected parents of *term*."""
+        return [
+            p
+            for p in self.graph.parents(term)
+            if self.classification[p.source] is Affect.DIRECT
+        ]
+
+    def indirect_parents(self, term: Term) -> List[Term]:
+        """``pari(n)`` — indirectly affected parents of *term*."""
+        return [
+            p
+            for p in self.graph.parents(term)
+            if self.classification[p.source] is Affect.INDIRECT
+        ]
+
+    def pretty(self) -> str:
+        """Render like Figure 1(b): source set plus D/I marker."""
+        marks = {Affect.DIRECT: "D", Affect.INDIRECT: "I"}
+        lines = []
+        for term in self.graph.terms:
+            affect = self.classification[term.source]
+            if affect is Affect.UNAFFECTED:
+                continue
+            lines.append(f"{term.label()}{marks[affect]}")
+        return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Primary-delta expression construction (paper Section 4).
+
+``ΔV^D`` — the combined delta of all directly affected terms — is obtained
+from the *original* view expression with three mechanical steps
+(Example 3 / the "Construct ΔV^D expression" algorithm):
+
+1. Walk the path from the updated table ``T`` to the root; commute every
+   join on the path so the ``T``-side input is on the left (a left outer
+   join becomes a right outer join when swapped, and vice versa).
+2. Walk the path again, converting every **full outer** join to a **left
+   outer** join and every **right outer** join to an **inner** join.
+   This discards exactly the tuples that are null-extended on ``T`` —
+   tuples that can never belong to ``V^D``.
+3. Substitute ``ΔT`` for ``T``.
+
+The resulting tree's leftmost path contains only selects, inner joins and
+left outer joins, so the standard delta-propagation rules apply and the
+tree evaluated over ``ΔT`` *is* ``ΔV^D``.
+"""
+
+from __future__ import annotations
+
+from ..algebra.expr import (
+    FULL,
+    INNER,
+    Join,
+    LEFT,
+    Project,
+    RIGHT,
+    RelExpr,
+    Relation,
+    Select,
+    delta_relation,
+)
+from ..errors import MaintenanceError
+
+_SWAPPED_KIND = {LEFT: RIGHT, RIGHT: LEFT, FULL: FULL, INNER: INNER}
+_CONVERTED_KIND = {FULL: LEFT, RIGHT: INNER, LEFT: LEFT, INNER: INNER}
+
+
+def contains_table(expr: RelExpr, table: str) -> bool:
+    return table in expr.base_tables()
+
+
+def primary_delta_expression(view_expr: RelExpr, table: str) -> RelExpr:
+    """Build the ``ΔV^D`` expression for an update of *table*.
+
+    The returned tree references ``ΔT`` through a
+    :class:`~repro.algebra.expr.Bound` leaf labelled ``delta:<table>``;
+    bind the delta table when evaluating.
+    """
+    if not contains_table(view_expr, table):
+        raise MaintenanceError(
+            f"view does not reference table {table!r}; nothing to maintain"
+        )
+    return _transform(view_expr, table)
+
+
+def vd_expression(view_expr: RelExpr, table: str) -> RelExpr:
+    """Build the ``V^D`` expression (Equation 3 in the paper): the view
+    restricted to terms containing real *table* tuples.  Identical to
+    :func:`primary_delta_expression` but keeping ``T`` itself — useful for
+    tests and for whole-term recomputation."""
+    return _transform(view_expr, table, substitute=False)
+
+
+def _transform(node: RelExpr, table: str, substitute: bool = True) -> RelExpr:
+    """Apply commute + convert along the path to *table*, rebuilding only
+    the nodes on that path (everything off-path is shared)."""
+    if isinstance(node, Relation):
+        if node.name != table:
+            raise MaintenanceError(
+                f"path construction reached wrong leaf {node.name!r}"
+            )
+        return delta_relation(table) if substitute else node
+
+    if isinstance(node, Select):
+        return Select(_transform(node.child, table, substitute), node.pred)
+
+    if isinstance(node, Project):
+        raise MaintenanceError(
+            "projections below joins are not supported on the update path; "
+            "declare outputs with a top-level projection"
+        )
+
+    if isinstance(node, Join):
+        on_left = contains_table(node.left, table)
+        on_right = contains_table(node.right, table)
+        if on_left == on_right:
+            raise MaintenanceError(
+                f"table {table!r} must appear on exactly one side of every "
+                "join on the update path (no self-joins)"
+            )
+        if on_left:
+            kind = node.kind
+            left, right = node.left, node.right
+        else:
+            # Step 1: commute so the T side is the left input.
+            kind = _SWAPPED_KIND[node.kind]
+            left, right = node.right, node.left
+        # Step 2: discard tuples null-extended on T.
+        kind = _CONVERTED_KIND[kind]
+        return Join(kind, _transform(left, table, substitute), right, node.pred)
+
+    raise MaintenanceError(f"unsupported node on update path: {node!r}")

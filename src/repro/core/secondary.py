@@ -1,0 +1,347 @@
+"""Secondary-delta computation (paper Section 5).
+
+After the primary delta ``ΔV^D`` has been applied, indirectly affected
+terms may gain or lose *orphan* tuples: an insertion into T can make
+previously-orphaned tuples (e.g. a part nobody had ordered) cease to be
+orphans, and a deletion can create new orphans.  For each indirectly
+affected term ``Eᵢ`` the change ``ΔDᵢ`` is computed either
+
+* **from the view** (Section 5.2) — usually cheapest: the view already
+  stores the orphans, so a semijoin/antijoin between the view and the
+  primary delta suffices; or
+* **from base tables** (Section 5.3) — required when the view does not
+  expose the needed columns (not the case for views built through
+  :class:`~repro.core.view.ViewDefinition`, which demand key columns, but
+  implemented in full both as the paper's fallback and for the ablation
+  benchmark).
+
+Both strategies return rows over the term's source-table columns; the
+caller pads them to the view schema and applies them with the *opposite*
+operation of the primary delta (delete on insert, insert on delete).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..algebra.evaluate import evaluate
+from ..algebra.expr import (
+    Bound,
+    Join,
+    RelExpr,
+    Relation,
+    Select,
+    delta_label,
+)
+from ..algebra.normalform import Term, term_expression
+from ..algebra.predicates import (
+    Or,
+    Predicate,
+    TruePred,
+    compile_predicate,
+    conjoin,
+)
+from ..engine import operators as ops
+from ..engine.catalog import Database
+from ..engine.table import Table
+from ..errors import MaintenanceError
+from .extract import n_predicate, nn_predicate, term_columns
+from .maintgraph import MaintenanceGraph
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+def _parent_filter(
+    term: Term, mgraph: MaintenanceGraph, db: Database
+) -> Predicate:
+    """``Pᵢ = ⋁_{Eₖ ∈ pard(Eᵢ)} nn(Tₖ)`` — selects from ΔV^D the rows that
+    touch a directly affected parent of *term*."""
+    parents = mgraph.direct_parents(term)
+    if not parents:
+        raise MaintenanceError(
+            f"term {term.label()} has no directly affected parents; it "
+            "should not be classified as indirectly affected"
+        )
+    parts = [nn_predicate(p.source, db) for p in parents]
+    return parts[0] if len(parts) == 1 else Or(parts)
+
+
+def _term_key_pairs(term: Term, db: Database) -> List[Tuple[str, str]]:
+    """``eq(Tᵢ)`` as equi-join pairs (same qualified names both sides)."""
+    pairs: List[Tuple[str, str]] = []
+    for table in sorted(term.source):
+        for col in db.table(table).key:
+            pairs.append((col, col))
+    return pairs
+
+
+# ---------------------------------------------------------------------------
+# Section 5.2 — from the view
+# ---------------------------------------------------------------------------
+def secondary_from_view(
+    term: Term,
+    mgraph: MaintenanceGraph,
+    view_table: Table,
+    primary_delta: Table,
+    db: Database,
+    operation: str,
+) -> Table:
+    """``ΔDᵢ`` for one indirectly affected term, computed from the
+    materialized view (already reflecting the primary delta) and ΔV^D.
+
+    Insertions::
+
+        ΔDᵢ = σ_{nn(Tᵢ) ∧ n(Sᵢ)}(V + ΔV^D) ⋉^ls_{eq(Tᵢ)} σ_{Pᵢ} ΔV^D
+
+    Deletions::
+
+        ΔDᵢ = (δ π_{Tᵢ.*} σ_{Pᵢ} ΔV^D) ⋉^la_{eq(Tᵢ)} (V − ΔV^D)
+    """
+    view_tables = frozenset().union(
+        *[t.source for t in mgraph.graph.terms]
+    )
+    pi = _parent_filter(term, mgraph, db)
+    pairs = _term_key_pairs(term, db)
+
+    if operation == INSERT:
+        orphan_pred = conjoin(
+            [
+                nn_predicate(term.source, db),
+                n_predicate(view_tables - term.source, db),
+            ]
+        )
+        orphans = ops.select(
+            view_table, compile_predicate(orphan_pred, view_table.schema)
+        )
+        touched = ops.select(
+            primary_delta, compile_predicate(pi, primary_delta.schema)
+        )
+        return ops.join(orphans, touched, "semi", equi=pairs)
+
+    if operation == DELETE:
+        touched = ops.select(
+            primary_delta, compile_predicate(pi, primary_delta.schema)
+        )
+        candidates = ops.distinct(
+            ops.project(
+                touched, term_columns(term, primary_delta.schema.columns)
+            )
+        )
+        return ops.join(candidates, view_table, "anti", equi=pairs)
+
+    raise MaintenanceError(f"unknown operation {operation!r}")
+
+
+def secondary_from_view_indexed(
+    term: Term,
+    mgraph: MaintenanceGraph,
+    view,
+    primary_delta: Table,
+    db: Database,
+    operation: str,
+) -> Table:
+    """Index-seek variant of :func:`secondary_from_view`.
+
+    The paper's experiment gave V3 a *second* index precisely so the
+    orphan probes become seeks (``create index V4_idx on V4(p_partkey,
+    …)``).  Here the materialized view's key hash plays the clustered
+    index and lazily built sub-key count indexes play ``V4_idx``:
+
+    * insertions — an orphan of term Tᵢ has the unique view key
+      ``(Tᵢ keys, NULL, …)``; each ΔV^D row touching a directly affected
+      parent yields that key directly, turning the Section 5.2 semijoin
+      into ``O(|Δ|)`` point lookups;
+    * deletions — a candidate is a new orphan iff no view row carries its
+      Tᵢ key values, a count lookup in the sub-key index.
+
+    *view* is the :class:`~repro.core.view.MaterializedView` itself (not
+    a snapshot) so freshly inserted parent orphans are visible to child
+    terms automatically.
+    """
+    pi = _parent_filter(term, mgraph, db)
+    passes = compile_predicate(pi, primary_delta.schema)
+    term_key_cols = [
+        col for t in sorted(term.source) for col in db.table(t).key
+    ]
+    delta_key_positions = [
+        primary_delta.schema.index_of(c) if c in primary_delta.schema else None
+        for c in term_key_cols
+    ]
+
+    if operation == INSERT:
+        slot = {c: i for i, c in enumerate(view.key_cols)}
+        width = len(view.key_cols)
+        found: List = []
+        seen = set()
+        for row in primary_delta.rows:
+            if not passes(row):
+                continue
+            sub = tuple(
+                row[p] if p is not None else None
+                for p in delta_key_positions
+            )
+            if None in sub or sub in seen:
+                continue
+            seen.add(sub)
+            orphan_key = [None] * width
+            for col, value in zip(term_key_cols, sub):
+                orphan_key[slot[col]] = value
+            orphan = view._rows.get(tuple(orphan_key))
+            if orphan is not None:
+                found.append(orphan)
+        return Table("d", view.schema, found)
+
+    if operation == DELETE:
+        index = view.subkey_index(tuple(term_key_cols))
+        cols = term_columns(term, primary_delta.schema.columns)
+        col_positions = primary_delta.schema.positions(cols)
+        out: List = []
+        seen = set()
+        for row in primary_delta.rows:
+            if not passes(row):
+                continue
+            sub = tuple(
+                row[p] if p is not None else None
+                for p in delta_key_positions
+            )
+            if None in sub or sub in seen:
+                continue
+            seen.add(sub)
+            if index.get(sub, 0) == 0:
+                out.append(tuple(row[p] for p in col_positions))
+        from ..engine.schema import Schema
+
+        return Table("d", Schema(cols), out)
+
+    raise MaintenanceError(f"unknown operation {operation!r}")
+
+
+# ---------------------------------------------------------------------------
+# Section 5.3 — from base tables
+# ---------------------------------------------------------------------------
+def secondary_from_base(
+    term: Term,
+    mgraph: MaintenanceGraph,
+    primary_delta: Table,
+    db: Database,
+    operation: str,
+    updated_table: str,
+    delta_table: Table,
+    stats=None,
+) -> Table:
+    """``ΔDᵢ`` computed without reading the view.
+
+    Candidates come from ΔV^D filtered by
+    ``Qᵢ = nn(Tᵢ) ∧ n(∪_{Eₖ∈pari(Eᵢ)} Rₖ)`` and are then anti-semijoined
+    against one expression ``E'ₖ`` per directly affected parent, built
+    from the parent's extra tables ``Rₖ`` and the updated table's old
+    state (insertions) or new state (deletions).
+    """
+    si = term.source
+    indirect_extra = frozenset()
+    for parent in mgraph.indirect_parents(term):
+        indirect_extra |= parent.source - si
+
+    qi = conjoin(
+        [nn_predicate(si, db), n_predicate(indirect_extra, db)]
+    )
+    filtered = ops.select(
+        primary_delta, compile_predicate(qi, primary_delta.schema)
+    )
+    candidates = ops.distinct(
+        ops.project(filtered, term_columns(term, primary_delta.schema.columns))
+    )
+
+    bindings: Dict[str, Table] = {
+        "candidates": candidates,
+        delta_label(updated_table): delta_table,
+    }
+    result_expr: RelExpr = Bound("candidates", over=sorted(si))
+    for parent in mgraph.direct_parents(term):
+        parent_expr, antijoin_pred = _parent_state_expression(
+            term, parent, updated_table, db, operation
+        )
+        result_expr = Join("anti", result_expr, parent_expr, antijoin_pred)
+    return evaluate(result_expr, db, bindings, stats=stats)
+
+
+def _parent_state_expression(
+    term: Term,
+    parent: Term,
+    updated_table: str,
+    db: Database,
+    operation: str,
+) -> Tuple[RelExpr, Predicate]:
+    """Build ``E'ₖ`` and its antijoin predicate ``qₖ`` for one directly
+    affected parent (Section 5.3's predicate split of ``pₖ``)."""
+    si = term.source
+    rk = parent.source - si - {updated_table}
+
+    linking: List[Predicate] = []  # q(Sᵢ, Rₖ, T) — the antijoin predicate
+    state_preds: List[Predicate] = []  # q(Rₖ), q(T), q(Rₖ, T)
+    for pred in parent.predicates:
+        tabs = pred.tables()
+        if tabs <= si:
+            continue  # already satisfied by the candidates
+        if tabs & si:
+            linking.append(pred)
+        else:
+            state_preds.append(pred)
+
+    # The paper's T± ⋉^la_eq(T) ΔT (insertions: state before the update)
+    # or plain T± (deletions: state after the update).
+    t_state: RelExpr = Relation(updated_table)
+    if operation == INSERT:
+        key = db.table(updated_table).key
+        pairs_pred = conjoin(
+            [
+                # eq(T): same column names on both sides; expressed as a
+                # predicate here, resolved into equi pairs at evaluation.
+                _self_eq(col)
+                for col in key
+            ]
+        )
+        t_state = Join(
+            "anti",
+            t_state,
+            Bound(delta_label(updated_table), over=(updated_table,)),
+            pairs_pred,
+        )
+
+    if not rk:
+        state_expr: RelExpr = t_state
+        extra = [p for p in state_preds if p.tables() <= {updated_table}]
+        if extra:
+            state_expr = Select(state_expr, conjoin(extra))
+    else:
+        pseudo = Term(
+            frozenset(rk | {updated_table}), frozenset(state_preds)
+        )
+        state_expr = term_expression(
+            pseudo, db, replacements={updated_table: t_state}
+        )
+
+    return state_expr, conjoin(linking) if linking else TruePred()
+
+
+def _self_eq(column: str) -> Predicate:
+    """An equality between the same qualified column on both antijoin
+    sides.  The evaluator cannot hash-join identical names across operands
+    with overlapping schemas, so this compiles as a residual comparing the
+    concatenated row — but ``T ⋉^la ΔT`` never concatenates; it is resolved
+    specially below."""
+    from ..algebra.predicates import Comparison
+
+    return Comparison(column, "=", column)
+
+
+# The anti-semijoin between a table and its own delta shares every column
+# name, which the generic evaluator cannot express.  Patch evaluation of
+# that specific shape: Join("anti", Relation(T), Bound(delta:T), eq-keys).
+def old_state(table_name: str, db: Database, delta: Table) -> Table:
+    """``T ⋉^la_{eq(T)} ΔT`` — the updated table's state before an
+    insertion (the base table minus the inserted rows)."""
+    base = db.table(table_name)
+    pairs = [(c, c) for c in base.key or ()]
+    return ops.join(base, delta, "anti", equi=pairs)

@@ -1,0 +1,242 @@
+"""Combined secondary-delta computation — the paper's future work.
+
+Section 9: *"One direction for future work is to investigate even more
+efficient ways to compute ΔV^I.  It may be possible to combine (parts of)
+the computations for the different terms, for example, by exploiting
+outer joins or by saving and reusing partial results."*
+
+The per-term strategies of Section 5 scan the view (or evaluate parent
+state expressions) once **per indirectly affected term**.  This module
+computes all term deltas in **one pass over the view plus one pass over
+the primary delta**:
+
+Insertions
+    One delta scan classifies each ΔV^D row once and records, for every
+    indirect term, the key projections of rows touching its directly
+    affected parents.  One view scan then recognises orphan rows of any
+    indirect term by their null signature and probes the recorded key
+    sets — orphans that match are the rows to delete.
+
+Deletions
+    One delta scan collects per-term orphan candidates (the paper's
+    ``δ π_{Tᵢ.*} σ_{Pᵢ}``); one view scan records which term keys are
+    still present.  Candidates absent from the view become new orphan
+    rows.  Parents-first ordering is preserved by *feeding inserted
+    orphans back into the presence sets*, so a child candidate subsumed
+    by a freshly inserted parent orphan is suppressed without a second
+    view scan.
+
+Both directions return exactly what the per-term strategies return —
+property tests assert the equivalence — while touching the view once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from ..algebra.normalform import Term
+from ..algebra.predicates import compile_predicate
+from ..engine.catalog import Database
+from ..engine.table import Row, Table
+from .extract import term_columns
+from .maintgraph import MaintenanceGraph
+from .secondary import DELETE, INSERT, _parent_filter
+
+
+class _TermPlan:
+    """Precomputed positions/filters for one indirectly affected term."""
+
+    __slots__ = (
+        "term",
+        "label",
+        "view_key_positions",
+        "delta_key_positions",
+        "view_signature",
+        "parent_filter",
+        "delta_term_positions",
+        "term_column_names",
+    )
+
+    def __init__(
+        self,
+        term: Term,
+        mgraph: MaintenanceGraph,
+        view_schema,
+        delta_schema,
+        db: Database,
+        view_tables: FrozenSet[str],
+    ):
+        self.term = term
+        self.label = term.label()
+
+        key_cols = [
+            col for t in sorted(term.source) for col in db.table(t).key
+        ]
+        self.view_key_positions = tuple(
+            view_schema.index_of(c) for c in key_cols
+        )
+        self.delta_key_positions = tuple(
+            delta_schema.index_of(c) if c in delta_schema else None
+            for c in key_cols
+        )
+
+        # orphan signature on the view: term tables non-null via their
+        # first key column, all other view tables null
+        non_null = tuple(
+            view_schema.index_of(db.table(t).key[0])
+            for t in sorted(term.source)
+        )
+        null = tuple(
+            view_schema.index_of(db.table(t).key[0])
+            for t in sorted(view_tables - term.source)
+            if db.table(t).key[0] in view_schema
+        )
+        self.view_signature = (non_null, null)
+
+        self.parent_filter = compile_predicate(
+            _parent_filter(term, mgraph, db), delta_schema
+        )
+
+        names = term_columns(term, delta_schema.columns)
+        self.term_column_names = names
+        self.delta_term_positions = tuple(
+            delta_schema.index_of(c) for c in names
+        )
+
+    def is_view_orphan(self, row: Row) -> bool:
+        non_null, null = self.view_signature
+        return all(row[p] is not None for p in non_null) and all(
+            row[p] is None for p in null
+        )
+
+    def delta_key(self, row: Row) -> Tuple:
+        return tuple(
+            row[p] if p is not None else None
+            for p in self.delta_key_positions
+        )
+
+    def view_key(self, row: Row) -> Tuple:
+        return tuple(row[p] for p in self.view_key_positions)
+
+
+def secondary_combined(
+    mgraph: MaintenanceGraph,
+    view_table: Table,
+    primary_delta: Table,
+    db: Database,
+    operation: str,
+) -> Dict[str, Table]:
+    """Compute ΔDᵢ for every indirectly affected term in one combined
+    pass.  Returns ``{term label: delta table}``; insert-case deltas hold
+    full view rows to delete, delete-case deltas hold term-column rows to
+    insert (matching the per-term strategies)."""
+    view_tables: FrozenSet[str] = frozenset().union(
+        *[t.source for t in mgraph.graph.terms]
+    )
+    terms = sorted(
+        mgraph.indirectly_affected, key=lambda t: -len(t.source)
+    )
+    plans = [
+        _TermPlan(
+            term, mgraph, view_table.schema, primary_delta.schema, db,
+            view_tables,
+        )
+        for term in terms
+    ]
+    if operation == INSERT:
+        return _combined_insert(plans, view_table, primary_delta)
+    if operation == DELETE:
+        return _combined_delete(plans, view_table, primary_delta, db)
+    raise ValueError(f"unknown operation {operation!r}")
+
+
+def _combined_insert(
+    plans: List[_TermPlan], view_table: Table, primary_delta: Table
+) -> Dict[str, Table]:
+    # one pass over the delta: per-term keys of rows touching a parent
+    touched: List[set] = [set() for __ in plans]
+    for row in primary_delta.rows:
+        for index, plan in enumerate(plans):
+            if plan.parent_filter(row):
+                touched[index].add(plan.delta_key(row))
+
+    # one pass over the view: orphan rows whose keys were touched
+    doomed: List[List[Row]] = [[] for __ in plans]
+    for row in view_table.rows:
+        for index, plan in enumerate(plans):
+            if plan.is_view_orphan(row) and plan.view_key(row) in touched[index]:
+                doomed[index].append(row)
+                break  # signatures are mutually exclusive
+    return {
+        plan.label: Table("d", view_table.schema, rows)
+        for plan, rows in zip(plans, doomed)
+    }
+
+
+def _combined_delete(
+    plans: List[_TermPlan],
+    view_table: Table,
+    primary_delta: Table,
+    db: Database,
+) -> Dict[str, Table]:
+    from ..engine.schema import Schema
+
+    # one pass over the delta: orphan candidates per term (δ π σ_Pi)
+    candidates: List[Dict[Tuple, Row]] = [{} for __ in plans]
+    for row in primary_delta.rows:
+        for index, plan in enumerate(plans):
+            if plan.parent_filter(row):
+                key = plan.delta_key(row)
+                if key not in candidates[index]:
+                    candidates[index][key] = tuple(
+                        row[p] for p in plan.delta_term_positions
+                    )
+
+    # one pass over the view: which term keys are still present anywhere
+    present: List[set] = [set() for __ in plans]
+    for row in view_table.rows:
+        for index, plan in enumerate(plans):
+            key = plan.view_key(row)
+            if None not in key:
+                present[index].add(key)
+
+    # parents first; feed accepted orphans back into child presence sets
+    out: Dict[str, Table] = {}
+    for index, plan in enumerate(plans):
+        accepted: List[Row] = []
+        for key, row in candidates[index].items():
+            if None in key or key in present[index]:
+                continue
+            accepted.append(row)
+            # a freshly inserted parent orphan makes every smaller term's
+            # candidate with matching keys subsumed — register it
+            for child_index in range(index + 1, len(plans)):
+                child = plans[child_index]
+                if child.term.source < plan.term.source:
+                    projected = _project_key(
+                        plan, child, key, row, db
+                    )
+                    if projected is not None:
+                        present[child_index].add(projected)
+        schema = Schema(plan.term_column_names)
+        out[plan.label] = Table("d", schema, accepted)
+    return out
+
+
+def _project_key(parent: _TermPlan, child: _TermPlan, parent_key, parent_row, db):
+    """Project a parent term's key tuple onto a child term's key columns."""
+    parent_cols = [
+        col
+        for t in sorted(parent.term.source)
+        for col in db.table(t).key
+    ]
+    child_cols = [
+        col
+        for t in sorted(child.term.source)
+        for col in db.table(t).key
+    ]
+    mapping = {c: v for c, v in zip(parent_cols, parent_key)}
+    try:
+        return tuple(mapping[c] for c in child_cols)
+    except KeyError:
+        return None

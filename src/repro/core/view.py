@@ -1,0 +1,292 @@
+"""View definitions and materialized views.
+
+A :class:`ViewDefinition` wraps a validated SPOJ expression plus the
+output column list (a top-level projection).  For the view to be
+maintainable by the paper's algorithm the output must contain the unique
+key of **every** referenced base table — exactly what the paper's V3 does
+through its clustered index ``(c_custkey, p_partkey, l_orderkey,
+l_linenumber, o_orderkey)``.  The concatenation of those keys, with NULLs
+on null-extended tables, is the view's unique key.
+
+A :class:`MaterializedView` stores the view rows hash-indexed by that key,
+which is what lets deltas be applied with point inserts/deletes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..algebra.evaluate import evaluate, infer_schema
+from ..algebra.expr import Project, RelExpr, validate_spoj
+from ..algebra.normalform import Term, normal_form
+from ..algebra.subsumption import SubsumptionGraph
+from ..engine.catalog import Database
+from ..engine.schema import Schema
+from ..engine.table import Row, Table
+from ..errors import MaintenanceError, UnsupportedViewError
+
+
+class ViewDefinition:
+    """A named SPOJ view: expression + output columns.
+
+    Parameters
+    ----------
+    name:
+        View name (also used as the table name of materializations).
+    expr:
+        The SPOJ expression.  A top-level :class:`Project` is split off as
+        the output column list; no projections may appear below joins.
+    """
+
+    def __init__(self, name: str, expr: RelExpr):
+        self.name = name
+        if isinstance(expr, Project):
+            self.join_expr: RelExpr = expr.child
+            self._output: Optional[Tuple[str, ...]] = tuple(expr.columns)
+        else:
+            self.join_expr = expr
+            self._output = None
+        validate_spoj(self.join_expr)
+
+    # ------------------------------------------------------------------
+    @property
+    def tables(self) -> frozenset:
+        """Base tables referenced by the view."""
+        return self.join_expr.base_tables()
+
+    def full_schema(self, db: Database) -> Schema:
+        """Schema of the unprojected join expression."""
+        return infer_schema(self.join_expr, db)
+
+    def output_columns(self, db: Database) -> Tuple[str, ...]:
+        if self._output is not None:
+            return self._output
+        return self.full_schema(db).columns
+
+    def schema(self, db: Database) -> Schema:
+        return Schema(self.output_columns(db))
+
+    def key_columns(self, db: Database) -> Tuple[str, ...]:
+        """The view's unique key: concatenated base-table keys, in a
+        stable (alphabetical-by-table) order."""
+        out: List[str] = []
+        for table in sorted(self.tables):
+            key = db.table(table).key
+            if key is None:
+                raise UnsupportedViewError(
+                    f"base table {table!r} of view {self.name!r} has no key"
+                )
+            out.extend(key)
+        return tuple(out)
+
+    def key_column_of(self, table: str, db: Database) -> str:
+        """One non-null column of *table* exposed by the view — the column
+        the paper's ``null(T)`` predicate probes."""
+        key = db.table(table).key
+        if not key:
+            raise UnsupportedViewError(f"table {table!r} has no key")
+        return key[0]
+
+    def validate(self, db: Database) -> None:
+        """Check maintainability: all base tables exist, keys exposed."""
+        output = set(self.output_columns(db))
+        full = set(self.full_schema(db).columns)
+        missing_cols = sorted(output - full)
+        if missing_cols:
+            raise UnsupportedViewError(
+                f"view {self.name!r} outputs unknown columns {missing_cols}"
+            )
+        for col in self.key_columns(db):
+            if col not in output:
+                raise UnsupportedViewError(
+                    f"view {self.name!r} must output key column {col!r} to "
+                    "be incrementally maintainable"
+                )
+
+    # ------------------------------------------------------------------
+    def normal_form(self, db: Database, use_foreign_keys: bool = True) -> List[Term]:
+        return normal_form(self.join_expr, db, use_foreign_keys=use_foreign_keys)
+
+    def subsumption_graph(
+        self, db: Database, use_foreign_keys: bool = True
+    ) -> SubsumptionGraph:
+        return SubsumptionGraph(self.normal_form(db, use_foreign_keys))
+
+    def evaluate(self, db: Database) -> Table:
+        """Fully evaluate the view (the recompute oracle)."""
+        result = evaluate(self.join_expr, db)
+        columns = self.output_columns(db)
+        if tuple(result.schema.columns) != tuple(columns):
+            from ..engine.operators import project
+
+            result = project(result, columns, name=self.name)
+        return Table(
+            self.name,
+            result.schema,
+            result.rows,
+            key=self.key_columns(db),
+        )
+
+
+class MaterializedView:
+    """A view instance stored row-by-row, hash-indexed on the view key."""
+
+    def __init__(self, definition: ViewDefinition, db: Database):
+        definition.validate(db)
+        self.definition = definition
+        self.schema = definition.schema(db)
+        self.key_cols = definition.key_columns(db)
+        self._key_positions = self.schema.positions(self.key_cols)
+        self._rows: Dict[Row, Row] = {}
+        # Secondary view indexes (the paper's V4_idx): per column tuple, a
+        # count of rows whose values there are all non-null, keyed by the
+        # value tuple.  Used by the maintainer's orphan probes.
+        self._subkey_indexes: Dict[Tuple[str, ...], Dict[Row, int]] = {}
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def materialize(cls, definition: ViewDefinition, db: Database) -> "MaterializedView":
+        """Create and populate from a full evaluation."""
+        view = cls(definition, db)
+        for row in definition.evaluate(db).rows:
+            view._rows[view.key_of(row)] = row
+        return view
+
+    # ------------------------------------------------------------------
+    def key_of(self, row: Row) -> Row:
+        return tuple(row[p] for p in self._key_positions)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: Row) -> bool:
+        return tuple(key) in self._rows
+
+    def rows(self) -> List[Row]:
+        return list(self._rows.values())
+
+    def as_table(self) -> Table:
+        """The current contents as an engine table (shares nothing)."""
+        return Table(
+            self.definition.name,
+            self.schema,
+            list(self._rows.values()),
+            key=self.key_cols,
+        )
+
+    def clone(self) -> "MaterializedView":
+        """An independent copy sharing the immutable row tuples (used by
+        benchmarks to reset state between rounds)."""
+        twin = MaterializedView.__new__(MaterializedView)
+        twin.definition = self.definition
+        twin.schema = self.schema
+        twin.key_cols = self.key_cols
+        twin._key_positions = self._key_positions
+        twin._rows = dict(self._rows)
+        twin._subkey_indexes = {
+            cols: dict(counts)
+            for cols, counts in self._subkey_indexes.items()
+        }
+        return twin
+
+    # ------------------------------------------------------------------
+    # secondary view indexes
+    # ------------------------------------------------------------------
+    def subkey_index(self, columns: Tuple[str, ...]) -> Dict[Row, int]:
+        """A (lazily built, then maintained) count index over *columns*:
+        how many view rows carry each all-non-null value combination.
+        This is the paper's secondary view index (``V4_idx``) in spirit —
+        it turns the Section 5.2 orphan anti-joins into point probes."""
+        columns = tuple(columns)
+        index = self._subkey_indexes.get(columns)
+        if index is None:
+            positions = self.schema.positions(columns)
+            index = {}
+            for row in self._rows.values():
+                sub = tuple(row[p] for p in positions)
+                if None not in sub:
+                    index[sub] = index.get(sub, 0) + 1
+            self._subkey_indexes[columns] = index
+        return index
+
+    def _index_row(self, row: Row, sign: int) -> None:
+        for columns, index in self._subkey_indexes.items():
+            positions = self.schema.positions(columns)
+            sub = tuple(row[p] for p in positions)
+            if None in sub:
+                continue
+            count = index.get(sub, 0) + sign
+            if count <= 0:
+                index.pop(sub, None)
+            else:
+                index[sub] = count
+
+    # ------------------------------------------------------------------
+    # point queries (what the view is *for*)
+    # ------------------------------------------------------------------
+    def lookup(self, **equalities) -> List[Row]:
+        """Rows matching column=value equalities, served from indexes.
+
+        Column names use underscores for dots in keyword form, or pass a
+        dict via ``view.lookup(**{"part.p_partkey": 5})``.  A lookup on a
+        column subset builds (once) and then reuses a sub-key index; a
+        full view-key lookup is a plain hash probe.
+        """
+        columns = tuple(sorted(equalities))
+        values = tuple(equalities[c] for c in columns)
+        for col in columns:
+            self.schema.index_of(col)
+        if set(columns) == set(self.key_cols):
+            ordered = tuple(
+                equalities[c] for c in self.key_cols
+            )
+            row = self._rows.get(ordered)
+            return [row] if row is not None else []
+        # serve equality probes from a sub-key count index only when all
+        # probed values are non-null; NULL probes fall back to a scan
+        if None not in values:
+            index = self.subkey_index(columns)
+            if index.get(values, 0) == 0:
+                return []
+        positions = self.schema.positions(columns)
+        return [
+            row
+            for row in self._rows.values()
+            if all(row[p] == v for p, v in zip(positions, values))
+        ]
+
+    # ------------------------------------------------------------------
+    # delta application
+    # ------------------------------------------------------------------
+    def insert_rows(self, rows: Iterable[Row]) -> int:
+        """Insert delta rows (aligned to the view schema); returns count."""
+        added = 0
+        for row in rows:
+            key = self.key_of(row)
+            if key in self._rows:
+                raise MaintenanceError(
+                    f"view {self.definition.name!r}: duplicate key {key!r} "
+                    "on insert — maintenance produced an inconsistent delta"
+                )
+            stored = tuple(row)
+            self._rows[key] = stored
+            if self._subkey_indexes:
+                self._index_row(stored, +1)
+            added += 1
+        return added
+
+    def delete_rows(self, rows: Iterable[Row]) -> int:
+        """Delete delta rows by their view key; returns count."""
+        removed = 0
+        for row in rows:
+            key = self.key_of(row)
+            if key not in self._rows:
+                raise MaintenanceError(
+                    f"view {self.definition.name!r}: key {key!r} absent on "
+                    "delete — maintenance produced an inconsistent delta"
+                )
+            if self._subkey_indexes:
+                self._index_row(self._rows[key], -1)
+            del self._rows[key]
+            removed += 1
+        return removed

@@ -1,0 +1,347 @@
+"""The database catalog: tables, keys, foreign keys, and DML.
+
+:class:`Database` is the single stateful object of the engine.  Base-table
+updates flow through :meth:`Database.insert` and :meth:`Database.delete`,
+which enforce key and foreign-key integrity — important because the
+maintenance algorithm's foreign-key optimizations are only sound if the
+constraints actually hold.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import CatalogError, ConstraintError
+from .constraints import ForeignKey, UniqueKey
+from .schema import Schema, qualify
+from .table import Row, Table
+
+
+class Database:
+    """A named collection of keyed tables plus foreign-key constraints."""
+
+    def __init__(self):
+        self.tables: Dict[str, Table] = {}
+        self.foreign_keys: List[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        key: Sequence[str],
+        not_null: Iterable[str] = (),
+    ) -> Table:
+        """Create an empty table.
+
+        *columns*, *key* and *not_null* use **bare** column names; they are
+        qualified with the table name internally (the engine's convention).
+        """
+        if name in self.tables:
+            raise CatalogError(f"table {name!r} already exists")
+        schema = Schema([qualify(name, c) for c in columns])
+        qualified_key = [qualify(name, c) for c in key]
+        # Base-table keys are unique AND non-null (paper Section 2).
+        qualified_nn = set(qualify(name, c) for c in not_null) | set(qualified_key)
+        table = Table(
+            name,
+            schema,
+            key=qualified_key,
+            not_null=sorted(qualified_nn),
+        )
+        self.tables[name] = table
+        # Primary-key index: every base table gets one (the paper's
+        # tables all carry clustered key indexes).  It accelerates key
+        # lookups in joins and makes DML integrity checks O(|delta|).
+        from .index import HashIndex
+
+        table.indexes.append(HashIndex(table, qualified_key))
+        return table
+
+    def create_index(self, table: str, columns: Sequence[str]):
+        """Create (or return) a hash index on *table* over *columns*
+        (bare names).  Indexes are kept current by insert/delete and are
+        used automatically by equi-joins probing this table."""
+        from .index import HashIndex, find_index
+
+        base = self.table(table)
+        qualified = [qualify(table, c) for c in columns]
+        existing = find_index(base, qualified)
+        if existing is not None and existing[0].columns == tuple(qualified):
+            return existing[0]
+        index = HashIndex(base, qualified)
+        base.indexes.append(index)
+        return index
+
+    def add_foreign_key(
+        self,
+        source: str,
+        source_columns: Sequence[str],
+        target: str,
+        target_columns: Sequence[str],
+        cascading_deletes: bool = False,
+        deferrable: bool = False,
+    ) -> ForeignKey:
+        """Declare a foreign key (bare column names, qualified internally)."""
+        src = self.table(source)
+        dst = self.table(target)
+        src_cols = tuple(qualify(source, c) for c in source_columns)
+        dst_cols = tuple(qualify(target, c) for c in target_columns)
+        for col in src_cols:
+            src.schema.index_of(col)
+        if dst.key is None or tuple(dst_cols) != tuple(dst.key):
+            # The paper requires the target side to be a non-null unique key.
+            if set(dst_cols) != set(dst.key or ()):
+                raise ConstraintError(
+                    f"foreign key target {dst_cols} is not the unique key "
+                    f"of {target!r}"
+                )
+        fk = ForeignKey(
+            source=source,
+            source_columns=src_cols,
+            target=target,
+            target_columns=dst_cols,
+            source_not_null=all(c in src.not_null for c in src_cols),
+            cascading_deletes=cascading_deletes,
+            deferrable=deferrable,
+        )
+        self.foreign_keys.append(fk)
+        return fk
+
+    # ------------------------------------------------------------------
+    # lookup helpers
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def unique_key(self, name: str) -> UniqueKey:
+        table = self.table(name)
+        if table.key is None:
+            raise CatalogError(f"table {name!r} has no unique key")
+        return UniqueKey(name, table.key)
+
+    def foreign_keys_from(self, source: str) -> List[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.source == source]
+
+    def foreign_keys_to(self, target: str) -> List[ForeignKey]:
+        return [fk for fk in self.foreign_keys if fk.target == target]
+
+    def foreign_key_between(
+        self, source: str, target: str
+    ) -> Optional[ForeignKey]:
+        for fk in self.foreign_keys:
+            if fk.source == source and fk.target == target:
+                return fk
+        return None
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        name: str,
+        rows: Iterable[Row],
+        check: bool = True,
+        defer_deferrable: bool = False,
+    ) -> Table:
+        """Insert *rows* into table *name*; returns the inserted rows as a
+        delta table (same schema/key as the base table).
+
+        With *defer_deferrable*, foreign keys declared DEFERRABLE are not
+        checked now (SQL's per-transaction checking); the caller is
+        responsible for checking them at commit (see
+        :meth:`check_deferred_fks`).
+        """
+        table = self.table(name)
+        new_rows = [tuple(row) for row in rows]
+        delta = Table(
+            name, table.schema, new_rows, key=table.key, not_null=table.not_null
+        )
+        if check:
+            delta.validate()
+            self._check_key_conflicts(table, delta)
+            self._check_outgoing_fks(
+                name, new_rows, skip_deferrable=defer_deferrable
+            )
+        table.rows.extend(new_rows)
+        for index in table.indexes:
+            for row in new_rows:
+                index.add(row)
+        return delta
+
+    def delete(self, name: str, rows: Iterable[Row], check: bool = True) -> Table:
+        """Delete exact *rows* from table *name*; returns the deleted rows
+        as a delta table.  Raises if a row is absent or if the deletion
+        would strand referencing rows (no cascading deletes here)."""
+        table = self.table(name)
+        doomed = [tuple(row) for row in rows]
+        delta = Table(
+            name, table.schema, doomed, key=table.key, not_null=table.not_null
+        )
+        doomed_set = set(doomed)
+        if check:
+            present = set(table.rows)
+            missing = doomed_set - present
+            if missing:
+                raise ConstraintError(
+                    f"cannot delete {len(missing)} absent row(s) from {name!r}"
+                )
+            self._check_incoming_fks(name, delta)
+        table.rows = [row for row in table.rows if row not in doomed_set]
+        for index in table.indexes:
+            for row in delta.rows:
+                index.remove(row)
+        return delta
+
+    def delete_by_key(
+        self, name: str, keys: Iterable[Row], check: bool = True
+    ) -> Table:
+        """Delete rows of *name* whose unique key is in *keys*."""
+        table = self.table(name)
+        positions = table.key_positions()
+        wanted = set(tuple(k) for k in keys)
+        doomed = [
+            row
+            for row in table.rows
+            if tuple(row[p] for p in positions) in wanted
+        ]
+        return self.delete(name, doomed, check=check)
+
+    # ------------------------------------------------------------------
+    # integrity checks
+    # ------------------------------------------------------------------
+    def _check_key_conflicts(self, table: Table, delta: Table) -> None:
+        from .index import find_index
+
+        positions = table.key_positions()
+        indexed = find_index(table, table.key or ())
+        if indexed is not None:
+            index, permutation = indexed
+            seen = set()
+            for row in delta.rows:
+                key = tuple(row[p] for p in positions)
+                probe = tuple(key[p] for p in permutation)
+                if index.lookup(probe) or key in seen:
+                    raise ConstraintError(
+                        f"duplicate key {key!r} inserted into {table.name!r}"
+                    )
+                seen.add(key)
+            return
+        existing = {tuple(r[p] for p in positions) for r in table.rows}
+        for row in delta.rows:
+            key = tuple(row[p] for p in positions)
+            if key in existing:
+                raise ConstraintError(
+                    f"duplicate key {key!r} inserted into {table.name!r}"
+                )
+            existing.add(key)
+
+    def check_deferred_fks(self, name: str, rows: List[Row]) -> None:
+        """Commit-time check of DEFERRABLE foreign keys for rows that were
+        inserted with ``defer_deferrable=True``."""
+        self._check_outgoing_fks(name, rows, only_deferrable=True)
+
+    def _check_outgoing_fks(
+        self,
+        name: str,
+        new_rows: List[Row],
+        skip_deferrable: bool = False,
+        only_deferrable: bool = False,
+    ) -> None:
+        from .index import find_index
+
+        table = self.table(name)
+        for fk in self.foreign_keys_from(name):
+            if skip_deferrable and fk.deferrable:
+                continue
+            if only_deferrable and not fk.deferrable:
+                continue
+            target = self.table(fk.target)
+            indexed = find_index(target, fk.target_columns)
+            if indexed is not None:
+                index, permutation = indexed
+
+                def known(ref, index=index, permutation=permutation):
+                    return bool(
+                        index.lookup(tuple(ref[p] for p in permutation))
+                    )
+
+            else:
+                tgt_positions = target.schema.positions(fk.target_columns)
+                valid = {
+                    tuple(r[p] for p in tgt_positions) for r in target.rows
+                }
+
+                def known(ref, valid=valid):
+                    return ref in valid
+
+            src_positions = table.schema.positions(fk.source_columns)
+            for row in new_rows:
+                ref = tuple(row[p] for p in src_positions)
+                if any(v is None for v in ref):
+                    if fk.source_not_null:
+                        raise ConstraintError(
+                            f"NULL foreign key {fk.source_columns} in {name!r}"
+                        )
+                    continue
+                if not known(ref):
+                    raise ConstraintError(
+                        f"foreign key violation: {name}{fk.source_columns} = "
+                        f"{ref!r} has no match in {fk.target!r}"
+                    )
+
+    def _check_incoming_fks(self, name: str, delta: Table) -> None:
+        from .index import find_index
+
+        table = self.table(name)
+        doomed_keys = {table.key_of(row) for row in delta.rows}
+        for fk in self.foreign_keys_to(name):
+            if tuple(fk.target_columns) != tuple(table.key or ()):
+                continue
+            source = self.table(fk.source)
+            indexed = find_index(source, fk.source_columns)
+            if indexed is not None:
+                index, permutation = indexed
+                for key in doomed_keys:
+                    probe = tuple(key[p] for p in permutation)
+                    if index.lookup(probe):
+                        raise ConstraintError(
+                            f"cannot delete from {name!r}: row still "
+                            f"referenced by {fk.source!r} via "
+                            f"{fk.source_columns}"
+                        )
+                continue
+            src_positions = source.schema.positions(fk.source_columns)
+            for row in source.rows:
+                ref = tuple(row[p] for p in src_positions)
+                if None in ref:
+                    continue
+                if ref in doomed_keys:
+                    raise ConstraintError(
+                        f"cannot delete from {name!r}: row still referenced "
+                        f"by {fk.source!r} via {fk.source_columns}"
+                    )
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def copy(self) -> "Database":
+        """Deep-enough copy: fresh table objects and row lists (rows are
+        immutable tuples and are shared)."""
+        clone = Database()
+        clone.tables = {name: t.copy() for name, t in self.tables.items()}
+        clone.foreign_keys = list(self.foreign_keys)
+        return clone
+
+    def validate(self) -> None:
+        """Check every table and every foreign key in full."""
+        for table in self.tables.values():
+            table.validate()
+        for fk in self.foreign_keys:
+            source = self.table(fk.source)
+            self._check_outgoing_fks(fk.source, source.rows)

@@ -1,0 +1,78 @@
+"""Human-readable rendering of tables and views.
+
+Used by the examples and handy in a REPL::
+
+    >>> print(format_table(view.as_table(), limit=5))
+    orders.o_orderkey  orders.o_clerk  lineitem.l_linenumber
+    -----------------  --------------  ---------------------
+                    1  Clerk#1                             1
+                    2  Clerk#2                          NULL
+    (2 rows)
+
+NULLs print as ``NULL`` (to distinguish them from empty strings), floats
+are shortened, and long value columns are truncated with an ellipsis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .table import Table
+
+_MAX_CELL = 24
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    if len(text) > _MAX_CELL:
+        return text[: _MAX_CELL - 1] + "…"
+    return text
+
+
+def format_table(
+    table: Table,
+    limit: Optional[int] = 20,
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render *table* as aligned text.
+
+    *limit* caps the printed rows (``None`` prints everything);
+    *columns* restricts and orders the printed columns.
+    """
+    names = list(columns) if columns is not None else list(table.schema.columns)
+    positions = table.schema.positions(names)
+
+    rows = table.rows if limit is None else table.rows[:limit]
+    rendered: List[List[str]] = [
+        [_cell(row[p]) for p in positions] for row in rows
+    ]
+
+    widths = [
+        max(len(name), *(len(r[i]) for r in rendered)) if rendered else len(name)
+        for i, name in enumerate(names)
+    ]
+    lines = [
+        "  ".join(name.ljust(w) for name, w in zip(names, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    omitted = len(table.rows) - len(rows)
+    summary = f"({len(table.rows)} rows"
+    if omitted > 0:
+        summary += f", {omitted} not shown"
+    summary += ")"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def print_table(table: Table, limit: Optional[int] = 20) -> None:
+    """Convenience wrapper: format and print."""
+    print(format_table(table, limit=limit))

@@ -1,0 +1,435 @@
+"""Physical relational operators.
+
+This module implements every operator the paper's algebra needs:
+
+============================  =============================================
+Paper notation                Function here
+============================  =============================================
+``σ_p``                       :func:`select`
+``π_c`` (no dup-elim)         :func:`project`
+``δ`` (duplicate removal)     :func:`distinct`
+``⋈_p`` / ``⟕`` / ``⟖``/``⟗``  :func:`join` with ``kind`` inner/left/right/full
+``⋉^ls`` (left semijoin)       :func:`join` with ``kind="semi"``
+``⋉^la`` (left anti-semijoin)  :func:`join` with ``kind="anti"``
+``⊎`` (outer union)            :func:`outer_union`
+``↓`` (remove subsumed)        :func:`remove_subsumed`
+``⊕`` (minimum union)          :func:`minimum_union`
+``λ^c_p`` (null-if)            :func:`null_if`
+============================  =============================================
+
+Predicates arrive **pre-compiled** as Python callables taking a row tuple
+and returning ``True``/``False`` (three-valued logic is resolved by the
+compiler in :mod:`repro.algebra.evaluate`: UNKNOWN behaves as ``False``).
+Joins additionally accept equi-join column pairs that are executed with
+hash joins; the residual callable covers the non-equi part.
+
+SQL NULL semantics are observed throughout: ``None`` never matches ``None``
+in an equi-join (a ``None`` join key falls straight to the unmatched side).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SchemaError
+from .schema import Schema
+from .table import Row, Table
+
+Predicate = Callable[[Row], bool]
+
+JOIN_KINDS = ("inner", "left", "right", "full", "semi", "anti")
+
+
+# ---------------------------------------------------------------------------
+# unary operators
+# ---------------------------------------------------------------------------
+def select(table: Table, predicate: Predicate, name: str = "") -> Table:
+    """``σ_p`` — keep rows for which *predicate* returns ``True``."""
+    rows = [row for row in table.rows if predicate(row)]
+    return Table(
+        name or table.name,
+        table.schema,
+        rows,
+        key=table.key,
+        not_null=table.not_null,
+    )
+
+
+def project(table: Table, columns: Sequence[str], name: str = "") -> Table:
+    """``π_c`` — projection *without* duplicate elimination.
+
+    The result keeps the input's key if all key columns survive.
+    """
+    positions = table.schema.positions(columns)
+    schema = Schema(columns)
+    rows = [tuple(row[p] for p in positions) for row in table.rows]
+    key = table.key if table.key and all(c in schema for c in table.key) else None
+    not_null = frozenset(c for c in table.not_null if c in schema)
+    return Table(name or table.name, schema, rows, key=key, not_null=not_null)
+
+
+def distinct(table: Table, name: str = "") -> Table:
+    """``δ`` — remove duplicate rows, preserving first-seen order."""
+    seen = set()
+    rows: List[Row] = []
+    for row in table.rows:
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return Table(
+        name or table.name,
+        table.schema,
+        rows,
+        key=table.key,
+        not_null=table.not_null,
+    )
+
+
+def null_if(
+    table: Table,
+    predicate: Predicate,
+    columns: Sequence[str],
+    name: str = "",
+) -> Table:
+    """``λ^c_p`` — the paper's null-if operator (Section 4.1).
+
+    For every row satisfying *predicate*, set all *columns* to NULL; other
+    rows pass through unchanged.  Used by the outer-join associativity
+    rules 1, 4 and 5 to fix up tuples that should have been null-extended.
+    """
+    positions = set(table.schema.positions(columns))
+    rows: List[Row] = []
+    for row in table.rows:
+        if predicate(row):
+            rows.append(
+                tuple(None if i in positions else v for i, v in enumerate(row))
+            )
+        else:
+            rows.append(row)
+    not_null = frozenset(c for c in table.not_null if c not in set(columns))
+    return Table(name or table.name, table.schema, rows, key=None, not_null=not_null)
+
+
+# ---------------------------------------------------------------------------
+# joins
+# ---------------------------------------------------------------------------
+def _null_pad(width: int) -> Row:
+    return (None,) * width
+
+
+def join(
+    left: Table,
+    right: Table,
+    kind: str,
+    equi: Sequence[Tuple[str, str]] = (),
+    residual: Optional[Predicate] = None,
+    name: str = "",
+) -> Table:
+    """Join *left* and *right*.
+
+    Parameters
+    ----------
+    kind:
+        One of ``inner``, ``left``, ``right``, ``full`` (outer joins),
+        ``semi`` (left semijoin ``⋉^ls``) or ``anti`` (left anti-semijoin
+        ``⋉^la``).
+    equi:
+        Equi-join column pairs ``(left_column, right_column)`` executed via
+        a hash join.  A NULL key never matches (SQL semantics).
+    residual:
+        Optional extra predicate evaluated on the concatenated row
+        (left columns followed by right columns) — for semi/anti joins the
+        right row is appended only for the duration of the test.
+
+    Joins with no *equi* pairs fall back to a nested-loop strategy.
+    """
+    if kind not in JOIN_KINDS:
+        raise SchemaError(f"unknown join kind {kind!r}")
+    if kind in ("semi", "anti"):
+        return _semi_or_anti(left, right, kind, equi, residual, name)
+    return _full_width_join(left, right, kind, equi, residual, name)
+
+
+def _probe_matches(
+    left: Table,
+    right: Table,
+    equi: Sequence[Tuple[str, str]],
+    residual: Optional[Predicate],
+) -> Iterable[Tuple[int, List[int]]]:
+    """Yield ``(left_index, [matching right indexes])`` pairs.
+
+    Uses a hash table on the right input when equi-join columns are given,
+    otherwise scans.  The residual predicate is applied to the concatenated
+    row.
+    """
+    if equi:
+        lpos = left.schema.positions([lc for lc, __ in equi])
+        rcols = [rc for __, rc in equi]
+        persistent = _persistent_probe(right, rcols)
+        if persistent is not None:
+            yield from _probe_with_index(
+                left, right, lpos, persistent, residual
+            )
+            return
+        rpos = right.schema.positions(rcols)
+        index: Dict[Row, List[int]] = {}
+        for j, rrow in enumerate(right.rows):
+            key = tuple(rrow[p] for p in rpos)
+            if any(v is None for v in key):
+                continue  # NULL never matches
+            index.setdefault(key, []).append(j)
+        for i, lrow in enumerate(left.rows):
+            key = tuple(lrow[p] for p in lpos)
+            if any(v is None for v in key):
+                yield i, []
+                continue
+            candidates = index.get(key, ())
+            if residual is None:
+                yield i, list(candidates)
+            else:
+                yield i, [
+                    j for j in candidates if residual(lrow + right.rows[j])
+                ]
+    else:
+        pred = residual if residual is not None else (lambda row: True)
+        for i, lrow in enumerate(left.rows):
+            yield i, [
+                j for j, rrow in enumerate(right.rows) if pred(lrow + rrow)
+            ]
+
+
+def _persistent_probe(right: Table, rcols):
+    """A persistent hash index on *right* covering the equi columns, if
+    one exists (see engine.index)."""
+    if not right.indexes:
+        return None
+    from .index import find_index
+
+    return find_index(right, rcols)
+
+
+def _probe_with_index(left, right, lpos, persistent, residual):
+    """Probe a persistent index instead of building a fresh hash table.
+
+    Matches are returned as row indexes into ``right.rows``; a reverse
+    position map is built lazily only when the outer-join side needs to
+    track matched right rows.
+    """
+    index, permutation = persistent
+    row_positions: Dict[int, List[int]] = {}
+    position_of: Dict[Row, List[int]] = {}
+    # Row identity → positions (duplicates impossible for keyed tables but
+    # handled anyway): built once, O(|right|) only when first needed.
+    built = False
+
+    def positions_for(row) -> List[int]:
+        nonlocal built
+        if not built:
+            for j, rrow in enumerate(right.rows):
+                position_of.setdefault(rrow, []).append(j)
+            built = True
+        return position_of.get(row, [])
+
+    for i, lrow in enumerate(left.rows):
+        key = tuple(lrow[p] for p in lpos)
+        if any(v is None for v in key):
+            yield i, []
+            continue
+        probe = tuple(key[p] for p in permutation)
+        matches = index.lookup(probe)
+        if residual is not None:
+            matches = [r for r in matches if residual(lrow + r)]
+        if not matches:
+            yield i, []
+            continue
+        out: List[int] = []
+        for row in matches:
+            out.extend(positions_for(row))
+        yield i, out
+
+
+def _full_width_join(
+    left: Table,
+    right: Table,
+    kind: str,
+    equi: Sequence[Tuple[str, str]],
+    residual: Optional[Predicate],
+    name: str,
+) -> Table:
+    schema = left.schema.concat(right.schema)
+    lwidth, rwidth = len(left.schema), len(right.schema)
+    rows: List[Row] = []
+    matched_right = [False] * len(right.rows) if kind in ("right", "full") else None
+
+    for i, matches in _probe_matches(left, right, equi, residual):
+        lrow = left.rows[i]
+        if matches:
+            for j in matches:
+                rows.append(lrow + right.rows[j])
+                if matched_right is not None:
+                    matched_right[j] = True
+        elif kind in ("left", "full"):
+            rows.append(lrow + _null_pad(rwidth))
+
+    if matched_right is not None:
+        pad = _null_pad(lwidth)
+        for j, seen in enumerate(matched_right):
+            if not seen:
+                rows.append(pad + right.rows[j])
+
+    key = None
+    if left.key is not None and right.key is not None:
+        key = left.key + right.key
+    if kind == "inner":
+        not_null = left.not_null | right.not_null
+    elif kind == "left":
+        not_null = left.not_null
+    elif kind == "right":
+        not_null = right.not_null
+    else:
+        not_null = frozenset()
+    return Table(name or "join", schema, rows, key=key, not_null=not_null)
+
+
+def _semi_or_anti(
+    left: Table,
+    right: Table,
+    kind: str,
+    equi: Sequence[Tuple[str, str]],
+    residual: Optional[Predicate],
+    name: str,
+) -> Table:
+    want_match = kind == "semi"
+    rows: List[Row] = []
+    for i, matches in _probe_matches(left, right, equi, residual):
+        if bool(matches) == want_match:
+            rows.append(left.rows[i])
+    return Table(
+        name or left.name,
+        left.schema,
+        rows,
+        key=left.key,
+        not_null=left.not_null,
+    )
+
+
+# ---------------------------------------------------------------------------
+# outer union, subsumption, minimum union
+# ---------------------------------------------------------------------------
+def align_to_schema(table: Table, target: Schema) -> List[Row]:
+    """Null-extend the rows of *table* to *target* (columns not present in
+    the table's schema become NULL)."""
+    mapping = [
+        table.schema.index_of(c) if c in table.schema else None
+        for c in target.columns
+    ]
+    return [
+        tuple(row[m] if m is not None else None for m in mapping)
+        for row in table.rows
+    ]
+
+
+def outer_union(left: Table, right: Table, name: str = "") -> Table:
+    """``⊎`` — null-extend both operands to the union schema and
+    concatenate (no duplicate elimination)."""
+    schema = left.schema.union(right.schema)
+    rows = align_to_schema(left, schema) + align_to_schema(right, schema)
+    return Table(name or "union", schema, rows)
+
+
+def _signature(row: Row) -> Tuple[bool, ...]:
+    return tuple(v is not None for v in row)
+
+
+def remove_subsumed(table: Table, name: str = "") -> Table:
+    """``↓`` — remove every tuple subsumed by another tuple of *table*.
+
+    Tuple ``t1`` subsumes ``t2`` iff they agree on every column where
+    ``t2`` is non-null and ``t1`` has strictly fewer NULLs.
+
+    Implementation: bucket rows by their null *signature* (which columns
+    are non-null).  A tuple with signature ``s2`` can only be subsumed by a
+    tuple whose signature is a strict superset ``s1 ⊃ s2`` that agrees on
+    ``s2``'s non-null positions.  The number of distinct signatures equals
+    the number of normal-form terms that produced the rows, which is small,
+    so the pairwise signature loop is cheap while each membership test is a
+    hash lookup.
+    """
+    buckets: Dict[Tuple[bool, ...], List[Row]] = {}
+    for row in table.rows:
+        buckets.setdefault(_signature(row), []).append(row)
+
+    signatures = list(buckets)
+    # Pre-compute, per signature, projections of its rows keyed by the
+    # non-null positions of *smaller* signatures.
+    survivors: List[Row] = []
+    for sig in signatures:
+        positions = [i for i, nn in enumerate(sig) if nn]
+        supersets = [
+            s
+            for s in signatures
+            if s != sig and all(s[i] for i in positions) and any(
+                s[i] and not sig[i] for i in range(len(sig))
+            )
+        ]
+        if not supersets:
+            survivors.extend(buckets[sig])
+            continue
+        subsumer_keys = set()
+        for s in supersets:
+            for row in buckets[s]:
+                subsumer_keys.add(tuple(row[i] for i in positions))
+        for row in buckets[sig]:
+            if tuple(row[i] for i in positions) not in subsumer_keys:
+                survivors.append(row)
+    return Table(name or table.name, table.schema, survivors, key=table.key)
+
+
+def minimum_union(left: Table, right: Table, name: str = "") -> Table:
+    """``⊕`` — outer union followed by removal of subsumed tuples."""
+    return remove_subsumed(outer_union(left, right), name=name or "minunion")
+
+
+def fixup(table: Table, group_key: Sequence[str], name: str = "") -> Table:
+    """Duplicate elimination plus *keyed* subsumption removal.
+
+    This is the clean-up the left-deep associativity rules (Section 4.1)
+    require after a null-if: spurious null-extended rows are duplicates of,
+    or subsumed by, rows sharing the same *group_key* (the unique key of
+    the left operand chain).  Restricting subsumption to groups keeps the
+    operation linear.
+    """
+    deduped = distinct(table)
+    positions = deduped.schema.positions(group_key)
+    groups: Dict[Row, List[Row]] = {}
+    for row in deduped.rows:
+        groups.setdefault(tuple(row[p] for p in positions), []).append(row)
+    rows: List[Row] = []
+    for group in groups.values():
+        if len(group) == 1:
+            rows.append(group[0])
+            continue
+        sub = remove_subsumed(Table("g", deduped.schema, group))
+        rows.extend(sub.rows)
+    return Table(name or table.name, table.schema, rows, key=table.key)
+
+
+# ---------------------------------------------------------------------------
+# set helpers used when applying deltas
+# ---------------------------------------------------------------------------
+def union_all(left: Table, right: Table, name: str = "") -> Table:
+    """Bag union of two tables over the same column set."""
+    if set(left.schema.columns) != set(right.schema.columns):
+        raise SchemaError("union_all requires identical column sets")
+    if left.schema == right.schema:
+        extra = right.rows
+    else:
+        reorder = right.schema.positions(left.schema.columns)
+        extra = [tuple(row[p] for p in reorder) for row in right.rows]
+    return Table(
+        name or left.name,
+        left.schema,
+        list(left.rows) + list(extra),
+        key=None,
+        not_null=left.not_null & right.not_null,
+    )

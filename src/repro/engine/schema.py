@@ -1,0 +1,131 @@
+"""Schemas: ordered collections of qualified column names.
+
+A schema is an ordered, duplicate-free tuple of column names.  Throughout
+the engine, columns carry their owning table as a qualifier in the form
+``"table.column"`` (e.g. ``"lineitem.l_orderkey"``).  The qualifier is what
+lets the maintenance machinery ask schema-level questions such as *"which
+columns of this intermediate result belong to table T?"* — the basis of the
+paper's ``null(T)`` predicate and of the null-if operator.
+
+Rows are plain Python tuples aligned positionally with the schema; SQL NULL
+is represented by ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import SchemaError
+
+
+def qualify(table: str, column: str) -> str:
+    """Return the qualified name of *column* of *table*."""
+    return f"{table}.{column}"
+
+
+def split_qualified(name: str) -> Tuple[str, str]:
+    """Split a qualified column name into ``(table, column)``.
+
+    Raises :class:`SchemaError` if *name* carries no qualifier.
+    """
+    table, sep, column = name.partition(".")
+    if not sep or not table or not column:
+        raise SchemaError(f"column name {name!r} is not qualified")
+    return table, column
+
+
+class Schema:
+    """An ordered, immutable sequence of unique column names.
+
+    Supports positional lookup, projection, concatenation and set-style
+    union — everything the physical operators need to track the shape of
+    intermediate results.
+    """
+
+    __slots__ = ("columns", "_index")
+
+    def __init__(self, columns: Iterable[str]):
+        cols = tuple(columns)
+        index: Dict[str, int] = {}
+        for pos, name in enumerate(cols):
+            if name in index:
+                raise SchemaError(f"duplicate column {name!r} in schema")
+            index[name] = pos
+        self.columns: Tuple[str, ...] = cols
+        self._index: Dict[str, int] = index
+
+    # ------------------------------------------------------------------
+    # basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Schema({list(self.columns)!r})"
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def index_of(self, name: str) -> int:
+        """Return the position of *name*, raising on unknown columns."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown column {name!r}; schema has {list(self.columns)}"
+            ) from None
+
+    def positions(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Return the positions of several columns, in the given order."""
+        return tuple(self.index_of(name) for name in names)
+
+    def tables(self) -> Tuple[str, ...]:
+        """Return the distinct table qualifiers, in first-seen order."""
+        seen: List[str] = []
+        for name in self.columns:
+            table, __ = split_qualified(name)
+            if table not in seen:
+                seen.append(table)
+        return tuple(seen)
+
+    def columns_of(self, table: str) -> Tuple[str, ...]:
+        """Return all columns qualified by *table*, in schema order."""
+        prefix = table + "."
+        return tuple(name for name in self.columns if name.startswith(prefix))
+
+    # ------------------------------------------------------------------
+    # construction of derived schemas
+    # ------------------------------------------------------------------
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing exactly *names* in order."""
+        for name in names:
+            self.index_of(name)  # validate
+        return Schema(names)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Concatenate two disjoint schemas (used by joins)."""
+        overlap = set(self.columns) & set(other.columns)
+        if overlap:
+            raise SchemaError(f"schemas overlap on {sorted(overlap)}")
+        return Schema(self.columns + other.columns)
+
+    def union(self, other: "Schema") -> "Schema":
+        """Set-style union preserving left-then-new-right order.
+
+        This is the schema produced by the outer union ``⊎``: tuples of both
+        operands are null-extended to the union of the two schemas.
+        """
+        extra = tuple(c for c in other.columns if c not in self._index)
+        return Schema(self.columns + extra)

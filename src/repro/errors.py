@@ -1,0 +1,37 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch everything coming out of the engine or the maintenance machinery
+with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or an operation references unknown columns."""
+
+
+class ConstraintError(ReproError):
+    """A key or foreign-key constraint was violated."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation failed (unknown table, duplicate table, ...)."""
+
+
+class ExpressionError(ReproError):
+    """A logical (SPOJ) expression is malformed or violates paper
+    restrictions (self-joins, non-null-rejecting predicates, ...)."""
+
+
+class MaintenanceError(ReproError):
+    """View maintenance could not be performed for the requested update."""
+
+
+class UnsupportedViewError(ReproError):
+    """The view falls outside the class the paper's algorithm supports."""

@@ -1,0 +1,467 @@
+"""A SQL frontend for view definitions.
+
+The paper presents every view as SQL DDL.  This module parses that
+dialect directly, so the repository's view definitions can be *the
+paper's own text* (see ``repro.tpch.views.V3_SQL``)::
+
+    create view oj_view as
+    select p_partkey, p_name, o_orderkey, l_linenumber
+    from part full outer join
+         (orders left outer join lineitem on l_orderkey = o_orderkey)
+    on p_partkey = l_partkey
+
+Supported grammar (the subset the paper's views and maintenance scripts
+use):
+
+* ``CREATE VIEW name AS`` prefix (optional) + ``SELECT`` list
+  (``*`` or column names, optionally ``table.column``);
+* ``FROM`` with base tables, parenthesised join groups, comma-separated
+  cross-product lists, and ``(SELECT …)`` derived tables;
+* ``INNER | LEFT [OUTER] | RIGHT [OUTER] | FULL [OUTER] JOIN … ON``;
+* ``WHERE`` / ``ON`` predicates: comparisons (=, <>, !=, <, <=, >, >=),
+  ``BETWEEN … AND …``, ``IS [NOT] NULL``, ``AND``/``OR``/``NOT``,
+  parentheses; numeric and ``'string'`` literals; arithmetic operands
+  (``+ - * /`` with the usual precedence and parentheses).
+
+Bare column names are resolved against the catalog (the paper's TPC-H
+columns are prefixed and unambiguous); ambiguous or unknown names raise
+:class:`~repro.errors.ExpressionError` with the candidates listed.
+
+Comma-separated FROM lists with a WHERE clause are planned greedily into
+a join tree along equi-join conjuncts, exactly like the paper's Q1
+(``from inserted, orders, customer where l_orderkey=o_orderkey and …``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional
+
+from .algebra.expr import (
+    FULL,
+    INNER,
+    Join,
+    LEFT,
+    Project,
+    RIGHT,
+    RelExpr,
+    Relation,
+    Select,
+)
+from .algebra.predicates import (
+    And,
+    Arith,
+    Col,
+    Comparison,
+    IsNull,
+    Lit,
+    Not,
+    NotNull,
+    Or,
+    Predicate,
+    conjoin,
+    conjuncts,
+)
+from .core.view import ViewDefinition
+from .engine.catalog import Database
+from .errors import ExpressionError
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'            # string literal
+      | \d+\.\d+ | \.\d+ | \d+    # number
+      | [A-Za-z_][A-Za-z_0-9]*(?:\.[A-Za-z_][A-Za-z_0-9]*)?  # ident(.ident)
+      | <> | != | <= | >= | [=<>(),*+/-]
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "create", "view", "as", "select", "from", "where", "join", "inner",
+    "left", "right", "full", "outer", "on", "and", "or", "not", "is",
+    "null", "between",
+}
+
+
+class _Tokens:
+    """A token stream with one-token lookahead."""
+
+    def __init__(self, sql: str):
+        self.tokens: List[str] = []
+        position = 0
+        text = sql.strip()
+        while position < len(text):
+            match = _TOKEN_RE.match(text, position)
+            if match is None:
+                raise ExpressionError(
+                    f"cannot tokenize SQL at: {text[position:position + 30]!r}"
+                )
+            self.tokens.append(match.group(1))
+            position = match.end()
+        self.index = 0
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        index = self.index + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def peek_keyword(self, offset: int = 0) -> Optional[str]:
+        token = self.peek(offset)
+        return token.lower() if token is not None else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ExpressionError("unexpected end of SQL")
+        self.index += 1
+        return token
+
+    def accept(self, keyword: str) -> bool:
+        if self.peek_keyword() == keyword.lower():
+            self.index += 1
+            return True
+        return False
+
+    def expect(self, keyword: str) -> None:
+        if not self.accept(keyword):
+            raise ExpressionError(
+                f"expected {keyword.upper()!r}, found {self.peek()!r}"
+            )
+
+    @property
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+class _Resolver:
+    """Qualifies bare column names against the catalog."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._owners: Dict[str, List[str]] = {}
+        for name, table in db.tables.items():
+            for column in table.schema.columns:
+                bare = column.split(".", 1)[1]
+                self._owners.setdefault(bare, []).append(name)
+
+    def qualify(self, name: str) -> str:
+        if "." in name:
+            table, bare = name.split(".", 1)
+            self.db.table(table).schema.index_of(name)
+            return name
+        owners = self._owners.get(name, [])
+        if not owners:
+            raise ExpressionError(f"unknown column {name!r}")
+        if len(owners) > 1:
+            raise ExpressionError(
+                f"ambiguous column {name!r}; qualify it "
+                f"(candidates: {sorted(owners)})"
+            )
+        return f"{owners[0]}.{name}"
+
+
+def parse_view(db: Database, sql: str, name: Optional[str] = None) -> ViewDefinition:
+    """Parse SQL text into a validated :class:`ViewDefinition`.
+
+    Accepts either a bare ``SELECT`` or a full ``CREATE VIEW x AS
+    SELECT …``; *name* overrides the DDL name.
+    """
+    tokens = _Tokens(sql)
+    parsed_name = None
+    if tokens.accept("create"):
+        tokens.expect("view")
+        parsed_name = tokens.next()
+        tokens.expect("as")
+    expr = _parse_select(tokens, _Resolver(db))
+    if not tokens.exhausted:
+        raise ExpressionError(
+            f"trailing SQL after the statement: {tokens.peek()!r}"
+        )
+    view_name = name or parsed_name
+    if view_name is None:
+        raise ExpressionError(
+            "no view name: use CREATE VIEW ... AS or pass name="
+        )
+    return ViewDefinition(view_name, expr)
+
+
+def parse_expression(db: Database, sql: str) -> RelExpr:
+    """Parse a bare ``SELECT`` into an expression tree (no validation)."""
+    tokens = _Tokens(sql)
+    expr = _parse_select(tokens, _Resolver(db))
+    if not tokens.exhausted:
+        raise ExpressionError(
+            f"trailing SQL after the statement: {tokens.peek()!r}"
+        )
+    return expr
+
+
+def parse_predicate(db: Database, sql: str) -> Predicate:
+    """Parse a predicate (the WHERE/ON grammar) on its own."""
+    tokens = _Tokens(sql)
+    pred = _parse_or(tokens, _Resolver(db))
+    if not tokens.exhausted:
+        raise ExpressionError(f"trailing SQL after predicate: {tokens.peek()!r}")
+    return pred
+
+
+# ---------------------------------------------------------------------------
+# SELECT
+# ---------------------------------------------------------------------------
+def _parse_select(tokens: _Tokens, resolver: _Resolver) -> RelExpr:
+    tokens.expect("select")
+    columns = _parse_select_list(tokens, resolver)
+    tokens.expect("from")
+    expr = _parse_from(tokens, resolver)
+    if tokens.accept("where"):
+        where = _parse_or(tokens, resolver)
+        expr = _plan_where(expr, where)
+    if columns is not None:
+        expr = Project(expr, columns)
+    return expr
+
+
+def _parse_select_list(
+    tokens: _Tokens, resolver: _Resolver
+) -> Optional[List[str]]:
+    if tokens.accept("*"):
+        return None
+    columns = [resolver.qualify(tokens.next())]
+    while tokens.accept(","):
+        columns.append(resolver.qualify(tokens.next()))
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# FROM
+# ---------------------------------------------------------------------------
+_JOIN_KINDS = {"inner": INNER, "left": LEFT, "right": RIGHT, "full": FULL}
+
+
+def _parse_from(tokens: _Tokens, resolver: _Resolver) -> RelExpr:
+    """A comma-separated list of join expressions.  A comma list becomes
+    a cross-product plan re-joined along the WHERE clause by
+    :func:`_plan_where` (the paper's Q1 style)."""
+    items = [_parse_join_expr(tokens, resolver)]
+    while tokens.accept(","):
+        items.append(_parse_join_expr(tokens, resolver))
+    if len(items) == 1:
+        return items[0]
+    return _CrossList(items)
+
+
+class _CrossList(RelExpr):
+    """Parser-internal: an unplanned comma list awaiting its WHERE."""
+
+    __slots__ = ("items",)
+
+    def __init__(self, items: List[RelExpr]):
+        self.items = items
+
+    def children(self):
+        return tuple(self.items)
+
+
+def _parse_join_expr(tokens: _Tokens, resolver: _Resolver) -> RelExpr:
+    left = _parse_table_ref(tokens, resolver)
+    while True:
+        kind = _peek_join_kind(tokens)
+        if kind is None:
+            return left
+        right = _parse_table_ref(tokens, resolver)
+        tokens.expect("on")
+        pred = _parse_or(tokens, resolver)
+        left = Join(kind, left, right, pred)
+
+
+def _peek_join_kind(tokens: _Tokens) -> Optional[str]:
+    keyword = tokens.peek_keyword()
+    if keyword == "join":
+        tokens.next()
+        return INNER
+    if keyword in _JOIN_KINDS and keyword != "inner":
+        lookahead = tokens.peek_keyword(1)
+        if lookahead == "outer" and tokens.peek_keyword(2) == "join":
+            kind = _JOIN_KINDS[tokens.next().lower()]
+            tokens.next()  # outer
+            tokens.next()  # join
+            return kind
+        if lookahead == "join":
+            kind = _JOIN_KINDS[tokens.next().lower()]
+            tokens.next()
+            return kind
+    if keyword == "inner" and tokens.peek_keyword(1) == "join":
+        tokens.next()
+        tokens.next()
+        return INNER
+    return None
+
+
+def _parse_table_ref(tokens: _Tokens, resolver: _Resolver) -> RelExpr:
+    if tokens.accept("("):
+        if tokens.peek_keyword() == "select":
+            inner = _parse_select(tokens, resolver)
+        else:
+            inner = _parse_join_expr(tokens, resolver)
+        tokens.expect(")")
+        return inner
+    name = tokens.next()
+    if name.lower() in _KEYWORDS:
+        raise ExpressionError(f"expected a table name, found {name!r}")
+    resolver.db.table(name)  # validates existence
+    return Relation(name)
+
+
+# ---------------------------------------------------------------------------
+# WHERE planning (comma lists)
+# ---------------------------------------------------------------------------
+def _plan_where(expr: RelExpr, where: Predicate) -> RelExpr:
+    if not isinstance(expr, _CrossList):
+        return Select(expr, where)
+    items = list(expr.items)
+    parts = list(conjuncts(where))
+
+    placed = items.pop(0)
+    placed_tables = set(placed.base_tables())
+
+    def applicable():
+        ready = [p for p in parts if p.tables() <= placed_tables]
+        for p in ready:
+            parts.remove(p)
+        return ready
+
+    tree = placed
+    ready = applicable()
+    if ready:
+        tree = Select(tree, conjoin(ready))
+
+    while items:
+        chosen_index = None
+        link: List[Predicate] = []
+        for index, item in enumerate(items):
+            tables = placed_tables | item.base_tables()
+            link = [
+                p
+                for p in parts
+                if p.tables() & item.base_tables() and p.tables() <= tables
+            ]
+            if link:
+                chosen_index = index
+                break
+        if chosen_index is None:
+            chosen_index, link = 0, []
+        item = items.pop(chosen_index)
+        placed_tables |= item.base_tables()
+        if link:
+            for p in link:
+                parts.remove(p)
+            tree = Join(INNER, tree, item, conjoin(link))
+        else:
+            raise ExpressionError(
+                "comma-joined tables must be connected through the WHERE "
+                f"clause; no predicate links {sorted(item.base_tables())}"
+            )
+        ready = applicable()
+        if ready:
+            tree = Select(tree, conjoin(ready))
+
+    if parts:
+        tree = Select(tree, conjoin(parts))
+    return tree
+
+
+# ---------------------------------------------------------------------------
+# predicates
+# ---------------------------------------------------------------------------
+def _parse_or(tokens: _Tokens, resolver: _Resolver) -> Predicate:
+    parts = [_parse_and(tokens, resolver)]
+    while tokens.accept("or"):
+        parts.append(_parse_and(tokens, resolver))
+    return parts[0] if len(parts) == 1 else Or(parts)
+
+
+def _parse_and(tokens: _Tokens, resolver: _Resolver) -> Predicate:
+    parts = [_parse_primary(tokens, resolver)]
+    while tokens.accept("and"):
+        parts.append(_parse_primary(tokens, resolver))
+    return conjoin(parts)
+
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def _parse_primary(tokens: _Tokens, resolver: _Resolver) -> Predicate:
+    if tokens.accept("not"):
+        return Not(_parse_primary(tokens, resolver))
+    if tokens.peek() == "(":
+        # "(" is ambiguous: a parenthesised predicate or a parenthesised
+        # arithmetic operand.  Try the predicate reading, backtrack on
+        # failure.
+        saved = tokens.index
+        try:
+            tokens.next()  # consume "("
+            inner = _parse_or(tokens, resolver)
+            tokens.expect(")")
+            return inner
+        except ExpressionError:
+            tokens.index = saved
+
+    left = _parse_operand(tokens, resolver)
+
+    if tokens.accept("is"):
+        negated = tokens.accept("not")
+        tokens.expect("null")
+        if not isinstance(left, Col):
+            raise ExpressionError("IS [NOT] NULL needs a column")
+        return NotNull(left) if negated else IsNull(left)
+
+    if tokens.accept("between"):
+        low = _parse_operand(tokens, resolver)
+        tokens.expect("and")
+        high = _parse_operand(tokens, resolver)
+        return And(
+            [Comparison(left, ">=", low), Comparison(left, "<=", high)]
+        )
+
+    op = tokens.next()
+    if op not in _COMPARISONS:
+        raise ExpressionError(f"expected a comparison operator, got {op!r}")
+    if op == "!=":
+        op = "<>"
+    right = _parse_operand(tokens, resolver)
+    return Comparison(left, op, right)
+
+
+def _parse_operand(tokens: _Tokens, resolver: _Resolver):
+    """Additive grammar: term (('+'|'-') term)*."""
+    left = _parse_term(tokens, resolver)
+    while tokens.peek() in ("+", "-"):
+        op = tokens.next()
+        left = Arith(left, op, _parse_term(tokens, resolver))
+    return left
+
+
+def _parse_term(tokens: _Tokens, resolver: _Resolver):
+    left = _parse_atom(tokens, resolver)
+    while tokens.peek() in ("*", "/"):
+        op = tokens.next()
+        left = Arith(left, op, _parse_atom(tokens, resolver))
+    return left
+
+
+def _parse_atom(tokens: _Tokens, resolver: _Resolver):
+    if tokens.accept("("):
+        inner = _parse_operand(tokens, resolver)
+        tokens.expect(")")
+        return inner
+    token = tokens.next()
+    if token.startswith("'"):
+        return Lit(token[1:-1].replace("''", "'"))
+    if re.fullmatch(r"\d+\.\d+|\.\d+", token):
+        return Lit(float(token))
+    if re.fullmatch(r"\d+", token):
+        return Lit(int(token))
+    if token.lower() in _KEYWORDS:
+        raise ExpressionError(f"expected an operand, found keyword {token!r}")
+    return Col(resolver.qualify(token))

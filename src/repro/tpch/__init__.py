@@ -1,0 +1,40 @@
+"""TPC-H substrate: schema, deterministic data generator, refresh batches
+and the paper's view definitions (oj_view, V2, V3 and the core view)."""
+
+from .generator import TPCHGenerator, retail_price
+from .schema import cardinalities, create_schema
+from .views import (
+    DATE_HI,
+    DATE_LO,
+    OJ_VIEW_SQL,
+    RETAIL_CAP,
+    V3_OUTPUT,
+    V3_SQL,
+    oj_view,
+    oj_view_from_sql,
+    order_date_window,
+    v2,
+    v3,
+    v3_core,
+    v3_from_sql,
+)
+
+__all__ = [
+    "TPCHGenerator",
+    "retail_price",
+    "create_schema",
+    "cardinalities",
+    "oj_view",
+    "v2",
+    "v3",
+    "v3_core",
+    "v3_from_sql",
+    "oj_view_from_sql",
+    "V3_SQL",
+    "OJ_VIEW_SQL",
+    "order_date_window",
+    "DATE_LO",
+    "DATE_HI",
+    "RETAIL_CAP",
+    "V3_OUTPUT",
+]

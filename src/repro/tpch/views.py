@@ -1,0 +1,170 @@
+"""The paper's view definitions over TPC-H.
+
+* :func:`oj_view` — Example 1's introductory view
+  (``part ⟗ (orders ⟕ lineitem)``).
+* :func:`v2` — Example 11's view
+  (``σ_pc C ⟗ (σ_po O ⟗ L)``), used for the reduced-maintenance-graph
+  discussion (Figure 4).
+* :func:`v3` — the Section 7 experiment view: lineitem ⋈ orders (with the
+  1994 date window) right-outer-joined to customer, full-outer-joined to
+  part with the ``p_retailprice < 2000`` condition in the ON clause.
+* :func:`v3_core` — V3 with every outer join replaced by an inner join
+  (the paper's comparison view).
+"""
+
+from __future__ import annotations
+
+from ..algebra.builder import Q
+from ..algebra.expr import Project, RelExpr, Select
+from ..algebra.predicates import And, Comparison, Predicate, eq
+from ..core.view import ViewDefinition
+from ..baselines.innerjoin import core_view_definition
+
+DATE_LO = "1994-06-01"
+DATE_HI = "1994-12-31"
+RETAIL_CAP = 2000.0
+
+V3_OUTPUT = (
+    "lineitem.l_orderkey",
+    "lineitem.l_linenumber",
+    "lineitem.l_quantity",
+    "lineitem.l_extendedprice",
+    "lineitem.l_shipdate",
+    "lineitem.l_returnflag",
+    "orders.o_orderkey",
+    "orders.o_orderdate",
+    "orders.o_clerk",
+    "customer.c_custkey",
+    "customer.c_nationkey",
+    "customer.c_mktsegment",
+    "part.p_partkey",
+    "part.p_type",
+    "part.p_retailprice",
+)
+
+
+def order_date_window(lo: str = DATE_LO, hi: str = DATE_HI) -> Predicate:
+    """``o_orderdate BETWEEN lo AND hi`` (ISO strings compare correctly)."""
+    return And(
+        [
+            Comparison("orders.o_orderdate", ">=", lo),
+            Comparison("orders.o_orderdate", "<=", hi),
+        ]
+    )
+
+
+def oj_view() -> ViewDefinition:
+    """Example 1: ``part ⟗_{p_partkey=l_partkey} (orders ⟕_{l_orderkey=
+    o_orderkey} lineitem)`` with the paper's output list."""
+    expr = (
+        Q.table("part")
+        .full_outer_join(
+            Q.table("orders").left_outer_join(
+                "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+            ),
+            on=eq("part.p_partkey", "lineitem.l_partkey"),
+        )
+        .build()
+    )
+    output = (
+        "part.p_partkey",
+        "part.p_name",
+        "part.p_retailprice",
+        "orders.o_orderkey",
+        "orders.o_custkey",
+        "lineitem.l_orderkey",
+        "lineitem.l_linenumber",
+        "lineitem.l_quantity",
+        "lineitem.l_extendedprice",
+    )
+    return ViewDefinition("oj_view", Project(expr, output))
+
+
+def v2(
+    customer_pred: Predicate = None, orders_pred: Predicate = None
+) -> ViewDefinition:
+    """Example 11's V2 = ``σ_pc C ⟗_{ck=ock} (σ_po O ⟗_{ok=lok} L)``."""
+    pc = customer_pred or Comparison("customer.c_acctbal", ">=", 0.0)
+    po = orders_pred or Comparison("orders.o_totalprice", ">=", 1000.0)
+    inner = Q(Select(Q.table("orders").expr, po)).full_outer_join(
+        "lineitem", on=eq("orders.o_orderkey", "lineitem.l_orderkey")
+    )
+    expr = (
+        Q(Select(Q.table("customer").expr, pc))
+        .full_outer_join(
+            inner, on=eq("customer.c_custkey", "orders.o_custkey")
+        )
+        .build()
+    )
+    return ViewDefinition("v2", expr)
+
+
+def v3(date_lo: str = DATE_LO, date_hi: str = DATE_HI) -> ViewDefinition:
+    """The Section 7 experiment view (create view V3 ... in the paper)."""
+    dated_orders: RelExpr = Select(
+        Q.table("orders").expr, order_date_window(date_lo, date_hi)
+    )
+    expr = (
+        Q.table("lineitem")
+        .join(Q(dated_orders), on=eq("lineitem.l_orderkey", "orders.o_orderkey"))
+        .right_outer_join(
+            "customer", on=eq("customer.c_custkey", "orders.o_custkey")
+        )
+        .full_outer_join(
+            "part",
+            on=And(
+                [
+                    eq("lineitem.l_partkey", "part.p_partkey"),
+                    Comparison("part.p_retailprice", "<", RETAIL_CAP),
+                ]
+            ),
+        )
+        .build()
+    )
+    return ViewDefinition("v3", Project(expr, V3_OUTPUT))
+
+
+def v3_core(date_lo: str = DATE_LO, date_hi: str = DATE_HI) -> ViewDefinition:
+    """The corresponding core view: same joins, all inner (Section 7)."""
+    return core_view_definition(v3(date_lo, date_hi), name="v3_core")
+
+
+# ---------------------------------------------------------------------------
+# The paper's own DDL, parseable verbatim through repro.parser
+# ---------------------------------------------------------------------------
+OJ_VIEW_SQL = """
+create view oj_view as
+select p_partkey, p_name, p_retailprice, o_orderkey, o_custkey,
+       l_orderkey, l_linenumber, l_quantity, l_extendedprice
+from part full outer join
+     (orders left outer join lineitem on l_orderkey = o_orderkey)
+on p_partkey = l_partkey
+"""
+
+V3_SQL = """
+create view v3 as
+select l_orderkey, l_linenumber, l_quantity, l_extendedprice,
+       l_shipdate, l_returnflag, o_orderkey, o_orderdate, o_clerk,
+       c_custkey, c_nationkey, c_mktsegment,
+       p_partkey, p_type, p_retailprice
+from ((select * from lineitem, orders
+       where l_orderkey = o_orderkey
+         and o_orderdate between '1994-06-01' and '1994-12-31')
+      right outer join customer on c_custkey = o_custkey)
+     full outer join part
+       on l_partkey = p_partkey and p_retailprice < 2000.0
+"""
+
+
+def oj_view_from_sql(db) -> ViewDefinition:
+    """Example 1's view parsed from the paper's DDL text."""
+    from ..parser import parse_view
+
+    return parse_view(db, OJ_VIEW_SQL)
+
+
+def v3_from_sql(db) -> ViewDefinition:
+    """The Section 7 experiment view parsed from the paper's DDL text."""
+    from ..parser import parse_view
+
+    return parse_view(db, V3_SQL)

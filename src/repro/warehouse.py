@@ -1,0 +1,300 @@
+"""Multi-view maintenance: one database, many materialized views.
+
+A real deployment maintains *several* materialized views per fact table
+(the paper's motivation is OLAP systems full of them).  :class:`Warehouse`
+owns the database and fans every insert/delete/update out to all
+registered views — plain outer-join views and Section 3.3 aggregated
+views alike — applying each base-table change exactly once.
+
+Example::
+
+    wh = Warehouse(db)
+    wh.create_view("order_lines", expr)
+    wh.create_aggregated_view("revenue", expr2, ["customer.c_mktsegment"],
+                              [agg_sum("lineitem.l_extendedprice", "rev")])
+    reports = wh.insert("lineitem", rows)   # both views maintained
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .algebra.expr import RelExpr
+from .core.aggregate import Aggregate, AggregatedView
+from .core.maintain import MaintenanceOptions, MaintenanceReport, ViewMaintainer
+from .core.secondary import DELETE, INSERT
+from .core.view import MaterializedView, ViewDefinition
+from .engine.catalog import Database
+from .engine.table import Row, Table
+from .errors import CatalogError
+
+Reports = Dict[str, MaintenanceReport]
+
+
+class Warehouse:
+    """A database plus a registry of incrementally maintained views."""
+
+    def __init__(self, db: Database):
+        self.db = db
+        self._maintainers: Dict[str, ViewMaintainer] = {}
+        self._aggregates: Dict[str, AggregatedView] = {}
+
+    # ------------------------------------------------------------------
+    # view DDL
+    # ------------------------------------------------------------------
+    def create_view(
+        self,
+        name: str,
+        view: Union[RelExpr, ViewDefinition],
+        options: Optional[MaintenanceOptions] = None,
+    ) -> MaterializedView:
+        """Define, materialize and register an SPOJ view."""
+        if name in self._maintainers or name in self._aggregates:
+            raise CatalogError(f"view {name!r} already exists")
+        definition = (
+            view
+            if isinstance(view, ViewDefinition)
+            else ViewDefinition(name, view)
+        )
+        materialized = MaterializedView.materialize(definition, self.db)
+        self._maintainers[name] = ViewMaintainer(
+            self.db, materialized, options
+        )
+        return materialized
+
+    def create_aggregated_view(
+        self,
+        name: str,
+        view: Union[RelExpr, ViewDefinition],
+        group_by: Sequence[str],
+        aggregates: Sequence[Aggregate],
+    ) -> AggregatedView:
+        """Define and register a Section 3.3 aggregated view."""
+        if name in self._maintainers or name in self._aggregates:
+            raise CatalogError(f"view {name!r} already exists")
+        definition = (
+            view
+            if isinstance(view, ViewDefinition)
+            else ViewDefinition(name, view)
+        )
+        aggregated = AggregatedView(definition, group_by, aggregates, self.db)
+        self._aggregates[name] = aggregated
+        return aggregated
+
+    def drop_view(self, name: str) -> None:
+        if self._maintainers.pop(name, None) is not None:
+            return
+        if self._aggregates.pop(name, None) is not None:
+            return
+        raise CatalogError(f"no view named {name!r}")
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def view_names(self) -> List[str]:
+        return sorted(self._maintainers) + sorted(self._aggregates)
+
+    def view(self, name: str) -> MaterializedView:
+        try:
+            return self._maintainers[name].view
+        except KeyError:
+            raise CatalogError(f"no plain view named {name!r}") from None
+
+    def aggregated_view(self, name: str) -> AggregatedView:
+        try:
+            return self._aggregates[name]
+        except KeyError:
+            raise CatalogError(f"no aggregated view named {name!r}") from None
+
+    def maintainer(self, name: str) -> ViewMaintainer:
+        try:
+            return self._maintainers[name]
+        except KeyError:
+            raise CatalogError(f"no plain view named {name!r}") from None
+
+    # ------------------------------------------------------------------
+    # DML with fan-out
+    # ------------------------------------------------------------------
+    def insert(self, table: str, rows: Iterable[Row]) -> Reports:
+        delta = self.db.insert(table, rows)
+        return self._fan_out(table, delta, INSERT, fk_allowed=True)
+
+    def delete(self, table: str, rows: Iterable[Row]) -> Reports:
+        delta = self.db.delete(table, rows)
+        return self._fan_out(table, delta, DELETE, fk_allowed=True)
+
+    def delete_by_key(self, table: str, keys: Iterable[Row]) -> Reports:
+        delta = self.db.delete_by_key(table, keys)
+        return self._fan_out(table, delta, DELETE, fk_allowed=True)
+
+    def update(
+        self,
+        table: str,
+        old_rows: Iterable[Row],
+        new_rows: Iterable[Row],
+    ) -> List[Reports]:
+        """UPDATE as delete + insert across every view, with foreign-key
+        shortcuts disabled (the paper's Section 6 caveat 1)."""
+        delete_delta = self.db.delete(table, old_rows, check=False)
+        delete_reports = self._fan_out(
+            table, delete_delta, DELETE, fk_allowed=False
+        )
+        insert_delta = self.db.insert(table, new_rows, check=False)
+        insert_reports = self._fan_out(
+            table, insert_delta, INSERT, fk_allowed=False
+        )
+        return [delete_reports, insert_reports]
+
+    def _fan_out(
+        self, table: str, delta: Table, operation: str, fk_allowed: bool
+    ) -> Reports:
+        reports: Reports = {}
+        for name, maintainer in self._maintainers.items():
+            reports[name] = maintainer.maintain(
+                table, delta, operation, fk_allowed=fk_allowed
+            )
+        for name, aggregated in self._aggregates.items():
+            reports[name] = aggregated.maintain(
+                table, delta, operation, fk_allowed=fk_allowed
+            )
+        return reports
+
+    # ------------------------------------------------------------------
+    # batching
+    # ------------------------------------------------------------------
+    def batch(self) -> "UpdateBatch":
+        """An :class:`~repro.core.batch.UpdateBatch` netting updates for
+        every registered view (see that module for the semantics)."""
+        from .core.batch import UpdateBatch
+
+        return UpdateBatch(
+            self.db,
+            list(self._maintainers.values()) + list(self._aggregates.values()),
+        )
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def transaction(self) -> "Transaction":
+        """A multi-statement atomic batch (the paper's Section 6 caveat-3
+        setting)::
+
+            with warehouse.transaction() as txn:
+                txn.insert("orders", new_orders)
+                txn.insert("lineitem", their_lines)  # FK deferrable → ok
+
+        Statements execute (and views maintain) immediately, but
+        DEFERRABLE foreign keys are only checked at commit, and any
+        failure — constraint or otherwise — rolls the database *and*
+        every registered view back to the transaction start."""
+        return Transaction(self)
+
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Every registered view must equal its recompute."""
+        for maintainer in self._maintainers.values():
+            maintainer.check_consistency()
+        for aggregated in self._aggregates.values():
+            aggregated.check_consistency()
+
+
+class Transaction:
+    """Context manager for atomic multi-statement update batches.
+
+    Implementation: statements apply eagerly (so each maintenance pass
+    sees exactly the base-table state the paper's formulas assume), with
+    deferrable foreign keys left unchecked until commit.  Rollback
+    restores snapshots taken at entry — database tables and materialized
+    views alike.
+    """
+
+    def __init__(self, warehouse: Warehouse):
+        self.warehouse = warehouse
+        self._db_snapshot: Optional[Database] = None
+        self._view_snapshots: Dict[str, object] = {}
+        self._agg_snapshots: Dict[str, Dict] = {}
+        self._deferred: List[tuple] = []
+        self._active = False
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Transaction":
+        self._db_snapshot = self.warehouse.db.copy()
+        self._view_snapshots = {
+            name: maintainer.view.clone()
+            for name, maintainer in self.warehouse._maintainers.items()
+        }
+        self._agg_snapshots = {
+            name: {
+                key: _clone_group(group)
+                for key, group in aggregated.groups.items()
+            }
+            for name, aggregated in self.warehouse._aggregates.items()
+        }
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._rollback()
+            return False
+        try:
+            self._commit()
+        except Exception:
+            self._rollback()
+            raise
+        return False
+
+    # ------------------------------------------------------------------
+    def insert(self, table: str, rows: Iterable[Row]) -> Reports:
+        self._require_active()
+        materialized = [tuple(r) for r in rows]
+        delta = self.warehouse.db.insert(
+            table, materialized, defer_deferrable=True
+        )
+        self._deferred.append((table, materialized))
+        return self.warehouse._fan_out(table, delta, INSERT, fk_allowed=True)
+
+    def delete(self, table: str, rows: Iterable[Row]) -> Reports:
+        self._require_active()
+        delta = self.warehouse.db.delete(table, rows)
+        return self.warehouse._fan_out(table, delta, DELETE, fk_allowed=True)
+
+    def _require_active(self) -> None:
+        if not self._active:
+            raise CatalogError("transaction is no longer active")
+
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        for table, rows in self._deferred:
+            self.warehouse.db.check_deferred_fks(table, rows)
+        self._active = False
+        self._db_snapshot = None
+        self._view_snapshots = {}
+        self._agg_snapshots = {}
+
+    def _rollback(self) -> None:
+        wh = self.warehouse
+        assert self._db_snapshot is not None
+        # restore table contents in place so registered maintainers keep
+        # their Database reference
+        wh.db.tables = self._db_snapshot.tables
+        wh.db.foreign_keys = self._db_snapshot.foreign_keys
+        for name, snapshot in self._view_snapshots.items():
+            maintainer = wh._maintainers[name]
+            maintainer.view._rows = snapshot._rows
+            maintainer.view._subkey_indexes = snapshot._subkey_indexes
+        for name, groups in self._agg_snapshots.items():
+            wh._aggregates[name].groups = groups
+        self._active = False
+
+
+def _clone_group(group):
+    from .core.aggregate import _Group
+
+    twin = _Group.__new__(_Group)
+    twin.row_count = group.row_count
+    twin.notnull = dict(group.notnull)
+    twin.sums = list(group.sums)
+    twin.counts = list(group.counts)
+    return twin

@@ -1,0 +1,21 @@
+"""Random workload generators backing the property-based test suite."""
+
+from .random_db import (
+    random_database,
+    random_delete_rows,
+    random_insert_rows,
+)
+from .random_views import (
+    random_join_predicate,
+    random_view,
+    random_view_expression,
+)
+
+__all__ = [
+    "random_database",
+    "random_insert_rows",
+    "random_delete_rows",
+    "random_view",
+    "random_view_expression",
+    "random_join_predicate",
+]

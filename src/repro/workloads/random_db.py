@@ -1,0 +1,127 @@
+"""Random databases for property-based testing.
+
+Small keyed tables with low-cardinality join columns (so joins actually
+match), optional NULLs in non-key columns (so three-valued logic is
+exercised) and optional foreign-key chains (so the Section 6 machinery is
+exercised).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..engine.catalog import Database
+
+
+TABLE_NAMES = ("t0", "t1", "t2", "t3", "t4", "t5")
+
+
+def random_database(
+    rng: random.Random,
+    n_tables: int = 4,
+    rows_per_table: int = 10,
+    value_range: int = 6,
+    null_fraction: float = 0.1,
+    with_foreign_keys: bool = False,
+) -> Database:
+    """Build ``n_tables`` tables ``t0..`` with columns ``k`` (key), ``a``
+    and ``b`` (nullable join columns in ``0..value_range``).
+
+    With *with_foreign_keys*, each table ``t<i>`` (i>0) gets an extra
+    NOT NULL column ``fk`` referencing ``t<i-1>.k``.
+    """
+    db = Database()
+    names = TABLE_NAMES[:n_tables]
+    for i, name in enumerate(names):
+        columns = ["k", "a", "b"]
+        not_null: List[str] = []
+        if with_foreign_keys and i > 0:
+            columns.append("fk")
+            not_null.append("fk")
+        db.create_table(name, columns, key=["k"], not_null=not_null)
+
+    for i, name in enumerate(names):
+        rows = []
+        for k in range(rows_per_table):
+            a = rng.randrange(value_range)
+            b = rng.randrange(value_range)
+            if rng.random() < null_fraction:
+                a = None
+            if rng.random() < null_fraction:
+                b = None
+            row: Tuple = (k, a, b)
+            if with_foreign_keys and i > 0:
+                row = row + (rng.randrange(rows_per_table),)
+            rows.append(row)
+        db.insert(name, rows, check=False)
+
+    if with_foreign_keys:
+        for i in range(1, len(names)):
+            db.add_foreign_key(names[i], ["fk"], names[i - 1], ["k"])
+    return db
+
+
+def random_insert_rows(
+    rng: random.Random,
+    db: Database,
+    table: str,
+    count: int,
+    value_range: int = 6,
+    null_fraction: float = 0.1,
+) -> List[Tuple]:
+    """Fresh rows for *table* with keys above the current maximum and
+    foreign keys (if any) pointing at existing targets."""
+    t = db.table(table)
+    key_pos = t.key_positions()[0]
+    next_key = max((r[key_pos] for r in t.rows), default=-1) + 1
+    has_fk = "fk" in {c.split(".", 1)[1] for c in t.schema.columns}
+    fk_target_rows: Optional[Sequence] = None
+    if has_fk:
+        fk = db.foreign_keys_from(table)[0]
+        target = db.table(fk.target)
+        fk_target_rows = [target.key_of(r)[0] for r in target.rows]
+    rows = []
+    for i in range(count):
+        a = rng.randrange(value_range)
+        b = rng.randrange(value_range)
+        if rng.random() < null_fraction:
+            a = None
+        if rng.random() < null_fraction:
+            b = None
+        row: Tuple = (next_key + i, a, b)
+        if has_fk:
+            if not fk_target_rows:
+                continue  # cannot insert without a referenceable target
+            row = row + (rng.choice(fk_target_rows),)
+        rows.append(row)
+    return rows
+
+
+def random_delete_rows(
+    rng: random.Random, db: Database, table: str, count: int
+) -> List[Tuple]:
+    """Existing rows of *table* that can be deleted without violating an
+    incoming foreign key (rows still referenced are skipped)."""
+    t = db.table(table)
+    candidates = list(t.rows)
+    rng.shuffle(candidates)
+    incoming = db.foreign_keys_to(table)
+    if not incoming:
+        return candidates[:count]
+
+    referenced = set()
+    for fk in incoming:
+        src = db.table(fk.source)
+        positions = src.schema.positions(fk.source_columns)
+        for row in src.rows:
+            referenced.add(tuple(row[p] for p in positions))
+
+    out = []
+    for row in candidates:
+        if t.key_of(row) in referenced:
+            continue
+        out.append(row)
+        if len(out) == count:
+            break
+    return out

@@ -1,0 +1,97 @@
+"""Random SPOJ view expressions for property-based testing.
+
+Views are random join trees over the database's tables with random join
+kinds (inner/left/right/full), equijoin predicates on the low-cardinality
+``a``/``b`` columns, and occasional single-table selections — i.e. a walk
+through the whole class of views the paper's algorithm claims to handle.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..algebra.expr import (
+    FULL,
+    INNER,
+    Join,
+    LEFT,
+    RIGHT,
+    RelExpr,
+    Relation,
+    Select,
+)
+from ..algebra.predicates import Comparison, Predicate, conjoin, eq
+from ..core.view import ViewDefinition
+from ..engine.catalog import Database
+
+JOIN_KINDS = (INNER, LEFT, RIGHT, FULL)
+JOIN_COLUMNS = ("a", "b")
+
+
+def _one_table_of(expr: RelExpr, rng: random.Random) -> str:
+    return rng.choice(sorted(expr.base_tables()))
+
+
+def random_join_predicate(
+    rng: random.Random, left: RelExpr, right: RelExpr, db: Database
+) -> Predicate:
+    """An equijoin between a random table of each side, preferring the
+    declared foreign key when one exists (50 %), so FK optimizations get
+    exercised."""
+    lt = _one_table_of(left, rng)
+    rt = _one_table_of(right, rng)
+    fk = db.foreign_key_between(lt, rt) or db.foreign_key_between(rt, lt)
+    if fk is not None and rng.random() < 0.5:
+        parts = [
+            Comparison(src, "=", dst) for src, dst in fk.column_pairs()
+        ]
+        return conjoin(parts)
+    lcol = rng.choice(JOIN_COLUMNS)
+    rcol = rng.choice(JOIN_COLUMNS)
+    return eq(f"{lt}.{lcol}", f"{rt}.{rcol}")
+
+
+def random_view_expression(
+    rng: random.Random,
+    db: Database,
+    tables: Optional[Sequence[str]] = None,
+    select_probability: float = 0.3,
+    value_range: int = 6,
+) -> RelExpr:
+    """A random SPOJ tree joining all *tables* (default: every table)."""
+    names = list(tables if tables is not None else sorted(db.tables))
+    rng.shuffle(names)
+    forest: List[RelExpr] = [Relation(n) for n in names]
+
+    def maybe_select(expr: RelExpr) -> RelExpr:
+        if rng.random() < select_probability:
+            table = _one_table_of(expr, rng)
+            col = rng.choice(JOIN_COLUMNS)
+            op = rng.choice(("<=", ">=", "<>"))
+            return Select(
+                expr,
+                Comparison(f"{table}.{col}", op, rng.randrange(value_range)),
+            )
+        return expr
+
+    while len(forest) > 1:
+        i = rng.randrange(len(forest))
+        left = forest.pop(i)
+        j = rng.randrange(len(forest))
+        right = forest.pop(j)
+        pred = random_join_predicate(rng, left, right, db)
+        joined = Join(rng.choice(JOIN_KINDS), left, right, pred)
+        forest.append(maybe_select(joined))
+    return forest[0]
+
+
+def random_view(
+    rng: random.Random,
+    db: Database,
+    name: str = "rv",
+    tables: Optional[Sequence[str]] = None,
+) -> ViewDefinition:
+    """A random maintainable view definition over *db*."""
+    expr = random_view_expression(rng, db, tables)
+    return ViewDefinition(name, expr)

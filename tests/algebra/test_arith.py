@@ -1,0 +1,120 @@
+"""Tests for arithmetic operands: evaluation, NULL propagation,
+null-rejection analysis, SQL round trips and maintenance integration."""
+
+import pytest
+
+from repro.algebra import Q, evaluate
+from repro.algebra.expr import Select
+from repro.algebra.predicates import (
+    Arith,
+    Comparison,
+    Lit,
+    compile_predicate,
+    operand_value,
+)
+from repro.core import MaterializedView, ViewDefinition, ViewMaintainer
+from repro.engine import Database
+from repro.errors import ExpressionError
+from repro.parser import parse_predicate, parse_view
+from repro.sql import render_predicate
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("a", ["k", "x", "y"], key=["k"])
+    d.create_table("b", ["k", "z"], key=["k"])
+    d.insert("a", [(1, 2, 3), (2, 10, 1), (3, None, 5)])
+    d.insert("b", [(1, 5), (2, 11)])
+    return d
+
+
+def value(operand, row: dict):
+    return operand_value(operand, lambda name: row.get(name))
+
+
+class TestEvaluation:
+    def test_basic_operators(self):
+        row = {"a.x": 10, "a.y": 4}
+        assert value(Arith("a.x", "+", "a.y"), row) == 14
+        assert value(Arith("a.x", "-", "a.y"), row) == 6
+        assert value(Arith("a.x", "*", "a.y"), row) == 40
+        assert value(Arith("a.x", "/", "a.y"), row) == 2.5
+
+    def test_null_propagates(self):
+        row = {"a.x": None, "a.y": 4}
+        assert value(Arith("a.x", "+", "a.y"), row) is None
+
+    def test_division_by_zero_is_null(self):
+        row = {"a.x": 10, "a.y": 0}
+        assert value(Arith("a.x", "/", "a.y"), row) is None
+
+    def test_nested(self):
+        row = {"a.x": 2, "a.y": 3}
+        nested = Arith(Arith("a.x", "+", "a.y"), "*", Lit(10))
+        assert value(nested, row) == 50
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Arith("a.x", "%", "a.y")
+
+
+class TestPredicateIntegration:
+    def test_comparison_over_arith(self, db):
+        pred = Comparison(Arith("a.x", "*", Lit(2)), ">", "a.y")
+        run = compile_predicate(pred, db.table("a").schema)
+        kept = [r[0] for r in db.table("a").rows if run(r)]
+        assert kept == [1, 2]  # NULL x row is UNKNOWN → excluded
+
+    def test_null_rejecting_through_arith(self):
+        pred = Comparison(Arith("a.x", "+", "b.z"), "=", Lit(7))
+        assert pred.null_rejecting_tables() == {"a", "b"}
+        assert pred.is_null_rejecting()
+
+    def test_structural_equality(self):
+        a = Arith("a.x", "+", Lit(1))
+        assert a == Arith("a.x", "+", Lit(1))
+        assert a != Arith("a.x", "-", Lit(1))
+        assert hash(a) == hash(Arith("a.x", "+", Lit(1)))
+
+
+class TestSqlAndParser:
+    def test_parse_precedence(self, db):
+        pred = parse_predicate(db, "x + y * 2 = 8")
+        run = compile_predicate(pred, db.table("a").schema)
+        assert [r[0] for r in db.table("a").rows if run(r)] == [1]  # 2+3*2
+
+    def test_parse_parenthesised_operand(self, db):
+        pred = parse_predicate(db, "(x + y) * 2 = 10")
+        run = compile_predicate(pred, db.table("a").schema)
+        assert [r[0] for r in db.table("a").rows if run(r)] == [1]
+
+    def test_render_round_trip(self, db):
+        pred = parse_predicate(db, "x * 2 + y > 6")
+        reparsed = parse_predicate(db, render_predicate(pred))
+        a = compile_predicate(pred, db.table("a").schema)
+        b = compile_predicate(reparsed, db.table("a").schema)
+        for row in db.table("a").rows:
+            assert a(row) == b(row)
+
+    def test_mixed_parens_predicate_vs_operand(self, db):
+        pred = parse_predicate(db, "(x > 1 or y > 1) and (x + 1) * 2 < 30")
+        run = compile_predicate(pred, db.table("a").schema)
+        assert [r[0] for r in db.table("a").rows if run(r)] == [1, 2]
+
+
+class TestMaintenanceWithArith:
+    def test_view_with_arithmetic_predicate_maintains(self, db):
+        defn = parse_view(
+            db,
+            "select * from a left outer join b on x + y = z",
+            name="arith_view",
+        )
+        view = MaterializedView.materialize(defn, db)
+        maintainer = ViewMaintainer(db, view)
+        maintainer.insert("a", [(4, 6, 5)])   # 6+5=11 joins b.z=11
+        maintainer.check_consistency()
+        maintainer.insert("b", [(3, 8)])       # joins a(1): 2+3=5? no, =8? no
+        maintainer.check_consistency()
+        maintainer.delete("a", [(4, 6, 5)])
+        maintainer.check_consistency()

@@ -1,0 +1,165 @@
+"""Unit tests for logical-expression evaluation against the engine."""
+
+import pytest
+
+from repro.algebra.evaluate import evaluate, infer_schema, key_columns
+from repro.algebra.expr import (
+    Bound,
+    Distinct,
+    FixUp,
+    Join,
+    NullIf,
+    Project,
+    Relation,
+    Select,
+    antijoin,
+    full_outer_join,
+    inner_join,
+    left_outer_join,
+    semijoin,
+)
+from repro.algebra.predicates import Comparison, NotTrue, conjoin, eq
+from repro.engine import Database, Schema, Table
+from repro.errors import ExpressionError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("a", ["k", "x"], key=["k"])
+    d.create_table("b", ["k", "x"], key=["k"])
+    d.insert("a", [(1, 10), (2, 20), (3, 30)])
+    d.insert("b", [(1, 10), (2, 99)])
+    return d
+
+
+class TestLeafEvaluation:
+    def test_relation(self, db):
+        t = evaluate(Relation("a"), db)
+        assert len(t) == 3
+
+    def test_bound(self, db):
+        extra = Table("a", db.table("a").schema, [(9, 90)])
+        t = evaluate(Bound("mine", over=("a",)), db, {"mine": extra})
+        assert t.rows == [(9, 90)]
+
+    def test_missing_binding_raises(self, db):
+        with pytest.raises(ExpressionError, match="no binding"):
+            evaluate(Bound("ghost"), db)
+
+
+class TestOperatorEvaluation:
+    def test_select(self, db):
+        t = evaluate(Select(Relation("a"), Comparison("a.x", ">", 15)), db)
+        assert sorted(t.rows) == [(2, 20), (3, 30)]
+
+    def test_project(self, db):
+        t = evaluate(Project(Relation("a"), ["a.x"]), db)
+        assert sorted(t.rows) == [(10,), (20,), (30,)]
+
+    def test_distinct(self, db):
+        t = evaluate(Distinct(Project(Relation("a"), ["a.x"])), db)
+        assert len(t) == 3
+
+    def test_inner_join_hash_path(self, db):
+        t = evaluate(inner_join("a", "b", eq("a.x", "b.x")), db)
+        assert t.rows == [(1, 10, 1, 10)]
+
+    def test_left_outer(self, db):
+        t = evaluate(left_outer_join("a", "b", eq("a.x", "b.x")), db)
+        assert set(t.rows) == {
+            (1, 10, 1, 10),
+            (2, 20, None, None),
+            (3, 30, None, None),
+        }
+
+    def test_full_outer(self, db):
+        t = evaluate(full_outer_join("a", "b", eq("a.x", "b.x")), db)
+        assert (None, None, 2, 99) in set(t.rows)
+
+    def test_join_with_residual(self, db):
+        pred = conjoin([eq("a.k", "b.k"), Comparison("b.x", "<", 50)])
+        t = evaluate(inner_join("a", "b", pred), db)
+        assert t.rows == [(1, 10, 1, 10)]
+
+    def test_semijoin(self, db):
+        t = evaluate(semijoin("a", "b", eq("a.x", "b.x")), db)
+        assert t.rows == [(1, 10)]
+
+    def test_antijoin(self, db):
+        t = evaluate(antijoin("a", "b", eq("a.x", "b.x")), db)
+        assert sorted(t.rows) == [(2, 20), (3, 30)]
+
+    def test_null_if(self, db):
+        expr = NullIf(
+            Relation("a"), NotTrue(Comparison("a.x", ">", 15)), ["a.x"]
+        )
+        t = evaluate(expr, db)
+        assert set(t.rows) == {(1, None), (2, 20), (3, 30)}
+
+    def test_fixup(self, db):
+        raw = Table(
+            "t", Schema(["a.k", "b.x"]), [(1, 5), (1, None), (1, 5)]
+        )
+        t = evaluate(FixUp(Bound("raw", over=("a",)), ["a.k"]), db, {"raw": raw})
+        assert t.rows == [(1, 5)]
+
+    def test_equi_pair_missing_column_falls_to_residual(self, db):
+        # Delta tables may lack columns; the join must still be correct.
+        narrow = Table("b", Schema(["b.k"]), [(1,), (2,)])
+        expr = inner_join(
+            "a", Bound("narrow", over=("b",)), eq("a.x", "b.x")
+        )
+        t = evaluate(expr, db, {"narrow": narrow})
+        assert t.rows == []  # b.x reads as NULL -> never equal
+
+
+class TestOverlappingSemijoin:
+    def test_anti_self_delta(self, db):
+        delta = Table("a", db.table("a").schema, [(2, 20)], key=["a.k"])
+        expr = Join(
+            "anti",
+            Relation("a"),
+            Bound("delta:a", over=("a",)),
+            Comparison("a.k", "=", "a.k"),
+        )
+        t = evaluate(expr, db, {"delta:a": delta})
+        assert sorted(t.rows) == [(1, 10), (3, 30)]
+
+    def test_overlap_requires_semi_or_anti(self, db):
+        expr = Join(
+            "inner",
+            Relation("a"),
+            Bound("delta:a", over=("a",)),
+            Comparison("a.k", "=", "a.k"),
+        )
+        with pytest.raises(ExpressionError):
+            evaluate(expr, db, {"delta:a": db.table("a")})
+
+
+class TestInference:
+    def test_infer_schema_join(self, db):
+        s = infer_schema(inner_join("a", "b", eq("a.x", "b.x")), db)
+        assert s.columns == ("a.k", "a.x", "b.k", "b.x")
+
+    def test_infer_schema_project(self, db):
+        s = infer_schema(Project(Relation("a"), ["a.x"]), db)
+        assert s.columns == ("a.x",)
+
+    def test_infer_schema_semijoin_keeps_left(self, db):
+        s = infer_schema(semijoin("a", "b", eq("a.x", "b.x")), db)
+        assert s.columns == ("a.k", "a.x")
+
+    def test_infer_schema_delta_binding_defaults(self, db):
+        s = infer_schema(Bound("delta:a", over=("a",)), db)
+        assert s.columns == ("a.k", "a.x")
+
+    def test_key_columns(self, db):
+        cols = key_columns(inner_join("a", "b", eq("a.x", "b.x")), db)
+        assert cols == ("a.k", "b.k")
+
+    def test_key_columns_includes_bound_tables(self, db):
+        expr = inner_join(
+            Bound("delta:a", over=("a",)), Relation("b"), eq("a.x", "b.x")
+        )
+        assert key_columns(expr, db) == ("a.k", "b.k")

@@ -1,0 +1,149 @@
+"""Unit tests for the logical expression AST and SPOJ validation."""
+
+import pytest
+
+from repro.algebra import Q
+from repro.algebra.expr import (
+    Bound,
+    Distinct,
+    FixUp,
+    Join,
+    NullIf,
+    Project,
+    Relation,
+    Select,
+    antijoin,
+    delta_label,
+    delta_relation,
+    full_outer_join,
+    inner_join,
+    left_outer_join,
+    semijoin,
+    validate_spoj,
+)
+from repro.algebra.predicates import IsNull, NotTrue, TruePred, eq
+from repro.errors import ExpressionError
+
+
+class TestLeaves:
+    def test_relation_base_tables(self):
+        assert Relation("t").base_tables() == {"t"}
+
+    def test_bound_base_tables(self):
+        assert Bound("delta:t", over=("t",)).base_tables() == {"t"}
+
+    def test_delta_relation(self):
+        d = delta_relation("orders")
+        assert d.label == "delta:orders"
+        assert d.base_tables() == {"orders"}
+        assert delta_label("orders") == "delta:orders"
+
+    def test_leaves_in_order(self):
+        e = inner_join("a", inner_join("b", "c", eq("b.x", "c.y")), eq("a.x", "b.y"))
+        assert [leaf.name for leaf in e.leaves()] == ["a", "b", "c"]
+
+
+class TestTreeConstruction:
+    def test_join_constructors(self):
+        assert inner_join("a", "b", eq("a.x", "b.y")).kind == "inner"
+        assert left_outer_join("a", "b", eq("a.x", "b.y")).kind == "left"
+        assert full_outer_join("a", "b", eq("a.x", "b.y")).kind == "full"
+        assert semijoin("a", "b", eq("a.x", "b.y")).kind == "semi"
+        assert antijoin("a", "b", eq("a.x", "b.y")).kind == "anti"
+
+    def test_string_coercion(self):
+        j = inner_join("a", "b", eq("a.x", "b.y"))
+        assert isinstance(j.left, Relation)
+
+    def test_invalid_join_kind(self):
+        with pytest.raises(ExpressionError):
+            Join("zig", Relation("a"), Relation("b"), eq("a.x", "b.y"))
+
+    def test_base_tables_union(self):
+        e = full_outer_join(
+            inner_join("a", "b", eq("a.x", "b.y")), "c", eq("a.x", "c.y")
+        )
+        assert e.base_tables() == {"a", "b", "c"}
+
+    def test_with_children(self):
+        j = inner_join("a", "b", eq("a.x", "b.y"))
+        j2 = j.with_children(Relation("z"), j.right)
+        assert j2.left.name == "z"
+        assert j2.kind == j.kind
+
+    def test_pretty_renders_tree(self):
+        e = Select(inner_join("a", "b", eq("a.x", "b.y")), eq("a.x", 1))
+        text = e.pretty()
+        assert "σ" in text and "⋈" in text and "a" in text
+
+
+class TestBuilder:
+    def test_fluent_chain(self):
+        e = (
+            Q.table("a")
+            .join("b", on=eq("a.x", "b.y"))
+            .left_outer_join("c", on=eq("b.y", "c.z"))
+            .build()
+        )
+        assert isinstance(e, Join)
+        assert e.kind == "left"
+
+    def test_where_and_project(self):
+        e = (
+            Q.table("a")
+            .where(eq("a.x", 1))
+            .project(["a.x"])
+            .build(validate=False)
+        )
+        assert isinstance(e, Project)
+        assert isinstance(e.child, Select)
+
+    def test_q_wraps_q(self):
+        inner = Q.table("b").where(eq("b.y", 2))
+        e = Q.table("a").join(inner, on=eq("a.x", "b.y")).build()
+        assert isinstance(e.right, Select)
+
+    def test_join_with_bad_operand(self):
+        with pytest.raises(TypeError):
+            Q.table("a").join(42, on=eq("a.x", "b.y"))
+
+
+class TestValidateSPOJ:
+    def test_accepts_valid(self):
+        validate_spoj(
+            full_outer_join("a", "b", eq("a.x", "b.y"))
+        )
+
+    def test_rejects_self_join(self):
+        with pytest.raises(ExpressionError, match="self-join"):
+            validate_spoj(inner_join("a", "a", eq("a.x", "a.y")))
+
+    def test_rejects_semijoin(self):
+        with pytest.raises(ExpressionError, match="semijoin"):
+            validate_spoj(semijoin("a", "b", eq("a.x", "b.y")))
+
+    def test_rejects_non_null_rejecting_join_predicate(self):
+        with pytest.raises(ExpressionError, match="null-rejecting"):
+            validate_spoj(inner_join("a", "b", IsNull("b.y")))
+
+    def test_rejects_trivially_true_predicate(self):
+        with pytest.raises(ExpressionError):
+            validate_spoj(inner_join("a", "b", TruePred()))
+
+    def test_rejects_not_true_wrapper(self):
+        with pytest.raises(ExpressionError):
+            validate_spoj(
+                Select(Relation("a"), NotTrue(eq("a.x", 1)))
+            )
+
+    def test_rejects_internal_operators(self):
+        with pytest.raises(ExpressionError):
+            validate_spoj(Distinct(Relation("a")))
+        with pytest.raises(ExpressionError):
+            validate_spoj(NullIf(Relation("a"), eq("a.x", 1), ["a.x"]))
+        with pytest.raises(ExpressionError):
+            validate_spoj(FixUp(Relation("a"), ["a.x"]))
+
+    def test_rejects_bound_leaf(self):
+        with pytest.raises(ExpressionError):
+            validate_spoj(Bound("delta:t", over=("t",)))

@@ -1,0 +1,262 @@
+"""Unit tests for the join-disjunctive normal form (paper Section 2.2),
+including the paper's Example 2 (V1) and Example 1 (FK term pruning)."""
+
+import pytest
+
+from repro.algebra import Q, eq, evaluate
+from repro.algebra.expr import Select, full_outer_join, inner_join, left_outer_join
+from repro.algebra.normalform import (
+    Term,
+    evaluate_term,
+    normal_form,
+    source_key_columns,
+    term_expression,
+)
+from repro.algebra.predicates import Comparison
+from repro.engine import Database, minimum_union
+from repro.errors import ExpressionError
+
+from ..conftest import make_example1_db, make_oj_view_defn, make_v1_db, make_v1_defn
+
+
+def labels(terms):
+    return [t.label() for t in terms]
+
+
+class TestExample2V1:
+    """The paper's running example: V1 = (R ⟗ S) ⟕ (T ⟗ U)."""
+
+    def test_seven_terms(self, v1_db, v1_defn):
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        assert labels(terms) == [
+            "{r,s,t,u}",
+            "{r,s,t}",
+            "{r,t,u}",
+            "{r,s}",
+            "{r,t}",
+            "{r}",
+            "{s}",
+        ]
+
+    def test_top_term_predicates(self, v1_db, v1_defn):
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        top = terms[0]
+        # σ_{p(r,s) ∧ p(r,t) ∧ p(t,u)}(T × U × R × S)
+        assert top.predicates == {
+            eq("r.v", "s.v"),
+            eq("r.v", "t.v"),
+            eq("t.v", "u.v"),
+        }
+
+    def test_no_lone_t_or_u_terms(self, v1_db, v1_defn):
+        # T and U appear on the null-supplying side of the ⟕, so no
+        # T-only / U-only / TU-only terms exist.
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        sources = {t.source for t in terms}
+        assert frozenset(("t",)) not in sources
+        assert frozenset(("u",)) not in sources
+        assert frozenset(("t", "u")) not in sources
+
+
+class TestExample1ForeignKeys:
+    def test_three_terms_with_fks(self):
+        db = make_example1_db()
+        defn = make_oj_view_defn()
+        terms = normal_form(defn.join_expr, db)
+        assert labels(terms) == [
+            "{lineitem,orders,part}",
+            "{orders}",
+            "{part}",
+        ]
+
+    def test_four_terms_without_fks(self):
+        db = make_example1_db()
+        defn = make_oj_view_defn()
+        terms = normal_form(defn.join_expr, db, use_foreign_keys=False)
+        assert labels(terms) == [
+            "{lineitem,orders,part}",
+            "{lineitem,orders}",
+            "{orders}",
+            "{part}",
+        ]
+
+    def test_pruning_requires_not_null_fk(self):
+        db = make_example1_db()
+        # Make the part FK's source column nullable: pruning must stop.
+        db.foreign_keys = [
+            fk if fk.target != "part" else type(fk)(
+                source=fk.source,
+                source_columns=fk.source_columns,
+                target=fk.target,
+                target_columns=fk.target_columns,
+                source_not_null=False,
+            )
+            for fk in db.foreign_keys
+        ]
+        terms = normal_form(make_oj_view_defn().join_expr, db)
+        assert "{lineitem,orders}" in labels(terms)
+
+    def test_pruning_requires_bare_target_term(self):
+        """A selection on the FK target breaks the always-joins guarantee."""
+        db = make_example1_db()
+        expr = (
+            Q.table("orders")
+            .left_outer_join(
+                "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+            )
+            .full_outer_join(
+                Q(Select(
+                    Q.table("part").expr,
+                    Comparison("part.p_retailprice", "<", 110.0),
+                )),
+                on=eq("part.p_partkey", "lineitem.l_partkey"),
+            )
+            .build()
+        )
+        terms = normal_form(expr, db)
+        assert "{lineitem,orders}" in labels(terms)
+
+    def test_pruning_requires_exact_fk_predicate(self):
+        """Extra conjuncts in the join predicate disable pruning."""
+        db = make_example1_db()
+        expr = (
+            Q.table("orders")
+            .left_outer_join(
+                "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+            )
+            .full_outer_join(
+                "part",
+                on=eq("part.p_partkey", "lineitem.l_partkey")
+                & Comparison("part.p_retailprice", "<", 110.0),
+            )
+            .build()
+        )
+        terms = normal_form(expr, db)
+        assert "{lineitem,orders}" in labels(terms)
+
+
+class TestSelectionHandling:
+    def test_select_adds_conjunct(self, v1_db):
+        expr = Select(
+            inner_join("r", "s", eq("r.v", "s.v")),
+            Comparison("r.v", ">", 2),
+        )
+        terms = normal_form(expr, v1_db)
+        assert len(terms) == 1
+        assert Comparison("r.v", ">", 2) in terms[0].predicates
+
+    def test_null_rejecting_select_kills_null_extended_terms(self, v1_db):
+        expr = Select(
+            left_outer_join("r", "s", eq("r.v", "s.v")),
+            Comparison("s.v", ">", 0),
+        )
+        terms = normal_form(expr, v1_db)
+        # σ on S removes the preserved R-only term: the ⟕ degenerates.
+        assert labels(terms) == ["{r,s}"]
+
+    def test_inner_join_single_term(self, v1_db):
+        terms = normal_form(inner_join("r", "s", eq("r.v", "s.v")), v1_db)
+        assert labels(terms) == ["{r,s}"]
+
+    def test_full_outer_three_terms(self, v1_db):
+        terms = normal_form(full_outer_join("r", "s", eq("r.v", "s.v")), v1_db)
+        assert labels(terms) == ["{r,s}", "{r}", "{s}"]
+
+
+class TestWorstCase:
+    def test_chain_of_full_outer_joins(self):
+        """N full outer joins → up to 2^N + N terms (paper Section 2.2);
+        a 3-join chain of 4 tables realizes the bound when predicates
+        chain: 2³ = 8 candidate combinations minus disconnected ones."""
+        db = Database()
+        for name in "abcd":
+            db.create_table(name, ["k", "v"], key=["k"])
+        expr = full_outer_join(
+            full_outer_join(
+                full_outer_join("a", "b", eq("a.v", "b.v")),
+                "c",
+                eq("b.v", "c.v"),
+            ),
+            "d",
+            eq("c.v", "d.v"),
+        )
+        terms = normal_form(expr, db)
+        assert labels(terms) == [
+            "{a,b,c,d}",
+            "{a,b,c}",
+            "{b,c,d}",
+            "{a,b}",
+            "{b,c}",
+            "{c,d}",
+            "{a}",
+            "{b}",
+            "{c}",
+            "{d}",
+        ]
+
+    def test_non_spoj_node_rejected(self, v1_db):
+        from repro.algebra.expr import semijoin
+
+        with pytest.raises(ExpressionError):
+            normal_form(semijoin("r", "s", eq("r.v", "s.v")), v1_db)
+
+
+class TestTermEvaluation:
+    def test_term_expression_uses_connected_joins(self, v1_db, v1_defn):
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        top = terms[0]
+        expr = term_expression(top, v1_db)
+        result = evaluate(expr, v1_db)
+        # must equal the brute-force filtered cross product
+        brute = [
+            ra + rb + rc + rd
+            for ra in v1_db.table("r").rows
+            for rb in v1_db.table("s").rows
+            for rc in v1_db.table("t").rows
+            for rd in v1_db.table("u").rows
+            if ra[1] == rb[1] == rc[1] == rd[1] and None not in (ra[1],)
+        ]
+        got = set(result.rows)
+        # realign brute rows (r,s,t,u order) to the result schema
+        order = result.schema.columns
+        assert {c.split(".")[0] for c in order} == {"r", "s", "t", "u"}
+        # build mapping from brute tuple layout
+        idx = {"r": 0, "s": 1, "t": 2, "u": 3}
+        realigned = set()
+        for row in brute:
+            chunks = {name: row[2 * i: 2 * i + 2] for name, i in idx.items()}
+            realigned.add(
+                tuple(
+                    chunks[c.split(".")[0]][0 if c.endswith(".k") else 1]
+                    for c in order
+                )
+            )
+        assert got == realigned
+
+    def test_evaluate_term_with_replacement(self, v1_db, v1_defn):
+        from repro.algebra.expr import Bound
+        from repro.engine import Table
+
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        rt = next(t for t in terms if t.source == frozenset(("r", "t")))
+        small = Table("t", v1_db.table("t").schema, v1_db.table("t").rows[:2])
+        full = evaluate_term(rt, v1_db)
+        limited = evaluate_term(
+            rt,
+            v1_db,
+            bindings={"delta:t": small},
+            replacements={"t": Bound("delta:t", over=("t",))},
+        )
+        assert set(limited.rows) <= set(
+            tuple(r[limited.schema.index_of(c)] for c in limited.schema.columns)
+            for r in full.rows
+        ) or len(limited) <= len(full)
+
+    def test_source_key_columns(self, v1_db):
+        term = Term(frozenset(("r", "t")), frozenset())
+        assert source_key_columns(term.source, v1_db) == ("r.k", "t.k")
+
+    def test_disconnected_term_cross_product(self, v1_db):
+        term = Term(frozenset(("r", "s")), frozenset())
+        result = evaluate_term(term, v1_db)
+        assert len(result) == len(v1_db.table("r")) * len(v1_db.table("s"))

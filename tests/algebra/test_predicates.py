@@ -1,0 +1,236 @@
+"""Unit tests for the predicate AST: three-valued evaluation,
+null-rejection analysis, conjunct handling, compilation."""
+
+import pytest
+
+from repro.algebra.predicates import (
+    And,
+    Col,
+    Comparison,
+    IsNull,
+    Lit,
+    Not,
+    NotNull,
+    NotTrue,
+    Or,
+    TruePred,
+    as_operand,
+    compile_predicate,
+    conjoin,
+    conjuncts,
+    eq,
+    equijoin_pairs,
+)
+from repro.engine.schema import Schema
+from repro.errors import ExpressionError
+
+
+def ev(pred, **values):
+    """Evaluate with a dict environment; missing columns are NULL."""
+    return pred.eval3(lambda name: values.get(name))
+
+
+class TestOperands:
+    def test_col_parsing(self):
+        c = Col("orders.o_orderkey")
+        assert c.table == "orders"
+        assert c.column == "o_orderkey"
+        assert c.qualified == "orders.o_orderkey"
+
+    def test_as_operand_dotted_string_is_column(self):
+        assert isinstance(as_operand("t.a"), Col)
+
+    def test_as_operand_plain_value_is_literal(self):
+        assert isinstance(as_operand(42), Lit)
+        assert isinstance(as_operand("nodot"), Lit)
+
+    def test_lit_equality(self):
+        assert Lit(1) == Lit(1)
+        assert Lit(1) != Lit(2)
+
+
+class TestComparison:
+    def test_true_false(self):
+        p = Comparison("t.a", "<", "u.b")
+        assert ev(p, **{"t.a": 1, "u.b": 2}) is True
+        assert ev(p, **{"t.a": 3, "u.b": 2}) is False
+
+    def test_null_gives_unknown(self):
+        p = eq("t.a", "u.b")
+        assert ev(p, **{"t.a": None, "u.b": 2}) is None
+        assert ev(p, **{"t.a": 2}) is None
+
+    def test_null_equals_null_is_unknown(self):
+        assert ev(eq("t.a", "u.b")) is None
+
+    def test_literal_comparison(self):
+        p = Comparison("t.a", ">=", 10)
+        assert ev(p, **{"t.a": 10}) is True
+
+    def test_tables_and_columns(self):
+        p = eq("t.a", "u.b")
+        assert p.tables() == {"t", "u"}
+        assert p.columns() == {"t.a", "u.b"}
+
+    def test_null_rejecting_on_referenced_tables(self):
+        p = eq("t.a", "u.b")
+        assert p.null_rejecting_tables() == {"t", "u"}
+        assert p.is_null_rejecting()
+
+    def test_is_equijoin(self):
+        assert eq("t.a", "u.b").is_equijoin()
+        assert not eq("t.a", "t.b").is_equijoin()  # same table
+        assert not Comparison("t.a", "<", "u.b").is_equijoin()
+        assert not eq("t.a", 5).is_equijoin()
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ExpressionError):
+            Comparison("t.a", "~", "u.b")
+
+    def test_structural_equality(self):
+        assert eq("t.a", "u.b") == eq("t.a", "u.b")
+        assert eq("t.a", "u.b") != eq("u.b", "t.a")
+        assert hash(eq("t.a", 1)) == hash(eq("t.a", 1))
+
+
+class TestNullProbes:
+    def test_is_null(self):
+        p = IsNull("t.a")
+        assert ev(p) is True
+        assert ev(p, **{"t.a": 0}) is False
+
+    def test_not_null(self):
+        p = NotNull("t.a")
+        assert ev(p) is False
+        assert ev(p, **{"t.a": 0}) is True
+
+    def test_is_null_not_null_rejecting(self):
+        assert IsNull("t.a").null_rejecting_tables() == frozenset()
+
+    def test_not_null_is_null_rejecting(self):
+        assert NotNull("t.a").null_rejecting_tables() == {"t"}
+
+
+class TestBooleanConnectives:
+    def test_and_kleene(self):
+        p = And([eq("t.a", 1), eq("u.b", 2)])
+        assert ev(p, **{"t.a": 1, "u.b": 2}) is True
+        assert ev(p, **{"t.a": 0, "u.b": 2}) is False
+        assert ev(p, **{"u.b": 2}) is None  # UNKNOWN ∧ TRUE
+        assert ev(p, **{"u.b": 3}) is False  # UNKNOWN ∧ FALSE = FALSE
+
+    def test_or_kleene(self):
+        p = Or([eq("t.a", 1), eq("u.b", 2)])
+        assert ev(p, **{"t.a": 1}) is True  # TRUE ∨ UNKNOWN
+        assert ev(p, **{"t.a": 0, "u.b": 3}) is False
+        assert ev(p, **{"t.a": 0}) is None
+
+    def test_not_kleene(self):
+        p = Not(eq("t.a", 1))
+        assert ev(p, **{"t.a": 2}) is True
+        assert ev(p, **{"t.a": 1}) is False
+        assert ev(p) is None
+
+    def test_not_true_is_definite(self):
+        p = NotTrue(eq("t.a", 1))
+        assert ev(p, **{"t.a": 2}) is True
+        assert ev(p) is True  # UNKNOWN counts as "not true"
+        assert ev(p, **{"t.a": 1}) is False
+
+    def test_and_flattens(self):
+        p = And([And([eq("t.a", 1), eq("t.b", 2)]), eq("u.c", 3)])
+        assert len(p.parts) == 3
+
+    def test_and_null_rejection_is_union(self):
+        p = And([eq("t.a", 1), eq("u.b", 2)])
+        assert p.null_rejecting_tables() == {"t", "u"}
+
+    def test_or_null_rejection_is_intersection(self):
+        p = Or([eq("t.a", "u.b"), eq("t.a", 1)])
+        assert p.null_rejecting_tables() == {"t"}
+
+    def test_or_with_isnull_branch_rejects_nothing(self):
+        p = Or([eq("t.a", 1), IsNull("t.a")])
+        assert p.null_rejecting_tables() == frozenset()
+
+    def test_not_conservatively_rejects_nothing(self):
+        assert Not(eq("t.a", 1)).null_rejecting_tables() == frozenset()
+
+    def test_empty_or_rejected(self):
+        with pytest.raises(ExpressionError):
+            Or([])
+
+
+class TestConjunction:
+    def test_conjoin_empty_is_true(self):
+        assert isinstance(conjoin([]), TruePred)
+
+    def test_conjoin_single_passthrough(self):
+        p = eq("t.a", 1)
+        assert conjoin([p]) is p
+
+    def test_conjoin_many(self):
+        p = conjoin([eq("t.a", 1), eq("t.b", 2)])
+        assert isinstance(p, And)
+
+    def test_conjuncts_flatten(self):
+        p = conjoin([eq("t.a", 1), eq("t.b", 2)])
+        assert len(conjuncts(p)) == 2
+
+    def test_conjuncts_of_simple(self):
+        p = eq("t.a", 1)
+        assert conjuncts(p) == (p,)
+
+    def test_conjuncts_of_true_empty(self):
+        assert conjuncts(TruePred()) == ()
+
+    def test_and_operator(self):
+        p = eq("t.a", 1) & eq("t.b", 2)
+        assert isinstance(p, And)
+
+
+class TestEquijoinPairs:
+    def test_simple_split(self):
+        pred = conjoin([eq("t.a", "u.b"), Comparison("t.a", "<", 5)])
+        pairs, residual = equijoin_pairs(pred, frozenset("t"), frozenset("u"))
+        assert pairs == [("t.a", "u.b")]
+        assert len(residual) == 1
+
+    def test_reversed_columns_normalized(self):
+        pairs, __ = equijoin_pairs(
+            eq("u.b", "t.a"), frozenset("t"), frozenset("u")
+        )
+        assert pairs == [("t.a", "u.b")]
+
+    def test_cross_side_mismatch_goes_residual(self):
+        pairs, residual = equijoin_pairs(
+            eq("x.a", "y.b"), frozenset("t"), frozenset("u")
+        )
+        assert pairs == []
+        assert len(residual) == 1
+
+
+class TestCompile:
+    def test_compile_basic(self):
+        schema = Schema(["t.a", "u.b"])
+        run = compile_predicate(eq("t.a", "u.b"), schema)
+        assert run((1, 1)) is True
+        assert run((1, 2)) is False
+
+    def test_unknown_collapses_to_false(self):
+        schema = Schema(["t.a", "u.b"])
+        run = compile_predicate(eq("t.a", "u.b"), schema)
+        assert run((None, 1)) is False
+
+    def test_missing_columns_read_as_null(self):
+        # Term-extraction predicates mention every view table; a delta may
+        # not carry all of them.
+        schema = Schema(["t.a"])
+        assert compile_predicate(IsNull("zz.c"), schema)((1,)) is True
+        assert compile_predicate(NotNull("zz.c"), schema)((1,)) is False
+
+    def test_compiled_not_true(self):
+        schema = Schema(["t.a"])
+        run = compile_predicate(NotTrue(eq("t.a", 1)), schema)
+        assert run((None,)) is True
+        assert run((1,)) is False

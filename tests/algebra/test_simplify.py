@@ -1,0 +1,181 @@
+"""Tests for predicate simplification and unsatisfiable-term pruning."""
+
+import pytest
+
+from repro.algebra import Q, eq, evaluate, normal_form
+from repro.algebra.predicates import (
+    Comparison,
+    IsNull,
+    Lit,
+    TruePred,
+    conjoin,
+)
+from repro.algebra.simplify import (
+    simplify_conjunction,
+    term_is_unsatisfiable,
+)
+from repro.core import MaterializedView, ViewMaintainer, ViewDefinition
+from repro.engine import Database
+
+
+def C(col, op, value):
+    return Comparison(col, op, value)
+
+
+class TestFolding:
+    def test_literal_true_folds_away(self):
+        pred = conjoin([Comparison(Lit(1), "<", Lit(2)), C("a.v", "=", 1)])
+        out = simplify_conjunction(pred)
+        assert out == C("a.v", "=", 1)
+
+    def test_literal_false_is_contradiction(self):
+        pred = conjoin([Comparison(Lit(3), "<", Lit(2)), C("a.v", "=", 1)])
+        assert simplify_conjunction(pred) is None
+
+    def test_duplicates_collapse(self):
+        pred = conjoin([C("a.v", "=", 1), C("a.v", "=", 1)])
+        assert simplify_conjunction(pred) == C("a.v", "=", 1)
+
+    def test_empty_conjunction_is_true(self):
+        assert isinstance(simplify_conjunction(TruePred()), TruePred)
+
+
+class TestContradictions:
+    def test_disjoint_ranges(self):
+        assert simplify_conjunction(
+            conjoin([C("a.v", "<", 2), C("a.v", ">", 5)])
+        ) is None
+
+    def test_touching_strict_bounds(self):
+        assert simplify_conjunction(
+            conjoin([C("a.v", "<", 2), C("a.v", ">=", 2)])
+        ) is None
+
+    def test_touching_closed_bounds_satisfiable(self):
+        out = simplify_conjunction(
+            conjoin([C("a.v", "<=", 2), C("a.v", ">=", 2)])
+        )
+        assert out is not None
+
+    def test_equality_outside_range(self):
+        assert simplify_conjunction(
+            conjoin([C("a.v", "=", 10), C("a.v", "<", 5)])
+        ) is None
+
+    def test_equality_vs_disequality(self):
+        assert simplify_conjunction(
+            conjoin([C("a.v", "=", 3), C("a.v", "<>", 3)])
+        ) is None
+
+    def test_disequality_alone_fine(self):
+        assert simplify_conjunction(C("a.v", "<>", 3)) is not None
+
+    def test_transitive_through_column_equality(self):
+        assert simplify_conjunction(
+            conjoin([eq("a.v", "b.v"), C("a.v", "=", 3), C("b.v", "=", 4)])
+        ) is None
+
+    def test_transitive_range_through_equality(self):
+        assert simplify_conjunction(
+            conjoin([eq("a.v", "b.v"), C("a.v", "<", 2), C("b.v", ">", 5)])
+        ) is None
+
+    def test_consistent_equalities_kept(self):
+        pred = conjoin([eq("a.v", "b.v"), C("a.v", "=", 3), C("b.v", "=", 3)])
+        assert simplify_conjunction(pred) is not None
+
+    def test_incomparable_types_left_alone(self):
+        pred = conjoin([C("a.v", ">", 5), C("a.v", "<", "zzz")])
+        assert simplify_conjunction(pred) is not None  # conservative
+
+    def test_is_null_not_analyzed(self):
+        pred = conjoin([IsNull("a.v"), C("a.v", "=", 3)])
+        # semantically contradictory but out of scope: stay conservative
+        assert simplify_conjunction(pred) is not None
+
+
+class TestTermPruning:
+    def _db(self):
+        db = Database()
+        for name in ("a", "b"):
+            db.create_table(name, ["k", "v"], key=["k"])
+            db.insert(name, [(i, i) for i in range(6)])
+        return db
+
+    def test_contradictory_term_pruned(self):
+        db = self._db()
+        expr = (
+            Q.table("a")
+            .where(C("a.v", "<", 2))
+            .where(C("a.v", ">", 5))
+            .build()
+        )
+        assert normal_form(expr, db) == []
+        assert len(evaluate(expr, db)) == 0
+
+    def test_pruning_can_be_disabled(self):
+        db = self._db()
+        expr = (
+            Q.table("a")
+            .where(C("a.v", "<", 2))
+            .where(C("a.v", ">", 5))
+            .build()
+        )
+        terms = normal_form(expr, db, prune_unsatisfiable=False)
+        assert len(terms) == 1
+
+    def test_partial_pruning_keeps_consistent_terms(self):
+        """An outer join whose combined term is contradictory degenerates
+        into its preserved terms only."""
+        db = self._db()
+        expr = (
+            Q.table("a")
+            .full_outer_join(
+                "b",
+                on=conjoin([eq("a.v", "b.v"), C("b.v", ">", 99)]),
+            )
+            .build()
+        )
+        labels = [t.label() for t in normal_form(expr, db)]
+        # the {a,b} combined term needs b.v = a.v > 99: possible for the
+        # analysis only via per-column bounds, which do prove b.v > 99;
+        # that alone is satisfiable, so the term survives — but adding a
+        # cap makes it vanish:
+        capped = (
+            Q.table("a")
+            .full_outer_join(
+                "b",
+                on=conjoin(
+                    [eq("a.v", "b.v"), C("b.v", ">", 99), C("b.v", "<", 50)]
+                ),
+            )
+            .build()
+        )
+        capped_labels = [t.label() for t in normal_form(capped, db)]
+        assert "{a,b}" in labels
+        assert capped_labels == ["{a}", "{b}"]
+
+    def test_maintenance_on_partially_pruned_view(self):
+        db = self._db()
+        expr = (
+            Q.table("a")
+            .full_outer_join(
+                "b",
+                on=conjoin(
+                    [eq("a.v", "b.v"), C("b.v", ">", 99), C("b.v", "<", 50)]
+                ),
+            )
+            .build()
+        )
+        view = MaterializedView.materialize(ViewDefinition("p", expr), db)
+        m = ViewMaintainer(db, view)
+        m.insert("a", [(100, 1)])
+        m.check_consistency()
+        m.insert("b", [(100, 1)])
+        m.check_consistency()
+
+    def test_term_is_unsatisfiable_helper(self):
+        assert term_is_unsatisfiable(
+            {C("a.v", "<", 1), C("a.v", ">", 2)}
+        )
+        assert not term_is_unsatisfiable({C("a.v", "<", 1)})

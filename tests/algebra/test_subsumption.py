@@ -1,0 +1,131 @@
+"""Unit tests for subsumption graphs and net contributions (Sections
+2.3–2.4): Figure 1(a), Lemma 1, Theorem 1."""
+
+import pytest
+
+from repro.algebra import evaluate, normal_form
+from repro.algebra.subsumption import (
+    SubsumptionGraph,
+    net_contribution,
+    net_contribution_form,
+)
+from repro.engine import remove_subsumed
+from repro.errors import ExpressionError
+
+from ..conftest import make_v1_db, make_v1_defn
+
+
+@pytest.fixture
+def v1_graph(v1_db, v1_defn):
+    return SubsumptionGraph(normal_form(v1_defn.join_expr, v1_db))
+
+
+def label_set(terms):
+    return {t.label() for t in terms}
+
+
+class TestFigure1a:
+    """The subsumption graph of V1 exactly as printed in Figure 1(a)."""
+
+    def test_parents_of_rs(self, v1_graph):
+        term = v1_graph.term_for({"r", "s"})
+        assert label_set(v1_graph.parents(term)) == {"{r,s,t}"}
+
+    def test_parents_of_rt(self, v1_graph):
+        term = v1_graph.term_for({"r", "t"})
+        assert label_set(v1_graph.parents(term)) == {"{r,s,t}", "{r,t,u}"}
+
+    def test_parents_of_r(self, v1_graph):
+        term = v1_graph.term_for({"r"})
+        assert label_set(v1_graph.parents(term)) == {"{r,s}", "{r,t}"}
+
+    def test_parents_of_s(self, v1_graph):
+        term = v1_graph.term_for({"s"})
+        assert label_set(v1_graph.parents(term)) == {"{r,s}"}
+
+    def test_top_term_has_no_parents(self, v1_graph):
+        top = v1_graph.term_for({"r", "s", "t", "u"})
+        assert v1_graph.parents(top) == []
+
+    def test_minimal_superset_skips_grandparents(self, v1_graph):
+        # {r,s} -> {r,s,t} -> {r,s,t,u}: no direct edge {r,s}->{r,s,t,u}.
+        term = v1_graph.term_for({"r", "s"})
+        assert "{r,s,t,u}" not in label_set(v1_graph.parents(term))
+
+    def test_children_inverse_of_parents(self, v1_graph):
+        rst = v1_graph.term_for({"r", "s", "t"})
+        assert label_set(v1_graph.children(rst)) == {"{r,s}", "{r,t}"}
+
+    def test_ancestors_transitive(self, v1_graph):
+        r = v1_graph.term_for({"r"})
+        assert "{r,s,t,u}" in label_set(v1_graph.ancestors(r))
+
+    def test_edge_count(self, v1_graph):
+        # Figure 1(a): rstu→{rst,rtu}, rst→{rs,rt}, rtu→rt, rs→{r,s}, rt→r.
+        assert len(v1_graph.edges()) == 8
+
+    def test_unknown_source_raises(self, v1_graph):
+        with pytest.raises(ExpressionError):
+            v1_graph.term_for({"zz"})
+
+    def test_pretty_mentions_all_terms(self, v1_graph):
+        text = v1_graph.pretty()
+        for term in v1_graph.terms:
+            assert term.label() in text
+
+
+class TestNetContribution:
+    def test_net_contribution_disjoint_from_parents(self, v1_db, v1_defn, v1_graph):
+        """Lemma 1: Dᵢ tuples are not subsumed by any parent tuple."""
+        for term in v1_graph.terms:
+            contribution = net_contribution(term, v1_graph, v1_db)
+            # every contributed tuple survives global subsumption removal
+            view = evaluate(v1_defn.join_expr, v1_db)
+            view_keys = set()
+            key_cols = [
+                f"{t}.k" for t in sorted(v1_defn.tables)
+            ]
+            positions = view.schema.positions(key_cols)
+            for row in view.rows:
+                view_keys.add(tuple(row[p] for p in positions))
+            cpos = [
+                contribution.schema.index_of(c)
+                if c in contribution.schema
+                else None
+                for c in key_cols
+            ]
+            for row in contribution.rows:
+                key = tuple(
+                    row[p] if p is not None else None for p in cpos
+                )
+                assert key in view_keys, (term.label(), key)
+
+    def test_theorem1_net_form_equals_view(self, v1_db, v1_defn, v1_graph):
+        """Theorem 1: V = D₁ ⊎ D₂ ⊎ … ⊎ Dₙ."""
+        full_schema = v1_defn.full_schema(v1_db)
+        net = net_contribution_form(v1_graph, v1_db, full_schema)
+        direct = evaluate(v1_defn.join_expr, v1_db)
+        assert set(net.rows) == set(direct.rows)
+        # and ⊎ really needs no dedup/subsumption: counts match too
+        assert len(net.rows) == len(direct.rows)
+
+    def test_theorem1_many_seeds(self, v1_defn):
+        for seed in range(5):
+            db = make_v1_db(seed=seed, rows=8, values=4)
+            graph = SubsumptionGraph(normal_form(v1_defn.join_expr, db))
+            full_schema = v1_defn.full_schema(db)
+            net = net_contribution_form(graph, db, full_schema)
+            direct = evaluate(v1_defn.join_expr, db)
+            assert set(net.rows) == set(direct.rows)
+
+    def test_net_form_already_subsumption_free(self, v1_db, v1_defn, v1_graph):
+        full_schema = v1_defn.full_schema(v1_db)
+        net = net_contribution_form(v1_graph, v1_db, full_schema)
+        assert len(remove_subsumed(net).rows) == len(net.rows)
+
+
+class TestGraphConstruction:
+    def test_duplicate_sources_rejected(self, v1_db, v1_defn):
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        with pytest.raises(ExpressionError):
+            SubsumptionGraph(terms + [terms[0]])

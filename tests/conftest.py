@@ -1,0 +1,121 @@
+"""Shared fixtures: the paper's running examples as ready-made databases.
+
+* ``v1_db`` / ``v1_view`` — Example 2's four-table view
+  ``(R ⟗ S) ⟕ (T ⟗ U)`` with generic tables r, s, t, u.
+* ``example1_db`` / ``oj_view_defn`` — Example 1's
+  ``part ⟗ (orders ⟕ lineitem)`` with both foreign keys declared.
+* ``tiny_tpch`` — a small deterministic TPC-H instance.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.core import ViewDefinition
+from repro.engine import Database
+from repro.tpch import TPCHGenerator
+
+
+# ---------------------------------------------------------------------------
+# V1 — the running example
+# ---------------------------------------------------------------------------
+def make_v1_db(seed: int = 1, rows: int = 12, values: int = 5) -> Database:
+    rng = random.Random(seed)
+    db = Database()
+    for name in "rstu":
+        db.create_table(name, ["k", "v"], key=["k"])
+        db.insert(name, [(i, rng.randint(0, values)) for i in range(rows)])
+    return db
+
+
+def make_v1_defn() -> ViewDefinition:
+    expr = (
+        Q.table("r")
+        .full_outer_join("s", on=eq("r.v", "s.v"))
+        .left_outer_join(
+            Q.table("t").full_outer_join("u", on=eq("t.v", "u.v")),
+            on=eq("r.v", "t.v"),
+        )
+        .build()
+    )
+    return ViewDefinition("v1", expr)
+
+
+@pytest.fixture
+def v1_db() -> Database:
+    return make_v1_db()
+
+
+@pytest.fixture
+def v1_defn() -> ViewDefinition:
+    return make_v1_defn()
+
+
+# ---------------------------------------------------------------------------
+# Example 1 — part ⟗ (orders ⟕ lineitem)
+# ---------------------------------------------------------------------------
+def make_example1_db(seed: int = 7) -> Database:
+    rng = random.Random(seed)
+    db = Database()
+    db.create_table(
+        "part", ["p_partkey", "p_name", "p_retailprice"], key=["p_partkey"]
+    )
+    db.create_table("orders", ["o_orderkey", "o_custkey"], key=["o_orderkey"])
+    db.create_table(
+        "lineitem",
+        ["l_orderkey", "l_linenumber", "l_partkey", "l_quantity"],
+        key=["l_orderkey", "l_linenumber"],
+        not_null=["l_partkey"],
+    )
+    db.add_foreign_key("lineitem", ["l_orderkey"], "orders", ["o_orderkey"])
+    db.add_foreign_key("lineitem", ["l_partkey"], "part", ["p_partkey"])
+
+    db.insert("part", [(p, f"part{p}", 100.0 + p) for p in range(20)])
+    db.insert("orders", [(o, rng.randint(0, 5)) for o in range(30)])
+    rows = []
+    for o in range(20):  # orders 20..29 stay childless
+        for ln in range(rng.randint(1, 3)):
+            rows.append((o, ln, rng.randint(0, 9), rng.randint(1, 50)))
+    db.insert("lineitem", rows)  # parts 10..19 never ordered
+    return db
+
+
+def make_oj_view_defn() -> ViewDefinition:
+    expr = (
+        Q.table("part")
+        .full_outer_join(
+            Q.table("orders").left_outer_join(
+                "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+            ),
+            on=eq("part.p_partkey", "lineitem.l_partkey"),
+        )
+        .build()
+    )
+    return ViewDefinition("oj_view", expr)
+
+
+@pytest.fixture
+def example1_db() -> Database:
+    return make_example1_db()
+
+
+@pytest.fixture
+def oj_view_defn() -> ViewDefinition:
+    return make_oj_view_defn()
+
+
+# ---------------------------------------------------------------------------
+# TPC-H
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="session")
+def tiny_tpch_gen() -> TPCHGenerator:
+    return TPCHGenerator(scale_factor=0.001, seed=42)
+
+
+@pytest.fixture
+def tiny_tpch(tiny_tpch_gen) -> Database:
+    # A fresh copy per test: the generator's database is mutated by DML.
+    return TPCHGenerator(scale_factor=0.001, seed=42).build()

@@ -1,0 +1,135 @@
+"""Tests for the constraint advisor and view point queries."""
+
+import pytest
+
+from repro.core import MaterializedView, ViewMaintainer
+from repro.core.advisor import advise, suggest_foreign_keys
+from repro.tpch import TPCHGenerator, oj_view, v3
+from repro.errors import SchemaError
+
+
+def tpch_without_lineitem_orders_fk():
+    db = TPCHGenerator(scale_factor=0.0005).build()
+    db.foreign_keys = [
+        fk
+        for fk in db.foreign_keys
+        if not (fk.source == "lineitem" and fk.target == "orders")
+    ]
+    return db
+
+
+class TestAdvisor:
+    def test_suggests_missing_fk_for_v3(self):
+        db = tpch_without_lineitem_orders_fk()
+        suggestions = suggest_foreign_keys(v3(), db)
+        assert suggestions
+        top = suggestions[0]
+        assert (top.source, top.target) == ("lineitem", "orders")
+        assert top.noop_updates == ["orders"]
+        assert top.holds_in_data
+
+    def test_oj_view_fk_reduces_rather_than_noops(self):
+        db = tpch_without_lineitem_orders_fk()
+        suggestions = suggest_foreign_keys(oj_view(), db)
+        top = suggestions[0]
+        assert top.noop_updates == []
+        assert "orders" in top.reduced_updates
+
+    def test_no_suggestions_when_all_declared(self):
+        db = TPCHGenerator(scale_factor=0.0005).build()
+        assert suggest_foreign_keys(v3(), db) == []
+
+    def test_violated_inclusion_not_suggested(self):
+        db = tpch_without_lineitem_orders_fk()
+        # orphan a lineitem reference by deleting its order bypassing checks
+        victim = db.table("orders").rows[0]
+        db.delete("orders", [victim], check=False)
+        suggestions = suggest_foreign_keys(v3(), db)
+        assert all(
+            not (s.source == "lineitem" and s.target == "orders")
+            for s in suggestions
+        )
+
+    def test_report_text(self):
+        db = tpch_without_lineitem_orders_fk()
+        text = advise(v3(), db)
+        assert "FOREIGN KEY lineitem(l_orderkey)" in text
+        assert "provable no-ops" in text
+        assert "data-dependent" in text
+
+    def test_clean_report_when_nothing_to_suggest(self):
+        db = TPCHGenerator(scale_factor=0.0005).build()
+        text = advise(v3(), db)
+        assert "no undeclared foreign keys" in text
+
+    def test_advice_matches_reality(self):
+        """Declaring the suggested FK really does make orders updates
+        no-ops."""
+        db = tpch_without_lineitem_orders_fk()
+        top = suggest_foreign_keys(v3(), db)[0]
+        db.add_foreign_key(
+            top.source,
+            [top.source_column.split(".", 1)[1]],
+            top.target,
+            [top.target_column.split(".", 1)[1]],
+        )
+        maintainer = ViewMaintainer(
+            db, MaterializedView.materialize(v3(), db)
+        )
+        report = maintainer.insert(
+            "orders",
+            [(10**7, 1, "O", 1.0, "1994-07-01", "Clerk#000000001")],
+        )
+        maintainer.check_consistency()
+        assert report.total_view_changes == 0
+
+
+class TestViewLookup:
+    @pytest.fixture(scope="class")
+    def view(self):
+        db = TPCHGenerator(scale_factor=0.0005).build()
+        return MaterializedView.materialize(v3(), db), db
+
+    def test_full_key_lookup(self, view):
+        mv, db = view
+        row = mv.rows()[0]
+        key = dict(zip(mv.key_cols, mv.key_of(row)))
+        assert mv.lookup(**key) == [row]
+
+    def test_subkey_lookup(self, view):
+        mv, db = view
+        pk = mv.schema.index_of("part.p_partkey")
+        target = next(r[pk] for r in mv.rows() if r[pk] is not None)
+        rows = mv.lookup(**{"part.p_partkey": target})
+        assert rows
+        assert all(r[pk] == target for r in rows)
+
+    def test_miss_returns_empty(self, view):
+        mv, db = view
+        assert mv.lookup(**{"part.p_partkey": -1}) == []
+
+    def test_lookup_stays_fresh_under_maintenance(self):
+        gen = TPCHGenerator(scale_factor=0.0005)
+        db = gen.build()
+        mv = MaterializedView.materialize(v3(), db)
+        maintainer = ViewMaintainer(db, mv)
+        mv.lookup(**{"customer.c_custkey": 1})  # builds the subkey index
+        batch = gen.lineitem_insert_batch(20, seed=9)
+        maintainer.insert("lineitem", batch)
+        ck = mv.schema.index_of("customer.c_custkey")
+        expected = [r for r in mv.rows() if r[ck] == 1]
+        assert sorted(map(repr, mv.lookup(**{"customer.c_custkey": 1}))) == sorted(
+            map(repr, expected)
+        )
+
+    def test_unknown_column_rejected(self, view):
+        mv, db = view
+        with pytest.raises(SchemaError):
+            mv.lookup(**{"ghost.col": 1})
+
+    def test_null_probe_falls_back_to_scan(self, view):
+        mv, db = view
+        lk = mv.schema.index_of("lineitem.l_linenumber")
+        orphans = mv.lookup(**{"lineitem.l_linenumber": None})
+        assert all(r[lk] is None for r in orphans)
+        assert orphans  # V3 always has C/P orphan rows

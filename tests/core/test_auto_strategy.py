@@ -1,0 +1,101 @@
+"""Tests for the cost-based secondary-strategy chooser (Section 5:
+"the optimizer should choose in a cost-based manner")."""
+
+import random
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.core import (
+    MaintenanceOptions,
+    MaterializedView,
+    SECONDARY_AUTO,
+    ViewDefinition,
+    ViewMaintainer,
+)
+from repro.engine import Database
+from repro.tpch import TPCHGenerator, v3
+
+
+def auto_options():
+    return MaintenanceOptions(secondary_strategy=SECONDARY_AUTO)
+
+
+class TestChoice:
+    def test_v3_prefers_view(self):
+        """V3's view is far smaller than lineitem × part, so the chooser
+        must take the Section 5.2 route."""
+        gen = TPCHGenerator(scale_factor=0.001)
+        db = gen.build()
+        m = ViewMaintainer(
+            db, MaterializedView.materialize(v3(), db), auto_options()
+        )
+        report = m.insert("lineitem", gen.lineitem_insert_batch(30, seed=1))
+        m.check_consistency()
+        assert set(report.secondary_strategy_used.values()) == {"view"}
+
+    def test_fanout_view_prefers_base(self):
+        """A low-selectivity full-outer chain blows the view up past its
+        inputs; the chooser must flip to the Section 5.3 route."""
+        rng = random.Random(3)
+        db = Database()
+        for name in ("x", "y", "z"):
+            db.create_table(name, ["k", "v"], key=["k"])
+            db.insert(name, [(i, rng.randrange(3)) for i in range(60)])
+        defn = ViewDefinition(
+            "fan",
+            Q.table("x")
+            .full_outer_join("y", on=eq("x.v", "y.v"))
+            .full_outer_join("z", on=eq("y.v", "z.v"))
+            .build(),
+        )
+        view = MaterializedView.materialize(defn, db)
+        assert len(view) > 3 * 60  # the fan-out actually happened
+        m = ViewMaintainer(db, view, auto_options())
+        report = m.delete("y", rng.sample(db.table("y").rows, 5))
+        m.check_consistency()
+        assert "base" in report.secondary_strategy_used.values()
+
+    def test_choice_recorded_per_term(self):
+        gen = TPCHGenerator(scale_factor=0.001)
+        db = gen.build()
+        m = ViewMaintainer(
+            db, MaterializedView.materialize(v3(), db), auto_options()
+        )
+        report = m.insert("lineitem", gen.lineitem_insert_batch(30, seed=2))
+        assert set(report.secondary_strategy_used) == {"{customer}", "{part}"}
+
+    def test_fixed_strategies_not_recorded_differently(self):
+        gen = TPCHGenerator(scale_factor=0.001)
+        db = gen.build()
+        m = ViewMaintainer(db, MaterializedView.materialize(v3(), db))
+        report = m.insert("lineitem", gen.lineitem_insert_batch(30, seed=3))
+        assert set(report.secondary_strategy_used.values()) <= {"view"}
+
+
+class TestCorrectness:
+    def test_auto_random_views(self):
+        from repro.workloads import (
+            random_database,
+            random_delete_rows,
+            random_insert_rows,
+            random_view,
+        )
+
+        for trial in range(10):
+            rng = random.Random(7000 + trial)
+            db = random_database(rng, n_tables=3, rows_per_table=8)
+            defn = random_view(rng, db)
+            view = MaterializedView.materialize(defn, db)
+            m = ViewMaintainer(db, view, auto_options())
+            for __ in range(3):
+                table = rng.choice(sorted(defn.tables))
+                if rng.random() < 0.5:
+                    rows = random_insert_rows(rng, db, table, 2)
+                    if rows:
+                        m.insert(table, rows)
+                else:
+                    rows = random_delete_rows(rng, db, table, 2)
+                    if rows:
+                        m.delete(table, rows)
+                m.check_consistency()

@@ -1,0 +1,89 @@
+"""Tests for plan introspection (repro.explain)."""
+
+import pytest
+
+from repro.core import MaterializedView, ViewMaintainer
+from repro.explain import explain_update, explain_view
+from repro.tpch import TPCHGenerator, v3
+
+from ..conftest import (
+    make_example1_db,
+    make_oj_view_defn,
+    make_v1_db,
+    make_v1_defn,
+)
+
+
+@pytest.fixture(scope="module")
+def v3_maintainer():
+    db = TPCHGenerator(scale_factor=0.0005).build()
+    return ViewMaintainer(db, MaterializedView.materialize(v3(), db))
+
+
+@pytest.fixture
+def v1_maintainer(v1_db, v1_defn):
+    return ViewMaintainer(
+        v1_db, MaterializedView.materialize(v1_defn, v1_db)
+    )
+
+
+class TestExplainView:
+    def test_lists_all_terms(self, v1_maintainer):
+        text = explain_view(v1_maintainer)
+        for label in ("{r,s,t,u}", "{r,s,t}", "{r,t,u}", "{r,s}",
+                      "{r,t}", "{r}", "{s}"):
+            assert label in text
+
+    def test_shows_view_key(self, v1_maintainer):
+        text = explain_view(v1_maintainer)
+        assert "(r.k, s.k, t.k, u.k)" in text
+
+    def test_covers_every_table(self, v1_maintainer):
+        text = explain_view(v1_maintainer)
+        for table in "rstu":
+            assert f"Updates of '{table}'" in text
+
+    def test_subsumption_edges_present(self, v1_maintainer):
+        text = explain_view(v1_maintainer)
+        assert "{r} <- {r,s}, {r,t}" in text
+
+
+class TestExplainUpdate:
+    def test_direct_and_indirect_listed(self, v1_maintainer):
+        text = explain_update(v1_maintainer, "t")
+        assert "directly affected  : {r,s,t,u}" in text
+        assert "{r,s}" in text and "{r}" in text
+
+    def test_plan_tree_rendered(self, v1_maintainer):
+        text = explain_update(v1_maintainer, "t")
+        assert "<delta:t>" in text
+        assert "ΔV^D plan" in text
+
+    def test_sql_scripts_for_both_operations(self, v1_maintainer):
+        text = explain_update(v1_maintainer, "t")
+        assert "SQL script (insert):" in text
+        assert "SQL script (delete):" in text
+
+    def test_single_operation_filter(self, v1_maintainer):
+        text = explain_update(v1_maintainer, "t", operation="insert")
+        assert "SQL script (insert):" in text
+        assert "SQL script (delete):" not in text
+
+    def test_orders_update_explained_as_noop(self, v3_maintainer):
+        text = explain_update(v3_maintainer, "orders")
+        assert "Theorem 3 eliminates" in text
+        assert "NO-OP" in text
+
+    def test_part_insert_shows_fk_elimination(self):
+        db = make_example1_db()
+        m = ViewMaintainer(
+            db, MaterializedView.materialize(make_oj_view_defn(), db)
+        )
+        text = explain_update(m, "part")
+        assert "Theorem 3 eliminates: {lineitem,orders,part}" in text
+        # the compiled plan is just the delta leaf
+        assert "<delta:part>" in text
+
+    def test_secondary_strategy_mentioned(self, v3_maintainer):
+        text = explain_update(v3_maintainer, "lineitem")
+        assert "'view' strategy (Section 5.2)" in text

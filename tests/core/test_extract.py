@@ -1,0 +1,125 @@
+"""Unit tests for per-term delta extraction (Section 5.1 / Theorem 2 /
+Example 5)."""
+
+import pytest
+
+from repro.algebra import evaluate, normal_form
+from repro.algebra.expr import delta_label
+from repro.core.extract import (
+    extract_full_delta,
+    extract_net_delta,
+    n_predicate,
+    nn_predicate,
+    term_columns,
+)
+from repro.core.primary import primary_delta_expression
+from repro.engine import Table
+
+
+@pytest.fixture
+def setup(v1_db, v1_defn):
+    terms = normal_form(v1_defn.join_expr, v1_db)
+    dexpr = primary_delta_expression(v1_defn.join_expr, "t")
+    new_rows = [(900, 1), (901, 2), (902, 3)]
+    delta_t = v1_db.insert("t", new_rows)
+    delta = evaluate(dexpr, v1_db, {delta_label("t"): delta_t})
+    return terms, delta
+
+
+def term_named(terms, *names):
+    return next(t for t in terms if t.source == frozenset(names))
+
+
+class TestPredicateHelpers:
+    def test_nn_predicate_uses_key_columns(self, v1_db):
+        pred = nn_predicate(["r", "t"], v1_db)
+        assert pred.columns() == {"r.k", "t.k"}
+        assert pred.null_rejecting_tables() == {"r", "t"}
+
+    def test_n_predicate(self, v1_db):
+        pred = n_predicate(["s"], v1_db)
+        assert pred.columns() == {"s.k"}
+
+    def test_empty_sets_give_true(self, v1_db):
+        from repro.algebra.predicates import TruePred
+
+        assert isinstance(nn_predicate([], v1_db), TruePred)
+        assert isinstance(n_predicate([], v1_db), TruePred)
+
+    def test_term_columns_ordered(self, setup):
+        terms, delta = setup
+        trs = term_named(terms, "t", "r", "s")
+        cols = term_columns(trs, delta.schema.columns)
+        assert set(cols) == {"t.k", "t.v", "r.k", "r.v", "s.k", "s.v"}
+        # input order preserved
+        assert list(cols) == [
+            c for c in delta.schema.columns if c in set(cols)
+        ]
+
+
+class TestTheorem2:
+    def test_net_deltas_partition_primary_delta(self, setup, v1_db):
+        """Every ΔV^D row belongs to exactly one term's net delta."""
+        terms, delta = setup
+        view_tables = frozenset("rstu")
+        total = 0
+        for term in terms:
+            part = extract_net_delta(delta, term, view_tables, v1_db)
+            total += len(part)
+        assert total == len(delta)
+
+    def test_net_delta_of_trs(self, setup, v1_db):
+        """Example 5: ΔD_TRS = π σ_{nn(TRS) ∧ n(U)} ΔV^D."""
+        terms, delta = setup
+        trs = term_named(terms, "t", "r", "s")
+        part = extract_net_delta(delta, trs, frozenset("rstu"), v1_db)
+        tpos = delta.schema.positions(["t.k", "r.k", "s.k", "u.k"])
+        expected = sum(
+            1
+            for row in delta.rows
+            if row[tpos[0]] is not None
+            and row[tpos[1]] is not None
+            and row[tpos[2]] is not None
+            and row[tpos[3]] is None
+        )
+        assert len(part) == expected
+
+    def test_full_delta_superset_of_net(self, setup, v1_db):
+        """ΔEᵢ ⊇ ΔDᵢ projected on the term columns (Example 5's
+        relationship: ΔE includes subsumed tuples too)."""
+        terms, delta = setup
+        view_tables = frozenset("rstu")
+        for term in terms:
+            net = extract_net_delta(delta, term, view_tables, v1_db)
+            full = extract_full_delta(delta, term, v1_db)
+            net_rows = set(net.rows)
+            full_rows = set(full.rows)
+            assert net_rows <= full_rows, term.label()
+
+    def test_full_delta_deduplicates(self, v1_db, v1_defn):
+        """A TR tuple joined with several U tuples appears once in ΔE_TR."""
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        tr = term_named(terms, "t", "r")
+        from repro.engine import Schema
+
+        delta = Table(
+            "d",
+            Schema(["t.k", "t.v", "u.k", "u.v", "r.k", "r.v", "s.k", "s.v"]),
+            [
+                (1, 5, 10, 5, 2, 5, None, None),
+                (1, 5, 11, 5, 2, 5, None, None),  # same TR, different U
+            ],
+        )
+        full = extract_full_delta(delta, tr, v1_db)
+        assert len(full) == 1
+
+    def test_extraction_handles_missing_columns(self, v1_db, v1_defn):
+        """Deltas simplified by foreign keys lack dropped tables' columns;
+        null(T) probes must treat them as NULL."""
+        terms = normal_form(v1_defn.join_expr, v1_db)
+        r_only = term_named(terms, "r")
+        from repro.engine import Schema
+
+        delta = Table("d", Schema(["r.k", "r.v"]), [(1, 2)])
+        part = extract_net_delta(delta, r_only, frozenset("rstu"), v1_db)
+        assert part.rows == [(1, 2)]

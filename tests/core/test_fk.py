@@ -1,0 +1,191 @@
+"""Unit tests for SimplifyTree (Section 6.1, Example 10) and the
+gating caveats."""
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.algebra.expr import Bound, Join, Relation
+from repro.core.fk import simplify_tree
+from repro.core.leftdeep import to_left_deep
+from repro.core.primary import primary_delta_expression
+from repro.engine import Database
+
+from ..conftest import make_example1_db, make_oj_view_defn
+
+
+@pytest.fixture
+def example10_db():
+    """V1's tables with a foreign key U.fk → T.pk and the join p(t,u)
+    being exactly that key (Example 10's modified running example)."""
+    db = Database()
+    db.create_table("r", ["k", "v"], key=["k"])
+    db.create_table("s", ["k", "v"], key=["k"])
+    db.create_table("t", ["pk", "v"], key=["pk"])
+    db.create_table("u", ["k", "fk", "v"], key=["k"], not_null=["fk"])
+    db.add_foreign_key("u", ["fk"], "t", ["pk"])
+    return db
+
+
+def example10_view():
+    return (
+        Q.table("r")
+        .full_outer_join("s", on=eq("r.v", "s.v"))
+        .left_outer_join(
+            Q.table("t").full_outer_join("u", on=eq("t.pk", "u.fk")),
+            on=eq("r.v", "t.v"),
+        )
+        .build()
+    )
+
+
+def main_path_tables(expr):
+    """Base tables joined along the leftmost path, bottom-up."""
+    tables = []
+    node = expr
+    while True:
+        if isinstance(node, (Relation, Bound)):
+            return tables
+        if isinstance(node, Join):
+            tables.append(sorted(node.right.base_tables()))
+        node = node.children()[0]
+
+
+class TestExample10:
+    def test_u_join_eliminated(self, example10_db):
+        expr = to_left_deep(
+            primary_delta_expression(example10_view(), "t"), example10_db
+        )
+        result = simplify_tree(expr, "t", example10_db)
+        assert not result.is_empty
+        assert result.null_tables == {"u"}
+        joined = main_path_tables(result.expression)
+        assert ["u"] not in joined
+        # equation (7) reduced: (ΔT ⋈ R) ⟕ S
+        assert joined == [["s"], ["r"]]
+
+    def test_no_elimination_without_fk(self, example10_db):
+        example10_db.foreign_keys = []
+        expr = to_left_deep(
+            primary_delta_expression(example10_view(), "t"), example10_db
+        )
+        result = simplify_tree(expr, "t", example10_db)
+        assert result.null_tables == frozenset()
+        assert ["u"] in main_path_tables(result.expression)
+
+    def test_no_elimination_on_non_fk_predicate(self, example10_db):
+        view = (
+            Q.table("r")
+            .full_outer_join("s", on=eq("r.v", "s.v"))
+            .left_outer_join(
+                Q.table("t").full_outer_join("u", on=eq("t.v", "u.v")),
+                on=eq("r.v", "t.v"),
+            )
+            .build()
+        )
+        expr = to_left_deep(
+            primary_delta_expression(view, "t"), example10_db
+        )
+        result = simplify_tree(expr, "t", example10_db)
+        assert ["u"] in main_path_tables(result.expression)
+
+
+class TestEmptyDeltaDetection:
+    def test_inner_fk_join_proves_empty(self):
+        """ΔT ⋈_{fk} U is provably empty (inserting into a pure
+        inner-join view's dimension table adds nothing)."""
+        db = Database()
+        db.create_table("t", ["pk", "v"], key=["pk"])
+        db.create_table("u", ["k", "fk"], key=["k"], not_null=["fk"])
+        db.add_foreign_key("u", ["fk"], "t", ["pk"])
+        view = Q.table("t").join("u", on=eq("t.pk", "u.fk")).build()
+        expr = primary_delta_expression(view, "t")
+        result = simplify_tree(expr, "t", db)
+        assert result.is_empty
+
+    def test_cascade_of_null_rejections(self):
+        """Dropping U makes a later join on U's columns impossible."""
+        db = Database()
+        db.create_table("t", ["pk", "v"], key=["pk"])
+        db.create_table("u", ["k", "fk", "w"], key=["k"], not_null=["fk"])
+        db.create_table("x", ["k", "w"], key=["k"])
+        db.add_foreign_key("u", ["fk"], "t", ["pk"])
+        view = (
+            Q.table("t")
+            .left_outer_join("u", on=eq("t.pk", "u.fk"))
+            .join("x", on=eq("u.w", "x.w"))
+            .build()
+        )
+        expr = primary_delta_expression(view, "t")
+        result = simplify_tree(expr, "t", db)
+        # ΔT ⟕ U dropped (FK); then ⋈ on u.w is null-rejecting on U → ∅.
+        assert result.is_empty
+
+    def test_cascade_through_left_join(self):
+        db = Database()
+        db.create_table("t", ["pk", "v"], key=["pk"])
+        db.create_table("u", ["k", "fk", "w"], key=["k"], not_null=["fk"])
+        db.create_table("x", ["k", "w"], key=["k"])
+        db.add_foreign_key("u", ["fk"], "t", ["pk"])
+        view = (
+            Q.table("t")
+            .left_outer_join("u", on=eq("t.pk", "u.fk"))
+            .left_outer_join("x", on=eq("u.w", "x.w"))
+            .build()
+        )
+        expr = primary_delta_expression(view, "t")
+        result = simplify_tree(expr, "t", db)
+        assert not result.is_empty
+        assert result.null_tables == {"u", "x"}
+        assert main_path_tables(result.expression) == []
+
+    def test_select_on_dropped_table_proves_empty(self):
+        from repro.algebra.expr import Select
+        from repro.algebra.predicates import Comparison
+
+        db = Database()
+        db.create_table("t", ["pk", "v"], key=["pk"])
+        db.create_table("u", ["k", "fk", "w"], key=["k"], not_null=["fk"])
+        db.add_foreign_key("u", ["fk"], "t", ["pk"])
+        view = Select(
+            Q.table("t").left_outer_join("u", on=eq("t.pk", "u.fk")).expr,
+            Comparison("u.w", ">", 0),
+        )
+        expr = primary_delta_expression(view, "t")
+        result = simplify_tree(expr, "t", db)
+        assert result.is_empty
+
+
+class TestGating:
+    def test_cascading_fk_not_used(self, example10_db):
+        example10_db.foreign_keys = []
+        example10_db.add_foreign_key(
+            "u", ["fk"], "t", ["pk"], cascading_deletes=True
+        )
+        expr = to_left_deep(
+            primary_delta_expression(example10_view(), "t"), example10_db
+        )
+        result = simplify_tree(expr, "t", example10_db)
+        assert ["u"] in main_path_tables(result.expression)
+
+    def test_deferrable_fk_not_used(self, example10_db):
+        example10_db.foreign_keys = []
+        example10_db.add_foreign_key("u", ["fk"], "t", ["pk"], deferrable=True)
+        expr = to_left_deep(
+            primary_delta_expression(example10_view(), "t"), example10_db
+        )
+        result = simplify_tree(expr, "t", example10_db)
+        assert ["u"] in main_path_tables(result.expression)
+
+    def test_example1_part_insert_reduces_to_bare_delta(self):
+        """The introduction's observation: inserting parts maintains
+        oj_view by inserting null-extended rows — the whole delta tree
+        collapses to ΔT."""
+        db = make_example1_db()
+        defn = make_oj_view_defn()
+        expr = to_left_deep(
+            primary_delta_expression(defn.join_expr, "part"), db
+        )
+        result = simplify_tree(expr, "part", db)
+        assert isinstance(result.expression, Bound)
+        assert result.expression.label == "delta:part"
+        assert result.null_tables == {"orders", "lineitem"}

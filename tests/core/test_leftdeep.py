@@ -1,0 +1,253 @@
+"""Unit tests for left-deep conversion (Section 4.1, rules 1–5).
+
+Structural assertions check the shape the paper promises (every join's
+right operand is a base table), and semantic assertions check equivalence
+with the bushy tree on randomized data — including rows with NULLs in
+join columns, which is where a naive ¬p (instead of IS-NOT-TRUE) breaks.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.algebra.expr import (
+    Bound,
+    FixUp,
+    Join,
+    NullIf,
+    Project,
+    Relation,
+    Select,
+    delta_label,
+    full_outer_join,
+    inner_join,
+    left_outer_join,
+    right_outer_join,
+)
+from repro.algebra.predicates import Comparison, eq
+from repro.core.leftdeep import to_left_deep
+from repro.core.primary import primary_delta_expression
+from repro.engine import Database, same_rows
+from repro.errors import UnsupportedViewError
+
+from ..conftest import make_v1_db, make_v1_defn
+
+
+def is_left_deep(expr) -> bool:
+    """Every join's right operand is a base table (possibly selected)."""
+    node = expr
+    while True:
+        if isinstance(node, (Relation, Bound)):
+            return True
+        if isinstance(node, (Select, NullIf, FixUp, Project)):
+            node = node.children()[0]
+            continue
+        if isinstance(node, Join):
+            right = node.right
+            while isinstance(right, Select):
+                right = right.child
+            if not isinstance(right, (Relation, Bound)):
+                return False
+            node = node.left
+            continue
+        return False
+
+
+def delta_equal(expr_a, expr_b, db, table, delta_rows):
+    from repro.engine import Table
+
+    delta = Table(
+        table,
+        db.table(table).schema,
+        delta_rows,
+        key=db.table(table).key,
+    )
+    a = evaluate(expr_a, db, {delta_label(table): delta})
+    b = evaluate(expr_b, db, {delta_label(table): delta})
+    return same_rows(a, b)
+
+
+@pytest.fixture
+def db4():
+    rng = random.Random(3)
+    db = Database()
+    for name in "abcd":
+        db.create_table(name, ["k", "v"], key=["k"])
+        rows = []
+        for i in range(10):
+            value = rng.randint(0, 4)
+            if rng.random() < 0.2:
+                value = None  # NULLs in join columns
+            rows.append((i, value))
+        db.insert(name, rows, check=False)
+    return db
+
+
+class TestStructure:
+    def test_v1_delta_becomes_left_deep(self, v1_db, v1_defn):
+        bushy = primary_delta_expression(v1_defn.join_expr, "t")
+        flat = to_left_deep(bushy, v1_db)
+        assert is_left_deep(flat)
+        assert not is_left_deep(bushy)
+
+    def test_figure3b_shape(self, v1_db, v1_defn):
+        """((ΔT ⟕ U) ⋈ R) ⟕ S with a fix-up on top (rule 4 applied to
+        the commuted R ⟗ S; the paper's equation (6) modulo the fix-up)."""
+        flat = to_left_deep(
+            primary_delta_expression(v1_defn.join_expr, "t"), v1_db
+        )
+        node = flat
+        seen_tables = []
+        while not isinstance(node, Bound):
+            if isinstance(node, Join):
+                right = node.right
+                while isinstance(right, Select):
+                    right = right.child
+                seen_tables.append(right.name)
+            node = node.children()[0]
+        assert seen_tables == ["s", "r", "u"]  # top-down: S, R, U
+
+    def test_equation6_needs_no_fixup(self, v1_db, v1_defn):
+        """The paper's equation (6) — ((ΔT ⟕ U) ⋈ R) ⟕ S — contains no
+        null-if: the compound operand hangs off an *inner* main-path
+        join, so plain associativity suffices."""
+        flat = to_left_deep(
+            primary_delta_expression(v1_defn.join_expr, "t"), v1_db
+        )
+        kinds = set()
+        stack = [flat]
+        while stack:
+            node = stack.pop()
+            kinds.add(type(node).__name__)
+            stack.extend(node.children())
+        assert "FixUp" not in kinds
+        assert "NullIf" not in kinds
+
+    def test_rules_4_5_insert_fixup(self, v1_db):
+        """A left-outer main join over an inner compound (rule 5) does
+        need the null-if + fix-up pair."""
+        from repro.algebra.expr import Join
+
+        expr = Join(
+            "left",
+            Relation("r"),
+            inner_join("t", "u", eq("t.v", "u.v")),
+            eq("r.v", "t.v"),
+        )
+        flat = to_left_deep(expr, v1_db)
+        kinds = set()
+        stack = [flat]
+        while stack:
+            node = stack.pop()
+            kinds.add(type(node).__name__)
+            stack.extend(node.children())
+        assert "FixUp" in kinds
+        assert "NullIf" in kinds
+
+
+class TestRuleSemantics:
+    """Each rule exercised in isolation: e1 ⟕ (compound) ≡ left-deep."""
+
+    def _check(self, db4, right, pred=None):
+        expr = Join(
+            "left",
+            Relation("a"),
+            right,
+            pred or eq("a.v", "b.v"),
+        )
+        flat = to_left_deep(expr, db4)
+        assert is_left_deep(flat)
+        got = evaluate(flat, db4)
+        want = evaluate(expr, db4)
+        assert same_rows(got, want), (
+            f"rule mismatch:\n{expr.pretty()}\nvs\n{flat.pretty()}"
+        )
+
+    def test_rule1_selected_table(self, db4):
+        self._check(
+            db4,
+            Select(Relation("b"), Comparison("b.v", "<=", 2)),
+        )
+
+    def test_rule2_full_outer(self, db4):
+        self._check(db4, full_outer_join("b", "c", eq("b.v", "c.v")))
+
+    def test_rule3_left_outer(self, db4):
+        self._check(db4, left_outer_join("b", "c", eq("b.v", "c.v")))
+
+    def test_rule4_right_outer(self, db4):
+        self._check(db4, right_outer_join("b", "c", eq("b.v", "c.v")))
+
+    def test_rule5_inner(self, db4):
+        self._check(db4, inner_join("b", "c", eq("b.v", "c.v")))
+
+    def test_nested_compound(self, db4):
+        self._check(
+            db4,
+            full_outer_join(
+                "b",
+                inner_join("c", "d", eq("c.v", "d.v")),
+                eq("b.v", "c.v"),
+            ),
+        )
+
+    def test_selected_compound(self, db4):
+        self._check(
+            db4,
+            Select(
+                full_outer_join("b", "c", eq("b.v", "c.v")),
+                Comparison("b.v", "<=", 3),
+            ),
+        )
+
+    def test_inner_main_join_assoc(self, db4):
+        expr = Join(
+            "inner",
+            Relation("a"),
+            left_outer_join("b", "c", eq("b.v", "c.v")),
+            eq("a.v", "b.v"),
+        )
+        flat = to_left_deep(expr, db4)
+        assert is_left_deep(flat)
+        assert same_rows(evaluate(flat, db4), evaluate(expr, db4))
+
+    def test_commutes_inner_operand_when_pred_targets_far_side(self, db4):
+        # pred references c (the right child's right table): conversion
+        # must commute b ⟗ c before pulling up.
+        expr = Join(
+            "left",
+            Relation("a"),
+            full_outer_join("b", "c", eq("b.v", "c.v")),
+            eq("a.v", "c.v"),
+        )
+        flat = to_left_deep(expr, db4)
+        assert is_left_deep(flat)
+        assert same_rows(evaluate(flat, db4), evaluate(expr, db4))
+
+
+class TestDeltaEquivalence:
+    """Left-deep ΔV^D ≡ bushy ΔV^D on the V1 view, every table, random
+    deltas (the end-to-end guarantee the maintainer relies on)."""
+
+    @pytest.mark.parametrize("table", ["r", "s", "t", "u"])
+    def test_v1_delta_equivalence(self, table, v1_defn):
+        for seed in range(4):
+            db = make_v1_db(seed=seed, rows=10, values=4)
+            bushy = primary_delta_expression(v1_defn.join_expr, table)
+            flat = to_left_deep(bushy, db)
+            rng = random.Random(seed)
+            delta_rows = [(500 + i, rng.randint(0, 5)) for i in range(3)]
+            assert delta_equal(bushy, flat, db, table, delta_rows)
+
+    def test_unsupported_spanning_predicate_raises(self, db4):
+        from repro.algebra.predicates import conjoin
+
+        expr = Join(
+            "left",
+            Relation("a"),
+            full_outer_join("b", "c", eq("b.v", "c.v")),
+            conjoin([eq("a.v", "b.v"), eq("a.k", "c.k")]),
+        )
+        with pytest.raises(UnsupportedViewError):
+            to_left_deep(expr, db4)

@@ -1,0 +1,154 @@
+"""Unit tests for maintenance graphs: Figure 1(b), Theorem 3 and the
+reduced graph of Figure 4."""
+
+import pytest
+
+from repro.algebra import Q, eq, normal_form
+from repro.algebra.subsumption import SubsumptionGraph
+from repro.core.maintgraph import Affect, MaintenanceGraph
+from repro.engine import Database
+
+from ..conftest import make_example1_db, make_oj_view_defn
+
+
+def labels(terms):
+    return {t.label() for t in terms}
+
+
+@pytest.fixture
+def v1_graph(v1_db, v1_defn):
+    return SubsumptionGraph(normal_form(v1_defn.join_expr, v1_db))
+
+
+class TestFigure1b:
+    """Maintenance graph of V1 for updates of T — Figure 1(b)."""
+
+    def test_directly_affected(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "t", v1_db)
+        assert labels(mg.directly_affected) == {
+            "{r,s,t,u}",
+            "{r,s,t}",
+            "{r,t,u}",
+            "{r,t}",
+        }
+
+    def test_indirectly_affected(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "t", v1_db)
+        assert labels(mg.indirectly_affected) == {"{r,s}", "{r}"}
+
+    def test_s_term_unaffected(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "t", v1_db)
+        assert labels(mg.unaffected) == {"{s}"}
+
+    def test_pard_of_rs(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "t", v1_db)
+        rs = v1_graph.term_for({"r", "s"})
+        assert labels(mg.direct_parents(rs)) == {"{r,s,t}"}
+        assert mg.indirect_parents(rs) == []
+
+    def test_pard_and_pari_of_r(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "t", v1_db)
+        r = v1_graph.term_for({"r"})
+        assert labels(mg.direct_parents(r)) == {"{r,t}"}
+        assert labels(mg.indirect_parents(r)) == {"{r,s}"}
+
+    def test_update_u(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "u", v1_db)
+        assert labels(mg.directly_affected) == {"{r,s,t,u}", "{r,t,u}"}
+        assert labels(mg.indirectly_affected) == {"{r,s,t}", "{r,t}"}
+
+    def test_update_s(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "s", v1_db)
+        assert labels(mg.directly_affected) == {
+            "{r,s,t,u}",
+            "{r,s,t}",
+            "{r,s}",
+            "{s}",
+        }
+        assert labels(mg.indirectly_affected) == {"{r,t,u}", "{r,t}", "{r}"}
+
+    def test_pretty_markers(self, v1_db, v1_graph):
+        mg = MaintenanceGraph(v1_graph, "t", v1_db)
+        text = mg.pretty()
+        assert "{r,s,t}D" in text
+        assert "{r,s}I" in text
+        assert "{s}" not in text
+
+
+class TestTheorem3:
+    """FK-based elimination of directly affected terms."""
+
+    def _v2_graph(self):
+        """V2 = C ⟗ (O ⟗ L) over TPC-H-like tables (Example 11,
+        simplified: no selections so term structure matches Figure 4)."""
+        db = Database()
+        db.create_table("c", ["ck", "v"], key=["ck"])
+        db.create_table("o", ["ok", "ck", "v"], key=["ok"], not_null=["ck"])
+        db.create_table("l", ["lk", "ok", "v"], key=["lk"], not_null=["ok"])
+        db.add_foreign_key("o", ["ck"], "c", ["ck"])
+        db.add_foreign_key("l", ["ok"], "o", ["ok"])
+        expr = (
+            Q.table("c")
+            .full_outer_join(
+                Q.table("o").full_outer_join("l", on=eq("o.ok", "l.ok")),
+                on=eq("c.ck", "o.ck"),
+            )
+            .build(validate=True)
+        )
+        # Build the normal form WITHOUT FK pruning so all six terms of
+        # Figure 4(a) exist, then classify with FK reduction.
+        graph = SubsumptionGraph(normal_form(expr, db, use_foreign_keys=False))
+        return db, graph
+
+    def test_figure4a_without_fk_reduction(self):
+        db, graph = self._v2_graph()
+        mg = MaintenanceGraph(graph, "o", db, use_foreign_keys=False)
+        assert labels(mg.directly_affected) == {"{c,l,o}", "{c,o}", "{l,o}", "{o}"}
+        assert labels(mg.indirectly_affected) == {"{c}", "{l}"}
+
+    def test_figure4b_reduced_graph(self):
+        """With FK l.ok → o.ok, terms {c,l,o} and {l,o} are unaffected and
+        {l} loses its parents — the reduced graph of Figure 4(b)."""
+        db, graph = self._v2_graph()
+        mg = MaintenanceGraph(graph, "o", db, use_foreign_keys=True)
+        assert labels(mg.directly_affected) == {"{c,o}", "{o}"}
+        assert labels(mg.indirectly_affected) == {"{c}"}
+        assert "{l}" in labels(mg.unaffected)
+
+    def test_example1_insert_part(self):
+        db = make_example1_db()
+        defn = make_oj_view_defn()
+        graph = SubsumptionGraph(normal_form(defn.join_expr, db))
+        mg = MaintenanceGraph(graph, "part", db)
+        # {lineitem,orders,part} is FK-unaffected; only {part} remains.
+        assert labels(mg.directly_affected) == {"{part}"}
+        assert mg.indirectly_affected == []
+
+    def test_fk_reduction_disabled_for_cascading(self):
+        db, graph = self._v2_graph()
+        db.foreign_keys = [
+            type(fk)(
+                source=fk.source,
+                source_columns=fk.source_columns,
+                target=fk.target,
+                target_columns=fk.target_columns,
+                source_not_null=fk.source_not_null,
+                cascading_deletes=True,
+            )
+            for fk in db.foreign_keys
+        ]
+        mg = MaintenanceGraph(graph, "o", db, use_foreign_keys=True)
+        # Cascading deletes void the Theorem 3 argument.
+        assert "{l,o}" in labels(mg.directly_affected)
+
+    def test_fk_reduction_requires_fk_join(self):
+        """Theorem 3 requires the term to join R and T *on* the FK."""
+        db = Database()
+        db.create_table("c", ["ck", "v"], key=["ck"])
+        db.create_table("o", ["ok", "ck", "v"], key=["ok"], not_null=["ck"])
+        db.add_foreign_key("o", ["ck"], "c", ["ck"])
+        expr = Q.table("c").full_outer_join("o", on=eq("c.v", "o.v")).build()
+        graph = SubsumptionGraph(normal_form(expr, db, use_foreign_keys=False))
+        mg = MaintenanceGraph(graph, "c", db, use_foreign_keys=True)
+        # joined on v, not on the FK columns → no elimination
+        assert "{c,o}" in labels(mg.directly_affected)

@@ -1,0 +1,231 @@
+"""Tests for the SQL frontend (repro.parser)."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.algebra.expr import FULL, INNER, Join, LEFT, Project, RIGHT, Select
+from repro.algebra.predicates import And, Comparison, IsNull, Lit, Not, NotNull, Or
+from repro.core import MaterializedView, ViewMaintainer
+from repro.engine import Database, same_rows
+from repro.errors import ExpressionError
+from repro.parser import parse_expression, parse_predicate, parse_view
+from repro.tpch import (
+    OJ_VIEW_SQL,
+    TPCHGenerator,
+    V3_SQL,
+    oj_view,
+    oj_view_from_sql,
+    v3,
+    v3_from_sql,
+)
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("a", ["ak", "av"], key=["ak"])
+    d.create_table("b", ["bk", "bv"], key=["bk"])
+    d.create_table("c", ["ck", "cv"], key=["ck"])
+    d.insert("a", [(1, 10), (2, 20)])
+    d.insert("b", [(5, 10), (6, 30)])
+    d.insert("c", [(7, 10)])
+    return d
+
+
+@pytest.fixture(scope="module")
+def tpch():
+    return TPCHGenerator(scale_factor=0.0005).build()
+
+
+class TestBasics:
+    def test_bare_select_star(self, db):
+        expr = parse_expression(db, "select * from a")
+        assert expr.base_tables() == {"a"}
+
+    def test_projection(self, db):
+        expr = parse_expression(db, "select ak from a")
+        assert isinstance(expr, Project)
+        assert expr.columns == ("a.ak",)
+
+    def test_qualified_columns_accepted(self, db):
+        expr = parse_expression(db, "select a.ak from a")
+        assert expr.columns == ("a.ak",)
+
+    def test_where(self, db):
+        expr = parse_expression(db, "select * from a where av >= 15")
+        assert isinstance(expr, Select)
+        result = evaluate(expr, db)
+        assert result.rows == [(2, 20)]
+
+    def test_create_view_prefix(self, db):
+        defn = parse_view(db, "create view myview as select * from a")
+        assert defn.name == "myview"
+
+    def test_name_override(self, db):
+        defn = parse_view(db, "select * from a", name="other")
+        assert defn.name == "other"
+
+    def test_missing_name_rejected(self, db):
+        with pytest.raises(ExpressionError, match="no view name"):
+            parse_view(db, "select * from a")
+
+    def test_case_insensitive_keywords(self, db):
+        expr = parse_expression(db, "SELECT * FROM a WHERE av > 5")
+        assert isinstance(expr, Select)
+
+
+class TestJoins:
+    def test_join_kinds(self, db):
+        for sql, kind in [
+            ("a join b on av = bv", INNER),
+            ("a inner join b on av = bv", INNER),
+            ("a left join b on av = bv", LEFT),
+            ("a left outer join b on av = bv", LEFT),
+            ("a right outer join b on av = bv", RIGHT),
+            ("a full outer join b on av = bv", FULL),
+        ]:
+            expr = parse_expression(db, f"select * from {sql}")
+            assert isinstance(expr, Join) and expr.kind == kind, sql
+
+    def test_join_chain_left_associative(self, db):
+        expr = parse_expression(
+            db,
+            "select * from a left outer join b on av = bv "
+            "full outer join c on bv = cv",
+        )
+        assert expr.kind == FULL
+        assert expr.left.kind == LEFT
+
+    def test_parenthesised_group(self, db):
+        expr = parse_expression(
+            db,
+            "select * from a full outer join "
+            "(b left outer join c on bv = cv) on av = bv",
+        )
+        assert expr.kind == FULL
+        assert expr.right.kind == LEFT
+
+    def test_derived_table(self, db):
+        expr = parse_expression(
+            db,
+            "select * from (select * from b where bv < 20) "
+            "join a on av = bv",
+        )
+        result = evaluate(expr, db)
+        assert result.rows == [(5, 10, 1, 10)]
+
+    def test_unknown_table_rejected(self, db):
+        with pytest.raises(Exception):
+            parse_expression(db, "select * from ghost")
+
+
+class TestCommaLists:
+    def test_comma_join_planned_via_where(self, db):
+        expr = parse_expression(
+            db, "select * from a, b where av = bv"
+        )
+        inner = evaluate(expr, db)
+        explicit = evaluate(
+            parse_expression(db, "select * from a join b on av = bv"), db
+        )
+        assert same_rows(inner, explicit)
+
+    def test_three_way_comma_join(self, db):
+        expr = parse_expression(
+            db, "select * from a, b, c where av = bv and bv = cv"
+        )
+        result = evaluate(expr, db)
+        assert len(result) == 1
+
+    def test_disconnected_comma_join_rejected(self, db):
+        with pytest.raises(ExpressionError, match="connected"):
+            parse_expression(db, "select * from a, b where av > 1")
+
+    def test_single_table_filters_stay_selections(self, db):
+        expr = parse_expression(
+            db, "select * from a, b where av = bv and ak > 1"
+        )
+        result = evaluate(expr, db)
+        assert result.rows == []  # a.ak=1 filtered; (2,20) doesn't join
+
+
+class TestPredicates:
+    def test_comparisons(self, db):
+        pred = parse_predicate(db, "av <> 3")
+        assert isinstance(pred, Comparison) and pred.op == "<>"
+        assert parse_predicate(db, "av != 3") == pred
+
+    def test_between(self, db):
+        pred = parse_predicate(db, "av between 5 and 15")
+        assert isinstance(pred, And)
+        ops = sorted(p.op for p in pred.parts)
+        assert ops == ["<=", ">="]
+
+    def test_is_null_probes(self, db):
+        assert isinstance(parse_predicate(db, "av is null"), IsNull)
+        assert isinstance(parse_predicate(db, "av is not null"), NotNull)
+
+    def test_boolean_structure(self, db):
+        pred = parse_predicate(db, "av = 1 or not (bv = 2 and cv = 3)")
+        assert isinstance(pred, Or)
+        assert isinstance(pred.parts[1], Not)
+
+    def test_string_literal_with_quote(self, db):
+        pred = parse_predicate(db, "av = 'it''s'")
+        assert pred.right == Lit("it's")
+
+    def test_numeric_literals(self, db):
+        assert parse_predicate(db, "av = 5").right == Lit(5)
+        assert parse_predicate(db, "av = 5.5").right == Lit(5.5)
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(ExpressionError, match="unknown column"):
+            parse_predicate(db, "zz = 1")
+
+    def test_ambiguous_column_rejected(self):
+        d = Database()
+        d.create_table("x", ["k", "v"], key=["k"])
+        d.create_table("y", ["k", "v"], key=["k"])
+        with pytest.raises(ExpressionError, match="ambiguous"):
+            parse_predicate(d, "v = 1")
+
+    def test_garbage_rejected(self, db):
+        with pytest.raises(ExpressionError):
+            parse_predicate(db, "av = 1 ; drop table a")
+
+
+class TestPaperDDL:
+    def test_v3_sql_equals_builder(self, tpch):
+        parsed = v3_from_sql(tpch)
+        assert same_rows(parsed.evaluate(tpch), v3().evaluate(tpch))
+
+    def test_v3_sql_terms_match(self, tpch):
+        parsed = v3_from_sql(tpch)
+        assert [t.label() for t in parsed.normal_form(tpch)] == [
+            "{customer,lineitem,orders,part}",
+            "{customer,lineitem,orders}",
+            "{customer}",
+            "{part}",
+        ]
+
+    def test_oj_view_sql_equals_builder(self, tpch):
+        parsed = oj_view_from_sql(tpch)
+        assert same_rows(parsed.evaluate(tpch), oj_view().evaluate(tpch))
+
+    def test_parsed_view_is_maintainable(self, tpch):
+        gen = TPCHGenerator(scale_factor=0.0005)
+        db = gen.build()
+        defn = v3_from_sql(db)
+        maintainer = ViewMaintainer(
+            db, MaterializedView.materialize(defn, db)
+        )
+        maintainer.insert("lineitem", gen.lineitem_insert_batch(20, seed=4))
+        maintainer.check_consistency()
+        maintainer.delete(
+            "lineitem", gen.lineitem_delete_batch(db, 20, seed=5)
+        )
+        maintainer.check_consistency()
+
+    def test_sql_texts_exported(self):
+        assert "full outer join" in V3_SQL
+        assert "left outer join" in OJ_VIEW_SQL

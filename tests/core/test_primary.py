@@ -1,0 +1,149 @@
+"""Unit tests for primary-delta construction (Section 4 / Example 3)."""
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.algebra.expr import (
+    Bound,
+    FULL,
+    INNER,
+    Join,
+    LEFT,
+    Project,
+    Relation,
+    Select,
+    delta_label,
+)
+from repro.algebra.predicates import Comparison, eq
+from repro.core.primary import primary_delta_expression, vd_expression
+from repro.engine import Table, same_rows
+from repro.errors import MaintenanceError
+
+from ..conftest import make_v1_db, make_v1_defn
+
+
+class TestExample3Structure:
+    """ΔV1^D for updates of T must be
+    (ΔT ⟕_{p(t,u)} U) ⋈_{p(r,t)} (R ⟗_{p(r,s)} S) — equation (4)."""
+
+    def test_shape(self, v1_defn):
+        expr = primary_delta_expression(v1_defn.join_expr, "t")
+        assert isinstance(expr, Join) and expr.kind == INNER
+        assert expr.pred == eq("r.v", "t.v")
+        left = expr.left
+        assert isinstance(left, Join) and left.kind == LEFT
+        assert isinstance(left.left, Bound)
+        assert left.left.label == delta_label("t")
+        assert isinstance(left.right, Relation) and left.right.name == "u"
+        right = expr.right
+        assert isinstance(right, Join) and right.kind == FULL
+        assert {right.left.name, right.right.name} == {"r", "s"}
+
+    def test_update_r_keeps_left_outer(self, v1_defn):
+        # R is on the left of both joins on its path; the outer full join
+        # R ⟗ S becomes ΔR ⟕ S, and the top ⟕ stays a left outer join.
+        expr = primary_delta_expression(v1_defn.join_expr, "r")
+        assert isinstance(expr, Join) and expr.kind == LEFT
+        inner_left = expr.left
+        assert inner_left.kind == LEFT
+        assert isinstance(inner_left.left, Bound)
+
+    def test_update_s_commutes_full_join(self, v1_defn):
+        expr = primary_delta_expression(v1_defn.join_expr, "s")
+        # path: S is right child of R ⟗ S → commuted to ΔS ⟕ R; the top
+        # join has S on the left already → ⟕ stays.
+        assert expr.kind == LEFT
+        assert expr.left.kind == LEFT
+        assert expr.left.left.label == delta_label("s")
+        assert expr.left.right.name == "r"
+
+    def test_update_u_converts_to_inner(self, v1_defn):
+        expr = primary_delta_expression(v1_defn.join_expr, "u")
+        # U is on the right of T ⟗ U → commute → ΔU ⟕... wait: full
+        # stays full under commute, then converts to LEFT; the top left
+        # outer join (U side is inner operand) commutes to right outer,
+        # then converts to INNER.
+        assert expr.kind == INNER
+        assert expr.left.kind == LEFT
+        assert expr.left.left.label == delta_label("u")
+        assert expr.left.right.name == "t"
+
+    def test_vd_keeps_base_table(self, v1_defn):
+        expr = vd_expression(v1_defn.join_expr, "t")
+        left_leaf = expr.left.left
+        assert isinstance(left_leaf, Relation) and left_leaf.name == "t"
+
+
+class TestSemantics:
+    def test_vd_contains_exactly_t_tuples(self, v1_db, v1_defn):
+        """V^D = all view tuples with real T, none null-extended on T."""
+        vd = evaluate(vd_expression(v1_defn.join_expr, "t"), v1_db)
+        view = evaluate(v1_defn.join_expr, v1_db)
+        tk = view.schema.index_of("t.k")
+        expected = {row for row in view.rows if row[tk] is not None}
+        assert same_rows(
+            Table("vd", view.schema, list(expected)),
+            Table("vd2", vd.schema, vd.rows),
+        )
+
+    def test_delta_of_full_table_equals_vd(self, v1_db, v1_defn):
+        """Substituting ΔT := T must reproduce V^D exactly."""
+        dexpr = primary_delta_expression(v1_defn.join_expr, "t")
+        delta = evaluate(
+            dexpr, v1_db, {delta_label("t"): v1_db.table("t")}
+        )
+        vd = evaluate(vd_expression(v1_defn.join_expr, "t"), v1_db)
+        assert same_rows(delta, vd)
+
+    def test_delta_propagation_insert(self, v1_db, v1_defn):
+        """σ/⋈/⟕ delta rules: V^D(T + ΔT) = V^D(T) ⊎ ΔV^D(ΔT)."""
+        dexpr = primary_delta_expression(v1_defn.join_expr, "t")
+        before = evaluate(vd_expression(v1_defn.join_expr, "t"), v1_db)
+        new_rows = [(100, 1), (101, 2)]
+        delta = v1_db.insert("t", new_rows)
+        after = evaluate(vd_expression(v1_defn.join_expr, "t"), v1_db)
+        change = evaluate(dexpr, v1_db, {delta_label("t"): delta})
+        assert set(after.rows) == set(before.rows) | set(change.rows)
+
+    def test_delta_propagation_delete(self, v1_db, v1_defn):
+        dexpr = primary_delta_expression(v1_defn.join_expr, "t")
+        before = evaluate(vd_expression(v1_defn.join_expr, "t"), v1_db)
+        doomed = v1_db.table("t").rows[:3]
+        delta = v1_db.delete("t", doomed)
+        after = evaluate(vd_expression(v1_defn.join_expr, "t"), v1_db)
+        change = evaluate(dexpr, v1_db, {delta_label("t"): delta})
+        assert set(after.rows) == set(before.rows) - set(change.rows)
+
+    def test_every_table_produces_valid_delta(self, v1_db, v1_defn):
+        for name in "rstu":
+            dexpr = primary_delta_expression(v1_defn.join_expr, name)
+            result = evaluate(
+                dexpr, v1_db, {delta_label(name): v1_db.table(name)}
+            )
+            key = result.schema.index_of(f"{name}.k")
+            assert all(row[key] is not None for row in result.rows)
+
+
+class TestErrors:
+    def test_unknown_table(self, v1_defn):
+        with pytest.raises(MaintenanceError):
+            primary_delta_expression(v1_defn.join_expr, "zz")
+
+    def test_mid_tree_projection_rejected(self):
+        expr = Join(
+            INNER,
+            Project(Relation("a"), ["a.k"]),
+            Relation("b"),
+            eq("a.k", "b.k"),
+        )
+        with pytest.raises(MaintenanceError):
+            primary_delta_expression(expr, "a")
+
+    def test_select_on_path_is_kept(self):
+        expr = Select(
+            Join(INNER, Relation("a"), Relation("b"), eq("a.k", "b.k")),
+            Comparison("a.k", ">", 0),
+        )
+        out = primary_delta_expression(expr, "a")
+        assert isinstance(out, Select)
+        assert out.pred == Comparison("a.k", ">", 0)

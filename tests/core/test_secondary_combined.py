@@ -1,0 +1,160 @@
+"""Tests for the combined secondary-delta computation (Section 9 future
+work): equivalence with the per-term strategies and end-to-end oracle."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    MaintenanceOptions,
+    MaterializedView,
+    SECONDARY_COMBINED,
+    ViewMaintainer,
+    secondary_combined,
+)
+from repro.core.secondary import (
+    DELETE,
+    INSERT,
+    secondary_from_view,
+)
+from repro.workloads import (
+    random_database,
+    random_delete_rows,
+    random_insert_rows,
+    random_view,
+)
+
+from ..conftest import make_v1_db, make_v1_defn
+from .test_secondary import setup_delete, setup_insert
+
+
+class TestEquivalenceWithPerTerm:
+    def test_insert_matches_from_view(self):
+        for seed in range(6):
+            db, defn, view, mgraph, primary, delta_t = setup_insert(seed)
+            combined = secondary_combined(
+                mgraph, view.as_table(), primary, db, INSERT
+            )
+            for term in mgraph.indirectly_affected:
+                per_term = secondary_from_view(
+                    term, mgraph, view.as_table(), primary, db, INSERT
+                )
+                got = set(combined[term.label()].rows)
+                assert got == set(per_term.rows), (seed, term.label())
+
+    def test_delete_matches_sequential_from_view(self):
+        for seed in range(6):
+            db, defn, view, mgraph, primary, delta_t = setup_delete(seed)
+            combined = secondary_combined(
+                mgraph, view.as_table(), primary, db, DELETE
+            )
+            # replay the per-term parents-first protocol on a twin view
+            maintainer = ViewMaintainer(db, view)
+            terms = sorted(
+                mgraph.indirectly_affected, key=lambda t: -len(t.source)
+            )
+            for term in terms:
+                per_term = secondary_from_view(
+                    term, mgraph, view.as_table(), primary, db, DELETE
+                )
+                label = term.label()
+                got = combined[label]
+                want_cols = per_term.schema.columns
+                got_aligned = {
+                    tuple(row[got.schema.index_of(c)] for c in want_cols)
+                    for row in got.rows
+                }
+                assert got_aligned == set(per_term.rows), (seed, label)
+                view.insert_rows(maintainer._align_rows(per_term))
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("table", ["r", "s", "t", "u"])
+    def test_v1_insert_delete(self, table):
+        db = make_v1_db()
+        defn = make_v1_defn()
+        view = MaterializedView.materialize(defn, db)
+        m = ViewMaintainer(
+            db, view, MaintenanceOptions(secondary_strategy=SECONDARY_COMBINED)
+        )
+        m.insert(table, [(300, 2), (301, 3)])
+        m.check_consistency()
+        rng = random.Random(1)
+        m.delete(table, rng.sample(db.table(table).rows, 4))
+        m.check_consistency()
+
+    def test_subsumption_ordering_scenario(self):
+        """The parents-first regression case must also hold for the
+        combined strategy (it feeds accepted parent orphans back into the
+        child presence sets)."""
+        from repro.algebra import Q, eq
+        from repro.core import ViewDefinition
+        from repro.engine import Database
+
+        db = Database()
+        for name in "rst":
+            db.create_table(name, ["k", "v"], key=["k"])
+        db.insert("r", [(1, 1)])
+        db.insert("s", [(1, 1)])
+        db.insert("t", [(1, 1)])
+        defn = ViewDefinition(
+            "w",
+            Q.table("r")
+            .full_outer_join("s", on=eq("r.v", "s.v"))
+            .left_outer_join("t", on=eq("r.v", "t.v"))
+            .build(),
+        )
+        view = MaterializedView.materialize(defn, db)
+        m = ViewMaintainer(
+            db, view, MaintenanceOptions(secondary_strategy=SECONDARY_COMBINED)
+        )
+        m.delete("t", [(1, 1)])
+        m.check_consistency()
+        assert len(view) == 1  # only the (r,s) orphan, no subsumed r-only
+
+    def test_random_views_oracle(self):
+        for trial in range(12):
+            rng = random.Random(9000 + trial)
+            db = random_database(
+                rng, n_tables=3, rows_per_table=8,
+                with_foreign_keys=trial % 2 == 0,
+            )
+            defn = random_view(rng, db)
+            view = MaterializedView.materialize(defn, db)
+            m = ViewMaintainer(
+                db,
+                view,
+                MaintenanceOptions(secondary_strategy=SECONDARY_COMBINED),
+            )
+            for __ in range(3):
+                table = rng.choice(sorted(defn.tables))
+                if rng.random() < 0.5:
+                    rows = random_insert_rows(rng, db, table, 2)
+                    if rows:
+                        m.insert(table, rows)
+                else:
+                    rows = random_delete_rows(rng, db, table, 2)
+                    if rows:
+                        m.delete(table, rows)
+                m.check_consistency()
+
+
+class TestSinglePassBehaviour:
+    def test_returns_entry_for_every_indirect_term(self):
+        db, defn, view, mgraph, primary, delta_t = setup_insert(2)
+        combined = secondary_combined(
+            mgraph, view.as_table(), primary, db, INSERT
+        )
+        assert set(combined) == {
+            t.label() for t in mgraph.indirectly_affected
+        }
+
+    def test_empty_delta_empty_result(self):
+        from repro.engine import Schema, Table
+
+        db, defn, view, mgraph, primary, delta_t = setup_insert(2)
+        empty = Table("d", primary.schema, [])
+        combined = secondary_combined(
+            mgraph, view.as_table(), empty, db, INSERT
+        )
+        assert all(len(t) == 0 for t in combined.values())

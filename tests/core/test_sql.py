@@ -1,0 +1,171 @@
+"""Tests for SQL rendering of maintenance plans (repro.sql)."""
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.algebra.expr import (
+    Bound,
+    Distinct,
+    FixUp,
+    NullIf,
+    Project,
+    Relation,
+    Select,
+    antijoin,
+    delta_relation,
+    inner_join,
+    left_outer_join,
+    semijoin,
+)
+from repro.algebra.predicates import (
+    And,
+    Comparison,
+    IsNull,
+    Lit,
+    Not,
+    NotNull,
+    NotTrue,
+    Or,
+    TruePred,
+)
+from repro.core import MaterializedView, ViewMaintainer
+from repro.sql import maintenance_script, render_predicate, render_select
+from repro.tpch import TPCHGenerator, v3
+
+from ..conftest import make_example1_db, make_oj_view_defn
+
+
+class TestPredicateRendering:
+    def test_comparison(self):
+        assert render_predicate(eq("a.x", "b.y")) == "a.x = b.y"
+
+    def test_literals(self):
+        assert render_predicate(Comparison("a.x", "<", 5)) == "a.x < 5"
+        assert (
+            render_predicate(Comparison("a.x", ">=", Lit("it's")))
+            == "a.x >= 'it''s'"
+        )
+
+    def test_null_probes(self):
+        assert render_predicate(IsNull("a.x")) == "a.x IS NULL"
+        assert render_predicate(NotNull("a.x")) == "a.x IS NOT NULL"
+
+    def test_connectives(self):
+        pred = And([eq("a.x", "b.y"), Or([IsNull("a.x"), NotNull("b.y")])])
+        text = render_predicate(pred)
+        assert "AND" in text and "OR" in text and "(" in text
+
+    def test_not_and_not_true(self):
+        assert render_predicate(Not(eq("a.x", "b.y"))) == "NOT a.x = b.y"
+        assert (
+            render_predicate(NotTrue(eq("a.x", "b.y")))
+            == "a.x = b.y IS NOT TRUE"
+        )
+
+    def test_true(self):
+        assert render_predicate(TruePred()) == "1 = 1"
+
+
+class TestSelectRendering:
+    def test_relation(self):
+        assert "FROM t" in render_select(Relation("t"))
+
+    def test_delta_alias(self):
+        text = render_select(delta_relation("t"), delta_alias="inserted")
+        assert "FROM inserted" in text
+
+    def test_bound_without_alias(self):
+        text = render_select(Bound("candidates"))
+        assert "#candidates" in text
+
+    def test_join_kinds(self):
+        expr = left_outer_join("a", "b", eq("a.x", "b.y"))
+        text = render_select(expr)
+        assert "LEFT OUTER JOIN b ON a.x = b.y" in text
+
+    def test_nested_join_parenthesized(self):
+        expr = left_outer_join(
+            "a", inner_join("b", "c", eq("b.x", "c.y")), eq("a.x", "b.y")
+        )
+        text = render_select(expr)
+        assert "(b\n  INNER JOIN c ON b.x = c.y)" in text
+
+    def test_top_select_becomes_where(self):
+        expr = Select(Relation("a"), Comparison("a.x", ">", 1))
+        text = render_select(expr)
+        assert "WHERE a.x > 1" in text
+
+    def test_distinct(self):
+        text = render_select(Distinct(Relation("a")))
+        assert text.startswith("SELECT DISTINCT")
+
+    def test_projection_columns(self):
+        text = render_select(Relation("a"), columns=["a.x", "a.y"])
+        assert "SELECT a.x" in text and "a.y" in text
+
+    def test_null_if_renders_comment(self):
+        expr = NullIf(Relation("a"), NotTrue(eq("a.x", "a.x")), ["a.x"])
+        text = render_select(expr)
+        assert "null-if λ" in text and "CASE WHEN" in text
+
+    def test_fixup_renders_comment_and_distinct(self):
+        expr = FixUp(Relation("a"), ["a.x"])
+        text = render_select(expr)
+        assert "fix-up" in text
+        assert "SELECT DISTINCT" in text
+
+    def test_semijoin_exists(self):
+        expr = semijoin("a", "b", eq("a.x", "b.y"))
+        text = render_select(expr)
+        assert "EXISTS (" in text
+
+    def test_antijoin_not_exists(self):
+        expr = antijoin("a", "b", eq("a.x", "b.y"))
+        text = render_select(expr)
+        assert "NOT EXISTS (" in text
+
+
+class TestMaintenanceScript:
+    @pytest.fixture(scope="class")
+    def maintainer(self):
+        db = TPCHGenerator(scale_factor=0.0005).build()
+        return ViewMaintainer(db, MaterializedView.materialize(v3(), db))
+
+    def test_v3_insert_script_matches_paper_shape(self, maintainer):
+        """Four statements, like the paper's Q1–Q4."""
+        script = maintenance_script(maintainer, "lineitem", "insert")
+        assert len(script) == 4
+        q1, q2, q3, q4 = script
+        assert q1.startswith("-- Q1") and "INSERT INTO #delta1" in q1
+        assert "FROM inserted" in q1
+        assert "LEFT OUTER JOIN part" in q1
+        assert "INSERT INTO v3" in q2 and "#delta1" in q2
+        # Q3/Q4 delete orphans via IS NULL probes plus IN-subqueries
+        for stmt in (q3, q4):
+            assert stmt.startswith("-- Q")
+            assert "DELETE FROM v3" in stmt
+            assert "IS NULL" in stmt
+            assert "IN (" in stmt
+
+    def test_v3_delete_script(self, maintainer):
+        script = maintenance_script(maintainer, "lineitem", "delete")
+        assert "FROM deleted" in script[0]
+        assert "DELETE FROM v3" in script[1]
+        # secondary statements insert new orphans, null-padded
+        assert any("INSERT INTO v3" in s and "NULL AS" in s for s in script[2:])
+        assert any("NOT IN" in s for s in script[2:])
+
+    def test_orders_script_is_noop_comment(self, maintainer):
+        script = maintenance_script(maintainer, "orders", "insert")
+        assert len(script) == 1
+        assert "foreign keys prove" in script[0]
+
+    def test_example1_part_insert_script_is_trivial(self):
+        db = make_example1_db()
+        m = ViewMaintainer(
+            db, MaterializedView.materialize(make_oj_view_defn(), db)
+        )
+        script = maintenance_script(m, "part", "insert")
+        # primary delta = the inserted rows themselves, no joins at all
+        assert "JOIN" not in script[0]
+        assert "FROM inserted" in script[0]

@@ -1,0 +1,94 @@
+"""Unit tests for ViewDefinition and MaterializedView."""
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.algebra.expr import Project
+from repro.core.view import MaterializedView, ViewDefinition
+from repro.errors import MaintenanceError, UnsupportedViewError
+
+from ..conftest import make_v1_db, make_v1_defn
+
+
+class TestViewDefinition:
+    def test_tables(self, v1_defn):
+        assert v1_defn.tables == {"r", "s", "t", "u"}
+
+    def test_output_defaults_to_full_schema(self, v1_db, v1_defn):
+        assert set(v1_defn.output_columns(v1_db)) == {
+            f"{t}.{c}" for t in "rstu" for c in ("k", "v")
+        }
+
+    def test_top_projection_becomes_output(self, v1_db, v1_defn):
+        cols = ["r.k", "s.k", "t.k", "u.k", "r.v"]
+        defn = ViewDefinition("p", Project(v1_defn.join_expr, cols))
+        assert defn.output_columns(v1_db) == tuple(cols)
+
+    def test_key_columns_sorted_by_table(self, v1_db, v1_defn):
+        assert v1_defn.key_columns(v1_db) == ("r.k", "s.k", "t.k", "u.k")
+
+    def test_validate_requires_key_output(self, v1_db, v1_defn):
+        defn = ViewDefinition(
+            "bad", Project(v1_defn.join_expr, ["r.k", "r.v"])
+        )
+        with pytest.raises(UnsupportedViewError, match="key column"):
+            defn.validate(v1_db)
+
+    def test_validate_rejects_unknown_output(self, v1_db, v1_defn):
+        defn = ViewDefinition(
+            "bad",
+            Project(
+                v1_defn.join_expr, ["r.k", "s.k", "t.k", "u.k", "zz.q"]
+            ),
+        )
+        with pytest.raises(UnsupportedViewError):
+            defn.validate(v1_db)
+
+    def test_evaluate_projects_and_keys(self, v1_db, v1_defn):
+        table = v1_defn.evaluate(v1_db)
+        assert table.key == v1_defn.key_columns(v1_db)
+        assert set(table.schema.columns) == set(v1_defn.output_columns(v1_db))
+
+    def test_key_column_of(self, v1_db, v1_defn):
+        assert v1_defn.key_column_of("r", v1_db) == "r.k"
+
+
+class TestMaterializedView:
+    def test_materialize_matches_evaluate(self, v1_db, v1_defn):
+        view = MaterializedView.materialize(v1_defn, v1_db)
+        direct = v1_defn.evaluate(v1_db)
+        assert frozenset(view.rows()) == frozenset(direct.rows)
+
+    def test_key_lookup(self, v1_db, v1_defn):
+        view = MaterializedView.materialize(v1_defn, v1_db)
+        row = view.rows()[0]
+        assert view.key_of(row) in view
+
+    def test_insert_rows(self, v1_db, v1_defn):
+        view = MaterializedView(v1_defn, v1_db)
+        sample = v1_defn.evaluate(v1_db).rows[:3]
+        assert view.insert_rows(sample) == 3
+        assert len(view) == 3
+
+    def test_insert_duplicate_key_raises(self, v1_db, v1_defn):
+        view = MaterializedView.materialize(v1_defn, v1_db)
+        with pytest.raises(MaintenanceError, match="duplicate key"):
+            view.insert_rows([view.rows()[0]])
+
+    def test_delete_rows(self, v1_db, v1_defn):
+        view = MaterializedView.materialize(v1_defn, v1_db)
+        n = len(view)
+        view.delete_rows(view.rows()[:2])
+        assert len(view) == n - 2
+
+    def test_delete_absent_raises(self, v1_db, v1_defn):
+        view = MaterializedView.materialize(v1_defn, v1_db)
+        ghost = tuple(None for __ in view.schema.columns)
+        with pytest.raises(MaintenanceError, match="absent"):
+            view.delete_rows([ghost])
+
+    def test_as_table_snapshot_is_detached(self, v1_db, v1_defn):
+        view = MaterializedView.materialize(v1_defn, v1_db)
+        snap = view.as_table()
+        view.delete_rows(view.rows()[:1])
+        assert len(snap.rows) == len(view) + 1

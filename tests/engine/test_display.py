@@ -1,0 +1,57 @@
+"""Tests for the table text renderer (repro.engine.display)."""
+
+import pytest
+
+from repro.engine import Schema, Table
+from repro.engine.display import format_table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        "t",
+        Schema(["t.k", "t.name", "t.price"]),
+        [(1, "alpha", 1.5), (2, None, 12345.6789), (3, "", None)],
+        key=["t.k"],
+    )
+
+
+class TestFormatting:
+    def test_header_and_rows(self, table):
+        text = format_table(table)
+        lines = text.splitlines()
+        assert lines[0].startswith("t.k")
+        assert set(lines[1]) <= {"-", " "}
+        assert "(3 rows)" in lines[-1]
+
+    def test_null_rendering(self, table):
+        text = format_table(table)
+        assert "NULL" in text
+
+    def test_empty_string_distinct_from_null(self, table):
+        rows = format_table(table).splitlines()[2:5]
+        assert any("NULL" in row for row in rows)
+
+    def test_float_shortened(self, table):
+        assert "1.235e+04" in format_table(table)
+
+    def test_limit_and_summary(self, table):
+        text = format_table(table, limit=1)
+        assert "(3 rows, 2 not shown)" in text
+        assert text.count("\n") == 3  # header, rule, one row, summary
+
+    def test_column_selection(self, table):
+        text = format_table(table, columns=["t.name"])
+        assert "t.k" not in text
+        assert "alpha" in text
+
+    def test_long_values_truncated(self):
+        t = Table("t", Schema(["t.v"]), [("x" * 60,)])
+        text = format_table(t)
+        assert "…" in text
+        assert "x" * 30 not in text
+
+    def test_empty_table(self):
+        t = Table("t", Schema(["t.v"]), [])
+        text = format_table(t)
+        assert "(0 rows)" in text

@@ -1,0 +1,133 @@
+"""Tests for persistent hash indexes (repro.engine.index)."""
+
+import pytest
+
+from repro.engine import Database, Schema, Table
+from repro.engine import operators as ops
+from repro.engine.index import HashIndex, find_index
+from repro.errors import SchemaError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("t", ["k", "a", "b"], key=["k"])
+    d.insert("t", [(1, 10, "x"), (2, 10, "y"), (3, None, "z")])
+    return d
+
+
+class TestHashIndex:
+    def test_key_index_created_automatically(self, db):
+        table = db.table("t")
+        assert any(i.columns == ("t.k",) for i in table.indexes)
+
+    def test_lookup(self, db):
+        index = db.create_index("t", ["a"])
+        rows = index.lookup((10,))
+        assert {r[0] for r in rows} == {1, 2}
+
+    def test_null_keys_not_indexed(self, db):
+        index = db.create_index("t", ["a"])
+        assert index.lookup((None,)) == []
+        assert len(index) == 2
+
+    def test_insert_updates_index(self, db):
+        index = db.create_index("t", ["a"])
+        db.insert("t", [(4, 10, "w")])
+        assert {r[0] for r in index.lookup((10,))} == {1, 2, 4}
+
+    def test_delete_updates_index(self, db):
+        index = db.create_index("t", ["a"])
+        db.delete("t", [(1, 10, "x")])
+        assert {r[0] for r in index.lookup((10,))} == {2}
+
+    def test_delete_last_in_bucket_removes_bucket(self, db):
+        index = db.create_index("t", ["b"])
+        db.delete("t", [(3, None, "z")])
+        assert (("z",) in index.buckets) is False
+
+    def test_create_index_idempotent(self, db):
+        a = db.create_index("t", ["a"])
+        b = db.create_index("t", ["a"])
+        assert a is b
+
+    def test_empty_columns_rejected(self, db):
+        with pytest.raises(SchemaError):
+            HashIndex(db.table("t"), [])
+
+    def test_copy_rebuilds_indexes(self, db):
+        db.create_index("t", ["a"])
+        clone = db.copy()
+        clone.insert("t", [(9, 10, "q")])
+        original = find_index(db.table("t"), ["t.a"])[0]
+        cloned = find_index(clone.table("t"), ["t.a"])[0]
+        assert len(original.lookup((10,))) == 2
+        assert len(cloned.lookup((10,))) == 3
+
+
+class TestFindIndex:
+    def test_exact_match(self, db):
+        found = find_index(db.table("t"), ["t.k"])
+        assert found is not None
+        index, permutation = found
+        assert permutation == (0,)
+
+    def test_permuted_match(self):
+        d = Database()
+        d.create_table("p", ["a", "b"], key=["a", "b"])
+        d.insert("p", [(1, 2)])
+        found = find_index(d.table("p"), ["p.b", "p.a"])
+        assert found is not None
+        index, permutation = found
+        # probe (b, a) reordered to the index's (a, b)
+        probe = tuple((2, 1)[p] for p in permutation)
+        assert index.lookup(probe) == [(1, 2)]
+
+    def test_no_match(self, db):
+        assert find_index(db.table("t"), ["t.b"]) is None
+
+
+class TestJoinUsesIndex:
+    def test_results_identical_with_and_without_index(self, db):
+        other = Table(
+            "u", Schema(["u.k", "u.a"]), [(7, 10), (8, 99)], key=["u.k"]
+        )
+        before = ops.join(other, db.table("t"), "inner", equi=[("u.a", "t.a")])
+        db.create_index("t", ["a"])
+        after = ops.join(other, db.table("t"), "inner", equi=[("u.a", "t.a")])
+        assert set(before.rows) == set(after.rows)
+
+    def test_outer_join_matched_tracking_with_index(self, db):
+        db.create_index("t", ["a"])
+        other = Table("u", Schema(["u.k", "u.a"]), [(7, 10)], key=["u.k"])
+        out = ops.join(other, db.table("t"), "full", equi=[("u.a", "t.a")])
+        rows = set(out.rows)
+        # rows 1,2 matched; row 3 preserved null-extended on u
+        assert (None, None, 3, None, "z") in rows
+        assert len(rows) == 3
+
+    def test_residual_applied_on_index_path(self, db):
+        db.create_index("t", ["a"])
+        other = Table("u", Schema(["u.k", "u.a"]), [(7, 10)], key=["u.k"])
+        out = ops.join(
+            other,
+            db.table("t"),
+            "inner",
+            equi=[("u.a", "t.a")],
+            residual=lambda row: row[4] == "y",
+        )
+        assert [r[2] for r in out.rows] == [2]
+
+    def test_maintenance_consistent_with_indexes(self):
+        """End-to-end: indexed TPC-H maintenance equals recompute."""
+        from repro.core import MaterializedView, ViewMaintainer
+        from repro.tpch import TPCHGenerator, v3
+
+        gen = TPCHGenerator(scale_factor=0.0005)
+        db = gen.build()
+        assert db.table("lineitem").indexes  # schema created them
+        m = ViewMaintainer(db, MaterializedView.materialize(v3(), db))
+        m.insert("lineitem", gen.lineitem_insert_batch(25, seed=1))
+        m.check_consistency()
+        m.delete("lineitem", gen.lineitem_delete_batch(db, 25, seed=2))
+        m.check_consistency()

@@ -1,0 +1,109 @@
+"""Tests for CSV persistence of databases (repro.engine.io)."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.io import load_database, save_database
+from repro.errors import CatalogError
+from repro.tpch import TPCHGenerator
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.create_table("p", ["k", "name", "price"], key=["k"])
+    d.create_table("c", ["k", "pk", "flag"], key=["k"], not_null=["pk"])
+    d.add_foreign_key("c", ["pk"], "p", ["k"])
+    d.insert("p", [(1, "alpha", 1.5), (2, "with,comma", None)])
+    d.insert("c", [(10, 1, True), (11, 2, False)])
+    return d
+
+
+class TestRoundTrip:
+    def test_rows_survive(self, db, tmp_path):
+        save_database(db, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        for name in db.tables:
+            assert loaded.table(name).rows == db.table(name).rows
+
+    def test_types_survive(self, db, tmp_path):
+        save_database(db, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        row = loaded.table("p").rows[0]
+        assert isinstance(row[0], int)
+        assert isinstance(row[1], str)
+        assert isinstance(row[2], float)
+        assert isinstance(loaded.table("c").rows[0][2], bool)
+
+    def test_null_vs_empty_string(self, tmp_path):
+        d = Database()
+        d.create_table("t", ["k", "s"], key=["k"])
+        d.insert("t", [(1, ""), (2, None)])
+        save_database(d, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        assert loaded.table("t").rows == [(1, ""), (2, None)]
+
+    def test_keys_and_not_null_survive(self, db, tmp_path):
+        save_database(db, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        assert loaded.table("p").key == ("p.k",)
+        assert "c.pk" in loaded.table("c").not_null
+
+    def test_foreign_keys_survive(self, db, tmp_path):
+        save_database(db, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        fk = loaded.foreign_key_between("c", "p")
+        assert fk is not None
+        assert fk.source_not_null
+
+    def test_fk_flags_survive(self, tmp_path):
+        d = Database()
+        d.create_table("p", ["k"], key=["k"])
+        d.create_table("c", ["k", "pk"], key=["k"], not_null=["pk"])
+        d.add_foreign_key("c", ["pk"], "p", ["k"], cascading_deletes=True)
+        save_database(d, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        assert loaded.foreign_keys[0].cascading_deletes
+
+    def test_empty_table_survives(self, tmp_path):
+        d = Database()
+        d.create_table("empty", ["k"], key=["k"])
+        save_database(d, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        assert len(loaded.table("empty")) == 0
+
+    def test_tpch_round_trip(self, tmp_path):
+        original = TPCHGenerator(scale_factor=0.0002).build()
+        save_database(original, tmp_path / "tpch")
+        loaded = load_database(tmp_path / "tpch")
+        for name in original.tables:
+            assert loaded.table(name).rows == original.table(name).rows
+        loaded.validate()
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(CatalogError, match="manifest"):
+            load_database(tmp_path)
+
+    def test_unserializable_type(self, tmp_path):
+        d = Database()
+        d.create_table("t", ["k", "v"], key=["k"])
+        d.insert("t", [(1, object())], check=False)
+        with pytest.raises(CatalogError, match="cannot serialize"):
+            save_database(d, tmp_path / "out")
+
+    def test_mixed_types_rejected(self, tmp_path):
+        d = Database()
+        d.create_table("t", ["k", "v"], key=["k"])
+        d.insert("t", [(1, "text"), (2, 5)], check=False)
+        with pytest.raises(CatalogError, match="mixed types"):
+            save_database(d, tmp_path / "out")
+
+    def test_int_float_promotion_allowed(self, tmp_path):
+        d = Database()
+        d.create_table("t", ["k", "v"], key=["k"])
+        d.insert("t", [(1, 5), (2, 5.5)])
+        save_database(d, tmp_path / "out")
+        loaded = load_database(tmp_path / "out")
+        assert loaded.table("t").rows == [(1, 5.0), (2, 5.5)]

@@ -1,0 +1,102 @@
+"""Unit tests for repro.engine.schema."""
+
+import pytest
+
+from repro.engine.schema import Schema, qualify, split_qualified
+from repro.errors import SchemaError
+
+
+class TestQualify:
+    def test_qualify(self):
+        assert qualify("orders", "o_orderkey") == "orders.o_orderkey"
+
+    def test_split(self):
+        assert split_qualified("orders.o_orderkey") == ("orders", "o_orderkey")
+
+    def test_split_unqualified_raises(self):
+        with pytest.raises(SchemaError):
+            split_qualified("o_orderkey")
+
+    def test_split_empty_table_raises(self):
+        with pytest.raises(SchemaError):
+            split_qualified(".col")
+
+    def test_split_empty_column_raises(self):
+        with pytest.raises(SchemaError):
+            split_qualified("t.")
+
+
+class TestSchemaBasics:
+    def test_len_and_iter(self):
+        s = Schema(["t.a", "t.b"])
+        assert len(s) == 2
+        assert list(s) == ["t.a", "t.b"]
+
+    def test_contains(self):
+        s = Schema(["t.a"])
+        assert "t.a" in s
+        assert "t.b" not in s
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["t.a", "t.a"])
+
+    def test_equality_and_hash(self):
+        assert Schema(["t.a", "t.b"]) == Schema(["t.a", "t.b"])
+        assert Schema(["t.a", "t.b"]) != Schema(["t.b", "t.a"])
+        assert hash(Schema(["t.a"])) == hash(Schema(["t.a"]))
+
+    def test_index_of(self):
+        s = Schema(["t.a", "t.b", "u.c"])
+        assert s.index_of("u.c") == 2
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["t.a"]).index_of("t.z")
+
+    def test_positions_preserve_order(self):
+        s = Schema(["t.a", "t.b", "u.c"])
+        assert s.positions(["u.c", "t.a"]) == (2, 0)
+
+
+class TestSchemaTables:
+    def test_tables_first_seen_order(self):
+        s = Schema(["b.x", "a.y", "b.z"])
+        assert s.tables() == ("b", "a")
+
+    def test_columns_of(self):
+        s = Schema(["t.a", "u.b", "t.c"])
+        assert s.columns_of("t") == ("t.a", "t.c")
+
+    def test_columns_of_missing_table(self):
+        assert Schema(["t.a"]).columns_of("zz") == ()
+
+    def test_columns_of_does_not_prefix_match_partially(self):
+        s = Schema(["tab.a", "t.b"])
+        assert s.columns_of("t") == ("t.b",)
+
+
+class TestSchemaDerivation:
+    def test_project(self):
+        s = Schema(["t.a", "t.b", "t.c"])
+        assert s.project(["t.c", "t.a"]).columns == ("t.c", "t.a")
+
+    def test_project_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["t.a"]).project(["t.zzz"])
+
+    def test_concat(self):
+        s = Schema(["t.a"]).concat(Schema(["u.b"]))
+        assert s.columns == ("t.a", "u.b")
+
+    def test_concat_overlap_raises(self):
+        with pytest.raises(SchemaError):
+            Schema(["t.a"]).concat(Schema(["t.a"]))
+
+    def test_union_keeps_left_order_appends_right(self):
+        s = Schema(["t.a", "t.b"]).union(Schema(["t.b", "u.c"]))
+        assert s.columns == ("t.a", "t.b", "u.c")
+
+    def test_union_identical(self):
+        s = Schema(["t.a"])
+        assert s.union(Schema(["t.a"])).columns == ("t.a",)

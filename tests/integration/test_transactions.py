@@ -1,0 +1,138 @@
+"""Tests for multi-statement transactions (Warehouse.transaction):
+deferred DEFERRABLE-FK checking, atomic rollback of database and views,
+and the Section 6 caveat-3 interaction with FK optimizations."""
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.core import ViewDefinition, agg_sum, count_star
+from repro.engine import Database
+from repro.errors import CatalogError, ConstraintError
+from repro.warehouse import Warehouse
+
+
+def build_warehouse(deferrable=True):
+    db = Database()
+    db.create_table("orders", ["ok", "cust"], key=["ok"])
+    db.create_table(
+        "lineitem", ["lk", "ok", "qty"], key=["lk"], not_null=["ok"]
+    )
+    db.add_foreign_key(
+        "lineitem", ["ok"], "orders", ["ok"], deferrable=deferrable
+    )
+    db.insert("orders", [(1, "a")])
+    db.insert("lineitem", [(10, 1, 5)])
+    wh = Warehouse(db)
+    wh.create_view(
+        "ol",
+        Q.table("orders")
+        .left_outer_join("lineitem", on=eq("lineitem.ok", "orders.ok"))
+        .build(),
+    )
+    wh.create_aggregated_view(
+        "per_cust",
+        ViewDefinition(
+            "per_cust_base",
+            Q.table("orders")
+            .left_outer_join("lineitem", on=eq("lineitem.ok", "orders.ok"))
+            .build(),
+        ),
+        group_by=["orders.cust"],
+        aggregates=[count_star("n"), agg_sum("lineitem.qty", "qty")],
+    )
+    return db, wh
+
+
+class TestCommit:
+    def test_deferred_fk_allows_child_before_parent(self):
+        db, wh = build_warehouse()
+        with wh.transaction() as txn:
+            txn.insert("lineitem", [(11, 2, 7)])  # order 2 comes later
+            txn.insert("orders", [(2, "b")])
+        wh.check_consistency()
+        assert len(db.table("lineitem")) == 2
+
+    def test_view_sees_joined_row_after_commit(self):
+        db, wh = build_warehouse()
+        with wh.transaction() as txn:
+            txn.insert("lineitem", [(11, 2, 7)])
+            txn.insert("orders", [(2, "b")])
+        view = wh.view("ol")
+        lk = view.schema.index_of("lineitem.lk")
+        assert any(r[lk] == 11 for r in view.rows())
+
+    def test_deletes_inside_transaction(self):
+        db, wh = build_warehouse()
+        with wh.transaction() as txn:
+            txn.delete("lineitem", [(10, 1, 5)])
+            txn.insert("lineitem", [(12, 1, 9)])
+        wh.check_consistency()
+
+    def test_non_deferrable_fk_checked_immediately(self):
+        db, wh = build_warehouse(deferrable=False)
+        with pytest.raises(ConstraintError):
+            with wh.transaction() as txn:
+                txn.insert("lineitem", [(11, 2, 7)])  # immediate failure
+        wh.check_consistency()
+        assert len(db.table("lineitem")) == 1
+
+
+class TestRollback:
+    def test_commit_time_fk_violation_rolls_back_everything(self):
+        db, wh = build_warehouse()
+        before_view = frozenset(wh.view("ol").rows())
+        before_agg = wh.aggregated_view("per_cust").rows()
+        with pytest.raises(ConstraintError):
+            with wh.transaction() as txn:
+                txn.insert("orders", [(3, "c")])
+                txn.insert("lineitem", [(13, 99, 1)])  # no order 99
+        assert len(db.table("orders")) == 1
+        assert frozenset(wh.view("ol").rows()) == before_view
+        assert wh.aggregated_view("per_cust").rows() == before_agg
+        wh.check_consistency()
+
+    def test_user_exception_rolls_back(self):
+        db, wh = build_warehouse()
+        with pytest.raises(RuntimeError):
+            with wh.transaction() as txn:
+                txn.insert("orders", [(4, "d")])
+                raise RuntimeError("abort")
+        assert len(db.table("orders")) == 1
+        wh.check_consistency()
+
+    def test_warehouse_usable_after_rollback(self):
+        db, wh = build_warehouse()
+        with pytest.raises(RuntimeError):
+            with wh.transaction() as txn:
+                txn.insert("orders", [(4, "d")])
+                raise RuntimeError("abort")
+        wh.insert("orders", [(5, "e")])
+        wh.check_consistency()
+        assert len(db.table("orders")) == 2
+
+    def test_subkey_indexes_restored(self):
+        db, wh = build_warehouse()
+        maintainer = wh.maintainer("ol")
+        # force a subkey index into existence, then roll back past it
+        maintainer.view.subkey_index(("lineitem.lk",))
+        with pytest.raises(RuntimeError):
+            with wh.transaction() as txn:
+                txn.insert("lineitem", [(14, 1, 2)])
+                raise RuntimeError("abort")
+        wh.insert("lineitem", [(15, 1, 3)])
+        wh.check_consistency()
+
+
+class TestLifecycle:
+    def test_transaction_not_reusable(self):
+        db, wh = build_warehouse()
+        with wh.transaction() as txn:
+            txn.insert("orders", [(6, "f")])
+        with pytest.raises(CatalogError, match="no longer active"):
+            txn.insert("orders", [(7, "g")])
+
+    def test_empty_transaction_commits(self):
+        db, wh = build_warehouse()
+        with wh.transaction():
+            pass
+        wh.check_consistency()

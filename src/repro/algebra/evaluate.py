@@ -11,6 +11,7 @@ predicate; everything else compiles to row-level closures.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, FrozenSet, Optional
 
 from ..engine import operators as ops
@@ -39,19 +40,27 @@ class ExecutionStats:
 
     Tracks, per operator kind, how many rows each operator *produced* —
     the intermediate-result sizes Section 4.1 is about — plus the largest
-    single intermediate.  Pass an instance to :func:`evaluate` to collect;
-    counters accumulate across calls, so one instance can meter a whole
-    maintenance pass.
+    single intermediate, and how much wall time each operator kind spent
+    (self time, children excluded).  Pass an instance to :func:`evaluate`
+    to collect; counters accumulate across calls, so one instance can
+    meter a whole maintenance pass.
     """
 
     def __init__(self):
         self.rows_by_operator: Dict[str, int] = {}
+        self.seconds_by_operator: Dict[str, float] = {}
         self.nodes_executed = 0
         self.peak_intermediate = 0
+        # Self-time bookkeeping: one frame per evaluate() recursion level
+        # holding the inclusive seconds its children consumed.
+        self._child_seconds = [0.0]
 
-    def record(self, kind: str, row_count: int) -> None:
+    def record(self, kind: str, row_count: int, seconds: float = 0.0) -> None:
         self.rows_by_operator[kind] = (
             self.rows_by_operator.get(kind, 0) + row_count
+        )
+        self.seconds_by_operator[kind] = (
+            self.seconds_by_operator.get(kind, 0.0) + seconds
         )
         self.nodes_executed += 1
         if row_count > self.peak_intermediate:
@@ -62,6 +71,22 @@ class ExecutionStats:
         """Total intermediate rows produced (leaf scans excluded)."""
         return sum(self.rows_by_operator.values())
 
+    @property
+    def total_seconds(self) -> float:
+        """Total operator self time — the evaluation's measured cost."""
+        return sum(self.seconds_by_operator.values())
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form (consumed by report/span serializers)."""
+        return {
+            "total_rows": self.total_rows,
+            "total_seconds": self.total_seconds,
+            "nodes_executed": self.nodes_executed,
+            "peak_intermediate": self.peak_intermediate,
+            "rows_by_operator": dict(self.rows_by_operator),
+            "seconds_by_operator": dict(self.seconds_by_operator),
+        }
+
     def summary(self) -> str:
         parts = ", ".join(
             f"{kind}={count}"
@@ -70,7 +95,7 @@ class ExecutionStats:
         return (
             f"{self.total_rows} intermediate rows over "
             f"{self.nodes_executed} operators (peak {self.peak_intermediate}"
-            f"): {parts}"
+            f", {self.total_seconds * 1000:.2f} ms): {parts}"
         )
 
 
@@ -91,9 +116,18 @@ def evaluate(
     if isinstance(expr, (Relation, Bound)):
         return _leaf(expr, db, env)
 
+    if stats is None:
+        return _evaluate_inner(expr, db, env, stats)
+
+    # Time the node inclusively, then subtract what nested evaluate()
+    # calls consumed so seconds_by_operator holds true self times.
+    stats._child_seconds.append(0.0)
+    started = perf_counter()
     result = _evaluate_inner(expr, db, env, stats)
-    if stats is not None:
-        stats.record(_kind_label(expr), len(result.rows))
+    inclusive = perf_counter() - started
+    children = stats._child_seconds.pop()
+    stats._child_seconds[-1] += inclusive
+    stats.record(_kind_label(expr), len(result.rows), inclusive - children)
     return result
 
 

@@ -7,7 +7,13 @@ Run individual experiments or everything::
     python -m repro.bench figure5b    # Figure 5(b): deletion costs
     python -m repro.bench fkshortcut  # §7 prose: customer/part updates
     python -m repro.bench ablations   # A1–A3 design-choice ablations
+    python -m repro.bench obs         # telemetry overhead off vs on
     python -m repro.bench all
+
+Pass ``--trace PATH`` to run the experiments with telemetry enabled:
+maintenance passes emit spans to a JSON-lines file, the per-phase
+*measured* costs are printed after the tables, and ``--metrics PATH``
+additionally dumps the Prometheus registry.
 
 Scale: the paper used a 10 GB TPC-H database and batches of 60–60,000
 lineitems on SQL Server.  This harness runs a pure-Python engine, so it
@@ -21,6 +27,8 @@ deletes — is the reproduced result and is what EXPERIMENTS.md records.
 from __future__ import annotations
 
 import argparse
+import json
+import statistics
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -30,6 +38,7 @@ from .baselines import (
     RecomputeMaintainer,
     core_view_definition,
 )
+from .obs import Telemetry
 from .core import (
     MaintenanceOptions,
     MaterializedView,
@@ -99,6 +108,7 @@ def run_table1(
     batch_scale: float = DEFAULT_BATCH_SCALE,
     seed: int = 20070415,
     quiet: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> Dict[str, Tuple[int, int]]:
     """Reproduce Table 1: per-term view cardinality plus rows affected by
     a scaled 60,000-row lineitem insertion.  Returns
@@ -125,7 +135,8 @@ def run_table1(
 
     batch_size = max(1, int(60_000 * batch_scale))
     maintainer = ViewMaintainer(
-        db, view, MaintenanceOptions(count_term_rows=True)
+        db, view, MaintenanceOptions(count_term_rows=True),
+        telemetry=telemetry,
     )
     batch = bench.generator.lineitem_insert_batch(batch_size, seed=1)
     report = maintainer.insert("lineitem", batch)
@@ -159,10 +170,10 @@ def run_table1(
 ALGORITHMS = ("core", "ours", "gk")
 
 
-def _make_maintainer(name: str, db, view):
+def _make_maintainer(name: str, db, view, telemetry=None):
     if name == "gk":
         return GriffinKumarMaintainer(db, view)
-    return ViewMaintainer(db, view)
+    return ViewMaintainer(db, view, telemetry=telemetry)
 
 
 def run_figure5(
@@ -173,6 +184,7 @@ def run_figure5(
     algorithms: Sequence[str] = ALGORITHMS,
     include_recompute: bool = False,
     quiet: bool = False,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[Dict[str, float]]:
     """Reproduce Figure 5(a) (``operation="insert"``) or 5(b)
     (``operation="delete"``): elapsed maintenance time for each batch
@@ -191,7 +203,7 @@ def run_figure5(
         for name in algorithms:
             defn = core_defn if name == "core" else outer_defn
             db, view = bench.fresh_state(defn)
-            maintainer = _make_maintainer(name, db, view)
+            maintainer = _make_maintainer(name, db, view, telemetry)
             if operation == "insert":
                 record[name] = timed(
                     lambda m=maintainer: m.insert("lineitem", list(insert_batch))
@@ -441,6 +453,65 @@ def run_ablations(
 
 
 # ---------------------------------------------------------------------------
+# E6 — telemetry overhead: the disabled path must stay (nearly) free
+# ---------------------------------------------------------------------------
+def run_obs_overhead(
+    scale: float = DEFAULT_SCALE,
+    batch: int = 600,
+    rounds: int = 5,
+    seed: int = 20070415,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Measure one maintenance pass with telemetry off (the default
+    no-op singleton) and on (spans + metrics + dashboard), *rounds*
+    times each on identical state.  The medians are the baseline
+    ``BENCH_obs.json`` records: future PRs re-run this and compare the
+    *off* median to prove the disabled-path overhead stays < 3%."""
+    bench = Workbench(scale, seed)
+    defn = v3()
+    insert_batch = bench.generator.lineitem_insert_batch(batch, seed=77)
+
+    def measure(telemetry: Optional[Telemetry]) -> List[float]:
+        times = []
+        for round_no in range(rounds + 1):
+            db, view = bench.fresh_state(defn)
+            maintainer = ViewMaintainer(db, view, telemetry=telemetry)
+            elapsed = timed(
+                lambda: maintainer.insert("lineitem", list(insert_batch))
+            )
+            if round_no:  # round 0 is an unmeasured cache warmup
+                times.append(elapsed)
+        return times
+
+    off = measure(None)  # the Telemetry.disabled() default
+    on = measure(Telemetry())
+    off_median = statistics.median(off)
+    on_median = statistics.median(on)
+    result: Dict[str, object] = {
+        "scale": scale,
+        "batch": batch,
+        "rounds": rounds,
+        "telemetry_off_seconds": off,
+        "telemetry_on_seconds": on,
+        "telemetry_off_median_seconds": off_median,
+        "telemetry_on_median_seconds": on_median,
+        "on_over_off_ratio": on_median / off_median if off_median else None,
+    }
+    if not quiet:
+        print_table(
+            f"Telemetry overhead (SF={scale}, insert {batch} lineitems, "
+            f"median of {rounds})",
+            ["Mode", "Median s"],
+            [
+                ("telemetry off (default)", f"{off_median:.4f}"),
+                ("telemetry on", f"{on_median:.4f}"),
+                ("on/off ratio", f"{on_median / off_median:.3f}"),
+            ],
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 def write_csv(path: str, rows: List[Dict[str, float]]) -> None:
@@ -473,6 +544,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "fkshortcut",
             "ablations",
             "scaling",
+            "obs",
             "all",
         ],
     )
@@ -492,11 +564,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="also dump the Figure 5 / scaling series as CSV (suffix "
         "-insert/-delete/-scaling is appended per experiment)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="enable telemetry: emit maintenance spans as JSON lines to "
+        "PATH and print measured per-phase costs after the tables",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        help="with --trace: also dump the Prometheus registry to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="for the obs experiment: write the overhead record "
+        "(BENCH_obs.json) to PATH",
+    )
     args = parser.parse_args(argv)
+
+    telemetry = Telemetry(trace_path=args.trace) if args.trace else None
 
     chosen = args.experiment
     if chosen in ("table1", "all"):
-        run_table1(args.scale, args.batch_scale, args.seed)
+        run_table1(args.scale, args.batch_scale, args.seed, telemetry=telemetry)
     if chosen in ("figure5a", "all"):
         rows = run_figure5(
             "insert",
@@ -504,6 +595,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.batch_scale,
             args.seed,
             include_recompute=args.recompute,
+            telemetry=telemetry,
         )
         if args.csv:
             write_csv(_csv_path(args.csv, "insert"), rows)
@@ -514,6 +606,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             args.batch_scale,
             args.seed,
             include_recompute=args.recompute,
+            telemetry=telemetry,
         )
         if args.csv:
             write_csv(_csv_path(args.csv, "delete"), rows)
@@ -525,6 +618,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         rows = run_scaling(seed=args.seed)
         if args.csv:
             write_csv(_csv_path(args.csv, "scaling"), rows)
+    if chosen in ("obs", "all"):
+        record = run_obs_overhead(args.scale, seed=args.seed)
+        if args.json:
+            with open(args.json, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+
+    if telemetry is not None:
+        print()
+        print("Measured costs (telemetry):")
+        print(telemetry.dashboard())
+        if args.metrics:
+            telemetry.write_metrics(args.metrics)
+        telemetry.flush()
     return 0
 
 

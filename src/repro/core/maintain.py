@@ -35,6 +35,7 @@ from ..engine.catalog import Database
 from ..engine.schema import Schema
 from ..engine.table import Row, Table
 from ..errors import MaintenanceError, UnsupportedViewError
+from ..obs import Telemetry
 from .fk import simplify_tree
 from .leftdeep import to_left_deep
 from .maintgraph import MaintenanceGraph
@@ -110,11 +111,7 @@ class MaintenanceReport:
         if self.secondary_strategy_used:
             out["secondary_strategy_used"] = dict(self.secondary_strategy_used)
         if self.stats is not None:
-            out["stats"] = {
-                "total_rows": self.stats.total_rows,
-                "peak_intermediate": self.stats.peak_intermediate,
-                "rows_by_operator": dict(self.stats.rows_by_operator),
-            }
+            out["stats"] = self.stats.to_dict()
         return out
 
     def summary(self) -> str:
@@ -146,11 +143,13 @@ class ViewMaintainer:
         db: Database,
         view: MaterializedView,
         options: Optional[MaintenanceOptions] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.db = db
         self.view = view
         self.definition: ViewDefinition = view.definition
         self.options = options or MaintenanceOptions()
+        self.telemetry = telemetry or Telemetry.disabled()
         self._graph: Optional[SubsumptionGraph] = None
         self._delta_exprs: Dict[Tuple[str, bool], Optional[RelExpr]] = {}
         self._mgraphs: Dict[Tuple[str, bool], MaintenanceGraph] = {}
@@ -255,26 +254,57 @@ class ViewMaintainer:
             report.elapsed_seconds = time.perf_counter() - started
             return report
 
-        mgraph = self.maintenance_graph(table, fk_allowed)
-        report.direct_terms = [t.label() for t in mgraph.directly_affected]
-        report.indirect_terms = [t.label() for t in mgraph.indirectly_affected]
-        if self.options.collect_stats:
-            report.stats = ExecutionStats()
+        tel = self.telemetry
+        tracer = tel.tracer
+        with tracer.span(
+            "maintain",
+            view=self.definition.name,
+            table=table,
+            operation=operation,
+            base_rows=len(delta),
+        ) as root:
+            try:
+                with tracer.span("classify") as span:
+                    mgraph = self.maintenance_graph(table, fk_allowed)
+                    report.direct_terms = [
+                        t.label() for t in mgraph.directly_affected
+                    ]
+                    report.indirect_terms = [
+                        t.label() for t in mgraph.indirectly_affected
+                    ]
+                    span.set_attribute("direct", len(report.direct_terms))
+                    span.set_attribute("indirect", len(report.indirect_terms))
+                if self.options.collect_stats:
+                    report.stats = ExecutionStats()
 
-        primary = self._compute_primary(table, delta, mgraph, fk_allowed, report)
-        if primary is not None and len(primary):
-            self._apply_primary(primary, operation, report)
-            if self.options.count_term_rows:
-                self._count_term_rows(primary, mgraph, report)
-        if primary is None:
-            primary = Table("delta", Schema([]), [])
+                with tracer.span("primary_delta") as span:
+                    primary = self._compute_primary(
+                        table, delta, mgraph, fk_allowed, report
+                    )
+                    span.set_attribute("skipped", report.primary_skipped)
+                    if primary is not None:
+                        span.record_rows(len(primary))
+                if primary is not None and len(primary):
+                    with tracer.span("apply_primary") as span:
+                        self._apply_primary(primary, operation, report)
+                        span.record_rows(report.primary_rows)
+                    if self.options.count_term_rows:
+                        self._count_term_rows(primary, mgraph, report)
+                if primary is None:
+                    primary = Table("delta", Schema([]), [])
 
-        if mgraph.indirectly_affected and len(primary):
-            self._apply_secondary(
-                table, delta, primary, mgraph, operation, report
-            )
+                if mgraph.indirectly_affected and len(primary):
+                    self._apply_secondary(
+                        table, delta, primary, mgraph, operation, report
+                    )
+            except Exception:
+                tel.record_failure(self.definition.name, table, operation)
+                raise
 
-        report.elapsed_seconds = time.perf_counter() - started
+            report.elapsed_seconds = time.perf_counter() - started
+            root.record_rows(report.total_view_changes)
+        tel.record_maintenance(report, root if tel.enabled else None)
+        tel.record_view_size(self.definition.name, len(self.view))
         return report
 
     # ------------------------------------------------------------------
@@ -343,24 +373,28 @@ class ViewMaintainer:
             if strategy == SECONDARY_AUTO:
                 term_strategy = self._choose_secondary_strategy(term, mgraph, table)
             report.secondary_strategy_used[term.label()] = term_strategy
-            if term_strategy == SECONDARY_FROM_BASE:
-                rows = secondary_from_base(
-                    term, mgraph, primary, self.db, operation, table, delta,
-                    stats=report.stats,
-                )
-            else:
-                # Index-seek variant of Section 5.2; reads the live view,
-                # so parent-term orphans inserted above are visible here
-                # (the parents-first requirement of the module docstring).
-                rows = secondary_from_view_indexed(
-                    term, mgraph, self.view, primary, self.db, operation
-                )
-            aligned = self._align_rows(rows)
-            if operation == INSERT:
-                count = self.view.delete_rows(aligned)
-            else:
-                count = self.view.insert_rows(aligned)
-            report.secondary_rows[term.label()] = count
+            with self.telemetry.tracer.span(
+                "secondary", term=term.label(), strategy=term_strategy
+            ) as span:
+                if term_strategy == SECONDARY_FROM_BASE:
+                    rows = secondary_from_base(
+                        term, mgraph, primary, self.db, operation, table, delta,
+                        stats=report.stats,
+                    )
+                else:
+                    # Index-seek variant of Section 5.2; reads the live view,
+                    # so parent-term orphans inserted above are visible here
+                    # (the parents-first requirement of the module docstring).
+                    rows = secondary_from_view_indexed(
+                        term, mgraph, self.view, primary, self.db, operation
+                    )
+                aligned = self._align_rows(rows)
+                if operation == INSERT:
+                    count = self.view.delete_rows(aligned)
+                else:
+                    count = self.view.insert_rows(aligned)
+                report.secondary_rows[term.label()] = count
+                span.record_rows(count)
 
     def _choose_secondary_strategy(
         self, term: Term, mgraph: MaintenanceGraph, table: str
@@ -392,15 +426,21 @@ class ViewMaintainer:
         over the view and one pass over the primary delta."""
         from .secondary_combined import secondary_combined
 
-        deltas = secondary_combined(
-            mgraph, self.view.as_table(), primary, self.db, operation
-        )
-        for label, rows in deltas.items():
-            aligned = self._align_rows(rows)
-            if operation == INSERT:
-                report.secondary_rows[label] = self.view.delete_rows(aligned)
-            else:
-                report.secondary_rows[label] = self.view.insert_rows(aligned)
+        with self.telemetry.tracer.span(
+            "secondary", strategy=SECONDARY_COMBINED
+        ) as span:
+            deltas = secondary_combined(
+                mgraph, self.view.as_table(), primary, self.db, operation
+            )
+            for label, rows in deltas.items():
+                aligned = self._align_rows(rows)
+                if operation == INSERT:
+                    report.secondary_rows[label] = self.view.delete_rows(aligned)
+                else:
+                    report.secondary_rows[label] = self.view.insert_rows(aligned)
+                span.record_rows(report.secondary_rows[label])
+            for label in deltas:
+                report.secondary_strategy_used[label] = SECONDARY_COMBINED
 
     # ------------------------------------------------------------------
     def _align_rows(self, table: Table) -> List[Row]:

@@ -29,9 +29,12 @@ in an equi-join (a ``None`` join key falls straight to the unmatched side).
 
 from __future__ import annotations
 
+import functools
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import SchemaError
+from ..obs.tracing import current_span
 from .schema import Schema
 from .table import Row, Table
 
@@ -40,9 +43,42 @@ Predicate = Callable[[Row], bool]
 JOIN_KINDS = ("inner", "left", "right", "full", "semi", "anti")
 
 
+def _traced(kind_of: Callable[[tuple, dict], str]):
+    """Report (kind, rows produced, seconds) of each call into the active
+    tracing span.  With no span open — the default — the only cost is one
+    thread-local lookup per operator call (not per row)."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            span = current_span()
+            if span is None:
+                return fn(*args, **kwargs)
+            started = perf_counter()
+            out = fn(*args, **kwargs)
+            span.record_operator(
+                kind_of(args, kwargs), len(out.rows), perf_counter() - started
+            )
+            return out
+
+        return wrapper
+
+    return decorate
+
+
+def _named(kind: str):
+    return _traced(lambda args, kwargs: kind)
+
+
+def _join_kind(args: tuple, kwargs: dict) -> str:
+    kind = kwargs.get("kind", args[2] if len(args) > 2 else "?")
+    return f"join:{kind}"
+
+
 # ---------------------------------------------------------------------------
 # unary operators
 # ---------------------------------------------------------------------------
+@_named("select")
 def select(table: Table, predicate: Predicate, name: str = "") -> Table:
     """``σ_p`` — keep rows for which *predicate* returns ``True``."""
     rows = [row for row in table.rows if predicate(row)]
@@ -55,6 +91,7 @@ def select(table: Table, predicate: Predicate, name: str = "") -> Table:
     )
 
 
+@_named("project")
 def project(table: Table, columns: Sequence[str], name: str = "") -> Table:
     """``π_c`` — projection *without* duplicate elimination.
 
@@ -68,6 +105,7 @@ def project(table: Table, columns: Sequence[str], name: str = "") -> Table:
     return Table(name or table.name, schema, rows, key=key, not_null=not_null)
 
 
+@_named("distinct")
 def distinct(table: Table, name: str = "") -> Table:
     """``δ`` — remove duplicate rows, preserving first-seen order."""
     seen = set()
@@ -85,6 +123,7 @@ def distinct(table: Table, name: str = "") -> Table:
     )
 
 
+@_named("null_if")
 def null_if(
     table: Table,
     predicate: Predicate,
@@ -117,6 +156,7 @@ def _null_pad(width: int) -> Row:
     return (None,) * width
 
 
+@_traced(_join_kind)
 def join(
     left: Table,
     right: Table,
@@ -329,6 +369,7 @@ def align_to_schema(table: Table, target: Schema) -> List[Row]:
     ]
 
 
+@_named("outer_union")
 def outer_union(left: Table, right: Table, name: str = "") -> Table:
     """``⊎`` — null-extend both operands to the union schema and
     concatenate (no duplicate elimination)."""
@@ -341,6 +382,7 @@ def _signature(row: Row) -> Tuple[bool, ...]:
     return tuple(v is not None for v in row)
 
 
+@_named("remove_subsumed")
 def remove_subsumed(table: Table, name: str = "") -> Table:
     """``↓`` — remove every tuple subsumed by another tuple of *table*.
 
@@ -390,6 +432,7 @@ def minimum_union(left: Table, right: Table, name: str = "") -> Table:
     return remove_subsumed(outer_union(left, right), name=name or "minunion")
 
 
+@_named("fixup")
 def fixup(table: Table, group_key: Sequence[str], name: str = "") -> Table:
     """Duplicate elimination plus *keyed* subsumption removal.
 
@@ -417,6 +460,7 @@ def fixup(table: Table, group_key: Sequence[str], name: str = "") -> Table:
 # ---------------------------------------------------------------------------
 # set helpers used when applying deltas
 # ---------------------------------------------------------------------------
+@_named("union_all")
 def union_all(left: Table, right: Table, name: str = "") -> Table:
     """Bag union of two tables over the same column set."""
     if set(left.schema.columns) != set(right.schema.columns):

@@ -33,5 +33,23 @@ class MaintenanceError(ReproError):
     """View maintenance could not be performed for the requested update."""
 
 
+class FanOutError(MaintenanceError):
+    """One or more views failed while a warehouse fanned an update out.
+
+    Raised only after *every* registered view was attempted, so healthy
+    views are left maintained.  Carries the partial results:
+
+    * ``reports`` — the per-view :class:`MaintenanceReport` mapping for
+      the views that succeeded;
+    * ``failures`` — ``{view_name: exception}`` for the views that
+      raised.
+    """
+
+    def __init__(self, message: str, reports=None, failures=None):
+        super().__init__(message)
+        self.reports = reports or {}
+        self.failures = failures or {}
+
+
 class UnsupportedViewError(ReproError):
     """The view falls outside the class the paper's algorithm supports."""

@@ -96,6 +96,7 @@ def explain_update(
     expr = maintainer.delta_expression(table, True)
     if expr is None:
         out("  → ΔV^D proven empty by SimplifyTree (Section 6.1): NO-OP.")
+        _append_measured(out, maintainer)
         out("")
         return "\n".join(lines)
 
@@ -117,5 +118,24 @@ def explain_update(
             for line in statement.splitlines():
                 out(f"    {line}")
             out("    ;")
+    _append_measured(out, maintainer)
     out("")
     return "\n".join(lines)
+
+
+def _append_measured(out, maintainer: ViewMaintainer) -> None:
+    """When the maintainer runs with live telemetry, append the phase
+    costs actually observed so the explanation shows measured — not just
+    predicted — numbers."""
+    telemetry = getattr(maintainer, "telemetry", None)
+    if telemetry is None or not telemetry.enabled:
+        return
+    observed = telemetry.health.observed_phases(maintainer.definition.name)
+    if not observed:
+        return
+    rendered = ", ".join(
+        f"{phase} {data['avg'] * 1000:.2f}ms avg/{data['max'] * 1000:.2f}ms "
+        f"max over {data['count']}"
+        for phase, data in sorted(observed.items())
+    )
+    out(f"  Measured (telemetry): {rendered}")

@@ -1,0 +1,255 @@
+"""Observability for the maintenance pipeline (tracing, metrics, health).
+
+:class:`Telemetry` bundles the three instruments this package provides —
+hierarchical tracing spans (:mod:`repro.obs.tracing`), a Prometheus-style
+metrics registry (:mod:`repro.obs.metrics`) and a per-view health
+dashboard (:mod:`repro.obs.dashboard`) — behind one object that the
+maintenance layers share::
+
+    from repro import Database, Warehouse
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry(trace_path="trace.jsonl")
+    wh = Warehouse(db, telemetry=telemetry)
+    wh.create_view("order_lines", expr)
+    wh.insert("lineitem", rows)
+    print(wh.dashboard())          # p50/p95, strategy mix, slow terms
+    print(wh.metrics_text())       # Prometheus exposition
+    print(telemetry.spans[-1].tree())
+
+The default everywhere is :meth:`Telemetry.disabled` — a shared no-op
+singleton whose tracer hands out a null span and whose recorders return
+immediately, so uninstrumented workloads pay nothing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from .dashboard import Dashboard, percentile
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .tracing import (
+    InMemorySink,
+    JsonLinesSink,
+    NULL_SPAN,
+    NullTracer,
+    Span,
+    Tracer,
+    TreeSink,
+    current_span,
+    load_jsonl,
+    record_operator,
+)
+
+__all__ = [
+    "Telemetry",
+    "Tracer",
+    "NullTracer",
+    "Span",
+    "InMemorySink",
+    "JsonLinesSink",
+    "TreeSink",
+    "current_span",
+    "record_operator",
+    "load_jsonl",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Dashboard",
+    "percentile",
+]
+
+TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+METRICS_FILE_ENV = "REPRO_METRICS_FILE"
+
+
+class Telemetry:
+    """Shared tracing + metrics + dashboard state for maintenance runs.
+
+    Parameters
+    ----------
+    trace_path:
+        When given, every finished root span is appended to this
+        JSON-lines file.
+    echo_tree:
+        When true, every finished root span is also printed as a
+        human-readable tree (handy in examples and debugging sessions).
+    keep_spans:
+        How many finished root spans the in-memory sink retains.
+    """
+
+    def __init__(
+        self,
+        trace_path: Optional[str] = None,
+        echo_tree: bool = False,
+        keep_spans: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.enabled = True
+        self.memory = InMemorySink(keep_spans)
+        self._jsonl: Optional[JsonLinesSink] = None
+        sinks: List = [self.memory]
+        if trace_path:
+            self._jsonl = JsonLinesSink(trace_path)
+            sinks.append(self._jsonl)
+        if echo_tree:
+            sinks.append(TreeSink())
+        self.tracer = Tracer(sinks)
+        self.metrics = metrics or MetricsRegistry()
+        self.health = Dashboard()
+        self._declare_metrics()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    _disabled_singleton: Optional["Telemetry"] = None
+
+    @classmethod
+    def disabled(cls) -> "Telemetry":
+        """The shared no-op telemetry used whenever none is supplied."""
+        if cls._disabled_singleton is None:
+            instance = cls.__new__(cls)
+            instance.enabled = False
+            instance.memory = InMemorySink(0)
+            instance._jsonl = None
+            instance.tracer = NullTracer()
+            instance.metrics = MetricsRegistry()
+            instance.health = Dashboard()
+            cls._disabled_singleton = instance
+        return cls._disabled_singleton
+
+    @classmethod
+    def from_env(cls, environ=None) -> "Telemetry":
+        """Enabled telemetry configured from ``REPRO_TRACE_FILE`` (the
+        JSON-lines destination); returns the disabled singleton when the
+        variable is unset, so opt-in stays an environment decision."""
+        env = os.environ if environ is None else environ
+        trace_path = env.get(TRACE_FILE_ENV)
+        if not trace_path:
+            return cls.disabled()
+        return cls(trace_path=trace_path)
+
+    # ------------------------------------------------------------------
+    # metric instruments
+    # ------------------------------------------------------------------
+    def _declare_metrics(self) -> None:
+        m = self.metrics
+        self.maintenance_seconds = m.histogram(
+            "repro_maintenance_seconds",
+            "Wall time of one view-maintenance pass",
+            ("view", "table", "operation"),
+        )
+        self.rows_changed = m.counter(
+            "repro_view_rows_changed_total",
+            "View rows inserted or deleted by maintenance",
+            ("view", "table", "operation"),
+        )
+        self.passes = m.counter(
+            "repro_maintenance_passes_total",
+            "Completed maintenance passes",
+            ("view", "table", "operation"),
+        )
+        self.base_rows = m.counter(
+            "repro_base_rows_total",
+            "Base-table delta rows processed",
+            ("view", "table", "operation"),
+        )
+        self.errors = m.counter(
+            "repro_maintenance_errors_total",
+            "Maintenance passes that raised",
+            ("view", "table", "operation"),
+        )
+        self.fk_shortcut = m.counter(
+            "repro_fk_shortcut_total",
+            "Passes where foreign keys proved the primary delta empty",
+            ("view", "table"),
+        )
+        self.secondary_strategy = m.counter(
+            "repro_secondary_strategy_total",
+            "Secondary-delta term evaluations by chosen strategy",
+            ("view", "strategy"),
+        )
+        self.view_rows = m.gauge(
+            "repro_view_rows",
+            "Current cardinality of a materialized view",
+            ("view",),
+        )
+
+    # ------------------------------------------------------------------
+    # recording (all no-ops on the disabled singleton)
+    # ------------------------------------------------------------------
+    def record_maintenance(self, report, span: Optional[Span] = None) -> None:
+        """Fold one finished maintenance pass into metrics + dashboard."""
+        if not self.enabled:
+            return
+        labels = dict(
+            view=report.view, table=report.table, operation=report.operation
+        )
+        self.maintenance_seconds.observe(report.elapsed_seconds, **labels)
+        self.rows_changed.inc(report.total_view_changes, **labels)
+        self.passes.inc(**labels)
+        self.base_rows.inc(report.base_rows, **labels)
+        if report.primary_skipped:
+            self.fk_shortcut.inc(view=report.view, table=report.table)
+        for strategy in report.secondary_strategy_used.values():
+            self.secondary_strategy.inc(view=report.view, strategy=strategy)
+        self.health.record_report(report, span)
+
+    def record_failure(self, view: str, table: str, operation: str) -> None:
+        if not self.enabled:
+            return
+        self.errors.inc(view=view, table=table, operation=operation)
+        self.health.record_error(view)
+
+    def record_view_size(self, view: str, rows: int) -> None:
+        if not self.enabled:
+            return
+        self.view_rows.set(rows, view=view)
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def spans(self) -> List[Span]:
+        """Finished root spans retained by the in-memory sink."""
+        return self.memory.spans
+
+    def dashboard(self) -> str:
+        if not self.enabled:
+            return "== Maintenance dashboard ==\n(telemetry disabled)"
+        return self.health.render()
+
+    def metrics_text(self) -> str:
+        if not self.enabled:
+            return ""
+        return self.metrics.render_prometheus()
+
+    def totals(self) -> Dict[str, Dict[str, int]]:
+        return self.health.totals()
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def write_metrics(self, path: str) -> None:
+        """Dump the registry in exposition format to *path*."""
+        with open(path, "w") as handle:
+            handle.write(self.metrics_text())
+
+    def flush(self, environ=None) -> None:
+        """Close the JSON-lines sink and honour ``REPRO_METRICS_FILE``."""
+        if self._jsonl is not None:
+            self._jsonl.close()
+        env = os.environ if environ is None else environ
+        metrics_path = env.get(METRICS_FILE_ENV)
+        if self.enabled and metrics_path:
+            self.write_metrics(metrics_path)

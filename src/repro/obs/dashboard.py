@@ -1,0 +1,239 @@
+"""Per-view health aggregation: reports + spans → a text dashboard.
+
+:class:`Dashboard` consumes every finished maintenance pass (the
+:class:`~repro.core.maintain.MaintenanceReport` and, when tracing is on,
+the root span) and keeps bounded per-view series from which it renders a
+plain-text health summary: p50/p95 maintenance latency, rows touched,
+the secondary-strategy mix, the foreign-key shortcut hit rate, per-phase
+costs and the slowest secondary terms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Dashboard", "percentile"]
+
+MAX_LATENCY_SAMPLES = 4096
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Linear-interpolated percentile of *values* (``q`` in [0, 1])."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    if lo == hi:
+        return ordered[lo]
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class _Agg:
+    """count / total / max accumulator."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def avg(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class _ViewSeries:
+    def __init__(self):
+        self.passes = 0
+        self.errors = 0
+        self.rows_changed = 0
+        self.base_rows = 0
+        self.fk_skips = 0
+        self.latencies: List[float] = []
+        self.strategies: Dict[str, int] = {}
+        self.operations: Dict[str, int] = {}
+        self.tables: Dict[str, _Agg] = {}
+        self.table_rows: Dict[str, int] = {}
+        self.phases: Dict[str, _Agg] = {}
+        self.terms: Dict[str, _Agg] = {}
+
+
+class Dashboard:
+    """Aggregates maintenance activity and renders it as text."""
+
+    def __init__(self, max_samples: int = MAX_LATENCY_SAMPLES):
+        self.max_samples = max_samples
+        self._views: Dict[str, _ViewSeries] = {}
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def _series(self, view: str) -> _ViewSeries:
+        series = self._views.get(view)
+        if series is None:
+            series = _ViewSeries()
+            self._views[view] = series
+        return series
+
+    def record_report(self, report, span=None) -> None:
+        """Fold one finished maintenance pass into the series."""
+        s = self._series(report.view)
+        s.passes += 1
+        s.rows_changed += report.total_view_changes
+        s.base_rows += report.base_rows
+        if report.primary_skipped:
+            s.fk_skips += 1
+        if len(s.latencies) < self.max_samples:
+            s.latencies.append(report.elapsed_seconds)
+        for strategy in report.secondary_strategy_used.values():
+            s.strategies[strategy] = s.strategies.get(strategy, 0) + 1
+        s.operations[report.operation] = (
+            s.operations.get(report.operation, 0) + 1
+        )
+        table_agg = s.tables.setdefault(report.table, _Agg())
+        table_agg.add(report.elapsed_seconds)
+        s.table_rows[report.table] = (
+            s.table_rows.get(report.table, 0) + report.total_view_changes
+        )
+        if span is not None:
+            self._record_span(s, span)
+
+    def _record_span(self, s: _ViewSeries, span) -> None:
+        for child in span.children:
+            s.phases.setdefault(child.name, _Agg()).add(
+                child.duration_seconds
+            )
+            if child.name == "secondary":
+                term = child.attributes.get("term")
+                if term:
+                    s.terms.setdefault(term, _Agg()).add(
+                        child.duration_seconds
+                    )
+
+    def record_error(self, view: str) -> None:
+        self._series(view).errors += 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def views(self) -> List[str]:
+        return sorted(self._views)
+
+    def totals(self) -> Dict[str, Dict[str, int]]:
+        """Machine-readable per-view totals (used by tests and CI)."""
+        return {
+            view: {
+                "passes": s.passes,
+                "errors": s.errors,
+                "rows_changed": s.rows_changed,
+                "base_rows": s.base_rows,
+                "fk_skips": s.fk_skips,
+            }
+            for view, s in self._views.items()
+        }
+
+    def latency_percentiles(self, view: str) -> Dict[str, float]:
+        s = self._views.get(view)
+        if s is None:
+            return {"p50": 0.0, "p95": 0.0}
+        return {
+            "p50": percentile(s.latencies, 0.50),
+            "p95": percentile(s.latencies, 0.95),
+        }
+
+    def observed_phases(
+        self, view: str, phase: Optional[str] = None
+    ) -> Dict[str, Dict[str, float]]:
+        """Per-phase measured costs for *view*: avg/max seconds, count."""
+        s = self._views.get(view)
+        if s is None:
+            return {}
+        phases = s.phases
+        if phase is not None:
+            phases = {phase: phases[phase]} if phase in phases else {}
+        return {
+            name: {"count": agg.count, "avg": agg.avg, "max": agg.max}
+            for name, agg in phases.items()
+        }
+
+    # ------------------------------------------------------------------
+    # rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        if not self._views:
+            return "== Maintenance dashboard ==\n(no maintenance activity recorded)"
+        lines: List[str] = ["== Maintenance dashboard =="]
+        header = (
+            f"{'view':<20} {'passes':>6} {'errors':>6} {'p50 ms':>8} "
+            f"{'p95 ms':>8} {'rows±':>8} {'base':>8} {'fk-skip%':>8}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for view in self.views:
+            s = self._views[view]
+            pct = self.latency_percentiles(view)
+            skip_rate = 100.0 * s.fk_skips / s.passes if s.passes else 0.0
+            lines.append(
+                f"{view:<20} {s.passes:>6} {s.errors:>6} "
+                f"{pct['p50'] * 1000:>8.2f} {pct['p95'] * 1000:>8.2f} "
+                f"{s.rows_changed:>8} {s.base_rows:>8} {skip_rate:>7.1f}%"
+            )
+        for view in self.views:
+            lines.extend(self._render_view_detail(view))
+        return "\n".join(lines)
+
+    def _render_view_detail(self, view: str) -> List[str]:
+        s = self._views[view]
+        lines = [f"", f"-- {view} --"]
+        ops = ", ".join(
+            f"{op}={n}" for op, n in sorted(s.operations.items())
+        )
+        lines.append(f"  operations     : {ops or '(none)'}")
+        if s.strategies:
+            total = sum(s.strategies.values())
+            mix = ", ".join(
+                f"{name}={100.0 * n / total:.0f}%"
+                for name, n in sorted(s.strategies.items())
+            )
+            lines.append(f"  secondary mix  : {mix} ({total} term deltas)")
+        else:
+            lines.append("  secondary mix  : (no secondary deltas)")
+        lines.append(
+            "  fk-shortcut    : "
+            f"{s.fk_skips}/{s.passes} passes primary-skipped"
+        )
+        by_table = ", ".join(
+            f"{table}: {agg.count} passes/{s.table_rows.get(table, 0)} rows"
+            for table, agg in sorted(s.tables.items())
+        )
+        lines.append(f"  tables         : {by_table or '(none)'}")
+        if s.phases:
+            phases = ", ".join(
+                f"{name} {agg.avg * 1000:.2f}ms avg"
+                for name, agg in sorted(s.phases.items())
+            )
+            lines.append(f"  phases         : {phases}")
+        if s.terms:
+            slowest = sorted(
+                s.terms.items(), key=lambda kv: -kv[1].max
+            )[:5]
+            rendered = ", ".join(
+                f"{term} max {agg.max * 1000:.2f}ms"
+                for term, agg in slowest
+            )
+            lines.append(f"  slowest terms  : {rendered}")
+        return lines

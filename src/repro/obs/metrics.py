@@ -1,0 +1,291 @@
+"""A process-wide metrics registry with Prometheus-style exposition.
+
+Three instrument kinds, all label-aware:
+
+* :class:`Counter` — monotonically increasing totals;
+* :class:`Gauge` — a value that can go up and down;
+* :class:`Histogram` — fixed cumulative buckets plus ``_sum``/``_count``.
+
+Usage::
+
+    registry = MetricsRegistry()
+    passes = registry.counter(
+        "repro_maintenance_passes_total", "Maintenance passes",
+        ("view", "table"))
+    passes.labels(view="v3", table="lineitem").inc()
+    print(registry.render_prometheus())
+
+Registration is idempotent: asking for an already-registered name with
+the same kind and label names returns the existing instrument; a
+conflicting redefinition raises ``ValueError``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+]
+
+# Latency-flavored defaults (seconds): sub-millisecond pure-Python passes
+# up to multi-second recomputes.
+DEFAULT_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+def _escape(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _fmt(value: float) -> str:
+    """Render a sample value: integers without the trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _series_suffix(labelnames: Sequence[str], labelvalues: Tuple) -> str:
+    if not labelnames:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + inner + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help_text: str, labelnames: Sequence[str]):
+        self.name = name
+        self.help = help_text
+        self.labelnames = tuple(labelnames)
+        self._series: Dict[Tuple, object] = {}
+
+    def _key(self, labels: Dict) -> Tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(labels[name] for name in self.labelnames)
+
+    def labels(self, **labels):
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = self._new_series()
+            self._series[key] = series
+        return series
+
+    def _new_series(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def render(self) -> List[str]:
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key in sorted(self._series, key=lambda k: tuple(map(str, k))):
+            lines.extend(self._render_series(key, self._series[key]))
+        return lines
+
+    def _render_series(self, key, series) -> List[str]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _Value:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+
+class _CounterSeries(_Value):
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class _GaugeSeries(_Value):
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def _new_series(self):
+        return _CounterSeries()
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        self.labels(**labels).inc(amount)
+
+    def value(self, **labels) -> float:
+        return self.labels(**labels).value
+
+    def total(self) -> float:
+        return sum(s.value for s in self._series.values())
+
+    def _render_series(self, key, series) -> List[str]:
+        suffix = _series_suffix(self.labelnames, key)
+        return [f"{self.name}{suffix} {_fmt(series.value)}"]
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def _new_series(self):
+        return _GaugeSeries()
+
+    def set(self, value: float, **labels) -> None:
+        self.labels(**labels).set(value)
+
+    def value(self, **labels) -> float:
+        return self.labels(**labels).value
+
+    def _render_series(self, key, series) -> List[str]:
+        suffix = _series_suffix(self.labelnames, key)
+        return [f"{self.name}{suffix} {_fmt(series.value)}"]
+
+
+class _HistogramSeries:
+    __slots__ = ("counts", "sum", "count")
+
+    def __init__(self, n_buckets: int):
+        self.counts = [0] * (n_buckets + 1)  # +1 for +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float, buckets: Sequence[float]) -> None:
+        self.counts[bisect_left(buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+class Histogram(_Metric):
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: Sequence[str],
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help_text, labelnames)
+        cleaned = sorted(set(float(b) for b in buckets))
+        if not cleaned:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.buckets = tuple(cleaned)
+
+    def _new_series(self):
+        return _HistogramSeries(len(self.buckets))
+
+    def observe(self, value: float, **labels) -> None:
+        self.labels(**labels).observe(value, self.buckets)
+
+    def _render_series(self, key, series) -> List[str]:
+        lines = []
+        cumulative = 0
+        for bound, count in zip(self.buckets, series.counts):
+            cumulative += count
+            labels = _series_suffix(
+                self.labelnames + ("le",), key + (_fmt(bound),)
+            )
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        cumulative += series.counts[-1]
+        labels = _series_suffix(self.labelnames + ("le",), key + ("+Inf",))
+        lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        suffix = _series_suffix(self.labelnames, key)
+        lines.append(f"{self.name}_sum{suffix} {_fmt(series.sum)}")
+        lines.append(f"{self.name}_count{suffix} {series.count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Owns named instruments and renders them all as exposition text."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _register(self, cls, name, help_text, labelnames, **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            same = (
+                type(existing) is cls
+                and existing.labelnames == tuple(labelnames)
+            )
+            if not same:
+                raise ValueError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}{existing.labelnames}"
+                )
+            return existing
+        metric = cls(name, help_text, labelnames, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help_text, labelnames)
+
+    def gauge(
+        self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help_text, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            Histogram, name, help_text, labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def render_prometheus(self) -> str:
+        """The whole registry in Prometheus text exposition format."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,320 @@
+"""Hierarchical tracing spans for the maintenance pipeline.
+
+A :class:`Span` measures one phase of work — wall time, rows produced,
+tagged attributes, and per-operator sub-costs — and nests: entering a
+span while another is active makes it a child.  The active-span stack is
+module-global (thread-local), so deep code like the physical operators
+can report into whatever span is currently open without threading a
+handle through every call::
+
+    tracer = Tracer([InMemorySink()])
+    with tracer.span("maintain", view="v3", table="lineitem") as root:
+        with tracer.span("primary_delta") as s:
+            ...                     # operators report into ``s``
+            s.record_rows(128)
+
+When the *root* span closes it is emitted to every sink:
+
+* :class:`InMemorySink` — keeps finished root spans in a bounded list;
+* :class:`JsonLinesSink` — one JSON object (the whole tree) per line;
+* :class:`TreeSink` — prints a human-readable tree to a stream.
+
+The disabled path costs nothing: :data:`NULL_SPAN` is a shared no-op
+context manager that never touches the stack, so :func:`current_span`
+stays ``None`` and every instrumentation site takes its fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "current_span",
+    "record_operator",
+    "InMemorySink",
+    "JsonLinesSink",
+    "TreeSink",
+    "load_jsonl",
+]
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+_ACTIVE = threading.local()
+
+
+def _stack() -> List["Span"]:
+    try:
+        return _ACTIVE.stack
+    except AttributeError:
+        _ACTIVE.stack = []
+        return _ACTIVE.stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost active span of this thread, or ``None``."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+def record_operator(kind: str, rows: int, seconds: float) -> None:
+    """Report one physical-operator execution into the active span (no-op
+    when tracing is off)."""
+    stack = _stack()
+    if stack:
+        stack[-1].record_operator(kind, rows, seconds)
+
+
+class Span:
+    """One timed phase of work; a node in the trace tree."""
+
+    __slots__ = (
+        "name",
+        "attributes",
+        "start_time",
+        "start",
+        "end",
+        "rows",
+        "status",
+        "error",
+        "children",
+        "operators",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: Optional["Tracer"], name: str, attributes: Dict):
+        self.name = name
+        self.attributes: Dict[str, Any] = attributes
+        self.start_time: float = 0.0  # epoch seconds, for logs
+        self.start: float = 0.0  # perf_counter
+        self.end: Optional[float] = None
+        self.rows = 0
+        self.status = STATUS_OK
+        self.error: Optional[str] = None
+        self.children: List[Span] = []
+        self.operators: Dict[str, List] = {}  # kind -> [calls, rows, seconds]
+        self._tracer = tracer
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            stack[-1].children.append(self)
+        stack.append(self)
+        self.start_time = time.time()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.status = STATUS_ERROR
+            self.error = f"{exc_type.__name__}: {exc}"
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        else:  # unbalanced exit — drop ourselves wherever we are
+            try:
+                stack.remove(self)
+            except ValueError:
+                pass
+        if not stack and self._tracer is not None:
+            self._tracer._emit(self)
+        return False
+
+    # -- recording -------------------------------------------------------
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    def record_rows(self, n: int) -> None:
+        self.rows += n
+
+    def record_operator(self, kind: str, rows: int, seconds: float) -> None:
+        agg = self.operators.get(kind)
+        if agg is None:
+            self.operators[kind] = [1, rows, seconds]
+        else:
+            agg[0] += 1
+            agg[1] += rows
+            agg[2] += seconds
+
+    # -- reading ---------------------------------------------------------
+    @property
+    def duration_seconds(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def find(self, name: str) -> List["Span"]:
+        """All descendants (preorder) named *name*."""
+        out = []
+        for child in self.children:
+            if child.name == name:
+                out.append(child)
+            out.extend(child.find(name))
+        return out
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable form of the whole subtree."""
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start_time": self.start_time,
+            "duration_seconds": self.duration_seconds,
+            "rows": self.rows,
+            "status": self.status,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        if self.operators:
+            out["operators"] = {
+                kind: {"calls": c, "rows": r, "seconds": s}
+                for kind, (c, r, s) in self.operators.items()
+            }
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def tree(self, indent: int = 0) -> str:
+        """Human-readable rendering of the subtree."""
+        attrs = " ".join(f"{k}={v}" for k, v in self.attributes.items())
+        parts = [
+            "  " * indent
+            + f"{self.name} [{self.duration_seconds * 1000:.2f} ms]"
+            + (f" rows={self.rows}" if self.rows else "")
+            + (f" {attrs}" if attrs else "")
+            + (f" ERROR({self.error})" if self.status == STATUS_ERROR else "")
+        ]
+        for kind, (calls, rows, seconds) in sorted(self.operators.items()):
+            parts.append(
+                "  " * (indent + 1)
+                + f"· {kind}: {calls} call(s), {rows} rows, "
+                f"{seconds * 1000:.2f} ms"
+            )
+        for child in self.children:
+            parts.append(child.tree(indent + 1))
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, rows={self.rows}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span used when telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key, value) -> None:
+        pass
+
+    def record_rows(self, n) -> None:
+        pass
+
+    def record_operator(self, kind, rows, seconds) -> None:
+        pass
+
+    @property
+    def duration_seconds(self) -> float:
+        return 0.0
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and fans finished root spans out to sinks."""
+
+    def __init__(self, sinks: Optional[List] = None):
+        self.sinks = list(sinks or [])
+
+    def span(self, name: str, **attributes) -> Span:
+        return Span(self, name, attributes)
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def _emit(self, root: Span) -> None:
+        for sink in self.sinks:
+            sink.emit(root)
+
+
+class NullTracer:
+    """Tracer of the disabled path: every span is :data:`NULL_SPAN`."""
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return NULL_SPAN
+
+    def add_sink(self, sink) -> None:  # pragma: no cover - nothing to add to
+        pass
+
+
+# ---------------------------------------------------------------------------
+# sinks
+# ---------------------------------------------------------------------------
+class InMemorySink:
+    """Keeps the last *capacity* finished root spans."""
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = capacity
+        self.spans: List[Span] = []
+
+    def emit(self, span: Span) -> None:
+        self.spans.append(span)
+        if len(self.spans) > self.capacity:
+            del self.spans[: len(self.spans) - self.capacity]
+
+
+class JsonLinesSink:
+    """Appends one JSON object per finished root span to *path*."""
+
+    def __init__(self, path: str):
+        self.path = path
+        # open eagerly: an unwritable path must fail here, at
+        # construction, not inside some later maintenance pass
+        self._handle = open(path, "a")
+
+    def emit(self, span: Span) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a")
+        self._handle.write(json.dumps(span.to_dict()) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class TreeSink:
+    """Prints every finished root span as an indented tree."""
+
+    def __init__(self, stream=None):
+        self.stream = stream
+
+    def emit(self, span: Span) -> None:
+        print(span.tree(), file=self.stream or sys.stdout)
+
+
+def load_jsonl(path: str) -> List[Dict]:
+    """Read the span dicts a :class:`JsonLinesSink` wrote."""
+    out = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

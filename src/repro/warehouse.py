@@ -26,16 +26,25 @@ from .core.secondary import DELETE, INSERT
 from .core.view import MaterializedView, ViewDefinition
 from .engine.catalog import Database
 from .engine.table import Row, Table
-from .errors import CatalogError
+from .errors import CatalogError, FanOutError, MaintenanceError
+from .obs import Telemetry
 
 Reports = Dict[str, MaintenanceReport]
 
 
 class Warehouse:
-    """A database plus a registry of incrementally maintained views."""
+    """A database plus a registry of incrementally maintained views.
 
-    def __init__(self, db: Database):
+    Pass a :class:`~repro.obs.Telemetry` to meter every view the
+    warehouse maintains: each maintainer emits spans and metrics into the
+    shared object, and :meth:`dashboard` / :meth:`metrics_text` expose
+    the aggregate health view.  The default is the disabled no-op
+    singleton.
+    """
+
+    def __init__(self, db: Database, telemetry: Optional[Telemetry] = None):
         self.db = db
+        self.telemetry = telemetry or Telemetry.disabled()
         self._maintainers: Dict[str, ViewMaintainer] = {}
         self._aggregates: Dict[str, AggregatedView] = {}
 
@@ -58,8 +67,11 @@ class Warehouse:
         )
         materialized = MaterializedView.materialize(definition, self.db)
         self._maintainers[name] = ViewMaintainer(
-            self.db, materialized, options
+            self.db, materialized, options, telemetry=self.telemetry
         )
+        # telemetry series are keyed by the *definition* name (that is what
+        # the maintainer stamps on spans and metrics)
+        self.telemetry.record_view_size(definition.name, len(materialized))
         return materialized
 
     def create_aggregated_view(
@@ -149,15 +161,43 @@ class Warehouse:
     def _fan_out(
         self, table: str, delta: Table, operation: str, fk_allowed: bool
     ) -> Reports:
+        """Maintain every registered view for one base-table update.
+
+        A failing view does not starve the others: every view is
+        attempted, the failure is recorded in telemetry (error counter
+        plus a failed span, both emitted by the maintainer), and a
+        :class:`~repro.errors.FanOutError` carrying the partial
+        ``reports`` and per-view ``failures`` is raised afterwards.
+        """
         reports: Reports = {}
+        failures: Dict[str, Exception] = {}
         for name, maintainer in self._maintainers.items():
-            reports[name] = maintainer.maintain(
-                table, delta, operation, fk_allowed=fk_allowed
-            )
+            try:
+                reports[name] = maintainer.maintain(
+                    table, delta, operation, fk_allowed=fk_allowed
+                )
+            except Exception as exc:
+                # the maintainer already recorded the failure (error span
+                # + error counter) before re-raising
+                failures[name] = exc
         for name, aggregated in self._aggregates.items():
-            reports[name] = aggregated.maintain(
-                table, delta, operation, fk_allowed=fk_allowed
-            )
+            try:
+                reports[name] = aggregated.maintain(
+                    table, delta, operation, fk_allowed=fk_allowed
+                )
+                self.telemetry.record_maintenance(reports[name])
+            except Exception as exc:
+                failures[name] = exc
+                self.telemetry.record_failure(name, table, operation)
+        if failures:
+            failed = ", ".join(sorted(failures))
+            raise FanOutError(
+                f"maintenance failed for view(s) {failed} "
+                f"({operation} on {table!r}); the remaining "
+                f"{len(reports)} view(s) were maintained",
+                reports=reports,
+                failures=failures,
+            ) from next(iter(failures.values()))
         return reports
 
     # ------------------------------------------------------------------
@@ -189,6 +229,26 @@ class Warehouse:
         failure — constraint or otherwise — rolls the database *and*
         every registered view back to the transaction start."""
         return Transaction(self)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def dashboard(self) -> str:
+        """The per-view health dashboard (p50/p95 latency, rows touched,
+        strategy mix, FK-shortcut rate, slowest terms) as text."""
+        self._refresh_view_sizes()
+        return self.telemetry.dashboard()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of every maintenance metric."""
+        self._refresh_view_sizes()
+        return self.telemetry.metrics_text()
+
+    def _refresh_view_sizes(self) -> None:
+        for maintainer in self._maintainers.values():
+            self.telemetry.record_view_size(
+                maintainer.definition.name, len(maintainer.view)
+            )
 
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:

@@ -75,3 +75,31 @@ def test_multi_view_runs():
     assert result.returncode == 0, result.stderr
     assert "every view equals its recompute" in result.stdout
     assert "committed atomically" in result.stdout
+
+
+def test_telemetry_tour_runs(tmp_path):
+    import json
+    import os
+
+    trace = tmp_path / "trace.jsonl"
+    metrics = tmp_path / "metrics.prom"
+    env = dict(
+        os.environ,
+        REPRO_TRACE_FILE=str(trace),
+        REPRO_METRICS_FILE=str(metrics),
+    )
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "telemetry_tour.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        env=env,
+    )
+    assert result.returncode == 0, result.stderr
+    assert "maintain" in result.stdout  # span tree printed
+    assert "== Maintenance dashboard ==" in result.stdout
+    assert "repro_maintenance_passes_total" in result.stdout
+    # env-driven artifacts: a JSON span tree per pass + the exposition
+    lines = trace.read_text().splitlines()
+    assert lines and all(json.loads(line)["name"] == "maintain" for line in lines)
+    assert "repro_maintenance_seconds" in metrics.read_text()

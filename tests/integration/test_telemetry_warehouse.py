@@ -1,0 +1,210 @@
+"""End-to-end telemetry: a metered Warehouse over TPC-H.
+
+Exercises the whole observability stack at once — spans emitted by the
+maintainers, metrics in the shared registry, and the health dashboard —
+and asserts the one invariant everything hangs on: the dashboard's
+per-view totals equal the sums over the returned MaintenanceReports.
+"""
+
+import json
+
+import pytest
+
+from repro.core import MaintenanceOptions
+from repro.errors import FanOutError, MaintenanceError
+from repro.obs import Telemetry
+from repro.tpch import TPCHGenerator, oj_view, v3
+from repro.warehouse import Warehouse
+
+
+@pytest.fixture
+def generator():
+    gen = TPCHGenerator(scale_factor=0.001, seed=5)
+    gen.build()
+    return gen
+
+
+@pytest.fixture
+def wh(generator):
+    db = TPCHGenerator(scale_factor=0.001, seed=5).build()
+    warehouse = Warehouse(db, telemetry=Telemetry())
+    warehouse.create_view("v3", v3())
+    warehouse.create_view("oj_view", oj_view())
+    return warehouse
+
+
+class TestSpans:
+    def test_maintenance_emits_phase_spans(self, wh, generator):
+        wh.insert("lineitem", generator.lineitem_insert_batch(20, seed=1))
+        spans = wh.telemetry.spans
+        assert len(spans) == 2  # one root per view
+        root = next(s for s in spans if s.attributes["view"] == "v3")
+        assert root.name == "maintain"
+        assert root.attributes["table"] == "lineitem"
+        assert root.attributes["operation"] == "insert"
+        assert root.status == "ok"
+        names = [c.name for c in root.children]
+        assert names[0] == "classify"
+        assert "primary_delta" in names
+        assert "apply_primary" in names
+        # phase times are nested inside the root's wall time
+        child_total = sum(c.duration_seconds for c in root.children)
+        assert 0 < child_total <= root.duration_seconds
+
+    def test_secondary_spans_carry_term_and_strategy(self, wh, generator):
+        # a lineitem insert absorbs orphan rows from the indirectly
+        # affected terms (COL, C, P), so secondary spans must appear
+        wh.insert("lineitem", generator.lineitem_insert_batch(30, seed=2))
+        root = next(
+            s for s in wh.telemetry.spans if s.attributes["view"] == "v3"
+        )
+        secondaries = root.find("secondary")
+        assert secondaries, "lineitem insert must touch secondary terms"
+        for span in secondaries:
+            assert span.attributes.get("term")
+            assert span.attributes.get("strategy")
+
+    def test_operator_counts_reach_spans(self, wh, generator):
+        wh.insert("lineitem", generator.lineitem_insert_batch(20, seed=3))
+        root = wh.telemetry.spans[0]
+        primary = root.find("primary_delta")[0]
+        assert primary.operators, "delta evaluation must record operators"
+        assert any(kind.startswith("join") for kind in primary.operators)
+
+    def test_span_tree_serializes(self, wh, generator):
+        wh.insert("lineitem", generator.lineitem_insert_batch(5, seed=4))
+        payload = json.dumps(wh.telemetry.spans[0].to_dict())
+        assert '"maintain"' in payload
+
+
+class TestMetricsAndDashboard:
+    def test_dashboard_totals_match_reports(self, wh, generator):
+        changed = {"v3": 0, "oj_view": 0}
+        base = {"v3": 0, "oj_view": 0}
+        for seed in (1, 2):
+            reports = wh.insert(
+                "lineitem", generator.lineitem_insert_batch(15, seed=seed)
+            )
+            for name, report in reports.items():
+                changed[name] += report.total_view_changes
+                base[name] += report.base_rows
+        reports = wh.delete(
+            "lineitem", generator.lineitem_delete_batch(wh.db, 10, seed=3)
+        )
+        for name, report in reports.items():
+            changed[name] += report.total_view_changes
+            base[name] += report.base_rows
+
+        totals = wh.telemetry.totals()
+        for name in ("v3", "oj_view"):
+            assert totals[name]["passes"] == 3
+            assert totals[name]["errors"] == 0
+            assert totals[name]["rows_changed"] == changed[name]
+            assert totals[name]["base_rows"] == base[name]
+
+    def test_metrics_exposition_has_maintenance_series(self, wh, generator):
+        wh.insert("lineitem", generator.lineitem_insert_batch(10, seed=1))
+        text = wh.metrics_text()
+        assert "# TYPE repro_maintenance_seconds histogram" in text
+        assert (
+            'repro_maintenance_seconds_count{view="v3",table="lineitem",'
+            'operation="insert"} 1' in text
+        )
+        assert 'repro_view_rows_changed_total{view="v3"' in text
+        assert (
+            'repro_maintenance_passes_total{view="oj_view",table="lineitem",'
+            'operation="insert"} 1' in text
+        )
+        # the dashboard refreshes the cardinality gauges
+        assert f'repro_view_rows{{view="v3"}} {len(wh.view("v3"))}' in text
+
+    def test_dashboard_renders_health(self, wh, generator):
+        wh.insert("lineitem", generator.lineitem_insert_batch(10, seed=1))
+        wh.insert("customer", generator.customer_insert_batch(3, seed=2))
+        out = wh.dashboard()
+        assert "p50 ms" in out and "p95 ms" in out
+        assert "-- v3 --" in out and "-- oj_view --" in out
+        assert "secondary mix" in out
+        assert "phases" in out  # spans fed per-phase aggregates
+
+    def test_disabled_warehouse_pays_nothing(self, generator):
+        db = TPCHGenerator(scale_factor=0.001, seed=5).build()
+        wh = Warehouse(db)  # defaults to Telemetry.disabled()
+        wh.create_view("v3", v3())
+        wh.insert("lineitem", generator.lineitem_insert_batch(5, seed=1))
+        assert wh.telemetry.spans == []
+        assert wh.metrics_text() == ""
+        assert "(telemetry disabled)" in wh.dashboard()
+
+
+class TestFanOutFailures:
+    def test_failure_yields_partial_reports_and_error_metric(
+        self, wh, generator, monkeypatch
+    ):
+        broken = wh.maintainer("oj_view")
+
+        def explode(*args, **kwargs):
+            raise MaintenanceError("synthetic failure")
+
+        # break a phase *inside* maintain() so the maintainer's own error
+        # handling (failed span + error counter) runs
+        monkeypatch.setattr(broken, "_compute_primary", explode)
+        batch = generator.lineitem_insert_batch(5, seed=9)
+        with pytest.raises(FanOutError) as info:
+            wh.insert("lineitem", batch)
+        err = info.value
+        # the healthy view was still maintained...
+        assert set(err.reports) == {"v3"}
+        assert err.reports["v3"].base_rows == 5
+        assert set(err.failures) == {"oj_view"}
+        assert isinstance(err.failures["oj_view"], MaintenanceError)
+        # ...and the failure is attributed in the message
+        assert "oj_view" in str(err)
+        totals = wh.telemetry.totals()
+        assert totals["oj_view"]["errors"] == 1
+        assert totals["v3"]["errors"] == 0
+        assert (
+            'repro_maintenance_errors_total{view="oj_view",table="lineitem",'
+            'operation="insert"} 1' in wh.metrics_text()
+        )
+        # the failed pass still emitted its (error-status) span
+        failed = next(
+            s
+            for s in wh.telemetry.spans
+            if s.attributes["view"] == "oj_view"
+        )
+        assert failed.status == "error"
+        assert "synthetic failure" in failed.error
+
+    def test_view_stays_consistent_after_partial_failure(
+        self, wh, generator, monkeypatch
+    ):
+        monkeypatch.setattr(
+            wh.maintainer("oj_view"),
+            "maintain",
+            lambda *a, **k: (_ for _ in ()).throw(MaintenanceError("x")),
+        )
+        with pytest.raises(FanOutError):
+            wh.insert("lineitem", generator.lineitem_insert_batch(5, seed=9))
+        wh.maintainer("v3").check_consistency()
+
+
+class TestReportStats:
+    def test_execution_stats_round_trip(self, generator):
+        db = TPCHGenerator(scale_factor=0.001, seed=5).build()
+        wh = Warehouse(db, telemetry=Telemetry())
+        wh.create_view("v3", v3(), MaintenanceOptions(collect_stats=True))
+        reports = wh.insert(
+            "lineitem", generator.lineitem_insert_batch(10, seed=1)
+        )
+        report = reports["v3"]
+        assert report.stats is not None
+        payload = report.to_dict()
+        stats = payload["stats"]
+        assert stats["total_rows"] == report.stats.total_rows
+        assert stats["total_seconds"] >= 0.0
+        assert stats["rows_by_operator"]
+        assert set(stats["seconds_by_operator"]) == set(
+            stats["rows_by_operator"]
+        )
+        json.dumps(payload)  # fully serializable

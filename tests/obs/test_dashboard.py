@@ -1,0 +1,169 @@
+"""Dashboard aggregation: percentile math, per-view series, rendering."""
+
+import types
+
+import pytest
+
+from repro.obs.dashboard import Dashboard, percentile
+
+
+def make_report(
+    view="v3",
+    table="lineitem",
+    operation="insert",
+    total_view_changes=10,
+    base_rows=5,
+    primary_skipped=False,
+    elapsed_seconds=0.010,
+    secondary_strategy_used=None,
+):
+    return types.SimpleNamespace(
+        view=view,
+        table=table,
+        operation=operation,
+        total_view_changes=total_view_changes,
+        base_rows=base_rows,
+        primary_skipped=primary_skipped,
+        elapsed_seconds=elapsed_seconds,
+        secondary_strategy_used=secondary_strategy_used or {},
+    )
+
+
+def make_span(children):
+    """A minimal span stub: Dashboard only reads children's name,
+    attributes and duration_seconds."""
+    kids = [
+        types.SimpleNamespace(
+            name=name, attributes=attrs, duration_seconds=seconds
+        )
+        for name, attrs, seconds in children
+    ]
+    return types.SimpleNamespace(children=kids)
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 0.95) == 7.0
+
+    def test_median_even_count_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == pytest.approx(2.5)
+
+    def test_p95_interpolates(self):
+        values = [float(i) for i in range(1, 101)]  # 1..100
+        # rank = 99 * 0.95 = 94.05 -> 95 + 0.05 * (96 - 95)
+        assert percentile(values, 0.95) == pytest.approx(95.05)
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+
+class TestSeries:
+    def test_totals_accumulate(self):
+        dash = Dashboard()
+        dash.record_report(make_report(total_view_changes=4, base_rows=2))
+        dash.record_report(
+            make_report(
+                operation="delete",
+                total_view_changes=6,
+                base_rows=3,
+                primary_skipped=True,
+            )
+        )
+        dash.record_error("v3")
+        totals = dash.totals()["v3"]
+        assert totals == {
+            "passes": 2,
+            "errors": 1,
+            "rows_changed": 10,
+            "base_rows": 5,
+            "fk_skips": 1,
+        }
+
+    def test_latency_percentiles(self):
+        dash = Dashboard()
+        for ms in (1, 2, 3, 4):
+            dash.record_report(make_report(elapsed_seconds=ms / 1000.0))
+        pct = dash.latency_percentiles("v3")
+        assert pct["p50"] == pytest.approx(0.0025)
+        assert pct["p95"] == pytest.approx(0.00385)
+
+    def test_unknown_view_percentiles_are_zero(self):
+        assert Dashboard().latency_percentiles("nope") == {
+            "p50": 0.0,
+            "p95": 0.0,
+        }
+
+    def test_latency_samples_bounded(self):
+        dash = Dashboard(max_samples=3)
+        for _ in range(10):
+            dash.record_report(make_report())
+        assert len(dash._views["v3"].latencies) == 3
+        assert dash.totals()["v3"]["passes"] == 10  # counting never stops
+
+    def test_strategy_mix_counted_per_term(self):
+        dash = Dashboard()
+        dash.record_report(
+            make_report(
+                secondary_strategy_used={"{c}": "view", "{p}": "base"}
+            )
+        )
+        dash.record_report(
+            make_report(secondary_strategy_used={"{c}": "view"})
+        )
+        s = dash._views["v3"]
+        assert s.strategies == {"view": 2, "base": 1}
+
+    def test_span_phases_and_terms(self):
+        dash = Dashboard()
+        span = make_span(
+            [
+                ("classify", {}, 0.001),
+                ("primary_delta", {}, 0.004),
+                ("secondary", {"term": "{customer}"}, 0.002),
+                ("secondary", {"term": "{part}"}, 0.006),
+            ]
+        )
+        dash.record_report(make_report(), span)
+        phases = dash.observed_phases("v3")
+        assert phases["classify"]["count"] == 1
+        assert phases["secondary"]["count"] == 2
+        assert phases["secondary"]["max"] == pytest.approx(0.006)
+        assert phases["secondary"]["avg"] == pytest.approx(0.004)
+        assert dash.observed_phases("v3", "classify") == {
+            "classify": {"count": 1, "avg": 0.001, "max": 0.001}
+        }
+        assert dash._views["v3"].terms["{part}"].max == pytest.approx(0.006)
+
+
+class TestRender:
+    def test_empty_dashboard(self):
+        out = Dashboard().render()
+        assert "no maintenance activity" in out
+
+    def test_render_contains_views_and_details(self):
+        dash = Dashboard()
+        dash.record_report(
+            make_report(
+                view="orders_view",
+                table="orders",
+                primary_skipped=True,
+                secondary_strategy_used={"{c}": "view"},
+            ),
+            make_span([("secondary", {"term": "{customer}"}, 0.002)]),
+        )
+        dash.record_report(make_report(view="v3"))
+        out = dash.render()
+        assert "== Maintenance dashboard ==" in out
+        # header table lists both views (sorted)
+        assert out.index("orders_view") < out.index("v3")
+        assert "p50 ms" in out and "p95 ms" in out
+        # detail sections
+        assert "-- orders_view --" in out
+        assert "secondary mix  : view=100% (1 term deltas)" in out
+        assert "fk-shortcut    : 1/1 passes primary-skipped" in out
+        assert "slowest terms  : {customer} max 2.00ms" in out
+        assert "-- v3 --" in out
+        assert "operations     : insert=1" in out

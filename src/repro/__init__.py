@@ -53,6 +53,13 @@ from .core import (
     count_star,
 )
 from .obs import Telemetry
+from .planner import (
+    CompiledPlan,
+    PlanCache,
+    PlanCompileError,
+    compile_plan,
+    provision_indexes,
+)
 from .parser import parse_expression, parse_predicate, parse_view
 from .warehouse import Warehouse
 from .errors import (
@@ -90,6 +97,11 @@ __all__ = [
     "AggregatedView",
     "Warehouse",
     "Telemetry",
+    "CompiledPlan",
+    "PlanCache",
+    "PlanCompileError",
+    "compile_plan",
+    "provision_indexes",
     "parse_view",
     "parse_expression",
     "parse_predicate",

@@ -35,6 +35,81 @@ from .predicates import compile_predicate, equijoin_pairs
 Bindings = Dict[str, Table]
 
 
+def static_join_plan(expr: Join, left_schema: Schema, right_schema: Schema):
+    """Plan a join node from operand schemas alone (no data needed).
+
+    Returns ``(equi_pairs, residual_predicate)`` where *residual_predicate*
+    is an (uncompiled) predicate over the concatenated schema, or ``None``.
+    This is the single planning routine shared by the interpreter and the
+    physical plan compiler, so both always agree on the join strategy.
+
+    Operands with overlapping column names are only legal for semi/anti
+    joins (the Section 5.3 ``T ⋉^la ΔT`` shape); see
+    :func:`overlapping_semijoin_pairs`.
+    """
+    overlap = set(left_schema.columns) & set(right_schema.columns)
+    if overlap:
+        return overlapping_semijoin_pairs(expr, left_schema, right_schema), None
+    left_tables = frozenset(left_schema.tables())
+    right_tables = frozenset(right_schema.tables())
+    pairs, residual_parts = equijoin_pairs(expr.pred, left_tables, right_tables)
+    # Equi pairs are only usable when both columns are actually present
+    # in the operand schemas (a delta may carry fewer columns).
+    usable = [
+        (lc, rc)
+        for lc, rc in pairs
+        if lc in left_schema and rc in right_schema
+    ]
+    dropped = [pair for pair in pairs if pair not in usable]
+    residual = None
+    if residual_parts or dropped:
+        from .predicates import conjoin, Comparison
+
+        rebuilt = list(residual_parts) + [
+            Comparison(lc, "=", rc) for lc, rc in dropped
+        ]
+        residual = conjoin(rebuilt)
+    return usable, residual
+
+
+def overlapping_semijoin_pairs(
+    expr: Join, left_schema: Schema, right_schema: Schema
+):
+    """Equi pairs for a semijoin/antijoin between operands sharing column
+    names — the shape ``T ⋉^la_{eq(T)} ΔT`` produced by Section 5.3's
+    old-state expression.
+
+    Only equality conjuncts over the *same* qualified column on both sides
+    are supported; they become hash-join pairs.
+    """
+    from .predicates import Comparison, Col, conjuncts as split
+
+    if expr.kind not in ("semi", "anti"):
+        raise ExpressionError(
+            "joins with overlapping schemas are only supported for "
+            f"semi/anti joins, got {expr.kind!r}"
+        )
+    pairs = []
+    for part in split(expr.pred):
+        same_column = (
+            isinstance(part, Comparison)
+            and part.op == "="
+            and isinstance(part.left, Col)
+            and isinstance(part.right, Col)
+            and part.left.qualified == part.right.qualified
+        )
+        if not same_column:
+            raise ExpressionError(
+                f"unsupported predicate {part!r} for overlapping-schema "
+                "semijoin (only col = col on the shared column works)"
+            )
+        name = part.left.qualified
+        if name not in left_schema or name not in right_schema:
+            raise ExpressionError(f"column {name!r} missing from an operand")
+        pairs.append((name, name))
+    return pairs
+
+
 class ExecutionStats:
     """Machine-independent work counters for one or more evaluations.
 
@@ -180,67 +255,14 @@ def _evaluate_inner(
     if isinstance(expr, Join):
         left = evaluate(expr.left, db, env, stats)
         right = evaluate(expr.right, db, env, stats)
-        overlap = set(left.schema.columns) & set(right.schema.columns)
-        if overlap:
-            return _overlapping_semijoin(expr, left, right)
-        left_tables = frozenset(left.schema.tables())
-        right_tables = frozenset(right.schema.tables())
-        pairs, residual_parts = equijoin_pairs(expr.pred, left_tables, right_tables)
-        # Equi pairs are only usable when both columns are actually present
-        # in the operand schemas (a delta may carry fewer columns).
-        usable = [
-            (lc, rc)
-            for lc, rc in pairs
-            if lc in left.schema and rc in right.schema
-        ]
-        dropped = [pair for pair in pairs if pair not in usable]
+        pairs, residual_pred = static_join_plan(expr, left.schema, right.schema)
         residual = None
-        if residual_parts or dropped:
-            from .predicates import conjoin, Comparison
-
-            rebuilt = list(residual_parts) + [
-                Comparison(lc, "=", rc) for lc, rc in dropped
-            ]
+        if residual_pred is not None:
             combined_schema = left.schema.concat(right.schema)
-            residual = compile_predicate(conjoin(rebuilt), combined_schema)
-        return ops.join(left, right, expr.kind, equi=usable, residual=residual)
+            residual = compile_predicate(residual_pred, combined_schema)
+        return ops.join(left, right, expr.kind, equi=pairs, residual=residual)
 
     raise ExpressionError(f"cannot evaluate node {expr!r}")
-
-
-def _overlapping_semijoin(expr: Join, left: Table, right: Table) -> Table:
-    """Semijoin/antijoin between operands sharing column names — the shape
-    ``T ⋉^la_{eq(T)} ΔT`` produced by Section 5.3's old-state expression.
-
-    Only equality conjuncts over the *same* qualified column on both sides
-    are supported; they become hash-join pairs.
-    """
-    from .predicates import Comparison, Col, conjuncts as split
-
-    if expr.kind not in ("semi", "anti"):
-        raise ExpressionError(
-            "joins with overlapping schemas are only supported for "
-            f"semi/anti joins, got {expr.kind!r}"
-        )
-    pairs = []
-    for part in split(expr.pred):
-        same_column = (
-            isinstance(part, Comparison)
-            and part.op == "="
-            and isinstance(part.left, Col)
-            and isinstance(part.right, Col)
-            and part.left.qualified == part.right.qualified
-        )
-        if not same_column:
-            raise ExpressionError(
-                f"unsupported predicate {part!r} for overlapping-schema "
-                "semijoin (only col = col on the shared column works)"
-            )
-        name = part.left.qualified
-        if name not in left.schema or name not in right.schema:
-            raise ExpressionError(f"column {name!r} missing from an operand")
-        pairs.append((name, name))
-    return ops.join(left, right, expr.kind, equi=pairs)
 
 
 def infer_schema(

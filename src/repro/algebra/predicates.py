@@ -588,7 +588,17 @@ def compile_predicate(pred: Predicate, schema: Schema) -> Callable:
     Columns referenced by the predicate but absent from *schema* evaluate
     as NULL — this is deliberate: term-extraction predicates mention every
     view table, while a delta may not carry all of them.
+
+    Column positions are resolved here, once; the common AST shapes
+    (comparisons over columns/literals, IS [NOT] NULL, AND/OR/IS NOT
+    TRUE) compile to direct position-indexing closures with no per-row
+    dictionary or closure allocation.  Anything else falls back to the
+    generic three-valued evaluator.
     """
+    fast = _compile_fast(pred, schema)
+    if fast is not None:
+        return fast
+
     positions = {}
     for col in pred.columns():
         positions[col] = schema.index_of(col) if col in schema else None
@@ -604,6 +614,85 @@ def compile_predicate(pred: Predicate, schema: Schema) -> Callable:
         return pred.eval3(getter_for(row)) is True
 
     return run
+
+
+def _const(value: bool) -> Callable:
+    return lambda row: value
+
+
+def _position_of(col: Col, schema: Schema) -> Optional[int]:
+    name = col.qualified
+    return schema.index_of(name) if name in schema else None
+
+
+def _compile_fast(pred: Predicate, schema: Schema) -> Optional[Callable]:
+    """Specialized ``row -> bool`` closure for common predicate shapes,
+    or ``None`` when the shape needs the generic evaluator.  Semantics
+    are identical: the closure returns ``eval3(row) is True``."""
+    if isinstance(pred, TruePred):
+        return _const(True)
+    if isinstance(pred, IsNull):
+        pos = _position_of(pred.col, schema)
+        if pos is None:
+            return _const(True)  # absent column evaluates as NULL
+        return lambda row, p=pos: row[p] is None
+    if isinstance(pred, NotNull):
+        pos = _position_of(pred.col, schema)
+        if pos is None:
+            return _const(False)
+        return lambda row, p=pos: row[p] is not None
+    if isinstance(pred, Comparison):
+        fn = _OPS[pred.op]
+        left, right = pred.left, pred.right
+        if isinstance(left, Col) and isinstance(right, Col):
+            lp = _position_of(left, schema)
+            rp = _position_of(right, schema)
+            if lp is None or rp is None:
+                return _const(False)  # NULL operand → UNKNOWN → False
+
+            def run_cc(row, lp=lp, rp=rp, fn=fn):
+                a = row[lp]
+                b = row[rp]
+                return a is not None and b is not None and fn(a, b)
+
+            return run_cc
+        if isinstance(left, Col) and isinstance(right, Lit):
+            lp = _position_of(left, schema)
+            if lp is None or right.value is None:
+                return _const(False)
+            value = right.value
+            return (
+                lambda row, p=lp, v=value, fn=fn: row[p] is not None
+                and fn(row[p], v)
+            )
+        if isinstance(left, Lit) and isinstance(right, Col):
+            rp = _position_of(right, schema)
+            if rp is None or left.value is None:
+                return _const(False)
+            value = left.value
+            return (
+                lambda row, p=rp, v=value, fn=fn: row[p] is not None
+                and fn(v, row[p])
+            )
+        return None  # arithmetic operands: generic evaluator
+    if isinstance(pred, And):
+        parts = [_compile_fast(p, schema) for p in pred.parts]
+        if any(p is None for p in parts):
+            return None
+        return lambda row, fns=tuple(parts): all(f(row) for f in fns)
+    if isinstance(pred, Or):
+        parts = [_compile_fast(p, schema) for p in pred.parts]
+        if any(p is None for p in parts):
+            return None
+        return lambda row, fns=tuple(parts): any(f(row) for f in fns)
+    if isinstance(pred, NotTrue):
+        inner = _compile_fast(pred.pred, schema)
+        if inner is None:
+            return None
+        # eval3 is not True — exactly the negation of the inner closure.
+        return lambda row, f=inner: not f(row)
+    # Kleene NOT needs to distinguish False from UNKNOWN; fall back.
+    return None
 
 
 def null_predicate(table: str, key_column: str) -> IsNull:

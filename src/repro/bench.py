@@ -8,6 +8,7 @@ Run individual experiments or everything::
     python -m repro.bench fkshortcut  # §7 prose: customer/part updates
     python -m repro.bench ablations   # A1–A3 design-choice ablations
     python -m repro.bench obs         # telemetry overhead off vs on
+    python -m repro.bench plancache   # compiled vs interpreted plans
     python -m repro.bench all
 
 Pass ``--trace PATH`` to run the experiments with telemetry enabled:
@@ -28,16 +29,19 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import statistics
 import sys
 import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from .algebra import Q, eq
 from .baselines import (
     GriffinKumarMaintainer,
     RecomputeMaintainer,
     core_view_definition,
 )
+from .engine import Database
 from .obs import Telemetry
 from .core import (
     MaintenanceOptions,
@@ -45,6 +49,7 @@ from .core import (
     SECONDARY_COMBINED,
     SECONDARY_FROM_BASE,
     SECONDARY_FROM_VIEW,
+    ViewDefinition,
     ViewMaintainer,
 )
 from .tpch import TPCHGenerator, v3
@@ -512,6 +517,142 @@ def run_obs_overhead(
 
 
 # ---------------------------------------------------------------------------
+# E7 — plan cache: compiled vs interpreted maintenance latency
+# ---------------------------------------------------------------------------
+def _plancache_state(n_item: int, seed: int):
+    """A two-table database where the maintenance join probes a NON-key
+    column: ``category ⟕ item ON c_ref = i_grp``.  The V3 joins all land
+    on key columns (always hash-covered), so this view is what separates
+    the compiled path — persistent-index probe on ``item.i_grp`` — from
+    the interpreter, which re-hashes all of ``item`` on every update."""
+    rng = random.Random(seed)
+    n_groups = max(10, n_item // 20)
+    db = Database()
+    db.create_table(
+        "category", ["c_key", "c_ref", "c_label"], key=["c_key"]
+    )
+    db.create_table("item", ["i_key", "i_grp", "i_pad"], key=["i_key"])
+    db.insert(
+        "category",
+        [(k, rng.randrange(n_groups), f"c{k}") for k in range(n_groups)],
+    )
+    db.insert(
+        "item",
+        [
+            (k, rng.randrange(n_groups), rng.randrange(1_000_000))
+            for k in range(n_item)
+        ],
+    )
+    expr = (
+        Q.table("category")
+        .left_outer_join("item", on=eq("category.c_ref", "item.i_grp"))
+        .build()
+    )
+    return db, ViewDefinition("cat_items", expr), rng
+
+
+def run_plancache(
+    scale: float = DEFAULT_SCALE,
+    seed: int = 20070415,
+    rounds: int = 30,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Single-row maintenance latency vs base-table size, compiled
+    (plan cache + auto-index, the defaults) against interpreted
+    (``use_plan_cache=False, auto_index=False``).
+
+    The compiled curve should stay near-flat — after the first update the
+    plan is a cache hit and its join probes the auto-provisioned
+    ``item(i_grp)`` index — while the interpreted curve grows linearly
+    with ``|item|``.  ``BENCH_plancache.json`` records both series; CI
+    fails if compiled ever falls behind interpreted by > 10%.
+    """
+    sizes = [
+        max(50, int(n * scale / DEFAULT_SCALE))
+        for n in (2_000, 8_000, 32_000, 128_000)
+    ]
+    series: List[Dict[str, object]] = []
+    for n_item in sizes:
+        db0, defn, rng = _plancache_state(n_item, seed)
+        n_groups = max(10, n_item // 20)
+
+        def measure(options: Optional[MaintenanceOptions], telemetry=None):
+            db = db0.copy()
+            view = MaterializedView.materialize(defn, db)
+            maintainer = ViewMaintainer(
+                db, view, options=options, telemetry=telemetry
+            )
+            next_key = n_groups + 1_000_000
+            # warmup: absorbs plan compilation + index provisioning
+            maintainer.insert(
+                "category", [(next_key, rng.randrange(n_groups), "w")]
+            )
+            times = []
+            for i in range(rounds):
+                row = (
+                    next_key + 1 + i,
+                    rng.randrange(n_groups),
+                    f"r{i}",
+                )
+                times.append(
+                    timed(lambda: maintainer.insert("category", [row]))
+                )
+            return statistics.median(times), maintainer
+
+        compiled_telemetry = Telemetry()
+        compiled_median, compiled_m = measure(None, compiled_telemetry)
+        interpreted_median, _ = measure(
+            MaintenanceOptions(use_plan_cache=False, auto_index=False)
+        )
+        if n_item == sizes[0]:
+            compiled_m.check_consistency()  # oracle: compiled == recompute
+        cache = compiled_m.plan_cache
+        series.append(
+            {
+                "n_item": n_item,
+                "compiled_median_seconds": compiled_median,
+                "interpreted_median_seconds": interpreted_median,
+                "speedup": (
+                    interpreted_median / compiled_median
+                    if compiled_median
+                    else None
+                ),
+                "plan_cache_hits": cache.hits,
+                "plan_cache_misses": cache.misses,
+                "plan_cache_hit_rate": round(cache.hit_rate, 4),
+                "plan_cache_entries": len(cache),
+            }
+        )
+    record: Dict[str, object] = {
+        "experiment": "plancache",
+        "scale": scale,
+        "rounds": rounds,
+        "view": "category LEFT OUTER JOIN item ON c_ref = i_grp "
+        "(non-key probe column)",
+        "series": series,
+    }
+    largest = series[-1]
+    record["speedup_at_largest_scale"] = largest["speedup"]
+    if not quiet:
+        print_table(
+            f"Plan cache: single-row insert maintenance, median of "
+            f"{rounds} (SF multiplier {scale / DEFAULT_SCALE:g})",
+            ["|item|", "Compiled ms", "Interpreted ms", "Speedup", "Hit rate"],
+            [
+                (
+                    s["n_item"],
+                    f"{s['compiled_median_seconds'] * 1000:.3f}",
+                    f"{s['interpreted_median_seconds'] * 1000:.3f}",
+                    f"{s['speedup']:.1f}x",
+                    f"{s['plan_cache_hit_rate']:.2f}",
+                )
+                for s in series
+            ],
+        )
+    return record
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 def write_csv(path: str, rows: List[Dict[str, float]]) -> None:
@@ -545,6 +686,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "ablations",
             "scaling",
             "obs",
+            "plancache",
             "all",
         ],
     )
@@ -578,8 +720,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--json",
         metavar="PATH",
-        help="for the obs experiment: write the overhead record "
-        "(BENCH_obs.json) to PATH",
+        help="for the obs/plancache experiments: write the result record "
+        "(BENCH_obs.json / BENCH_plancache.json) to PATH",
     )
     args = parser.parse_args(argv)
 
@@ -620,7 +762,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             write_csv(_csv_path(args.csv, "scaling"), rows)
     if chosen in ("obs", "all"):
         record = run_obs_overhead(args.scale, seed=args.seed)
-        if args.json:
+        if args.json and chosen == "obs":
+            with open(args.json, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+    if chosen in ("plancache", "all"):
+        record = run_plancache(args.scale, seed=args.seed)
+        if args.json and chosen == "plancache":
             with open(args.json, "w") as handle:
                 json.dump(record, handle, indent=2)
                 handle.write("\n")

@@ -15,7 +15,13 @@ Public entry points:
   separately for study and testing.
 """
 
-from .advisor import ForeignKeySuggestion, advise, suggest_foreign_keys
+from .advisor import (
+    ForeignKeySuggestion,
+    IndexSuggestion,
+    advise,
+    suggest_foreign_keys,
+    suggest_indexes,
+)
 from .batch import UpdateBatch
 from .aggregate import (
     Aggregate,
@@ -49,6 +55,8 @@ from .primary import primary_delta_expression, vd_expression
 from .secondary import (
     DELETE,
     INSERT,
+    CompiledBaseSecondary,
+    CompiledViewSecondary,
     old_state,
     secondary_from_base,
     secondary_from_view,
@@ -80,6 +88,8 @@ __all__ = [
     "n_predicate",
     "secondary_from_view",
     "secondary_from_base",
+    "CompiledViewSecondary",
+    "CompiledBaseSecondary",
     "old_state",
     "INSERT",
     "DELETE",
@@ -87,7 +97,9 @@ __all__ = [
     "UpdateBatch",
     "advise",
     "suggest_foreign_keys",
+    "suggest_indexes",
     "ForeignKeySuggestion",
+    "IndexSuggestion",
     "Aggregate",
     "count_star",
     "count_col",

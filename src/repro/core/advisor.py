@@ -10,10 +10,15 @@ declarations that would shrink the normal form or short-circuit updates:
   non-null ``A.x`` value exists in ``B`` and ``A.x`` is NOT NULL: if
   declared, the normal-form pruning and Theorem 3 reductions apply;
 * per candidate, the **term-count reduction** and the list of base
-  tables whose inserts/deletes would become provable no-ops.
+  tables whose inserts/deletes would become provable no-ops;
+* **missing base-table indexes** — non-key columns the view's ΔV^D
+  plans would probe on each update (:func:`suggest_indexes`).  A
+  :class:`~repro.core.maintain.ViewMaintainer` with ``auto_index`` on
+  provisions these automatically; the advisor surfaces them for systems
+  that manage indexes externally.
 
-The check is a point-in-time data property; the advisor says so in its
-report — declaring the constraint is the schema owner's call.
+The FK check is a point-in-time data property; the advisor says so in
+its report — declaring the constraint is the schema owner's call.
 """
 
 from __future__ import annotations
@@ -175,6 +180,66 @@ def suggest_foreign_keys(
     return suggestions
 
 
+@dataclass
+class IndexSuggestion:
+    """A base-table index some maintenance plan would probe."""
+
+    table: str
+    columns: Tuple[str, ...]  # qualified names
+    exists: bool
+    probing_updates: List[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        bare = ", ".join(c.split(".", 1)[1] for c in self.columns)
+        updates = ", ".join(sorted(self.probing_updates))
+        status = "exists" if self.exists else "missing"
+        return (
+            f"INDEX ON {self.table}({bare}) [{status}] — probed by the "
+            f"delta plans for updates of {updates}"
+        )
+
+
+def suggest_indexes(
+    definition: ViewDefinition, db: Database
+) -> List[IndexSuggestion]:
+    """Base-table indexes the view's ΔV^D plans probe, per updated table.
+
+    Builds the same left-deep primary-delta expressions the maintainer
+    compiles and walks their joins for base-relation probe sites (key
+    probes are excluded; every table's key hash already covers those).
+    """
+    from ..algebra.expr import delta_label
+    from ..engine.index import find_index
+    from ..errors import UnsupportedViewError
+    from ..planner.provision import probe_sites
+    from .leftdeep import to_left_deep
+    from .primary import primary_delta_expression
+
+    by_site: dict = {}
+    for table in sorted(definition.tables):
+        expr = primary_delta_expression(definition.join_expr, table)
+        try:
+            expr = to_left_deep(expr, db)
+        except UnsupportedViewError:
+            pass  # bushy trees still expose their probe sites
+        schemas = {delta_label(table): db.table(table).schema}
+        for site_table, columns in probe_sites(expr, db, schemas):
+            suggestion = by_site.get((site_table, columns))
+            if suggestion is None:
+                suggestion = IndexSuggestion(
+                    table=site_table,
+                    columns=columns,
+                    exists=find_index(db.table(site_table), columns)
+                    is not None,
+                )
+                by_site[(site_table, columns)] = suggestion
+            if table not in suggestion.probing_updates:
+                suggestion.probing_updates.append(table)
+    return sorted(
+        by_site.values(), key=lambda s: (s.exists, s.table, s.columns)
+    )
+
+
 def _with_hypothetical_fk(
     db: Database, source_col: str, target_col: str
 ) -> Database:
@@ -234,15 +299,25 @@ def advise(definition: ViewDefinition, db: Database) -> str:
             "  no undeclared foreign keys found on the view's equijoins "
             "(or none would change maintenance)."
         )
-        return "\n".join(lines)
-    lines.append(
-        "  the data currently satisfies these undeclared constraints; "
-        "declaring them unlocks Section 6's optimizations:"
-    )
-    for suggestion in suggestions:
-        lines.append(f"  - {suggestion.describe()}")
-    lines.append(
-        "  (data-dependent finding: verify the dependency is intended "
-        "before declaring it.)"
-    )
+    else:
+        lines.append(
+            "  the data currently satisfies these undeclared constraints; "
+            "declaring them unlocks Section 6's optimizations:"
+        )
+        for suggestion in suggestions:
+            lines.append(f"  - {suggestion.describe()}")
+        lines.append(
+            "  (data-dependent finding: verify the dependency is intended "
+            "before declaring it.)"
+        )
+    indexes = suggest_indexes(definition, db)
+    missing = [s for s in indexes if not s.exists]
+    if missing:
+        lines.append(
+            "  maintenance plans probe these un-indexed base-table "
+            "columns (auto-provisioned by ViewMaintainer unless "
+            "auto_index is off):"
+        )
+        for suggestion in missing:
+            lines.append(f"  - {suggestion.describe()}")
     return "\n".join(lines)

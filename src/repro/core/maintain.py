@@ -34,8 +34,9 @@ from ..algebra.subsumption import SubsumptionGraph
 from ..engine.catalog import Database
 from ..engine.schema import Schema
 from ..engine.table import Row, Table
-from ..errors import MaintenanceError, UnsupportedViewError
+from ..errors import MaintenanceError, ReproError, UnsupportedViewError
 from ..obs import Telemetry
+from ..planner import PlanCache, PlanCompileError, compile_plan, provision_indexes
 from .fk import simplify_tree
 from .leftdeep import to_left_deep
 from .maintgraph import MaintenanceGraph
@@ -43,6 +44,8 @@ from .primary import primary_delta_expression
 from .secondary import (
     DELETE,
     INSERT,
+    CompiledBaseSecondary,
+    CompiledViewSecondary,
     secondary_from_base,
     secondary_from_view_indexed,
 )
@@ -66,6 +69,20 @@ class MaintenanceOptions:
     secondary_strategy: str = SECONDARY_FROM_VIEW
     count_term_rows: bool = False  # fill report.primary_term_rows (Table 1)
     collect_stats: bool = False  # fill report.stats with row counters
+    use_plan_cache: bool = True  # compile-once physical maintenance plans
+    auto_index: bool = True  # provision base-table indexes plans probe
+
+    def fingerprint(self) -> Tuple:
+        """The structural part of plan-cache fingerprints: any change to
+        these fields changes the logical trees the maintainer builds."""
+        return (
+            self.left_deep,
+            self.use_fk_simplify,
+            self.use_fk_graph_reduction,
+            self.use_fk_normal_form,
+            self.secondary_strategy,
+            self.auto_index,
+        )
 
 
 @dataclass
@@ -153,6 +170,12 @@ class ViewMaintainer:
         self._graph: Optional[SubsumptionGraph] = None
         self._delta_exprs: Dict[Tuple[str, bool], Optional[RelExpr]] = {}
         self._mgraphs: Dict[Tuple[str, bool], MaintenanceGraph] = {}
+        # Compiled physical plans, fingerprinted on (options, index set).
+        self._plan_cache = PlanCache()
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        return self._plan_cache
 
     # ------------------------------------------------------------------
     # cached structure
@@ -193,6 +216,67 @@ class ViewMaintainer:
                 expr = result.expression
             self._delta_exprs[key] = expr
         return self._delta_exprs[key]
+
+    # ------------------------------------------------------------------
+    # compiled plans
+    # ------------------------------------------------------------------
+    def _fingerprint(self) -> Tuple:
+        """Current plan-cache fingerprint: the options' structural fields
+        plus the database's index epoch (indexes change build-side
+        choices, and the planner itself may provision them)."""
+        return self.options.fingerprint() + (self.db.index_epoch,)
+
+    def _cached_plan(self, key: Tuple, builder):
+        """The compiled plan under *key*, recompiling via *builder* when
+        absent or stale.  *builder* returns the plan or ``None``
+        ("uncompilable — use the interpreter"); either result is cached.
+        """
+        found, plan = self._plan_cache.get(key, self._fingerprint())
+        tel = self.telemetry
+        tel.record_plan_cache(self.definition.name, hit=found)
+        if found:
+            return plan
+        with tel.tracer.span("compile_plan", view=self.definition.name,
+                             key="/".join(str(p) for p in key)):
+            started = time.perf_counter()
+            plan = builder()
+            tel.record_plan_compile(
+                self.definition.name, time.perf_counter() - started
+            )
+        # The builder may have provisioned indexes (bumping the epoch);
+        # store under the post-build fingerprint so the next lookup hits.
+        self._plan_cache.store(key, self._fingerprint(), plan)
+        return plan
+
+    def _build_primary_plan(self, table: str, expr: RelExpr):
+        schemas = {delta_label(table): self.db.table(table).schema}
+        try:
+            if self.options.auto_index:
+                provision_indexes(expr, self.db, schemas)
+            return compile_plan(expr, self.db, schemas)
+        except PlanCompileError:
+            return None
+
+    def _build_view_secondary(self, term, mgraph, delta_schema, operation):
+        try:
+            return CompiledViewSecondary(
+                term, mgraph, self.view, delta_schema, self.db, operation
+            )
+        except ReproError:
+            return None
+
+    def _build_base_secondary(
+        self, term, mgraph, delta_schema, operation, table
+    ):
+        try:
+            plan = CompiledBaseSecondary(
+                term, mgraph, delta_schema, self.db, operation, table
+            )
+            if self.options.auto_index:
+                provision_indexes(plan.expr, self.db, plan.plan.binding_schemas)
+            return plan
+        except ReproError:
+            return None
 
     # ------------------------------------------------------------------
     # public update API
@@ -323,9 +407,19 @@ class ViewMaintainer:
         if expr is None:
             report.primary_skipped = True
             return None
-        return evaluate(
-            expr, self.db, {delta_label(table): delta}, stats=report.stats
-        )
+        bindings = {delta_label(table): delta}
+        if self.options.use_plan_cache and report.stats is None:
+            use_fk = fk_allowed and self.options.use_fk_simplify
+            plan = self._cached_plan(
+                ("primary", table, use_fk),
+                lambda: self._build_primary_plan(table, expr),
+            )
+            if plan is not None:
+                try:
+                    return plan.execute(self.db, bindings)
+                except PlanCompileError:
+                    pass  # unexpected binding shape; interpreter handles it
+        return evaluate(expr, self.db, bindings, stats=report.stats)
 
     def _apply_primary(
         self, primary: Table, operation: str, report: MaintenanceReport
@@ -377,16 +471,15 @@ class ViewMaintainer:
                 "secondary", term=term.label(), strategy=term_strategy
             ) as span:
                 if term_strategy == SECONDARY_FROM_BASE:
-                    rows = secondary_from_base(
-                        term, mgraph, primary, self.db, operation, table, delta,
-                        stats=report.stats,
+                    rows = self._secondary_base_rows(
+                        term, mgraph, primary, operation, table, delta, report
                     )
                 else:
                     # Index-seek variant of Section 5.2; reads the live view,
                     # so parent-term orphans inserted above are visible here
                     # (the parents-first requirement of the module docstring).
-                    rows = secondary_from_view_indexed(
-                        term, mgraph, self.view, primary, self.db, operation
+                    rows = self._secondary_view_rows(
+                        term, mgraph, primary, operation, table
                     )
                 aligned = self._align_rows(rows)
                 if operation == INSERT:
@@ -395,6 +488,49 @@ class ViewMaintainer:
                     count = self.view.insert_rows(aligned)
                 report.secondary_rows[term.label()] = count
                 span.record_rows(count)
+
+    def _secondary_view_rows(
+        self, term, mgraph, primary: Table, operation: str, table: str
+    ) -> Table:
+        if self.options.use_plan_cache:
+            plan = self._cached_plan(
+                ("secondary-view", table, term.label(), operation),
+                lambda: self._build_view_secondary(
+                    term, mgraph, primary.schema, operation
+                ),
+            )
+            if plan is not None and plan.matches(primary):
+                return plan.execute(self.view, primary)
+        return secondary_from_view_indexed(
+            term, mgraph, self.view, primary, self.db, operation
+        )
+
+    def _secondary_base_rows(
+        self,
+        term,
+        mgraph,
+        primary: Table,
+        operation: str,
+        table: str,
+        delta: Table,
+        report: MaintenanceReport,
+    ) -> Table:
+        if self.options.use_plan_cache and report.stats is None:
+            plan = self._cached_plan(
+                ("secondary-base", table, term.label(), operation),
+                lambda: self._build_base_secondary(
+                    term, mgraph, primary.schema, operation, table
+                ),
+            )
+            if plan is not None and plan.matches(primary):
+                try:
+                    return plan.execute(self.db, primary, delta)
+                except PlanCompileError:
+                    pass  # unexpected binding shape; interpreter handles it
+        return secondary_from_base(
+            term, mgraph, primary, self.db, operation, table, delta,
+            stats=report.stats,
+        )
 
     def _choose_secondary_strategy(
         self, term: Term, mgraph: MaintenanceGraph, table: str

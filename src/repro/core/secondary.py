@@ -18,6 +18,14 @@ affected term ``Eᵢ`` the change ``ΔDᵢ`` is computed either
 Both strategies return rows over the term's source-table columns; the
 caller pads them to the view schema and applies them with the *opposite*
 operation of the primary delta (delete on insert, insert on delete).
+
+Each strategy comes in two forms: a plain function (compiling its
+predicates per call — used by tests and by stats-collecting passes) and a
+**compiled plan** (:class:`CompiledViewSecondary`,
+:class:`CompiledBaseSecondary`) that resolves predicates, positions and —
+for the base route — the whole Section 5.3 expression once.  The
+:class:`~repro.core.maintain.ViewMaintainer` caches the compiled form per
+(term, operation) so repeated updates never re-plan.
 """
 
 from __future__ import annotations
@@ -43,8 +51,10 @@ from ..algebra.predicates import (
 )
 from ..engine import operators as ops
 from ..engine.catalog import Database
+from ..engine.schema import Schema
 from ..engine.table import Table
 from ..errors import MaintenanceError
+from ..planner.compile import CompiledPlan, compile_plan
 from .extract import n_predicate, nn_predicate, term_columns
 from .maintgraph import MaintenanceGraph
 
@@ -133,20 +143,13 @@ def secondary_from_view(
     raise MaintenanceError(f"unknown operation {operation!r}")
 
 
-def secondary_from_view_indexed(
-    term: Term,
-    mgraph: MaintenanceGraph,
-    view,
-    primary_delta: Table,
-    db: Database,
-    operation: str,
-) -> Table:
-    """Index-seek variant of :func:`secondary_from_view`.
+class CompiledViewSecondary:
+    """Pre-bound Section 5.2 index-seek plan for one (term, operation).
 
     The paper's experiment gave V3 a *second* index precisely so the
     orphan probes become seeks (``create index V4_idx on V4(p_partkey,
     …)``).  Here the materialized view's key hash plays the clustered
-    index and lazily built sub-key count indexes play ``V4_idx``:
+    index and lazily built sub-key indexes play ``V4_idx``:
 
     * insertions — an orphan of term Tᵢ has the unique view key
       ``(Tᵢ keys, NULL, …)``; each ΔV^D row touching a directly affected
@@ -155,71 +158,152 @@ def secondary_from_view_indexed(
     * deletions — a candidate is a new orphan iff no view row carries its
       Tᵢ key values, a count lookup in the sub-key index.
 
-    *view* is the :class:`~repro.core.view.MaterializedView` itself (not
-    a snapshot) so freshly inserted parent orphans are visible to child
-    terms automatically.
+    Everything that depends only on schemas — the ``Pᵢ`` filter closure,
+    the delta→term-key positions, the view-key slot mapping, the
+    candidate projection — is resolved here, once.
     """
-    pi = _parent_filter(term, mgraph, db)
-    passes = compile_predicate(pi, primary_delta.schema)
-    term_key_cols = [
-        col for t in sorted(term.source) for col in db.table(t).key
-    ]
-    delta_key_positions = [
-        primary_delta.schema.index_of(c) if c in primary_delta.schema else None
-        for c in term_key_cols
-    ]
 
-    if operation == INSERT:
-        slot = {c: i for i, c in enumerate(view.key_cols)}
-        width = len(view.key_cols)
-        found: List = []
-        seen = set()
-        for row in primary_delta.rows:
-            if not passes(row):
-                continue
-            sub = tuple(
-                row[p] if p is not None else None
-                for p in delta_key_positions
-            )
-            if None in sub or sub in seen:
-                continue
-            seen.add(sub)
-            orphan_key = [None] * width
-            for col, value in zip(term_key_cols, sub):
-                orphan_key[slot[col]] = value
-            orphan = view._rows.get(tuple(orphan_key))
-            if orphan is not None:
-                found.append(orphan)
-        return Table("d", view.schema, found)
+    __slots__ = (
+        "operation",
+        "delta_columns",
+        "passes",
+        "term_key_cols",
+        "delta_key_positions",
+        "key_slots",
+        "key_width",
+        "cand_columns",
+        "cand_positions",
+        "cand_schema",
+    )
 
-    if operation == DELETE:
-        index = view.subkey_index(tuple(term_key_cols))
-        cols = term_columns(term, primary_delta.schema.columns)
-        col_positions = primary_delta.schema.positions(cols)
+    def __init__(
+        self,
+        term: Term,
+        mgraph: MaintenanceGraph,
+        view,
+        delta_schema: Schema,
+        db: Database,
+        operation: str,
+    ):
+        if operation not in (INSERT, DELETE):
+            raise MaintenanceError(f"unknown operation {operation!r}")
+        self.operation = operation
+        self.delta_columns = tuple(delta_schema.columns)
+        pi = _parent_filter(term, mgraph, db)
+        self.passes = compile_predicate(pi, delta_schema)
+        self.term_key_cols = tuple(
+            col for t in sorted(term.source) for col in db.table(t).key
+        )
+        self.delta_key_positions = tuple(
+            delta_schema.index_of(c) if c in delta_schema else None
+            for c in self.term_key_cols
+        )
+        if operation == INSERT:
+            slot = {c: i for i, c in enumerate(view.key_cols)}
+            self.key_width = len(view.key_cols)
+            self.key_slots = tuple(slot[c] for c in self.term_key_cols)
+        else:
+            cols = term_columns(term, delta_schema.columns)
+            self.cand_columns = cols
+            self.cand_positions = delta_schema.positions(cols)
+            self.cand_schema = Schema(cols)
+
+    def matches(self, primary_delta: Table) -> bool:
+        """Whether this plan was compiled for *primary_delta*'s schema."""
+        return tuple(primary_delta.schema.columns) == self.delta_columns
+
+    def execute(self, view, primary_delta: Table) -> Table:
+        """*view* is the live :class:`~repro.core.view.MaterializedView`
+        (not a snapshot) so freshly inserted parent orphans are visible to
+        child terms automatically."""
+        if self.operation == INSERT:
+            found: List = []
+            seen = set()
+            for row in primary_delta.rows:
+                if not self.passes(row):
+                    continue
+                sub = tuple(
+                    row[p] if p is not None else None
+                    for p in self.delta_key_positions
+                )
+                if None in sub or sub in seen:
+                    continue
+                seen.add(sub)
+                orphan_key = [None] * self.key_width
+                for slot, value in zip(self.key_slots, sub):
+                    orphan_key[slot] = value
+                orphan = view._rows.get(tuple(orphan_key))
+                if orphan is not None:
+                    found.append(orphan)
+            return Table("d", view.schema, found)
+
+        index = view.subkey_index(self.term_key_cols)
         out: List = []
         seen = set()
         for row in primary_delta.rows:
-            if not passes(row):
+            if not self.passes(row):
                 continue
             sub = tuple(
                 row[p] if p is not None else None
-                for p in delta_key_positions
+                for p in self.delta_key_positions
             )
             if None in sub or sub in seen:
                 continue
             seen.add(sub)
-            if index.get(sub, 0) == 0:
-                out.append(tuple(row[p] for p in col_positions))
-        from ..engine.schema import Schema
+            if index.count(sub) == 0:
+                out.append(tuple(row[p] for p in self.cand_positions))
+        return Table("d", self.cand_schema, out)
 
-        return Table("d", Schema(cols), out)
 
-    raise MaintenanceError(f"unknown operation {operation!r}")
+def secondary_from_view_indexed(
+    term: Term,
+    mgraph: MaintenanceGraph,
+    view,
+    primary_delta: Table,
+    db: Database,
+    operation: str,
+) -> Table:
+    """Index-seek variant of :func:`secondary_from_view` — compiles a
+    :class:`CompiledViewSecondary` and runs it once.  The maintainer
+    caches the compiled plan instead of calling this wrapper."""
+    plan = CompiledViewSecondary(
+        term, mgraph, view, primary_delta.schema, db, operation
+    )
+    return plan.execute(view, primary_delta)
 
 
 # ---------------------------------------------------------------------------
 # Section 5.3 — from base tables
 # ---------------------------------------------------------------------------
+def _base_candidate_predicate(
+    term: Term, mgraph: MaintenanceGraph, db: Database
+) -> Predicate:
+    """``Qᵢ = nn(Tᵢ) ∧ n(∪_{Eₖ∈pari(Eᵢ)} Rₖ)`` — the candidate filter."""
+    si = term.source
+    indirect_extra = frozenset()
+    for parent in mgraph.indirect_parents(term):
+        indirect_extra |= parent.source - si
+    return conjoin([nn_predicate(si, db), n_predicate(indirect_extra, db)])
+
+
+def _base_state_expression(
+    term: Term,
+    mgraph: MaintenanceGraph,
+    db: Database,
+    operation: str,
+    updated_table: str,
+) -> RelExpr:
+    """The full Section 5.3 result expression: the candidates anti-joined
+    against one ``E'ₖ`` per directly affected parent."""
+    result_expr: RelExpr = Bound("candidates", over=sorted(term.source))
+    for parent in mgraph.direct_parents(term):
+        parent_expr, antijoin_pred = _parent_state_expression(
+            term, parent, updated_table, db, operation
+        )
+        result_expr = Join("anti", result_expr, parent_expr, antijoin_pred)
+    return result_expr
+
+
 def secondary_from_base(
     term: Term,
     mgraph: MaintenanceGraph,
@@ -238,14 +322,7 @@ def secondary_from_base(
     from the parent's extra tables ``Rₖ`` and the updated table's old
     state (insertions) or new state (deletions).
     """
-    si = term.source
-    indirect_extra = frozenset()
-    for parent in mgraph.indirect_parents(term):
-        indirect_extra |= parent.source - si
-
-    qi = conjoin(
-        [nn_predicate(si, db), n_predicate(indirect_extra, db)]
-    )
+    qi = _base_candidate_predicate(term, mgraph, db)
     filtered = ops.select(
         primary_delta, compile_predicate(qi, primary_delta.schema)
     )
@@ -257,13 +334,85 @@ def secondary_from_base(
         "candidates": candidates,
         delta_label(updated_table): delta_table,
     }
-    result_expr: RelExpr = Bound("candidates", over=sorted(si))
-    for parent in mgraph.direct_parents(term):
-        parent_expr, antijoin_pred = _parent_state_expression(
-            term, parent, updated_table, db, operation
-        )
-        result_expr = Join("anti", result_expr, parent_expr, antijoin_pred)
+    result_expr = _base_state_expression(
+        term, mgraph, db, operation, updated_table
+    )
     return evaluate(result_expr, db, bindings, stats=stats)
+
+
+class CompiledBaseSecondary:
+    """Pre-bound Section 5.3 plan for one (term, operation, table).
+
+    The candidate filter/projection closures and the compiled physical
+    plan of the (anti-join chain) state expression are built once; each
+    execution only filters the delta, projects the candidates and runs
+    the plan."""
+
+    __slots__ = (
+        "operation",
+        "updated_table",
+        "delta_columns",
+        "qi",
+        "cand_columns",
+        "cand_positions",
+        "cand_schema",
+        "expr",
+        "plan",
+    )
+
+    def __init__(
+        self,
+        term: Term,
+        mgraph: MaintenanceGraph,
+        delta_schema: Schema,
+        db: Database,
+        operation: str,
+        updated_table: str,
+    ):
+        self.operation = operation
+        self.updated_table = updated_table
+        self.delta_columns = tuple(delta_schema.columns)
+        qi = _base_candidate_predicate(term, mgraph, db)
+        self.qi = compile_predicate(qi, delta_schema)
+        cols = term_columns(term, delta_schema.columns)
+        self.cand_columns = cols
+        self.cand_positions = delta_schema.positions(cols)
+        self.cand_schema = Schema(cols)
+        result_expr = _base_state_expression(
+            term, mgraph, db, operation, updated_table
+        )
+        self.expr = result_expr  # kept for index provisioning
+        self.plan: CompiledPlan = compile_plan(
+            result_expr,
+            db,
+            {
+                "candidates": self.cand_schema,
+                delta_label(updated_table): db.table(updated_table).schema,
+            },
+        )
+
+    def matches(self, primary_delta: Table) -> bool:
+        return tuple(primary_delta.schema.columns) == self.delta_columns
+
+    def execute(
+        self, db: Database, primary_delta: Table, delta_table: Table
+    ) -> Table:
+        filtered = ops.select(primary_delta, self.qi)
+        candidates = ops.distinct(
+            ops.project(
+                filtered,
+                self.cand_columns,
+                positions=self.cand_positions,
+                schema=self.cand_schema,
+            )
+        )
+        return self.plan.execute(
+            db,
+            {
+                "candidates": candidates,
+                delta_label(self.updated_table): delta_table,
+            },
+        )
 
 
 def _parent_state_expression(

@@ -26,6 +26,76 @@ from ..engine.table import Row, Table
 from ..errors import MaintenanceError, UnsupportedViewError
 
 
+class SubkeyIndex:
+    """A secondary view index (the paper's ``V4_idx``) over a column
+    subset: for each all-non-null value combination, the set of view keys
+    carrying it.
+
+    Storing keys (not just counts) lets :meth:`MaterializedView.lookup`
+    answer subset-equality probes by point lookups into the view's key
+    hash instead of scanning every row, while ``count``/``get`` preserve
+    the count semantics the maintainer's orphan probes need.  Column
+    positions are resolved once at construction, not per indexed row.
+    """
+
+    __slots__ = ("columns", "positions", "groups")
+
+    def __init__(self, columns: Tuple[str, ...], positions: Tuple[int, ...]):
+        self.columns = columns
+        self.positions = positions
+        # value tuple -> {view key: None} (an insertion-ordered set)
+        self.groups: Dict[Row, Dict[Row, None]] = {}
+
+    def sub_of(self, row: Row) -> Row:
+        return tuple(row[p] for p in self.positions)
+
+    def add(self, row: Row, key: Row) -> None:
+        sub = self.sub_of(row)
+        if None not in sub:
+            self.groups.setdefault(sub, {})[key] = None
+
+    def discard(self, row: Row, key: Row) -> None:
+        sub = self.sub_of(row)
+        group = self.groups.get(sub)
+        if group is not None:
+            group.pop(key, None)
+            if not group:
+                del self.groups[sub]
+
+    def count(self, sub: Row) -> int:
+        group = self.groups.get(sub)
+        return len(group) if group is not None else 0
+
+    def get(self, sub: Row, default: int = 0) -> int:
+        """Count of rows under *sub* (dict-of-counts compatibility)."""
+        group = self.groups.get(sub)
+        return len(group) if group is not None else default
+
+    def keys_for(self, sub: Row) -> List[Row]:
+        """View keys of the rows carrying *sub*."""
+        group = self.groups.get(sub)
+        return list(group) if group is not None else []
+
+    def copy(self) -> "SubkeyIndex":
+        twin = SubkeyIndex(self.columns, self.positions)
+        twin.groups = {sub: dict(g) for sub, g in self.groups.items()}
+        return twin
+
+    def __len__(self) -> int:
+        return len(self.groups)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, SubkeyIndex):
+            return self.columns == other.columns and self.groups == other.groups
+        if isinstance(other, dict):
+            # tests compare against plain {value tuple: count} dicts
+            return {sub: len(g) for sub, g in self.groups.items()} == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SubkeyIndex({list(self.columns)}, {len(self.groups)} groups)"
+
+
 class ViewDefinition:
     """A named SPOJ view: expression + output columns.
 
@@ -138,10 +208,10 @@ class MaterializedView:
         self.key_cols = definition.key_columns(db)
         self._key_positions = self.schema.positions(self.key_cols)
         self._rows: Dict[Row, Row] = {}
-        # Secondary view indexes (the paper's V4_idx): per column tuple, a
-        # count of rows whose values there are all non-null, keyed by the
-        # value tuple.  Used by the maintainer's orphan probes.
-        self._subkey_indexes: Dict[Tuple[str, ...], Dict[Row, int]] = {}
+        # Secondary view indexes (the paper's V4_idx), lazily built per
+        # column tuple.  Used by the maintainer's orphan probes and by
+        # lookup(); see SubkeyIndex.
+        self._subkey_indexes: Dict[Tuple[str, ...], SubkeyIndex] = {}
 
     # ------------------------------------------------------------------
     @classmethod
@@ -184,42 +254,27 @@ class MaterializedView:
         twin._key_positions = self._key_positions
         twin._rows = dict(self._rows)
         twin._subkey_indexes = {
-            cols: dict(counts)
-            for cols, counts in self._subkey_indexes.items()
+            cols: index.copy()
+            for cols, index in self._subkey_indexes.items()
         }
         return twin
 
     # ------------------------------------------------------------------
     # secondary view indexes
     # ------------------------------------------------------------------
-    def subkey_index(self, columns: Tuple[str, ...]) -> Dict[Row, int]:
-        """A (lazily built, then maintained) count index over *columns*:
-        how many view rows carry each all-non-null value combination.
-        This is the paper's secondary view index (``V4_idx``) in spirit —
-        it turns the Section 5.2 orphan anti-joins into point probes."""
+    def subkey_index(self, columns: Tuple[str, ...]) -> SubkeyIndex:
+        """A (lazily built, then maintained) :class:`SubkeyIndex` over
+        *columns*.  This is the paper's secondary view index (``V4_idx``)
+        in spirit — it turns the Section 5.2 orphan anti-joins and
+        :meth:`lookup` equality probes into point seeks."""
         columns = tuple(columns)
         index = self._subkey_indexes.get(columns)
         if index is None:
-            positions = self.schema.positions(columns)
-            index = {}
-            for row in self._rows.values():
-                sub = tuple(row[p] for p in positions)
-                if None not in sub:
-                    index[sub] = index.get(sub, 0) + 1
+            index = SubkeyIndex(columns, self.schema.positions(columns))
+            for key, row in self._rows.items():
+                index.add(row, key)
             self._subkey_indexes[columns] = index
         return index
-
-    def _index_row(self, row: Row, sign: int) -> None:
-        for columns, index in self._subkey_indexes.items():
-            positions = self.schema.positions(columns)
-            sub = tuple(row[p] for p in positions)
-            if None in sub:
-                continue
-            count = index.get(sub, 0) + sign
-            if count <= 0:
-                index.pop(sub, None)
-            else:
-                index[sub] = count
 
     # ------------------------------------------------------------------
     # point queries (what the view is *for*)
@@ -229,8 +284,10 @@ class MaterializedView:
 
         Column names use underscores for dots in keyword form, or pass a
         dict via ``view.lookup(**{"part.p_partkey": 5})``.  A lookup on a
-        column subset builds (once) and then reuses a sub-key index; a
-        full view-key lookup is a plain hash probe.
+        column subset builds (once) and then reuses a sub-key index and is
+        answered entirely by index seeks; a full view-key lookup is a
+        plain hash probe.  Only NULL-valued probes scan (the sub-key
+        indexes store non-null combinations only).
         """
         columns = tuple(sorted(equalities))
         values = tuple(equalities[c] for c in columns)
@@ -242,12 +299,9 @@ class MaterializedView:
             )
             row = self._rows.get(ordered)
             return [row] if row is not None else []
-        # serve equality probes from a sub-key count index only when all
-        # probed values are non-null; NULL probes fall back to a scan
         if None not in values:
             index = self.subkey_index(columns)
-            if index.get(values, 0) == 0:
-                return []
+            return [self._rows[k] for k in index.keys_for(values)]
         positions = self.schema.positions(columns)
         return [
             row
@@ -270,8 +324,8 @@ class MaterializedView:
                 )
             stored = tuple(row)
             self._rows[key] = stored
-            if self._subkey_indexes:
-                self._index_row(stored, +1)
+            for index in self._subkey_indexes.values():
+                index.add(stored, key)
             added += 1
         return added
 
@@ -285,8 +339,9 @@ class MaterializedView:
                     f"view {self.definition.name!r}: key {key!r} absent on "
                     "delete — maintenance produced an inconsistent delta"
                 )
-            if self._subkey_indexes:
-                self._index_row(self._rows[key], -1)
+            stored = self._rows[key]
+            for index in self._subkey_indexes.values():
+                index.discard(stored, key)
             del self._rows[key]
             removed += 1
         return removed

@@ -23,6 +23,9 @@ class Database:
     def __init__(self):
         self.tables: Dict[str, Table] = {}
         self.foreign_keys: List[ForeignKey] = []
+        # Bumped whenever the set of persistent indexes changes; cached
+        # physical plans fingerprint it so index DDL invalidates them.
+        self.index_epoch: int = 0
 
     # ------------------------------------------------------------------
     # DDL
@@ -58,6 +61,7 @@ class Database:
         from .index import HashIndex
 
         table.indexes.append(HashIndex(table, qualified_key))
+        self.index_epoch += 1
         return table
 
     def create_index(self, table: str, columns: Sequence[str]):
@@ -73,6 +77,7 @@ class Database:
             return existing[0]
         index = HashIndex(base, qualified)
         base.indexes.append(index)
+        self.index_epoch += 1
         return index
 
     def add_foreign_key(
@@ -168,10 +173,11 @@ class Database:
             self._check_outgoing_fks(
                 name, new_rows, skip_deferrable=defer_deferrable
             )
+        start = len(table.rows)
         table.rows.extend(new_rows)
         for index in table.indexes:
-            for row in new_rows:
-                index.add(row)
+            for offset, row in enumerate(new_rows):
+                index.add(row, start + offset)
         return delta
 
     def delete(self, name: str, rows: Iterable[Row], check: bool = True) -> Table:
@@ -192,10 +198,12 @@ class Database:
                     f"cannot delete {len(missing)} absent row(s) from {name!r}"
                 )
             self._check_incoming_fks(name, delta)
+        # Deleting compacts the row list, shifting positions of every row
+        # behind a deleted one; rebuilding the indexes is O(n) like the
+        # compaction itself, so asymptotics are unchanged.
         table.rows = [row for row in table.rows if row not in doomed_set]
         for index in table.indexes:
-            for row in delta.rows:
-                index.remove(row)
+            index.rebuild()
         return delta
 
     def delete_by_key(
@@ -336,6 +344,7 @@ class Database:
         clone = Database()
         clone.tables = {name: t.copy() for name, t in self.tables.items()}
         clone.foreign_keys = list(self.foreign_keys)
+        clone.index_epoch = self.index_epoch
         return clone
 
     def validate(self) -> None:

@@ -9,6 +9,11 @@ join columns), kept up to date by the catalog's DML, and picked up
 transparently by the join operator whenever its columns match the
 equi-join's inner side.
 
+Buckets store row *positions* (indexes into ``table.rows``), not row
+tuples: the join operator needs positions to track matched rows on the
+outer side, and storing them directly avoids ever materializing a
+reverse row→position map over the whole table.
+
 NULL semantics match the join's: rows with a NULL in any indexed column
 are not indexed (a NULL key can never match an equi-join probe).
 """
@@ -22,7 +27,8 @@ from .table import Row, Table
 
 
 class HashIndex:
-    """An equality index mapping column values to rows of one table."""
+    """An equality index mapping column values to row positions of one
+    table."""
 
     __slots__ = ("table", "columns", "positions", "buckets")
 
@@ -32,7 +38,7 @@ class HashIndex:
         if not self.columns:
             raise SchemaError("an index needs at least one column")
         self.positions: Tuple[int, ...] = table.schema.positions(self.columns)
-        self.buckets: Dict[Row, List[Row]] = {}
+        self.buckets: Dict[Row, List[int]] = {}
         self.rebuild()
 
     # ------------------------------------------------------------------
@@ -44,37 +50,30 @@ class HashIndex:
 
     def rebuild(self) -> None:
         self.buckets = {}
-        for row in self.table.rows:
+        for position, row in enumerate(self.table.rows):
             key = self.key_of(row)
             if key is not None:
-                self.buckets.setdefault(key, []).append(row)
+                self.buckets.setdefault(key, []).append(position)
 
     # ------------------------------------------------------------------
     # maintenance under DML
     # ------------------------------------------------------------------
-    def add(self, row: Row) -> None:
+    def add(self, row: Row, position: int) -> None:
+        """Register *row*, already placed at *position* of the table."""
         key = self.key_of(row)
         if key is not None:
-            self.buckets.setdefault(key, []).append(row)
-
-    def remove(self, row: Row) -> None:
-        key = self.key_of(row)
-        if key is None:
-            return
-        bucket = self.buckets.get(key)
-        if not bucket:
-            return
-        try:
-            bucket.remove(row)
-        except ValueError:
-            return
-        if not bucket:
-            del self.buckets[key]
+            self.buckets.setdefault(key, []).append(position)
 
     # ------------------------------------------------------------------
+    def lookup_positions(self, key: Row) -> List[int]:
+        """Positions (into ``table.rows``) of rows whose indexed columns
+        equal *key* (positionally)."""
+        return self.buckets.get(tuple(key), [])
+
     def lookup(self, key: Row) -> List[Row]:
         """Rows whose indexed columns equal *key* (positionally)."""
-        return self.buckets.get(tuple(key), [])
+        rows = self.table.rows
+        return [rows[p] for p in self.buckets.get(tuple(key), ())]
 
     def __len__(self) -> int:
         return sum(len(bucket) for bucket in self.buckets.values())

@@ -92,13 +92,23 @@ def select(table: Table, predicate: Predicate, name: str = "") -> Table:
 
 
 @_named("project")
-def project(table: Table, columns: Sequence[str], name: str = "") -> Table:
+def project(
+    table: Table,
+    columns: Sequence[str],
+    name: str = "",
+    positions: Optional[Sequence[int]] = None,
+    schema: Optional[Schema] = None,
+) -> Table:
     """``π_c`` — projection *without* duplicate elimination.
 
     The result keeps the input's key if all key columns survive.
+    *positions*/*schema* let a compiled plan supply the resolved column
+    positions and output schema once instead of per call.
     """
-    positions = table.schema.positions(columns)
-    schema = Schema(columns)
+    if positions is None:
+        positions = table.schema.positions(columns)
+    if schema is None:
+        schema = Schema(columns)
     rows = [tuple(row[p] for p in positions) for row in table.rows]
     key = table.key if table.key and all(c in schema for c in table.key) else None
     not_null = frozenset(c for c in table.not_null if c in schema)
@@ -129,14 +139,20 @@ def null_if(
     predicate: Predicate,
     columns: Sequence[str],
     name: str = "",
+    positions: Optional[frozenset] = None,
 ) -> Table:
     """``λ^c_p`` — the paper's null-if operator (Section 4.1).
 
     For every row satisfying *predicate*, set all *columns* to NULL; other
     rows pass through unchanged.  Used by the outer-join associativity
     rules 1, 4 and 5 to fix up tuples that should have been null-extended.
+
+    The input's key survives when no key column is among the nulled
+    *columns* (rows keep their key values, so uniqueness is preserved).
+    *positions* lets a compiled plan supply the resolved column positions.
     """
-    positions = set(table.schema.positions(columns))
+    if positions is None:
+        positions = set(table.schema.positions(columns))
     rows: List[Row] = []
     for row in table.rows:
         if predicate(row):
@@ -145,8 +161,10 @@ def null_if(
             )
         else:
             rows.append(row)
-    not_null = frozenset(c for c in table.not_null if c not in set(columns))
-    return Table(name or table.name, table.schema, rows, key=None, not_null=not_null)
+    nulled = set(columns)
+    not_null = frozenset(c for c in table.not_null if c not in nulled)
+    key = table.key if table.key and not nulled & set(table.key) else None
+    return Table(name or table.name, table.schema, rows, key=key, not_null=not_null)
 
 
 # ---------------------------------------------------------------------------
@@ -164,6 +182,7 @@ def join(
     equi: Sequence[Tuple[str, str]] = (),
     residual: Optional[Predicate] = None,
     name: str = "",
+    build: Optional[str] = None,
 ) -> Table:
     """Join *left* and *right*.
 
@@ -180,11 +199,26 @@ def join(
         Optional extra predicate evaluated on the concatenated row
         (left columns followed by right columns) — for semi/anti joins the
         right row is appended only for the duration of the test.
+    build:
+        Hash-build side for equi joins.  ``None`` (the default) builds on
+        the right — or probes a persistent right-side index when one
+        covers the equi columns.  ``"left"`` hashes the *left* input and
+        streams the right through it: the choice of a compiled plan when
+        the left side is a small delta and the right a large base table
+        with no covering index.
 
     Joins with no *equi* pairs fall back to a nested-loop strategy.
     """
     if kind not in JOIN_KINDS:
         raise SchemaError(f"unknown join kind {kind!r}")
+    if build == "left" and equi:
+        if kind in ("semi", "anti"):
+            return _semi_or_anti_build_left(
+                left, right, kind, equi, residual, name
+            )
+        return _full_width_join_build_left(
+            left, right, kind, equi, residual, name
+        )
     if kind in ("semi", "anti"):
         return _semi_or_anti(left, right, kind, equi, residual, name)
     return _full_width_join(left, right, kind, equi, residual, name)
@@ -251,41 +285,22 @@ def _persistent_probe(right: Table, rcols):
 def _probe_with_index(left, right, lpos, persistent, residual):
     """Probe a persistent index instead of building a fresh hash table.
 
-    Matches are returned as row indexes into ``right.rows``; a reverse
-    position map is built lazily only when the outer-join side needs to
-    track matched right rows.
+    The index stores row positions directly, so each probe is a hash
+    lookup plus (optionally) the residual filter — no scan of the right
+    input ever happens here.
     """
     index, permutation = persistent
-    row_positions: Dict[int, List[int]] = {}
-    position_of: Dict[Row, List[int]] = {}
-    # Row identity → positions (duplicates impossible for keyed tables but
-    # handled anyway): built once, O(|right|) only when first needed.
-    built = False
-
-    def positions_for(row) -> List[int]:
-        nonlocal built
-        if not built:
-            for j, rrow in enumerate(right.rows):
-                position_of.setdefault(rrow, []).append(j)
-            built = True
-        return position_of.get(row, [])
-
+    rrows = right.rows
     for i, lrow in enumerate(left.rows):
         key = tuple(lrow[p] for p in lpos)
         if any(v is None for v in key):
             yield i, []
             continue
         probe = tuple(key[p] for p in permutation)
-        matches = index.lookup(probe)
+        matches = index.lookup_positions(probe)
         if residual is not None:
-            matches = [r for r in matches if residual(lrow + r)]
-        if not matches:
-            yield i, []
-            continue
-        out: List[int] = []
-        for row in matches:
-            out.extend(positions_for(row))
-        yield i, out
+            matches = [j for j in matches if residual(lrow + rrows[j])]
+        yield i, matches
 
 
 def _full_width_join(
@@ -344,6 +359,121 @@ def _semi_or_anti(
     for i, matches in _probe_matches(left, right, equi, residual):
         if bool(matches) == want_match:
             rows.append(left.rows[i])
+    return Table(
+        name or left.name,
+        left.schema,
+        rows,
+        key=left.key,
+        not_null=left.not_null,
+    )
+
+
+def _build_left_hash(
+    left: Table, right: Table, equi: Sequence[Tuple[str, str]]
+) -> Tuple[Dict[Row, List[int]], Tuple[int, ...]]:
+    """Hash the *left* input on its equi columns; returns the hash table
+    (key → left row positions) and the right-side probe positions."""
+    lpos = left.schema.positions([lc for lc, __ in equi])
+    rpos = right.schema.positions([rc for __, rc in equi])
+    table: Dict[Row, List[int]] = {}
+    for i, lrow in enumerate(left.rows):
+        key = tuple(lrow[p] for p in lpos)
+        if any(v is None for v in key):
+            continue  # NULL never matches
+        table.setdefault(key, []).append(i)
+    return table, rpos
+
+
+def _full_width_join_build_left(
+    left: Table,
+    right: Table,
+    kind: str,
+    equi: Sequence[Tuple[str, str]],
+    residual: Optional[Predicate],
+    name: str,
+) -> Table:
+    """Equi join hashing the left input and streaming the right through it.
+
+    Produces exactly the row multiset of :func:`_full_width_join`; only
+    the build side (and hence the memory/time constant) differs.  Chosen
+    by compiled plans when the left input is the small delta.
+    """
+    schema = left.schema.concat(right.schema)
+    lwidth, rwidth = len(left.schema), len(right.schema)
+    lrows = left.rows
+    hash_table, rpos = _build_left_hash(left, right, equi)
+    rows: List[Row] = []
+    matched_left = [False] * len(lrows) if kind in ("left", "full") else None
+    emit_unmatched_right = kind in ("right", "full")
+
+    for rrow in right.rows:
+        key = tuple(rrow[p] for p in rpos)
+        matched = False
+        if not any(v is None for v in key):
+            for i in hash_table.get(key, ()):
+                lrow = lrows[i]
+                if residual is not None and not residual(lrow + rrow):
+                    continue
+                rows.append(lrow + rrow)
+                matched = True
+                if matched_left is not None:
+                    matched_left[i] = True
+        if emit_unmatched_right and not matched:
+            rows.append(_null_pad(lwidth) + rrow)
+
+    if matched_left is not None:
+        pad = _null_pad(rwidth)
+        for i, seen in enumerate(matched_left):
+            if not seen:
+                rows.append(lrows[i] + pad)
+
+    key = None
+    if left.key is not None and right.key is not None:
+        key = left.key + right.key
+    if kind == "inner":
+        not_null = left.not_null | right.not_null
+    elif kind == "left":
+        not_null = left.not_null
+    elif kind == "right":
+        not_null = right.not_null
+    else:
+        not_null = frozenset()
+    return Table(name or "join", schema, rows, key=key, not_null=not_null)
+
+
+def _semi_or_anti_build_left(
+    left: Table,
+    right: Table,
+    kind: str,
+    equi: Sequence[Tuple[str, str]],
+    residual: Optional[Predicate],
+    name: str,
+) -> Table:
+    """Semi/anti join hashing the left input and streaming the right."""
+    lrows = left.rows
+    hash_table, rpos = _build_left_hash(left, right, equi)
+    matched = [False] * len(lrows)
+    for rrow in right.rows:
+        key = tuple(rrow[p] for p in rpos)
+        if any(v is None for v in key):
+            continue
+        bucket = hash_table.get(key)
+        if not bucket:
+            continue
+        if residual is None:
+            for i in bucket:
+                matched[i] = True
+            hash_table[key] = []  # fully matched; skip on later probes
+        else:
+            remaining = []
+            for i in bucket:
+                if residual(lrows[i] + rrow):
+                    matched[i] = True
+                else:
+                    remaining.append(i)
+            hash_table[key] = remaining
+    want_match = kind == "semi"
+    rows = [row for i, row in enumerate(lrows) if matched[i] == want_match]
     return Table(
         name or left.name,
         left.schema,
@@ -433,7 +563,12 @@ def minimum_union(left: Table, right: Table, name: str = "") -> Table:
 
 
 @_named("fixup")
-def fixup(table: Table, group_key: Sequence[str], name: str = "") -> Table:
+def fixup(
+    table: Table,
+    group_key: Sequence[str],
+    name: str = "",
+    positions: Optional[Sequence[int]] = None,
+) -> Table:
     """Duplicate elimination plus *keyed* subsumption removal.
 
     This is the clean-up the left-deep associativity rules (Section 4.1)
@@ -443,7 +578,8 @@ def fixup(table: Table, group_key: Sequence[str], name: str = "") -> Table:
     operation linear.
     """
     deduped = distinct(table)
-    positions = deduped.schema.positions(group_key)
+    if positions is None:
+        positions = deduped.schema.positions(group_key)
     groups: Dict[Row, List[Row]] = {}
     for row in deduped.rows:
         groups.setdefault(tuple(row[p] for p in positions), []).append(row)

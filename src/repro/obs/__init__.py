@@ -184,6 +184,16 @@ class Telemetry:
             "Current cardinality of a materialized view",
             ("view",),
         )
+        self.plan_cache_requests = m.counter(
+            "repro_plan_cache_requests_total",
+            "Maintenance plan-cache lookups by outcome",
+            ("view", "outcome"),
+        )
+        self.plan_compile_seconds = m.histogram(
+            "repro_plan_compile_seconds",
+            "Wall time spent compiling one physical maintenance plan",
+            ("view",),
+        )
 
     # ------------------------------------------------------------------
     # recording (all no-ops on the disabled singleton)
@@ -215,6 +225,20 @@ class Telemetry:
         if not self.enabled:
             return
         self.view_rows.set(rows, view=view)
+
+    def record_plan_cache(self, view: str, hit: bool) -> None:
+        """One plan-cache lookup (hit or miss) by the maintainer."""
+        if not self.enabled:
+            return
+        self.plan_cache_requests.inc(
+            view=view, outcome="hit" if hit else "miss"
+        )
+
+    def record_plan_compile(self, view: str, seconds: float) -> None:
+        """One physical-plan compilation (plan-cache miss)."""
+        if not self.enabled:
+            return
+        self.plan_compile_seconds.observe(seconds, view=view)
 
     # ------------------------------------------------------------------
     # reading

@@ -1,0 +1,41 @@
+"""Compile-once physical plans for maintenance expressions.
+
+The interpreter in :mod:`repro.algebra.evaluate` re-plans every
+expression it runs — fine for one-off queries, wasteful for maintenance,
+which evaluates the same ΔV^D and secondary-delta expressions on every
+update.  This package provides the compiled alternative:
+
+* :mod:`~repro.planner.compile` — :func:`compile_plan` turns a
+  ``RelExpr`` into a :class:`CompiledPlan` of pre-bound physical nodes
+  (schemas, predicates, positions and join pairs resolved once), with
+  build-side selection and persistent-index probing at the joins;
+* :mod:`~repro.planner.cache` — :class:`PlanCache`, a fingerprinted plan
+  cache keyed per (view, table, operation);
+* :mod:`~repro.planner.provision` — :func:`provision_indexes`, which
+  creates the base-table indexes a plan's joins want to probe.
+
+:class:`~repro.core.maintain.ViewMaintainer` wires the three together;
+``docs/PERFORMANCE.md`` describes the design.
+"""
+
+from .cache import PlanCache
+from .compile import (
+    CompiledPlan,
+    ExecutionContext,
+    PhysicalNode,
+    PlanCompileError,
+    compile_plan,
+)
+from .provision import ProbeSite, probe_sites, provision_indexes
+
+__all__ = [
+    "CompiledPlan",
+    "ExecutionContext",
+    "PhysicalNode",
+    "PlanCache",
+    "PlanCompileError",
+    "ProbeSite",
+    "compile_plan",
+    "probe_sites",
+    "provision_indexes",
+]

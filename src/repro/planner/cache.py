@@ -1,0 +1,71 @@
+"""The physical plan cache.
+
+Maintenance plans depend on two mutable inputs besides the view
+definition: the :class:`~repro.core.maintain.MaintenanceOptions` (which
+pick the logical tree) and the set of persistent indexes (which the
+compiled join nodes consult when choosing a build side — and which the
+planner itself may have provisioned).  Each cached entry therefore
+carries a *fingerprint* of both; a lookup whose fingerprint differs is a
+miss and triggers recompilation.
+
+Entries may hold ``None``: a plan that failed to compile is cached as
+"use the interpreter", so an uncompilable expression costs one failed
+compile total, not one per update.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+from .compile import CompiledPlan
+
+CacheKey = Hashable
+Fingerprint = Hashable
+Entry = Tuple[Fingerprint, Optional[CompiledPlan]]
+
+_MISSING = object()
+
+
+class PlanCache:
+    """A fingerprinted map from plan keys to compiled plans."""
+
+    def __init__(self):
+        self._entries: Dict[CacheKey, Entry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey, fingerprint: Fingerprint):
+        """``(found, plan)`` — *found* is True only when an entry exists
+        under *key* **and** its fingerprint matches."""
+        entry = self._entries.get(key, _MISSING)
+        if entry is _MISSING or entry[0] != fingerprint:
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, entry[1]
+
+    def store(
+        self,
+        key: CacheKey,
+        fingerprint: Fingerprint,
+        plan: Optional[CompiledPlan],
+    ) -> None:
+        self._entries[key] = (fingerprint, plan)
+
+    def invalidate(self) -> None:
+        """Drop every entry (fingerprints make this rarely necessary)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PlanCache({len(self._entries)} plans, {self.hits} hits, "
+            f"{self.misses} misses)"
+        )

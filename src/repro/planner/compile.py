@@ -1,0 +1,450 @@
+"""The physical plan compiler.
+
+:func:`compile_plan` turns a logical :class:`~repro.algebra.expr.RelExpr`
+into a :class:`CompiledPlan` — a tree of physical nodes whose schemas,
+predicate closures, equi-join pairs and column positions were all resolved
+**once**, at compile time.  Executing the plan does no planning work at
+all: each node is a pre-bound pipeline step calling straight into
+:mod:`repro.engine.operators`.
+
+This matters because maintenance evaluates the *same* ΔV^D expression for
+every update: the interpreter in :mod:`repro.algebra.evaluate` re-splits
+equi-join pairs, re-compiles predicates and re-resolves positions per
+pass, which dwarfs the actual row work when the delta is a single row.
+The compiler hoists all of it.  The planning logic itself is shared with
+the interpreter (:func:`repro.algebra.evaluate.static_join_plan`), so both
+paths always agree on join strategy — the property the equivalence tests
+in ``tests/planner`` and ``tests/property`` pin down.
+
+Join execution additionally does **build-side selection** at runtime
+(cheap: two ``len()`` calls): probe a persistent index on the right side
+when one covers the equi columns, otherwise hash whichever input is
+smaller.  For single-row maintenance against an indexed base table this
+turns each join into O(1) point lookups; see ``docs/PERFORMANCE.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.evaluate import static_join_plan
+from ..algebra.expr import (
+    Bound,
+    Distinct,
+    FixUp,
+    Join,
+    NullIf,
+    Project,
+    RelExpr,
+    Relation,
+    Select,
+)
+from ..algebra.predicates import compile_predicate
+from ..engine import operators as ops
+from ..engine.catalog import Database
+from ..engine.index import find_index
+from ..engine.schema import Schema
+from ..engine.table import Table
+from ..errors import ReproError
+
+BindingSchemas = Dict[str, Schema]
+
+
+class PlanCompileError(ReproError):
+    """The expression has a shape the compiler does not support; callers
+    fall back to the interpreter."""
+
+
+class ExecutionContext:
+    """Runtime inputs of one plan execution: the database (base-table
+    leaves are read live) and the binding environment (deltas, views,
+    temporaries)."""
+
+    __slots__ = ("db", "bindings")
+
+    def __init__(self, db: Database, bindings: Optional[Dict[str, Table]]):
+        self.db = db
+        self.bindings = bindings or {}
+
+
+class PhysicalNode:
+    """One pre-bound pipeline step.  ``schema`` is the statically inferred
+    output schema every closure below this node was compiled against."""
+
+    __slots__ = ("schema",)
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def children(self) -> Sequence["PhysicalNode"]:
+        return ()
+
+
+class RelationScan(PhysicalNode):
+    """Leaf: a base table, read live from the database."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str, schema: Schema):
+        super().__init__(schema)
+        self.name = name
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return ctx.db.table(self.name)
+
+    def describe(self) -> str:
+        return f"scan {self.name}"
+
+
+class BoundScan(PhysicalNode):
+    """Leaf: a binding (ΔT, a view snapshot, a temporary).
+
+    The closures above were compiled against ``schema``; a binding whose
+    runtime schema differs would silently index the wrong columns, so the
+    column tuple is verified on every execution (one tuple comparison).
+    """
+
+    __slots__ = ("label",)
+
+    def __init__(self, label: str, schema: Schema):
+        super().__init__(schema)
+        self.label = label
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        try:
+            table = ctx.bindings[self.label]
+        except KeyError:
+            raise PlanCompileError(
+                f"no binding for {self.label!r}; available: "
+                f"{sorted(ctx.bindings)}"
+            ) from None
+        if table.schema is not self.schema and (
+            table.schema.columns != self.schema.columns
+        ):
+            raise PlanCompileError(
+                f"binding {self.label!r} has schema "
+                f"{table.schema.columns}, plan was compiled for "
+                f"{self.schema.columns}"
+            )
+        return table
+
+    def describe(self) -> str:
+        return f"bind {self.label}"
+
+
+class SelectNode(PhysicalNode):
+    __slots__ = ("child", "predicate")
+
+    def __init__(self, child: PhysicalNode, predicate: Callable, schema: Schema):
+        super().__init__(schema)
+        self.child = child
+        self.predicate = predicate
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return ops.select(self.child.execute(ctx), self.predicate)
+
+    def describe(self) -> str:
+        return "select"
+
+    def children(self):
+        return (self.child,)
+
+
+class ProjectNode(PhysicalNode):
+    __slots__ = ("child", "columns", "positions")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        columns: Tuple[str, ...],
+        positions: Tuple[int, ...],
+        schema: Schema,
+    ):
+        super().__init__(schema)
+        self.child = child
+        self.columns = columns
+        self.positions = positions
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return ops.project(
+            self.child.execute(ctx),
+            self.columns,
+            positions=self.positions,
+            schema=self.schema,
+        )
+
+    def describe(self) -> str:
+        return f"project {list(self.columns)}"
+
+    def children(self):
+        return (self.child,)
+
+
+class DistinctNode(PhysicalNode):
+    __slots__ = ("child",)
+
+    def __init__(self, child: PhysicalNode):
+        super().__init__(child.schema)
+        self.child = child
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return ops.distinct(self.child.execute(ctx))
+
+    def describe(self) -> str:
+        return "distinct"
+
+    def children(self):
+        return (self.child,)
+
+
+class NullIfNode(PhysicalNode):
+    __slots__ = ("child", "predicate", "columns", "positions")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        predicate: Callable,
+        columns: Tuple[str, ...],
+        positions: frozenset,
+    ):
+        super().__init__(child.schema)
+        self.child = child
+        self.predicate = predicate
+        self.columns = columns
+        self.positions = positions
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return ops.null_if(
+            self.child.execute(ctx),
+            self.predicate,
+            self.columns,
+            positions=self.positions,
+        )
+
+    def describe(self) -> str:
+        return f"null_if {list(self.columns)}"
+
+    def children(self):
+        return (self.child,)
+
+
+class FixUpNode(PhysicalNode):
+    __slots__ = ("child", "group_key", "positions")
+
+    def __init__(
+        self,
+        child: PhysicalNode,
+        group_key: Tuple[str, ...],
+        positions: Tuple[int, ...],
+    ):
+        super().__init__(child.schema)
+        self.child = child
+        self.group_key = group_key
+        self.positions = positions
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        return ops.fixup(
+            self.child.execute(ctx),
+            self.group_key,
+            positions=self.positions,
+        )
+
+    def describe(self) -> str:
+        return f"fixup {list(self.group_key)}"
+
+    def children(self):
+        return (self.child,)
+
+
+class JoinNode(PhysicalNode):
+    """A join with equi pairs and residual resolved at compile time.
+
+    The build side is selected at **execution** time from the actual input
+    cardinalities:
+
+    1. equi join and a persistent index on the right input covers the
+       equi columns → probe the index (point lookups, nothing built);
+    2. equi join and the left input is smaller → hash the left input
+       (the delta) and stream the right through it;
+    3. otherwise → classic build-right hash join (or nested loop when
+       there are no equi pairs).
+    """
+
+    __slots__ = ("left", "right", "kind", "equi", "residual", "right_cols")
+
+    def __init__(
+        self,
+        left: PhysicalNode,
+        right: PhysicalNode,
+        kind: str,
+        equi: Tuple[Tuple[str, str], ...],
+        residual: Optional[Callable],
+        schema: Schema,
+    ):
+        super().__init__(schema)
+        self.left = left
+        self.right = right
+        self.kind = kind
+        self.equi = equi
+        self.residual = residual
+        self.right_cols = tuple(rc for __, rc in equi)
+
+    def execute(self, ctx: ExecutionContext) -> Table:
+        left = self.left.execute(ctx)
+        right = self.right.execute(ctx)
+        build = self.choose_build(left, right)
+        return ops.join(
+            left,
+            right,
+            self.kind,
+            equi=self.equi,
+            residual=self.residual,
+            build=build,
+        )
+
+    def choose_build(self, left: Table, right: Table) -> Optional[str]:
+        """Build-side selection (see class docstring)."""
+        if not self.equi:
+            return None
+        if right.indexes and find_index(right, self.right_cols) is not None:
+            return None  # ops.join probes the persistent index
+        if len(left.rows) < len(right.rows):
+            return "left"
+        return None
+
+    def describe(self) -> str:
+        extra = " residual" if self.residual is not None else ""
+        return f"join:{self.kind} on {list(self.equi)}{extra}"
+
+    def children(self):
+        return (self.left, self.right)
+
+
+class CompiledPlan:
+    """An executable physical plan plus the schemas it was bound to."""
+
+    __slots__ = ("root", "binding_schemas", "node_count")
+
+    def __init__(
+        self,
+        root: PhysicalNode,
+        binding_schemas: BindingSchemas,
+        node_count: int,
+    ):
+        self.root = root
+        self.binding_schemas = binding_schemas
+        self.node_count = node_count
+
+    @property
+    def schema(self) -> Schema:
+        return self.root.schema
+
+    def execute(
+        self, db: Database, bindings: Optional[Dict[str, Table]] = None
+    ) -> Table:
+        return self.root.execute(ExecutionContext(db, bindings))
+
+    def explain(self) -> str:
+        """Indented physical tree (for tests, docs and debugging)."""
+        lines: List[str] = []
+
+        def walk(node: PhysicalNode, depth: int) -> None:
+            lines.append("  " * depth + node.describe())
+            for child in node.children():
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+def compile_plan(
+    expr: RelExpr,
+    db: Database,
+    binding_schemas: Optional[BindingSchemas] = None,
+) -> CompiledPlan:
+    """Compile *expr* against *db* and the schemas of its bindings.
+
+    ``Bound`` leaves resolve their schema from *binding_schemas*; a
+    ``delta:T`` label defaults to table T's schema (the shape
+    :meth:`Database.insert`/``delete`` produce).  Raises
+    :class:`PlanCompileError` on shapes the compiler cannot pre-bind —
+    callers treat that as "use the interpreter".
+    """
+    schemas = dict(binding_schemas or {})
+    counter = [0]
+
+    def walk(node: RelExpr) -> PhysicalNode:
+        counter[0] += 1
+        if isinstance(node, Relation):
+            return RelationScan(node.name, db.table(node.name).schema)
+        if isinstance(node, Bound):
+            schema = schemas.get(node.label)
+            if schema is None and node.label.startswith("delta:"):
+                schema = db.table(node.label.split(":", 1)[1]).schema
+            if schema is None:
+                raise PlanCompileError(
+                    f"unknown binding schema for {node.label!r}"
+                )
+            return BoundScan(node.label, schema)
+        if isinstance(node, Select):
+            child = walk(node.child)
+            return SelectNode(
+                child,
+                compile_predicate(node.pred, child.schema),
+                child.schema,
+            )
+        if isinstance(node, Project):
+            child = walk(node.child)
+            columns = tuple(node.columns)
+            try:
+                positions = child.schema.positions(columns)
+            except ReproError as exc:
+                raise PlanCompileError(str(exc)) from exc
+            return ProjectNode(child, columns, positions, Schema(columns))
+        if isinstance(node, Distinct):
+            return DistinctNode(walk(node.child))
+        if isinstance(node, NullIf):
+            child = walk(node.child)
+            columns = tuple(c for c in node.columns if c in child.schema)
+            positions = frozenset(child.schema.positions(columns))
+            return NullIfNode(
+                child,
+                compile_predicate(node.pred, child.schema),
+                columns,
+                positions,
+            )
+        if isinstance(node, FixUp):
+            child = walk(node.child)
+            keys = tuple(c for c in node.key_columns if c in child.schema)
+            return FixUpNode(child, keys, child.schema.positions(keys))
+        if isinstance(node, Join):
+            left = walk(node.left)
+            right = walk(node.right)
+            try:
+                pairs, residual_pred = static_join_plan(
+                    node, left.schema, right.schema
+                )
+                if node.kind in ("semi", "anti"):
+                    schema = left.schema
+                else:
+                    schema = left.schema.concat(right.schema)
+            except ReproError as exc:
+                raise PlanCompileError(str(exc)) from exc
+            residual = None
+            if residual_pred is not None:
+                residual = compile_predicate(
+                    residual_pred, left.schema.concat(right.schema)
+                )
+            return JoinNode(
+                left, right, node.kind, tuple(pairs), residual, schema
+            )
+        raise PlanCompileError(f"cannot compile node {node!r}")
+
+    root = walk(expr)
+    return CompiledPlan(root, schemas, counter[0])

@@ -61,6 +61,12 @@ from .planner import (
     provision_indexes,
 )
 from .parser import parse_expression, parse_predicate, parse_view
+from .runtime import (
+    FanOutResult,
+    MaintenanceScheduler,
+    RetryPolicy,
+    WriteAheadLog,
+)
 from .warehouse import Warehouse
 from .errors import (
     CatalogError,
@@ -71,6 +77,7 @@ from .errors import (
     ReproError,
     SchemaError,
     UnsupportedViewError,
+    WalError,
 )
 
 __version__ = "1.0.0"
@@ -117,5 +124,10 @@ __all__ = [
     "FanOutError",
     "MaintenanceError",
     "UnsupportedViewError",
+    "WalError",
+    "WriteAheadLog",
+    "MaintenanceScheduler",
+    "RetryPolicy",
+    "FanOutResult",
     "__version__",
 ]

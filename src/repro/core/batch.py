@@ -21,13 +21,43 @@ protocol the batch drives.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..engine.catalog import Database
 from ..engine.table import Row
 from ..errors import MaintenanceError
 from .maintain import MaintenanceReport
 from .secondary import DELETE, INSERT
+
+
+@dataclass(frozen=True)
+class NetDelta:
+    """One netted per-table pass a flush would perform.
+
+    ``operation`` is ``"delete"`` or ``"insert"``; ``fk_allowed`` is
+    False when the table's net effect contains an UPDATE pair (delete +
+    insert of the same key), which disables the foreign-key shortcuts
+    per the paper's Section 6 caveat 1.  This is the unit the
+    write-ahead log records: the *net* effect, not the raw statements.
+    """
+
+    table: str
+    operation: str
+    rows: Tuple[Row, ...]
+    fk_allowed: bool = True
+
+    def __len__(self) -> int:
+        return len(self.rows)
 
 
 class _Pending:
@@ -41,9 +71,20 @@ class _Pending:
 class UpdateBatch:
     """Accumulate updates, net them, flush as one pass per table."""
 
-    def __init__(self, db: Database, targets: Sequence):
+    def __init__(
+        self,
+        db: Database,
+        targets: Sequence,
+        apply: Optional[
+            Callable[[NetDelta], List[MaintenanceReport]]
+        ] = None,
+    ):
         self.db = db
         self.targets = list(targets)
+        # When set, flush() hands each NetDelta to this callable instead
+        # of applying it inline — the Warehouse routes batches through
+        # its WAL + scheduler this way.
+        self._apply = apply
         self._pending: Dict[str, Dict[Row, _Pending]] = {}
         self._flushed = False
 
@@ -105,6 +146,29 @@ class UpdateBatch:
             out[table] = (len(deletes), len(inserts))
         return out
 
+    def net_deltas(self) -> List[NetDelta]:
+        """The netted per-table passes a :meth:`flush` would perform, in
+        flush order (per table: delete pass, then insert pass; empty
+        passes — e.g. a delete fully cancelled by an identical re-insert
+        — are omitted).  Public so callers such as the write-ahead log
+        can record net effects without flushing."""
+        out: List[NetDelta] = []
+        for table, slots in self._pending.items():
+            deletes, inserts, update_pair = self._net(slots)
+            fk_allowed = not update_pair
+            if deletes:
+                out.append(
+                    NetDelta(table, DELETE, tuple(deletes), fk_allowed)
+                )
+            if inserts:
+                out.append(
+                    NetDelta(table, INSERT, tuple(inserts), fk_allowed)
+                )
+        return out
+
+    def __iter__(self) -> Iterator[NetDelta]:
+        return iter(self.net_deltas())
+
     @staticmethod
     def _net(slots: Dict[Row, _Pending]):
         deletes: List[Row] = []
@@ -126,27 +190,26 @@ class UpdateBatch:
         reports per table (delete pass then insert pass, where present).
         """
         self._require_open()
+        deltas = self.net_deltas()
         self._flushed = True
-        reports: Dict[str, List[MaintenanceReport]] = {}
-        for table, slots in self._pending.items():
-            deletes, inserts, update_pair = self._net(slots)
-            fk_allowed = not update_pair
-            table_reports: List[MaintenanceReport] = []
-            if deletes:
-                delta = self.db.delete(table, deletes, check=False)
-                for target in self.targets:
-                    table_reports.append(
-                        target.maintain(
-                            table, delta, DELETE, fk_allowed=fk_allowed
-                        )
+        reports: Dict[str, List[MaintenanceReport]] = {
+            table: [] for table in self._pending
+        }
+        for net in deltas:
+            if self._apply is not None:
+                reports[net.table].extend(self._apply(net))
+                continue
+            if net.operation == DELETE:
+                delta = self.db.delete(net.table, net.rows, check=False)
+            else:
+                delta = self.db.insert(net.table, net.rows)
+            for target in self.targets:
+                reports[net.table].append(
+                    target.maintain(
+                        net.table,
+                        delta,
+                        net.operation,
+                        fk_allowed=net.fk_allowed,
                     )
-            if inserts:
-                delta = self.db.insert(table, inserts)
-                for target in self.targets:
-                    table_reports.append(
-                        target.maintain(
-                            table, delta, INSERT, fk_allowed=fk_allowed
-                        )
-                    )
-            reports[table] = table_reports
+                )
         return reports

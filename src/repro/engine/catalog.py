@@ -9,6 +9,7 @@ constraints actually hold.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import CatalogError, ConstraintError
@@ -26,6 +27,9 @@ class Database:
         # Bumped whenever the set of persistent indexes changes; cached
         # physical plans fingerprint it so index DDL invalidates them.
         self.index_epoch: int = 0
+        # Plan compilation provisions indexes lazily, and with a parallel
+        # scheduler several views compile on worker threads at once.
+        self._ddl_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # DDL
@@ -70,15 +74,16 @@ class Database:
         used automatically by equi-joins probing this table."""
         from .index import HashIndex, find_index
 
-        base = self.table(table)
-        qualified = [qualify(table, c) for c in columns]
-        existing = find_index(base, qualified)
-        if existing is not None and existing[0].columns == tuple(qualified):
-            return existing[0]
-        index = HashIndex(base, qualified)
-        base.indexes.append(index)
-        self.index_epoch += 1
-        return index
+        with self._ddl_lock:
+            base = self.table(table)
+            qualified = [qualify(table, c) for c in columns]
+            existing = find_index(base, qualified)
+            if existing is not None and existing[0].columns == tuple(qualified):
+                return existing[0]
+            index = HashIndex(base, qualified)
+            base.indexes.append(index)
+            self.index_epoch += 1
+            return index
 
     def add_foreign_key(
         self,

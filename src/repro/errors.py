@@ -33,6 +33,11 @@ class MaintenanceError(ReproError):
     """View maintenance could not be performed for the requested update."""
 
 
+class WalError(ReproError):
+    """The write-ahead change log is unreadable or was used incorrectly
+    (corruption before the final record, acking an unknown LSN, ...)."""
+
+
 class FanOutError(MaintenanceError):
     """One or more views failed while a warehouse fanned an update out.
 
@@ -42,13 +47,18 @@ class FanOutError(MaintenanceError):
     * ``reports`` — the per-view :class:`MaintenanceReport` mapping for
       the views that succeeded;
     * ``failures`` — ``{view_name: exception}`` for the views that
-      raised.
+      raised;
+    * ``quarantined`` — names of views the scheduler quarantined because
+      this change exhausted their retry budget (empty unless a
+      :class:`~repro.runtime.RetryPolicy` is active).
     """
 
-    def __init__(self, message: str, reports=None, failures=None):
+    def __init__(self, message: str, reports=None, failures=None,
+                 quarantined=None):
         super().__init__(message)
         self.reports = reports or {}
         self.failures = failures or {}
+        self.quarantined = list(quarantined or ())
 
 
 class UnsupportedViewError(ReproError):

@@ -25,6 +25,7 @@ immediately, so uninstrumented workloads pay nothing.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, List, Optional
 
 from .dashboard import Dashboard, percentile
@@ -107,6 +108,9 @@ class Telemetry:
         self.tracer = Tracer(sinks)
         self.metrics = metrics or MetricsRegistry()
         self.health = Dashboard()
+        # Maintenance passes can run on scheduler worker threads; the
+        # registry's read-modify-write counter bumps need serializing.
+        self._record_lock = threading.Lock()
         self._declare_metrics()
 
     # ------------------------------------------------------------------
@@ -125,6 +129,7 @@ class Telemetry:
             instance.tracer = NullTracer()
             instance.metrics = MetricsRegistry()
             instance.health = Dashboard()
+            instance._record_lock = threading.Lock()
             cls._disabled_singleton = instance
         return cls._disabled_singleton
 
@@ -194,6 +199,31 @@ class Telemetry:
             "Wall time spent compiling one physical maintenance plan",
             ("view",),
         )
+        self.queue_depth = m.gauge(
+            "repro_scheduler_queue_depth",
+            "Base-table changes waiting for (or in) fan-out",
+        )
+        self.view_retries = m.counter(
+            "repro_view_retries_total",
+            "Maintenance attempts re-run after a transient failure",
+            ("view",),
+        )
+        self.view_quarantines = m.counter(
+            "repro_view_quarantined_total",
+            "Views quarantined after exhausting their retry budget",
+            ("view",),
+        )
+        self.wal_appends = m.counter(
+            "repro_wal_appends_total",
+            "Base-table deltas durably recorded in the write-ahead log",
+            ("table",),
+        )
+        self.wal_fsync_seconds = m.histogram(
+            "repro_wal_fsync_seconds",
+            "Wall time of one WAL fsync (group commit boundary)",
+            buckets=(0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+                     0.005, 0.01, 0.025, 0.05, 0.1),
+        )
 
     # ------------------------------------------------------------------
     # recording (all no-ops on the disabled singleton)
@@ -205,40 +235,91 @@ class Telemetry:
         labels = dict(
             view=report.view, table=report.table, operation=report.operation
         )
-        self.maintenance_seconds.observe(report.elapsed_seconds, **labels)
-        self.rows_changed.inc(report.total_view_changes, **labels)
-        self.passes.inc(**labels)
-        self.base_rows.inc(report.base_rows, **labels)
-        if report.primary_skipped:
-            self.fk_shortcut.inc(view=report.view, table=report.table)
-        for strategy in report.secondary_strategy_used.values():
-            self.secondary_strategy.inc(view=report.view, strategy=strategy)
-        self.health.record_report(report, span)
+        with self._record_lock:
+            self.maintenance_seconds.observe(report.elapsed_seconds, **labels)
+            self.rows_changed.inc(report.total_view_changes, **labels)
+            self.passes.inc(**labels)
+            self.base_rows.inc(report.base_rows, **labels)
+            if report.primary_skipped:
+                self.fk_shortcut.inc(view=report.view, table=report.table)
+            for strategy in report.secondary_strategy_used.values():
+                self.secondary_strategy.inc(
+                    view=report.view, strategy=strategy
+                )
+            self.health.record_report(report, span)
 
     def record_failure(self, view: str, table: str, operation: str) -> None:
         if not self.enabled:
             return
-        self.errors.inc(view=view, table=table, operation=operation)
-        self.health.record_error(view)
+        with self._record_lock:
+            self.errors.inc(view=view, table=table, operation=operation)
+            self.health.record_error(view)
 
     def record_view_size(self, view: str, rows: int) -> None:
         if not self.enabled:
             return
-        self.view_rows.set(rows, view=view)
+        with self._record_lock:
+            self.view_rows.set(rows, view=view)
 
     def record_plan_cache(self, view: str, hit: bool) -> None:
         """One plan-cache lookup (hit or miss) by the maintainer."""
         if not self.enabled:
             return
-        self.plan_cache_requests.inc(
-            view=view, outcome="hit" if hit else "miss"
-        )
+        with self._record_lock:
+            self.plan_cache_requests.inc(
+                view=view, outcome="hit" if hit else "miss"
+            )
 
     def record_plan_compile(self, view: str, seconds: float) -> None:
         """One physical-plan compilation (plan-cache miss)."""
         if not self.enabled:
             return
-        self.plan_compile_seconds.observe(seconds, view=view)
+        with self._record_lock:
+            self.plan_compile_seconds.observe(seconds, view=view)
+
+    def record_retry(self, view: str) -> None:
+        """The scheduler is re-attempting a view after a failure."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.view_retries.inc(view=view)
+            self.health.record_retry(view)
+
+    def record_quarantine(self, view: str, reason: str) -> None:
+        """The scheduler quarantined a view (now stale, excluded)."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.view_quarantines.inc(view=view)
+            self.health.record_quarantine(view, reason)
+
+    def record_reinstate(self, view: str) -> None:
+        """A quarantined view was repaired and rejoined the fan-out."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.health.clear_quarantine(view)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Current number of changes queued for (or in) fan-out."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.queue_depth.set(depth)
+
+    def record_wal_append(self, table: str) -> None:
+        """One base-table delta recorded in the write-ahead log."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.wal_appends.inc(table=table)
+
+    def record_wal_fsync(self, seconds: float) -> None:
+        """One WAL fsync (a group-commit boundary)."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.wal_fsync_seconds.observe(seconds)
 
     # ------------------------------------------------------------------
     # reading

@@ -62,6 +62,9 @@ class _ViewSeries:
         self.rows_changed = 0
         self.base_rows = 0
         self.fk_skips = 0
+        self.retries = 0
+        self.quarantines = 0
+        self.quarantine_reason: Optional[str] = None
         self.latencies: List[float] = []
         self.strategies: Dict[str, int] = {}
         self.operations: Dict[str, int] = {}
@@ -126,6 +129,20 @@ class Dashboard:
     def record_error(self, view: str) -> None:
         self._series(view).errors += 1
 
+    def record_retry(self, view: str) -> None:
+        """The scheduler re-attempted *view* after a transient failure."""
+        self._series(view).retries += 1
+
+    def record_quarantine(self, view: str, reason: str) -> None:
+        """The scheduler quarantined *view*; it is stale until repaired."""
+        s = self._series(view)
+        s.quarantines += 1
+        s.quarantine_reason = reason
+
+    def clear_quarantine(self, view: str) -> None:
+        """The view was repaired and reinstated into the fan-out."""
+        self._series(view).quarantine_reason = None
+
     # ------------------------------------------------------------------
     # reading
     # ------------------------------------------------------------------
@@ -144,6 +161,23 @@ class Dashboard:
                 "fk_skips": s.fk_skips,
             }
             for view, s in self._views.items()
+        }
+
+    def quarantined(self) -> Dict[str, str]:
+        """Currently quarantined views and why (kept out of
+        :meth:`totals`, whose shape is pinned by tests and CI)."""
+        return {
+            view: s.quarantine_reason
+            for view, s in sorted(self._views.items())
+            if s.quarantine_reason is not None
+        }
+
+    def reliability(self) -> Dict[str, Dict[str, int]]:
+        """Per-view retry/quarantine counters for the runtime layer."""
+        return {
+            view: {"retries": s.retries, "quarantines": s.quarantines}
+            for view, s in self._views.items()
+            if s.retries or s.quarantines
         }
 
     def latency_percentiles(self, view: str) -> Dict[str, float]:
@@ -192,6 +226,12 @@ class Dashboard:
                 f"{pct['p50'] * 1000:>8.2f} {pct['p95'] * 1000:>8.2f} "
                 f"{s.rows_changed:>8} {s.base_rows:>8} {skip_rate:>7.1f}%"
             )
+        quarantined = self.quarantined()
+        if quarantined:
+            lines.append("")
+            lines.append("!! quarantined (stale, excluded from fan-out):")
+            for view, reason in quarantined.items():
+                lines.append(f"  {view}: {reason}")
         for view in self.views:
             lines.extend(self._render_view_detail(view))
         return "\n".join(lines)
@@ -216,6 +256,12 @@ class Dashboard:
             "  fk-shortcut    : "
             f"{s.fk_skips}/{s.passes} passes primary-skipped"
         )
+        if s.retries or s.quarantines:
+            status = "QUARANTINED" if s.quarantine_reason else "healthy"
+            lines.append(
+                f"  reliability    : {s.retries} retries, "
+                f"{s.quarantines} quarantines ({status})"
+            )
         by_table = ", ".join(
             f"{table}: {agg.count} passes/{s.table_rows.get(table, 0)} rows"
             for table, agg in sorted(s.tables.items())

@@ -1,0 +1,41 @@
+"""Durable, concurrent maintenance runtime.
+
+Two pieces sit between the warehouse facade and the per-view
+maintainers:
+
+* :class:`WriteAheadLog` — an append-only JSON-lines change log that
+  records every netted base-table delta *before* any view is touched,
+  so a crash mid-fan-out is recoverable by replaying unacknowledged
+  entries (:meth:`~repro.warehouse.Warehouse.recover`);
+* :class:`MaintenanceScheduler` — serializes changes through a single
+  dispatcher while fanning each change's per-view maintenance across a
+  thread pool, with bounded-backoff retry (:class:`RetryPolicy`),
+  per-view timeouts, and quarantine-based graceful degradation.
+
+See ``docs/DURABILITY.md`` for the durability and staleness contract.
+"""
+
+from .scheduler import (
+    HEALTHY,
+    QUARANTINED,
+    ChangeTicket,
+    FanOutResult,
+    MaintenanceScheduler,
+    RetryPolicy,
+    Task,
+    ViewState,
+)
+from .wal import WalEntry, WriteAheadLog
+
+__all__ = [
+    "WriteAheadLog",
+    "WalEntry",
+    "MaintenanceScheduler",
+    "RetryPolicy",
+    "Task",
+    "ViewState",
+    "FanOutResult",
+    "ChangeTicket",
+    "HEALTHY",
+    "QUARANTINED",
+]

@@ -1,0 +1,245 @@
+"""Write-ahead change log for durable warehouse maintenance.
+
+:class:`WriteAheadLog` durably records every (netted) base-table delta a
+warehouse applies **before any view is touched**, so that a crash in the
+middle of a multi-view fan-out loses no maintenance work: on restart,
+:meth:`WriteAheadLog.pending` returns the change entries that were never
+acknowledged and :meth:`~repro.warehouse.Warehouse.recover` re-drives
+them through the registered maintainers.
+
+Format — JSON lines, append-only, two record kinds::
+
+    {"kind":"change","lsn":7,"table":"lineitem","op":"insert",
+     "fk_allowed":true,"rows":[[1,1,5.0,...], ...]}
+    {"kind":"ack","lsn":7}
+
+* LSNs are monotonically increasing and assigned by the log.
+* A ``change`` records the delta rows exactly as applied to the base
+  table (values must be JSON-representable: str/int/float/bool/None,
+  which covers everything the engine stores).
+* An ``ack`` marks the change as fully applied to every non-quarantined
+  view; acked entries are skipped by recovery.
+
+Durability — group commit: every record is written and flushed to the OS
+immediately, but ``fsync`` runs only every *fsync_batch* records (1 =
+every record is durable before ``append`` returns).  :meth:`sync` forces
+an fsync; :meth:`~repro.warehouse.Warehouse.flush` calls it so that a
+flush boundary is always a consistent point to snapshot base tables at.
+Fsync latency feeds the ``repro_wal_fsync_seconds`` histogram.
+
+Crash tolerance — the log is append-only, so only the final record can
+be torn by a crash.  On open, a trailing record that does not parse is
+treated as a torn write and truncated away; corruption anywhere earlier
+raises :class:`~repro.errors.WalError`.
+
+See ``docs/DURABILITY.md`` for the recovery contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..engine.table import Row
+from ..errors import WalError
+from ..obs import Telemetry
+
+__all__ = ["WalEntry", "WriteAheadLog"]
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One logged base-table change (a netted delta)."""
+
+    lsn: int
+    table: str
+    operation: str  # "insert" | "delete"
+    rows: Tuple[Row, ...]
+    fk_allowed: bool = True
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kind": "change",
+                "lsn": self.lsn,
+                "table": self.table,
+                "op": self.operation,
+                "fk_allowed": self.fk_allowed,
+                "rows": [list(row) for row in self.rows],
+            },
+            separators=(",", ":"),
+        )
+
+    @classmethod
+    def from_record(cls, record: Dict) -> "WalEntry":
+        return cls(
+            lsn=record["lsn"],
+            table=record["table"],
+            operation=record["op"],
+            rows=tuple(tuple(row) for row in record["rows"]),
+            fk_allowed=record.get("fk_allowed", True),
+        )
+
+
+class WriteAheadLog:
+    """An append-only JSON-lines change log with group commit.
+
+    Thread-safe: the warehouse appends from its dispatcher thread while
+    acks arrive from the caller's ``flush``.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        fsync_batch: int = 1,
+        telemetry: Optional[Telemetry] = None,
+    ):
+        self.path = path
+        self.fsync_batch = max(1, int(fsync_batch))
+        self.telemetry = telemetry or Telemetry.disabled()
+        self._lock = threading.Lock()
+        self._entries: Dict[int, WalEntry] = {}
+        self._acked: Set[int] = set()
+        self._next_lsn = 1
+        self._unsynced = 0
+        self.torn_tail_dropped = False
+        self._load()
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # recovery-time reading
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        offset = 0
+        keep = 0  # byte offset of the end of the last intact record
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            line = raw[offset:] if newline < 0 else raw[offset:newline]
+            end = len(raw) if newline < 0 else newline + 1
+            try:
+                record = json.loads(line.decode("utf-8"))
+                self._ingest(record)
+            except (ValueError, KeyError, UnicodeDecodeError):
+                if end >= len(raw):
+                    # a torn final record from a crash mid-write: drop it
+                    self.torn_tail_dropped = True
+                    with open(self.path, "ab") as handle:
+                        handle.truncate(keep)
+                    return
+                raise WalError(
+                    f"corrupt WAL record at byte {offset} of {self.path!r} "
+                    "(not the final record, so this is not a torn tail)"
+                )
+            keep = end
+            offset = end
+
+    def _ingest(self, record: Dict) -> None:
+        kind = record["kind"]
+        if kind == "change":
+            entry = WalEntry.from_record(record)
+            self._entries[entry.lsn] = entry
+            self._next_lsn = max(self._next_lsn, entry.lsn + 1)
+        elif kind == "ack":
+            self._acked.add(record["lsn"])
+        else:
+            raise WalError(f"unknown WAL record kind {kind!r}")
+
+    def pending(self) -> List[WalEntry]:
+        """Change entries appended but never acknowledged, in LSN order —
+        the replay work list for :meth:`Warehouse.recover`."""
+        with self._lock:
+            return [
+                self._entries[lsn]
+                for lsn in sorted(self._entries)
+                if lsn not in self._acked
+            ]
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        table: str,
+        operation: str,
+        rows,
+        fk_allowed: bool = True,
+    ) -> int:
+        """Durably record one base-table delta; returns its LSN."""
+        with self._lock:
+            entry = WalEntry(
+                lsn=self._next_lsn,
+                table=table,
+                operation=operation,
+                rows=tuple(tuple(row) for row in rows),
+                fk_allowed=fk_allowed,
+            )
+            self._next_lsn += 1
+            self._entries[entry.lsn] = entry
+            self._write(entry.to_json())
+            self.telemetry.record_wal_append(table)
+            return entry.lsn
+
+    def ack(self, lsn: int) -> None:
+        """Mark *lsn* as applied to every non-quarantined view."""
+        with self._lock:
+            if lsn not in self._entries:
+                raise WalError(f"cannot ack unknown LSN {lsn}")
+            if lsn in self._acked:
+                return
+            self._acked.add(lsn)
+            self._write(json.dumps({"kind": "ack", "lsn": lsn}))
+
+    def _write(self, line: str) -> None:
+        # caller holds the lock
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_batch:
+            self._fsync()
+
+    def _fsync(self) -> None:
+        started = time.perf_counter()
+        os.fsync(self._handle.fileno())
+        self.telemetry.record_wal_fsync(time.perf_counter() - started)
+        self._unsynced = 0
+
+    def sync(self) -> None:
+        """Force the group commit: flush and fsync outstanding records."""
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                self._fsync()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+                if self._unsynced:
+                    self._fsync()
+                self._handle.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def last_lsn(self) -> int:
+        """The highest LSN assigned so far (0 when the log is empty)."""
+        with self._lock:
+            return self._next_lsn - 1
+
+    def is_acked(self, lsn: int) -> bool:
+        with self._lock:
+            return lsn in self._acked
+
+    def __len__(self) -> int:
+        """Number of change entries (acked or not)."""
+        with self._lock:
+            return len(self._entries)

@@ -13,6 +13,18 @@ Example::
     wh.create_aggregated_view("revenue", expr2, ["customer.c_mktsegment"],
                               [agg_sum("lineitem.l_extendedprice", "rev")])
     reports = wh.insert("lineitem", rows)   # both views maintained
+
+Runtime options (see :mod:`repro.runtime` and ``docs/DURABILITY.md``)::
+
+    wh = Warehouse(db, wal_path="changes.wal",   # durable change log
+                   workers=4,                    # parallel view fan-out
+                   retry=RetryPolicy(max_attempts=3))
+    ticket = wh.apply_async("lineitem", "insert", rows)
+    ...
+    wh.flush()        # wait for queued changes, fsync the WAL
+
+The serial, undurable path is simply the default (``workers=0``, no WAL,
+no retry) and behaves exactly like the pre-runtime warehouse.
 """
 
 from __future__ import annotations
@@ -21,6 +33,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .algebra.expr import RelExpr
 from .core.aggregate import Aggregate, AggregatedView
+from .core.batch import NetDelta
 from .core.maintain import MaintenanceOptions, MaintenanceReport, ViewMaintainer
 from .core.secondary import DELETE, INSERT
 from .core.view import MaterializedView, ViewDefinition
@@ -28,6 +41,14 @@ from .engine.catalog import Database
 from .engine.table import Row, Table
 from .errors import CatalogError, FanOutError, MaintenanceError
 from .obs import Telemetry
+from .runtime import (
+    ChangeTicket,
+    FanOutResult,
+    MaintenanceScheduler,
+    RetryPolicy,
+    Task,
+    WriteAheadLog,
+)
 
 Reports = Dict[str, MaintenanceReport]
 
@@ -40,13 +61,52 @@ class Warehouse:
     shared object, and :meth:`dashboard` / :meth:`metrics_text` expose
     the aggregate health view.  The default is the disabled no-op
     singleton.
+
+    Runtime parameters
+    ------------------
+    wal_path:
+        When given, every netted base-table delta is durably appended to
+        this write-ahead log *before* any view is maintained, and
+        :meth:`recover` can replay unacknowledged changes after a crash.
+    workers:
+        Size of the fan-out thread pool.  ``0`` (default) keeps the
+        legacy serial path: changes apply inline on the caller's thread.
+        With ``workers > 0`` changes are serialized through a dispatcher
+        thread and each change's views are maintained in parallel.
+    retry:
+        A :class:`~repro.runtime.RetryPolicy`.  ``None`` (default) keeps
+        legacy semantics — one attempt per view, no quarantine.  With a
+        policy (or ``workers > 0``) a persistently failing view is
+        quarantined: marked stale, excluded from fan-out, surfaced on
+        the dashboard, repaired with :meth:`repair_view`.
+    fsync_batch:
+        WAL group-commit size (records per fsync); see
+        :class:`~repro.runtime.WriteAheadLog`.
     """
 
-    def __init__(self, db: Database, telemetry: Optional[Telemetry] = None):
+    def __init__(
+        self,
+        db: Database,
+        telemetry: Optional[Telemetry] = None,
+        *,
+        wal_path: Optional[str] = None,
+        workers: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        fsync_batch: int = 1,
+    ):
         self.db = db
         self.telemetry = telemetry or Telemetry.disabled()
         self._maintainers: Dict[str, ViewMaintainer] = {}
         self._aggregates: Dict[str, AggregatedView] = {}
+        self.wal: Optional[WriteAheadLog] = (
+            WriteAheadLog(wal_path, fsync_batch, self.telemetry)
+            if wal_path
+            else None
+        )
+        self.scheduler = MaintenanceScheduler(
+            workers=workers, retry=retry, telemetry=self.telemetry
+        )
+        self._pending_tickets: List[ChangeTicket] = []
 
     # ------------------------------------------------------------------
     # view DDL
@@ -60,6 +120,7 @@ class Warehouse:
         """Define, materialize and register an SPOJ view."""
         if name in self._maintainers or name in self._aggregates:
             raise CatalogError(f"view {name!r} already exists")
+        self.scheduler.drain()  # materialize against a settled database
         definition = (
             view
             if isinstance(view, ViewDefinition)
@@ -69,6 +130,7 @@ class Warehouse:
         self._maintainers[name] = ViewMaintainer(
             self.db, materialized, options, telemetry=self.telemetry
         )
+        self.scheduler.register(name)
         # telemetry series are keyed by the *definition* name (that is what
         # the maintainer stamps on spans and metrics)
         self.telemetry.record_view_size(definition.name, len(materialized))
@@ -84,6 +146,7 @@ class Warehouse:
         """Define and register a Section 3.3 aggregated view."""
         if name in self._maintainers or name in self._aggregates:
             raise CatalogError(f"view {name!r} already exists")
+        self.scheduler.drain()
         definition = (
             view
             if isinstance(view, ViewDefinition)
@@ -91,12 +154,16 @@ class Warehouse:
         )
         aggregated = AggregatedView(definition, group_by, aggregates, self.db)
         self._aggregates[name] = aggregated
+        self.scheduler.register(name)
         return aggregated
 
     def drop_view(self, name: str) -> None:
+        self.scheduler.drain()
         if self._maintainers.pop(name, None) is not None:
+            self.scheduler.forget(name)
             return
         if self._aggregates.pop(name, None) is not None:
+            self.scheduler.forget(name)
             return
         raise CatalogError(f"no view named {name!r}")
 
@@ -125,20 +192,32 @@ class Warehouse:
         except KeyError:
             raise CatalogError(f"no plain view named {name!r}") from None
 
+    @property
+    def quarantined_views(self) -> List[str]:
+        """Views excluded from fan-out until :meth:`repair_view`."""
+        return self.scheduler.quarantined
+
     # ------------------------------------------------------------------
     # DML with fan-out
     # ------------------------------------------------------------------
     def insert(self, table: str, rows: Iterable[Row]) -> Reports:
-        delta = self.db.insert(table, rows)
-        return self._fan_out(table, delta, INSERT, fk_allowed=True)
+        return self._change(
+            table, INSERT, [tuple(r) for r in rows], fk_allowed=True
+        )
 
     def delete(self, table: str, rows: Iterable[Row]) -> Reports:
-        delta = self.db.delete(table, rows)
-        return self._fan_out(table, delta, DELETE, fk_allowed=True)
+        return self._change(
+            table, DELETE, [tuple(r) for r in rows], fk_allowed=True
+        )
 
     def delete_by_key(self, table: str, keys: Iterable[Row]) -> Reports:
-        delta = self.db.delete_by_key(table, keys)
-        return self._fan_out(table, delta, DELETE, fk_allowed=True)
+        wanted = [tuple(k) for k in keys]
+
+        def db_apply() -> Table:
+            return self.db.delete_by_key(table, wanted)
+
+        ticket = self._submit(table, DELETE, db_apply, fk_allowed=True)
+        return self._finalize(ticket.wait())
 
     def update(
         self,
@@ -148,20 +227,299 @@ class Warehouse:
     ) -> List[Reports]:
         """UPDATE as delete + insert across every view, with foreign-key
         shortcuts disabled (the paper's Section 6 caveat 1)."""
-        delete_delta = self.db.delete(table, old_rows, check=False)
-        delete_reports = self._fan_out(
-            table, delete_delta, DELETE, fk_allowed=False
+        delete_reports = self._change(
+            table,
+            DELETE,
+            [tuple(r) for r in old_rows],
+            fk_allowed=False,
+            check=False,
         )
-        insert_delta = self.db.insert(table, new_rows, check=False)
-        insert_reports = self._fan_out(
-            table, insert_delta, INSERT, fk_allowed=False
+        insert_reports = self._change(
+            table,
+            INSERT,
+            [tuple(r) for r in new_rows],
+            fk_allowed=False,
+            check=False,
         )
         return [delete_reports, insert_reports]
 
+    def apply_async(
+        self,
+        table: str,
+        operation: str,
+        rows: Iterable[Row],
+        fk_allowed: bool = True,
+    ) -> ChangeTicket:
+        """Queue one change and return without waiting for the fan-out.
+
+        The change is WAL-logged and applied in submission order by the
+        dispatcher (inline immediately when ``workers=0``).  Call
+        :meth:`flush` to wait for every queued change and surface any
+        failures, or ``ticket.wait()`` for just this one.
+        """
+        if operation not in (INSERT, DELETE):
+            raise MaintenanceError(
+                f"unknown operation {operation!r} (expected "
+                f"{INSERT!r} or {DELETE!r})"
+            )
+        materialized = [tuple(r) for r in rows]
+
+        def db_apply() -> Table:
+            if operation == INSERT:
+                return self.db.insert(table, materialized)
+            return self.db.delete(table, materialized)
+
+        ticket = self._submit(table, operation, db_apply, fk_allowed)
+        self._pending_tickets.append(ticket)
+        return ticket
+
+    def flush(self) -> List[FanOutResult]:
+        """Wait for every queued change, fsync the WAL, surface failures.
+
+        A flush boundary is the consistent point of the durability
+        contract: all changes submitted so far are applied and their WAL
+        acknowledgements are on disk, so this is when to snapshot base
+        tables (see ``docs/DURABILITY.md``).  Raises
+        :class:`~repro.errors.FanOutError` if any flushed change failed
+        on some view (after waiting for all of them and syncing).
+        """
+        tickets, self._pending_tickets = self._pending_tickets, []
+        results = [ticket.wait() for ticket in tickets]
+        self.scheduler.drain()
+        if self.wal is not None:
+            self.wal.sync()
+        failed: Dict[str, Exception] = {}
+        quarantined: List[str] = []
+        for result in results:
+            failed.update(result.failures)
+            quarantined.extend(result.quarantined)
+            if result.error is not None:
+                raise result.error
+        if failed:
+            names = ", ".join(sorted(failed))
+            raise FanOutError(
+                f"maintenance failed for view(s) {names} during flush of "
+                f"{len(results)} queued change(s)",
+                failures=failed,
+                quarantined=quarantined,
+            ) from next(iter(failed.values()))
+        return results
+
+    # ------------------------------------------------------------------
+    # change plumbing
+    # ------------------------------------------------------------------
+    def _change(
+        self,
+        table: str,
+        operation: str,
+        rows: List[Row],
+        fk_allowed: bool,
+        check: bool = True,
+    ) -> Reports:
+        def db_apply() -> Table:
+            if operation == INSERT:
+                return self.db.insert(table, rows, check=check)
+            return self.db.delete(table, rows, check=check)
+
+        ticket = self._submit(table, operation, db_apply, fk_allowed)
+        return self._finalize(ticket.wait())
+
+    def _submit(
+        self, table: str, operation: str, db_apply, fk_allowed: bool
+    ) -> ChangeTicket:
+        """Queue (prepare → fan out → ack) for one base-table change.
+
+        ``prepare`` runs serialized (dispatcher thread, or inline when
+        ``workers=0``): it mutates the base table, then WAL-logs the
+        exact delta **before any view is touched** — write-ahead of the
+        recoverable work, which here is the multi-view maintenance.
+        """
+
+        def prepare():
+            delta = db_apply()
+            lsn = None
+            if self.wal is not None:
+                lsn = self.wal.append(
+                    table, operation, delta.rows, fk_allowed
+                )
+            return self._tasks(table, delta, operation, fk_allowed), lsn
+
+        return self.scheduler.submit(
+            prepare, table, operation, on_complete=self._ack
+        )
+
+    def _ack(self, result: FanOutResult) -> None:
+        """Completion hook (dispatcher thread): the change reached every
+        non-quarantined view, so recovery must not replay it — failed
+        views are repaired by re-materialization, not by replay."""
+        if self.wal is not None and result.lsn is not None:
+            self.wal.ack(result.lsn)
+
+    def _tasks(
+        self, table: str, delta: Table, operation: str, fk_allowed: bool
+    ) -> List[Task]:
+        """One scheduler task per registered view, in registration order.
+
+        Snapshots make retries safe: ``maintain`` is not idempotent (a
+        failure can leave the primary delta applied but not the
+        secondary), so before re-attempting — and after the final
+        failure — the view is restored to its pre-change state.
+        """
+        tasks: List[Task] = []
+        for name, maintainer in self._maintainers.items():
+
+            def run(m=maintainer):
+                # the maintainer records its own telemetry (spans,
+                # error counter) on both success and failure
+                return m.maintain(
+                    table, delta, operation, fk_allowed=fk_allowed
+                )
+
+            def snapshot(m=maintainer):
+                saved = m.view.clone()
+
+                def restore():
+                    fresh = saved.clone()
+                    m.view._rows = fresh._rows
+                    m.view._subkey_indexes = fresh._subkey_indexes
+
+                return restore
+
+            tasks.append(Task(name, run, snapshot))
+        for name, aggregated in self._aggregates.items():
+
+            def run(a=aggregated, view_name=name):
+                try:
+                    report = a.maintain(
+                        table, delta, operation, fk_allowed=fk_allowed
+                    )
+                except Exception:
+                    self.telemetry.record_failure(
+                        view_name, table, operation
+                    )
+                    raise
+                self.telemetry.record_maintenance(report)
+                return report
+
+            def snapshot(a=aggregated):
+                saved = {
+                    key: _clone_group(group)
+                    for key, group in a.groups.items()
+                }
+
+                def restore():
+                    a.groups = {
+                        key: _clone_group(group)
+                        for key, group in saved.items()
+                    }
+
+                return restore
+
+            tasks.append(Task(name, run, snapshot))
+        return tasks
+
+    def _finalize(self, result: FanOutResult) -> Reports:
+        """Raise the legacy errors out of a completed change."""
+        if result.error is not None:
+            raise result.error
+        if result.failures:
+            failed = ", ".join(sorted(result.failures))
+            raise FanOutError(
+                f"maintenance failed for view(s) {failed} "
+                f"({result.operation} on {result.table!r}); the remaining "
+                f"{len(result.reports)} view(s) were maintained",
+                reports=result.reports,
+                failures=result.failures,
+                quarantined=result.quarantined,
+            ) from next(iter(result.failures.values()))
+        return result.reports
+
+    # ------------------------------------------------------------------
+    # recovery & repair
+    # ------------------------------------------------------------------
+    def recover(self) -> List[FanOutResult]:
+        """Replay unacknowledged WAL entries through every view.
+
+        Call on startup, after restoring base tables to the state of the
+        last :meth:`flush` (the acked prefix).  Each pending entry is
+        re-applied to the database (``check=False`` — it already passed
+        integrity checks when first logged) and fanned out; its ack is
+        then durably recorded.  Quarantined views are skipped as usual
+        and should be repaired with :meth:`repair_view` afterwards.
+        """
+        if self.wal is None:
+            raise MaintenanceError("recover() requires a wal_path")
+        results: List[FanOutResult] = []
+        for entry in self.wal.pending():
+
+            def db_apply(e=entry) -> Table:
+                if e.operation == INSERT:
+                    return self.db.insert(e.table, e.rows, check=False)
+                return self.db.delete(e.table, e.rows, check=False)
+
+            def prepare(e=entry, db_apply=db_apply):
+                delta = db_apply()
+                return (
+                    self._tasks(e.table, delta, e.operation, e.fk_allowed),
+                    e.lsn,
+                )
+
+            ticket = self.scheduler.submit(
+                prepare, entry.table, entry.operation, on_complete=self._ack
+            )
+            results.append(ticket.wait())
+        self.wal.sync()
+        return results
+
+    def repair_view(self, name: str) -> None:
+        """Rebuild a (typically quarantined) view from the current base
+        tables and reinstate it into the fan-out."""
+        self.scheduler.drain()
+        if name in self._maintainers:
+            maintainer = self._maintainers[name]
+            fresh = MaterializedView.materialize(
+                maintainer.definition, self.db
+            )
+            maintainer.view._rows = fresh._rows
+            maintainer.view._subkey_indexes = fresh._subkey_indexes
+        elif name in self._aggregates:
+            aggregated = self._aggregates[name]
+            rebuilt = AggregatedView(
+                aggregated.definition,
+                aggregated.group_by,
+                aggregated.aggregates,
+                self.db,
+            )
+            aggregated.groups = rebuilt.groups
+        else:
+            raise CatalogError(f"no view named {name!r}")
+        self.scheduler.reinstate(name)
+
+    def close(self) -> None:
+        """Drain queued changes, stop the scheduler, close the WAL."""
+        try:
+            self.flush()
+        finally:
+            self.scheduler.shutdown()
+            if self.wal is not None:
+                self.wal.close()
+
+    def __enter__(self) -> "Warehouse":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # serial fan-out (transactions)
+    # ------------------------------------------------------------------
     def _fan_out(
         self, table: str, delta: Table, operation: str, fk_allowed: bool
     ) -> Reports:
-        """Maintain every registered view for one base-table update.
+        """Maintain every registered view for one base-table update,
+        inline on the calling thread (transactions use this — their
+        snapshot/rollback bracket replaces retry and quarantine).
 
         A failing view does not starve the others: every view is
         attempted, the failure is recorded in telemetry (error counter
@@ -172,6 +530,8 @@ class Warehouse:
         reports: Reports = {}
         failures: Dict[str, Exception] = {}
         for name, maintainer in self._maintainers.items():
+            if self.scheduler.is_quarantined(name):
+                continue
             try:
                 reports[name] = maintainer.maintain(
                     table, delta, operation, fk_allowed=fk_allowed
@@ -181,6 +541,8 @@ class Warehouse:
                 # + error counter) before re-raising
                 failures[name] = exc
         for name, aggregated in self._aggregates.items():
+            if self.scheduler.is_quarantined(name):
+                continue
             try:
                 reports[name] = aggregated.maintain(
                     table, delta, operation, fk_allowed=fk_allowed
@@ -205,13 +567,27 @@ class Warehouse:
     # ------------------------------------------------------------------
     def batch(self) -> "UpdateBatch":
         """An :class:`~repro.core.batch.UpdateBatch` netting updates for
-        every registered view (see that module for the semantics)."""
+        every registered view (see that module for the semantics).  Each
+        netted per-table pass flows through the warehouse's WAL and
+        scheduler like any other change."""
         from .core.batch import UpdateBatch
 
         return UpdateBatch(
             self.db,
             list(self._maintainers.values()) + list(self._aggregates.values()),
+            apply=self._apply_net_delta,
         )
+
+    def _apply_net_delta(self, net: NetDelta) -> List[MaintenanceReport]:
+        check = net.operation == INSERT  # flush() deletes skip presence checks
+        reports = self._change(
+            net.table,
+            net.operation,
+            list(net.rows),
+            fk_allowed=net.fk_allowed,
+            check=check,
+        )
+        return list(reports.values())
 
     # ------------------------------------------------------------------
     # transactions
@@ -252,10 +628,16 @@ class Warehouse:
 
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:
-        """Every registered view must equal its recompute."""
-        for maintainer in self._maintainers.values():
+        """Every registered non-quarantined view must equal its
+        recompute (quarantined views are stale by contract)."""
+        self.scheduler.drain()
+        for name, maintainer in self._maintainers.items():
+            if self.scheduler.is_quarantined(name):
+                continue
             maintainer.check_consistency()
-        for aggregated in self._aggregates.values():
+        for name, aggregated in self._aggregates.items():
+            if self.scheduler.is_quarantined(name):
+                continue
             aggregated.check_consistency()
 
 
@@ -267,6 +649,14 @@ class Transaction:
     deferrable foreign keys left unchecked until commit.  Rollback
     restores snapshots taken at entry — database tables and materialized
     views alike.
+
+    Statements run inline on the calling thread (the scheduler queue is
+    drained at entry, so no concurrent change can interleave with the
+    snapshot/rollback bracket).  On commit, the statements are appended
+    to the WAL and immediately acknowledged: their maintenance already
+    happened, so they are recorded for the durable history but never
+    replayed.  A crash mid-transaction therefore loses the whole
+    transaction — exactly the atomicity contract.
     """
 
     def __init__(self, warehouse: Warehouse):
@@ -275,10 +665,12 @@ class Transaction:
         self._view_snapshots: Dict[str, object] = {}
         self._agg_snapshots: Dict[str, Dict] = {}
         self._deferred: List[tuple] = []
+        self._statements: List[tuple] = []
         self._active = False
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "Transaction":
+        self.warehouse.scheduler.drain()
         self._db_snapshot = self.warehouse.db.copy()
         self._view_snapshots = {
             name: maintainer.view.clone()
@@ -313,11 +705,13 @@ class Transaction:
             table, materialized, defer_deferrable=True
         )
         self._deferred.append((table, materialized))
+        self._statements.append((table, INSERT, tuple(delta.rows)))
         return self.warehouse._fan_out(table, delta, INSERT, fk_allowed=True)
 
     def delete(self, table: str, rows: Iterable[Row]) -> Reports:
         self._require_active()
         delta = self.warehouse.db.delete(table, rows)
+        self._statements.append((table, DELETE, tuple(delta.rows)))
         return self.warehouse._fan_out(table, delta, DELETE, fk_allowed=True)
 
     def _require_active(self) -> None:
@@ -328,6 +722,13 @@ class Transaction:
     def _commit(self) -> None:
         for table, rows in self._deferred:
             self.warehouse.db.check_deferred_fks(table, rows)
+        wal = self.warehouse.wal
+        if wal is not None:
+            # journal the committed statements: already maintained, so
+            # append + ack (recorded, never replayed)
+            for table, operation, rows in self._statements:
+                wal.ack(wal.append(table, operation, rows))
+            wal.sync()
         self._active = False
         self._db_snapshot = None
         self._view_snapshots = {}

@@ -4,7 +4,7 @@ import pytest
 
 from repro.algebra import Q, eq
 from repro.core import MaterializedView, ViewDefinition, ViewMaintainer
-from repro.core.batch import UpdateBatch
+from repro.core.batch import NetDelta, UpdateBatch
 from repro.engine import Database
 from repro.errors import MaintenanceError
 
@@ -78,6 +78,58 @@ class TestNetting:
         reports = batch.flush()
         m.check_consistency()
         assert set(reports) == {"t", "r", "s"}
+
+
+class TestNetDeltaIterator:
+    """The public netted-delta API the write-ahead log records."""
+
+    def test_delete_then_identical_reinsert_is_dropped(self, setup):
+        db, m = setup
+        row = db.table("t").rows[0]
+        batch = batch_for(db, m)
+        batch.delete("t", [row])
+        batch.insert("t", [row])
+        batch.insert("t", [(950, 4)])
+        deltas = batch.net_deltas()
+        # the delete + identical re-insert vanished entirely; only the
+        # genuinely new row survives netting
+        assert len(deltas) == 1
+        net = deltas[0]
+        assert isinstance(net, NetDelta)
+        assert net.table == "t"
+        assert net.operation == "insert"
+        assert net.rows == ((950, 4),)
+        assert net.fk_allowed is True
+        assert len(net) == 1
+
+    def test_iterating_the_batch_yields_net_deltas(self, setup):
+        db, m = setup
+        doomed = db.table("t").rows[0]
+        batch = batch_for(db, m)
+        batch.insert("t", [(951, 1)])
+        batch.delete("t", [doomed])
+        ops = [(n.table, n.operation, len(n)) for n in batch]
+        # flush order per table: delete pass before insert pass
+        assert ops == [("t", "delete", 1), ("t", "insert", 1)]
+
+    def test_update_pair_disables_fk_shortcuts(self, setup):
+        db, m = setup
+        row = db.table("t").rows[0]
+        changed = (row[0], (row[1] or 0) + 1)
+        batch = batch_for(db, m)
+        batch.delete("t", [row])
+        batch.insert("t", [changed])
+        deltas = batch.net_deltas()
+        assert [n.operation for n in deltas] == ["delete", "insert"]
+        assert all(n.fk_allowed is False for n in deltas)
+
+    def test_net_deltas_is_non_destructive(self, setup):
+        db, m = setup
+        batch = batch_for(db, m)
+        batch.insert("t", [(952, 2)])
+        assert batch.net_deltas() == batch.net_deltas()
+        batch.flush()  # still flushable afterwards
+        m.check_consistency()
 
 
 class TestChurnCompression:

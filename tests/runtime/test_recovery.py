@@ -1,0 +1,134 @@
+"""Crash recovery: WAL replay re-drives lost maintenance work.
+
+The durability contract (docs/DURABILITY.md): base tables are
+snapshotted at flush() boundaries — where acks are fsynced — and after a
+crash the operator restores that snapshot and calls recover(), which
+re-applies every unacknowledged WAL entry to the database and fans it
+out across the views.  The proof obligation here: after replay, every
+non-quarantined view equals a full recompute of the final database
+state, even when the crash tore the WAL mid-record.
+"""
+
+import pytest
+
+from repro.errors import FanOutError, MaintenanceError
+from repro.obs import Telemetry
+from repro.runtime import RetryPolicy, WriteAheadLog
+from repro.tpch import TPCHGenerator, oj_view, v3
+from repro.warehouse import Warehouse
+
+from .test_scheduler import build_db, make_flaky, order_lines_expr
+
+
+@pytest.fixture
+def generator():
+    return TPCHGenerator(scale_factor=0.001, seed=11)
+
+
+def test_recovery_replay_matches_full_recompute(generator, tmp_path):
+    wal_path = str(tmp_path / "changes.wal")
+    db = generator.build()
+
+    # -- before the crash: one flushed (acked) change ------------------
+    wh = Warehouse(db, wal_path=wal_path)
+    wh.create_view("v3", v3())
+    wh.create_view("oj_view", oj_view())
+    wh.insert("lineitem", generator.lineitem_insert_batch(20, seed=1))
+    wh.flush()
+    snapshot = db.copy()  # the operator's base-table snapshot
+    wh.close()
+
+    # -- after the flush: a change whose fan-out never completed -------
+    lost_batch = generator.lineitem_insert_batch(15, seed=2)
+    wal = WriteAheadLog(wal_path)
+    lost_lsn = wal.append("lineitem", "insert", [tuple(r) for r in lost_batch])
+    wal.close()
+    # ... and a crash mid-append of the next change: a torn final record
+    with open(wal_path, "ab") as handle:
+        handle.write(b'{"kind":"change","lsn":99,"table":"linei')
+
+    # -- recovery ------------------------------------------------------
+    restored = snapshot.copy()
+    wh2 = Warehouse(restored, wal_path=wal_path)
+    assert wh2.wal.torn_tail_dropped  # the torn record was truncated
+    wh2.create_view("v3", v3())
+    wh2.create_view("oj_view", oj_view())
+    assert [e.lsn for e in wh2.wal.pending()] == [lost_lsn]
+
+    results = wh2.recover()
+    assert len(results) == 1 and results[0].ok
+    assert results[0].lsn == lost_lsn
+    assert wh2.wal.pending() == []  # replayed changes are acked
+
+    # every view equals a full recompute of the recovered database
+    wh2.check_consistency()
+    # the replayed rows really are in the base table
+    keys = {(r[0], r[1]) for r in lost_batch}
+    present = {
+        (row[0], row[1]) for row in restored.table("lineitem").rows
+    }
+    assert keys <= present
+    wh2.close()
+
+
+def test_recovery_is_idempotent_once_acked(generator, tmp_path):
+    wal_path = str(tmp_path / "changes.wal")
+    db = generator.build()
+    wh = Warehouse(db, wal_path=wal_path)
+    wh.create_view("v3", v3())
+    wh.insert("lineitem", generator.lineitem_insert_batch(10, seed=3))
+    wh.flush()
+    wh.close()
+
+    restored = db.copy()
+    wh2 = Warehouse(restored, wal_path=wal_path)
+    wh2.create_view("v3", v3())
+    assert wh2.recover() == []  # everything acked: nothing to replay
+    wh2.check_consistency()
+    wh2.close()
+
+
+def test_recover_requires_a_wal():
+    wh = Warehouse(build_db())
+    with pytest.raises(MaintenanceError, match="wal_path"):
+        wh.recover()
+    wh.scheduler.shutdown()
+
+
+def test_recovery_skips_quarantined_views(tmp_path):
+    """A view that keeps failing during replay is quarantined; the
+    others still recover to the recomputed state."""
+    wal_path = str(tmp_path / "changes.wal")
+    db = build_db()
+    wh = Warehouse(db, wal_path=wal_path)
+    wh.create_view("ol_a", order_lines_expr())
+    wh.insert("orders", [(1, 100)])
+    wh.flush()
+    snapshot = db.copy()
+    # a lost change
+    wal = wh.wal
+    lost = wal.append("orders", "insert", [(2, 200)])
+    wh.scheduler.shutdown()
+    wal.close()
+
+    restored = snapshot.copy()
+    wh2 = Warehouse(
+        restored,
+        telemetry=Telemetry(),
+        wal_path=wal_path,
+        retry=RetryPolicy(max_attempts=2, base_delay_seconds=0.001),
+    )
+    wh2.create_view("ol_a", order_lines_expr())
+    wh2.create_view("ol_b", order_lines_expr())
+    make_flaky(wh2, "ol_b", fail_times=10_000)
+    results = wh2.recover()
+    assert len(results) == 1
+    assert results[0].quarantined == ["ol_b"]
+    assert wh2.wal.pending() == []  # acked anyway: repair, don't replay
+    # the healthy view recovered fully
+    wh2._maintainers["ol_a"].check_consistency()
+    # and repair brings the quarantined one back
+    wh2._maintainers["ol_b"].remaining_failures = 0
+    wh2.repair_view("ol_b")
+    wh2.check_consistency()
+    wh2.close()

@@ -1,0 +1,290 @@
+"""Scheduler + warehouse fan-out failure paths: retry, quarantine,
+timeout, and the graceful-degradation contract."""
+
+import threading
+import time
+
+import pytest
+
+from repro import Database, Q, eq
+from repro.errors import FanOutError, MaintenanceError
+from repro.obs import Telemetry
+from repro.runtime import (
+    MaintenanceScheduler,
+    RetryPolicy,
+    Task,
+)
+from repro.warehouse import Warehouse
+
+
+def build_db():
+    db = Database()
+    db.create_table("orders", ["o_orderkey", "o_custkey"], key=["o_orderkey"])
+    db.create_table(
+        "lineitem",
+        ["l_orderkey", "l_linenumber", "l_qty"],
+        key=["l_orderkey", "l_linenumber"],
+    )
+    db.add_foreign_key("lineitem", ["l_orderkey"], "orders", ["o_orderkey"])
+    return db
+
+
+def order_lines_expr():
+    return (
+        Q.table("orders")
+        .left_outer_join(
+            "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+        )
+        .build()
+    )
+
+
+class _FlakyMaintainer:
+    """Delegates to a real ViewMaintainer but raises on the first
+    *fail_times* maintenance attempts."""
+
+    def __init__(self, inner, fail_times):
+        self.inner = inner
+        self.remaining_failures = fail_times
+        self.attempts = 0
+
+    @property
+    def view(self):
+        return self.inner.view
+
+    @property
+    def definition(self):
+        return self.inner.definition
+
+    def maintain(self, *args, **kwargs):
+        self.attempts += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise MaintenanceError("transient storage hiccup")
+        return self.inner.maintain(*args, **kwargs)
+
+    def check_consistency(self):
+        return self.inner.check_consistency()
+
+
+def make_flaky(wh, name, fail_times):
+    wh._maintainers[name] = _FlakyMaintainer(
+        wh._maintainers[name], fail_times
+    )
+    return wh._maintainers[name]
+
+
+@pytest.fixture
+def wh():
+    db = build_db()
+    warehouse = Warehouse(
+        db,
+        telemetry=Telemetry(),
+        workers=2,
+        retry=RetryPolicy(max_attempts=3, base_delay_seconds=0.001),
+    )
+    warehouse.create_view("ol_a", order_lines_expr())
+    warehouse.create_view("ol_b", order_lines_expr())
+    warehouse.insert("orders", [(1, 100), (2, 200)])
+    yield warehouse
+    warehouse.scheduler.shutdown()
+
+
+class TestRetry:
+    def test_transient_failure_recovers_after_retry(self, wh):
+        flaky = make_flaky(wh, "ol_a", fail_times=2)
+        reports = wh.insert("lineitem", [(1, 1, 5), (2, 1, 7)])
+        assert set(reports) == {"ol_a", "ol_b"}
+        assert flaky.attempts == 3  # 2 failures + 1 success
+        assert wh.quarantined_views == []
+        wh.check_consistency()  # retries restored state before re-running
+        # the retries were metered
+        retries = wh.telemetry.health.reliability()["ol_a"]["retries"]
+        assert retries == 2
+
+    def test_retry_restores_view_between_attempts(self, wh):
+        # fail_times=1 with the *inner* maintainer half-applied is hard to
+        # stage from outside, so assert the observable contract instead:
+        # after a retried success the view equals a full recompute, and
+        # the row count moved exactly once.
+        make_flaky(wh, "ol_a", fail_times=1)
+        before = len(wh.view("ol_a"))
+        wh.insert("lineitem", [(1, 1, 5)])
+        assert len(wh.view("ol_a")) == before  # row 1 replaced its NULL pad
+        wh.check_consistency()
+
+
+class TestQuarantine:
+    def test_persistent_failure_is_quarantined_and_reported(self, wh):
+        make_flaky(wh, "ol_a", fail_times=10_000)
+        with pytest.raises(FanOutError) as excinfo:
+            wh.insert("lineitem", [(1, 1, 5)])
+        err = excinfo.value
+        assert set(err.failures) == {"ol_a"}
+        assert err.quarantined == ["ol_a"]
+        assert "ol_b" in err.reports  # the healthy view was maintained
+        assert wh.quarantined_views == ["ol_a"]
+
+    def test_quarantined_view_is_excluded_then_stale(self, wh):
+        make_flaky(wh, "ol_a", fail_times=10_000)
+        with pytest.raises(FanOutError):
+            wh.insert("lineitem", [(1, 1, 5)])
+        stale_rows = dict(wh.view("ol_a")._rows)
+        # subsequent changes no longer raise: the failing view is skipped
+        reports = wh.insert("lineitem", [(2, 1, 7)])
+        assert set(reports) == {"ol_b"}
+        assert wh.view("ol_a")._rows == stale_rows  # untouched = stale
+        # and the dashboard surfaces it
+        assert "ol_a" in wh.telemetry.health.quarantined()
+        assert "QUARANTINED" in wh.dashboard() or "quarantined" in wh.dashboard()
+
+    def test_repair_view_reinstates(self, wh):
+        flaky = make_flaky(wh, "ol_a", fail_times=10_000)
+        with pytest.raises(FanOutError):
+            wh.insert("lineitem", [(1, 1, 5)])
+        flaky.remaining_failures = 0  # the fault is fixed
+        wh.repair_view("ol_a")
+        assert wh.quarantined_views == []
+        wh.insert("lineitem", [(2, 1, 7)])
+        wh.check_consistency()  # repaired view is maintained again
+
+
+class TestSchedulerCore:
+    def test_backoff_delays_are_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay_seconds=0.01,
+            backoff_multiplier=2.0,
+            max_delay_seconds=0.05,
+        )
+        assert policy.delay(1) == 0.01
+        assert policy.delay(2) == 0.02
+        assert policy.delay(3) == 0.04
+        assert policy.delay(4) == 0.05  # capped
+        assert policy.delay(9) == 0.05
+
+    def test_changes_are_serialized_but_views_run_parallel(self):
+        scheduler = MaintenanceScheduler(workers=4)
+        active = []
+        peak = [0]
+        lock = threading.Lock()
+
+        def task(name):
+            def run():
+                with lock:
+                    active.append(name)
+                    peak[0] = max(peak[0], len(active))
+                time.sleep(0.02)
+                with lock:
+                    active.remove(name)
+                return name
+
+            return Task(name, run)
+
+        try:
+            result = scheduler.apply(
+                lambda: ([task(f"v{i}") for i in range(4)], None),
+                "t",
+                "insert",
+            )
+            assert result.ok and len(result.reports) == 4
+            assert peak[0] > 1  # views genuinely overlapped
+        finally:
+            scheduler.shutdown()
+
+    def test_timeout_quarantines_the_slow_view(self):
+        scheduler = MaintenanceScheduler(
+            workers=2,
+            retry=RetryPolicy(max_attempts=1, timeout_seconds=0.05),
+        )
+        release = threading.Event()
+
+        def slow():
+            release.wait(5.0)
+            return "late"
+
+        try:
+            result = scheduler.apply(
+                lambda: (
+                    [Task("sluggish", slow), Task("fine", lambda: "ok")],
+                    None,
+                ),
+                "t",
+                "insert",
+            )
+            assert "fine" in result.reports
+            assert "sluggish" in result.failures
+            assert result.quarantined == ["sluggish"]
+            assert scheduler.is_quarantined("sluggish")
+        finally:
+            release.set()
+            scheduler.shutdown()
+
+    def test_serial_scheduler_keeps_legacy_single_attempt(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise MaintenanceError("boom")
+
+        scheduler = MaintenanceScheduler()  # workers=0, retry=None
+        result = scheduler.apply(
+            lambda: ([Task("v", failing)], None), "t", "insert"
+        )
+        assert len(calls) == 1  # no retry
+        assert result.quarantined == []  # no quarantine
+        assert not scheduler.is_quarantined("v")
+        scheduler.shutdown()
+
+    def test_queue_depth_gauge_returns_to_zero(self):
+        telemetry = Telemetry()
+        scheduler = MaintenanceScheduler(workers=1, telemetry=telemetry)
+        try:
+            tickets = [
+                scheduler.submit(
+                    lambda: ([Task("v", lambda: time.sleep(0.005))], None),
+                    "t",
+                    "insert",
+                )
+                for _ in range(5)
+            ]
+            for ticket in tickets:
+                ticket.wait()
+            scheduler.drain()
+        finally:
+            scheduler.shutdown()
+        gauge = telemetry.queue_depth
+        assert gauge.value() == 0
+
+
+class TestAsync:
+    def test_apply_async_then_flush(self):
+        db = build_db()
+        wh = Warehouse(db, workers=2)
+        wh.create_view("ol", order_lines_expr())
+        try:
+            wh.apply_async("orders", "insert", [(1, 100)])
+            wh.apply_async("lineitem", "insert", [(1, 1, 5)])
+            wh.apply_async("orders", "insert", [(2, 200)])
+            results = wh.flush()
+            assert [r.ok for r in results] == [True, True, True]
+            wh.check_consistency()
+        finally:
+            wh.scheduler.shutdown()
+
+    def test_flush_surfaces_async_failures(self):
+        db = build_db()
+        wh = Warehouse(
+            db,
+            workers=2,
+            retry=RetryPolicy(max_attempts=2, base_delay_seconds=0.001),
+        )
+        wh.create_view("ol", order_lines_expr())
+        make_flaky(wh, "ol", fail_times=10_000)
+        try:
+            wh.apply_async("orders", "insert", [(1, 100)])
+            with pytest.raises(FanOutError) as excinfo:
+                wh.flush()
+            assert excinfo.value.quarantined == ["ol"]
+        finally:
+            wh.scheduler.shutdown()

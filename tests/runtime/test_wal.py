@@ -1,0 +1,137 @@
+"""WriteAheadLog unit tests: LSNs, acks, group commit, crash tolerance."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import WalError
+from repro.runtime import WalEntry, WriteAheadLog
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "changes.wal")
+
+
+class TestAppendAck:
+    def test_lsns_are_monotonic_from_one(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        assert wal.last_lsn == 0
+        lsns = [
+            wal.append("orders", "insert", [(i, i * 10)]) for i in range(5)
+        ]
+        assert lsns == [1, 2, 3, 4, 5]
+        assert wal.last_lsn == 5
+        wal.close()
+
+    def test_pending_excludes_acked_in_lsn_order(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        a = wal.append("orders", "insert", [(1, 10)])
+        b = wal.append("lineitem", "delete", [(1, 1, 5.0)])
+        c = wal.append("orders", "insert", [(2, 20)])
+        wal.ack(b)
+        assert [e.lsn for e in wal.pending()] == [a, c]
+        wal.ack(a)
+        wal.ack(c)
+        assert wal.pending() == []
+        wal.close()
+
+    def test_ack_is_idempotent_but_rejects_unknown_lsn(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        lsn = wal.append("orders", "insert", [(1, 10)])
+        wal.ack(lsn)
+        wal.ack(lsn)  # no error
+        with pytest.raises(WalError):
+            wal.ack(lsn + 7)
+        wal.close()
+
+    def test_entry_preserves_rows_operation_and_fk_flag(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append(
+            "lineitem",
+            "delete",
+            [(1, 1, 5.0, None), (2, 1, "x", True)],
+            fk_allowed=False,
+        )
+        wal.close()
+        entry = WriteAheadLog(wal_path).pending()[0]
+        assert entry.table == "lineitem"
+        assert entry.operation == "delete"
+        assert entry.fk_allowed is False
+        assert entry.rows == ((1, 1, 5.0, None), (2, 1, "x", True))
+
+
+class TestDurabilityAcrossReopen:
+    def test_reload_round_trip(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        first = wal.append("orders", "insert", [(1, 10)])
+        second = wal.append("orders", "insert", [(2, 20)])
+        wal.ack(first)
+        wal.close()
+
+        reopened = WriteAheadLog(wal_path)
+        assert reopened.last_lsn == 2
+        assert reopened.is_acked(first)
+        assert [e.lsn for e in reopened.pending()] == [second]
+        # new appends continue the LSN sequence
+        assert reopened.append("orders", "delete", [(1, 10)]) == 3
+        reopened.close()
+
+    def test_group_commit_fsyncs_every_batch(self, wal_path):
+        wal = WriteAheadLog(wal_path, fsync_batch=3)
+        wal.append("t", "insert", [(1,)])
+        wal.append("t", "insert", [(2,)])
+        assert wal._unsynced == 2  # below the batch: not yet fsynced
+        wal.append("t", "insert", [(3,)])
+        assert wal._unsynced == 0  # batch boundary hit
+        wal.append("t", "insert", [(4,)])
+        wal.sync()  # explicit flush boundary
+        assert wal._unsynced == 0
+        wal.close()
+
+
+class TestCrashTolerance:
+    def test_torn_final_record_is_truncated(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("orders", "insert", [(1, 10)])
+        wal.append("orders", "insert", [(2, 20)])
+        wal.close()
+        # crash mid-write: final record is half a line
+        with open(wal_path, "ab") as handle:
+            handle.write(b'{"kind":"change","lsn":3,"table":"ord')
+
+        recovered = WriteAheadLog(wal_path)
+        assert recovered.torn_tail_dropped
+        assert recovered.last_lsn == 2
+        assert [e.lsn for e in recovered.pending()] == [1, 2]
+        # the torn bytes are gone from disk, so the next append is clean
+        assert recovered.append("orders", "insert", [(3, 30)]) == 3
+        recovered.close()
+        assert [e.lsn for e in WriteAheadLog(wal_path).pending()] == [1, 2, 3]
+
+    def test_corruption_before_the_tail_raises(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("orders", "insert", [(1, 10)])
+        wal.append("orders", "insert", [(2, 20)])
+        wal.close()
+        lines = open(wal_path, "rb").read().splitlines(keepends=True)
+        lines[0] = b'{"kind":"chan\n'  # corrupt a NON-final record
+        with open(wal_path, "wb") as handle:
+            handle.writelines(lines)
+        with pytest.raises(WalError, match="corrupt WAL record"):
+            WriteAheadLog(wal_path)
+
+    def test_unknown_record_kind_raises(self, wal_path):
+        with open(wal_path, "w") as handle:
+            handle.write(json.dumps({"kind": "mystery", "lsn": 1}) + "\n")
+            handle.write(json.dumps({"kind": "ack", "lsn": 1}) + "\n")
+        with pytest.raises(WalError, match="unknown WAL record kind"):
+            WriteAheadLog(wal_path)
+
+    def test_empty_and_missing_files_are_fine(self, wal_path):
+        assert WriteAheadLog(wal_path).pending() == []  # created fresh
+        assert os.path.exists(wal_path)
+        wal = WriteAheadLog(wal_path)  # reopen the now-empty file
+        assert wal.last_lsn == 0
+        wal.close()

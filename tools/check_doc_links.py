@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail on dead relative links in README.md and docs/*.md.
+
+Checks every markdown link and image whose target is a relative path
+(external ``http(s)``/``mailto`` links and pure ``#anchor`` references
+are skipped).  Targets are resolved against the file containing the
+link; a ``#fragment`` suffix is stripped before the existence check.
+
+Usage::
+
+    python tools/check_doc_links.py [repo_root]
+
+Exits 1 listing every dead link, 0 when all links resolve.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) and ![alt](target); target may carry an optional title
+LINK = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def doc_files(root: Path):
+    readme = root / "README.md"
+    if readme.exists():
+        yield readme
+    docs = root / "docs"
+    if docs.is_dir():
+        yield from sorted(docs.glob("*.md"))
+
+
+def dead_links(root: Path):
+    for doc in doc_files(root):
+        text = doc.read_text(encoding="utf-8")
+        in_code = False
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            if line.strip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            for match in LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    yield doc, lineno, target
+
+
+def main(argv):
+    root = Path(argv[1]) if len(argv) > 1 else Path(".")
+    broken = list(dead_links(root))
+    checked = [str(p.relative_to(root.resolve()) if p.is_absolute() else p)
+               for p in doc_files(root)]
+    if broken:
+        for doc, lineno, target in broken:
+            print(f"DEAD LINK {doc}:{lineno}: ({target})")
+        print(f"{len(broken)} dead link(s) across {len(checked)} file(s)")
+        return 1
+    print(f"doc links ok: {len(checked)} file(s) checked")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import time
 
-import pytest
 
 from repro.baselines import GriffinKumarMaintainer
 from repro.core import ViewMaintainer

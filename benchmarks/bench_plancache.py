@@ -10,7 +10,6 @@ instead of re-hashing the base table per update.
 from __future__ import annotations
 
 import os
-import statistics
 
 from repro.bench import _plancache_state, run_plancache
 from repro.core import MaterializedView, ViewMaintainer
@@ -24,7 +23,7 @@ def test_compiled_within_10pct_of_interpreted_everywhere():
         compiled = point["compiled_median_seconds"]
         interpreted = point["interpreted_median_seconds"]
         assert compiled <= interpreted * 1.10, (
-            f"compiled maintenance regressed past the interpreter at "
+            "compiled maintenance regressed past the interpreter at "
             f"|item|={point['n_item']}: {compiled:.6f}s vs "
             f"{interpreted:.6f}s"
         )

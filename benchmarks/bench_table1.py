@@ -17,7 +17,6 @@ for the current scale are printed by ``python -m repro.bench table1``.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import MaintenanceOptions, ViewMaintainer
 

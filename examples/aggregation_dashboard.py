@@ -11,7 +11,7 @@ paper's row counts and per-table not-null counts, and is maintained
 incrementally under lineitem traffic.
 """
 
-from repro import Database, Q, ViewDefinition, eq
+from repro import Q, ViewDefinition, eq
 from repro.core import AggregatedView, agg_avg, agg_sum, count_col, count_star
 from repro.tpch import TPCHGenerator
 

@@ -16,7 +16,6 @@ import time
 
 from repro.baselines import RecomputeMaintainer
 from repro.core import MaintenanceOptions, MaterializedView, ViewMaintainer
-from repro.core.maintgraph import MaintenanceGraph
 from repro.tpch import TPCHGenerator, v3
 
 

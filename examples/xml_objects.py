@@ -98,7 +98,7 @@ def to_objects(view: MaterializedView):
                         "ok": ok,
                         "status": order["status"],
                         "lines": sorted(
-                            lines[(ck, ok)], key=lambda l: l["line"]
+                            lines[(ck, ok)], key=lambda ln: ln["line"]
                         ),
                     }
                 )

@@ -22,7 +22,7 @@ Nodes are immutable; rewrites build new trees.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Sequence, Tuple
 
 from ..errors import ExpressionError
 from .predicates import Predicate, TruePred

@@ -110,7 +110,7 @@ def _walk(expr: RelExpr, db: Database, use_fks: bool) -> List[Term]:
     if isinstance(expr, Join):
         if expr.kind not in (INNER, LEFT, RIGHT, FULL):
             raise ExpressionError(
-                f"normal form is defined for SPOJ expressions only, got "
+                "normal form is defined for SPOJ expressions only, got "
                 f"{expr.kind!r} join"
             )
         left_terms = _walk(expr.left, db, use_fks)

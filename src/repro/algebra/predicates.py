@@ -16,7 +16,7 @@ for which this is guaranteed.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import ExpressionError
 from ..engine.schema import Schema, split_qualified

@@ -28,7 +28,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..algebra.evaluate import evaluate
 from ..algebra.expr import delta_label
 from ..algebra.normalform import evaluate_term
 from ..core.maintain import (

@@ -48,7 +48,6 @@ from .core import (
     MaterializedView,
     SECONDARY_COMBINED,
     SECONDARY_FROM_BASE,
-    SECONDARY_FROM_VIEW,
     ViewDefinition,
     ViewMaintainer,
 )
@@ -636,7 +635,7 @@ def run_plancache(
     record["speedup_at_largest_scale"] = largest["speedup"]
     if not quiet:
         print_table(
-            f"Plan cache: single-row insert maintenance, median of "
+            "Plan cache: single-row insert maintenance, median of "
             f"{rounds} (SF multiplier {scale / DEFAULT_SCALE:g})",
             ["|item|", "Compiled ms", "Interpreted ms", "Speedup", "Hit rate"],
             [

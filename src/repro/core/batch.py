@@ -126,7 +126,7 @@ class UpdateBatch:
             else:
                 if slot.deleted is not None:
                     raise MaintenanceError(
-                        f"duplicate delete for key "
+                        "duplicate delete for key "
                         f"{self._key(table, row)!r} of {table!r}"
                     )
                 slot.deleted = row

@@ -23,7 +23,7 @@ from enum import Enum
 from typing import Dict, FrozenSet, List
 
 from ..algebra.normalform import Term
-from ..algebra.predicates import Comparison, Predicate
+from ..algebra.predicates import Comparison
 from ..algebra.subsumption import SubsumptionGraph
 from ..engine.catalog import Database
 

@@ -30,7 +30,7 @@ for the base route — the whole Section 5.3 expression once.  The
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from ..algebra.evaluate import evaluate
 from ..algebra.expr import (

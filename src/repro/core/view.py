@@ -14,7 +14,7 @@ which is what lets deltas be applied with point inserts/deletes.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..algebra.evaluate import evaluate, infer_schema
 from ..algebra.expr import Project, RelExpr, validate_spoj

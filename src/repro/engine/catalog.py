@@ -10,7 +10,7 @@ constraints actually hold.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from ..errors import CatalogError, ConstraintError
 from .constraints import ForeignKey, UniqueKey

@@ -48,7 +48,7 @@ def _infer_column_types(table) -> List[str]:
                 pass  # keep float
             elif current is not value_type:
                 raise CatalogError(
-                    f"mixed types in column "
+                    "mixed types in column "
                     f"{table.schema.columns[index]!r}: "
                     f"{current.__name__} vs {value_type.__name__}"
                 )

@@ -117,7 +117,7 @@ class Table:
             for pos in nn_positions:
                 if row[pos] is None:
                     raise ConstraintError(
-                        f"NULL in NOT NULL column "
+                        "NULL in NOT NULL column "
                         f"{self.schema.columns[pos]!r} of {self.name!r}"
                     )
         if self.key is not None:

@@ -1,0 +1,570 @@
+"""The differential oracle: every maintenance strategy vs. recompute.
+
+One scenario is replayed once per :class:`OracleConfig` — interpreted
+vs. compiled plans, Section 5.2 view-side vs. Section 5.3 base-table
+secondary deltas (plus the combined and cost-based auto variants),
+foreign-key shortcuts on and off, and serial vs. parallel scheduling
+with a write-ahead log.  After **every** update the oracle checks
+
+* each materialized view against a full recompute of its definition
+  (the paper's Theorem 1 contract);
+* the base tables against a reference replay (catches rollback bugs);
+* the per-update outcome (ok / error type) against the reference
+  (catches asymmetric constraint handling);
+* that no view was quarantined (a quarantine in a clean run means a
+  maintainer raised);
+
+and, for WAL-enabled configs, that a flush leaves no entry pending
+(durability) and that a simulated crash — acknowledgements dropped via
+the ``wal.ack`` failpoint, base tables rolled back to the last flush
+snapshot — converges to the reference state through
+:meth:`Warehouse.recover`.  A transient-fault config arms the
+``scheduler.task`` failpoint each step and expects the retry path to
+absorb it.
+
+Because every config is checked against recompute on an identical update
+stream, agreement with the oracle implies pairwise agreement of all
+strategy pairs; a final explicit cross-config comparison is kept anyway
+as a belt-and-braces differential check.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.maintain import (
+    MaintenanceOptions,
+    SECONDARY_AUTO,
+    SECONDARY_COMBINED,
+    SECONDARY_FROM_BASE,
+    SECONDARY_FROM_VIEW,
+)
+from ..errors import ReproError
+from ..runtime import FAILPOINTS, RetryPolicy
+from ..warehouse import Warehouse
+from .generator import Scenario
+
+__all__ = [
+    "Mismatch",
+    "CaseResult",
+    "OracleConfig",
+    "default_matrix",
+    "config_names",
+    "configs_by_name",
+    "run_case",
+    "apply_op",
+    "consistency_mismatches",
+    "view_divergence",
+]
+
+
+# ---------------------------------------------------------------------------
+# findings
+# ---------------------------------------------------------------------------
+@dataclass
+class Mismatch:
+    """One oracle violation: which config, where in the stream, what."""
+
+    config: str
+    step: str  # "op[3]", "flush", "recovery", "final"
+    kind: str  # view-divergence | db-divergence | outcome | quarantine
+    #          | durability | cross-config | harness-error
+    view: Optional[str] = None
+    detail: str = ""
+
+    def __str__(self) -> str:
+        where = f" view={self.view}" if self.view else ""
+        return (
+            f"[{self.config}] {self.step} {self.kind}{where}: {self.detail}"
+        )
+
+
+@dataclass
+class CaseResult:
+    """Everything the oracle observed for one scenario."""
+
+    mismatches: List[Mismatch] = field(default_factory=list)
+    configs_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    @property
+    def failing_configs(self) -> List[str]:
+        return sorted({m.config for m in self.mismatches})
+
+    @property
+    def kinds(self) -> List[str]:
+        return sorted({m.kind for m in self.mismatches})
+
+    def summary(self, limit: int = 8) -> str:
+        if self.ok:
+            return f"ok ({len(self.configs_run)} configs)"
+        lines = [str(m) for m in self.mismatches[:limit]]
+        if len(self.mismatches) > limit:
+            lines.append(f"... and {len(self.mismatches) - limit} more")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# the strategy matrix
+# ---------------------------------------------------------------------------
+@dataclass
+class OracleConfig:
+    """One way of running the maintenance machinery end to end."""
+
+    name: str
+    options: Callable[[], MaintenanceOptions]
+    workers: int = 0
+    wal: bool = False
+    retry: Optional[RetryPolicy] = None
+    crash_check: bool = False
+    inject_transient: bool = False
+
+
+def _opts(**kwargs) -> Callable[[], MaintenanceOptions]:
+    return lambda: MaintenanceOptions(**kwargs)
+
+
+_FAST_RETRY = RetryPolicy(
+    max_attempts=3, base_delay_seconds=0.0, max_delay_seconds=0.0
+)
+
+
+def default_matrix() -> List[OracleConfig]:
+    """The full strategy matrix (fresh instances, safe to mutate)."""
+    return [
+        OracleConfig(
+            "interpreted-view",
+            _opts(
+                use_plan_cache=False,
+                secondary_strategy=SECONDARY_FROM_VIEW,
+            ),
+        ),
+        OracleConfig(
+            "compiled-view",
+            _opts(
+                use_plan_cache=True, secondary_strategy=SECONDARY_FROM_VIEW
+            ),
+        ),
+        OracleConfig(
+            "interpreted-base",
+            _opts(
+                use_plan_cache=False,
+                secondary_strategy=SECONDARY_FROM_BASE,
+            ),
+        ),
+        OracleConfig(
+            "compiled-base",
+            _opts(
+                use_plan_cache=True, secondary_strategy=SECONDARY_FROM_BASE
+            ),
+        ),
+        OracleConfig(
+            "combined", _opts(secondary_strategy=SECONDARY_COMBINED)
+        ),
+        OracleConfig("auto", _opts(secondary_strategy=SECONDARY_AUTO)),
+        OracleConfig(
+            "no-fk",
+            _opts(
+                use_fk_simplify=False,
+                use_fk_graph_reduction=False,
+                use_fk_normal_form=False,
+            ),
+        ),
+        OracleConfig(
+            "serial-wal",
+            _opts(),
+            wal=True,
+            crash_check=True,
+        ),
+        OracleConfig(
+            "parallel-wal",
+            _opts(),
+            workers=2,
+            wal=True,
+            retry=_FAST_RETRY,
+            crash_check=True,
+        ),
+        OracleConfig(
+            "retry-transient",
+            _opts(),
+            workers=2,
+            retry=_FAST_RETRY,
+            inject_transient=True,
+        ),
+    ]
+
+
+def config_names() -> List[str]:
+    return [c.name for c in default_matrix()]
+
+
+def configs_by_name(names) -> List[OracleConfig]:
+    matrix = {c.name: c for c in default_matrix()}
+    unknown = sorted(set(names) - set(matrix))
+    if unknown:
+        raise ValueError(
+            f"unknown oracle config(s) {unknown}; known: {sorted(matrix)}"
+        )
+    return [matrix[n] for n in names]
+
+
+# ---------------------------------------------------------------------------
+# stream replay
+# ---------------------------------------------------------------------------
+def apply_op(wh: Warehouse, op: Dict) -> str:
+    """Apply one scenario op; returns ``"ok"`` or the error type name.
+    Symmetric across configs: every config (and the view-less reference)
+    replays ops through exactly this function."""
+    try:
+        if op["kind"] == "insert":
+            wh.insert(op["table"], op["rows"])
+        elif op["kind"] == "delete":
+            wh.delete(op["table"], op["rows"])
+        elif op["kind"] == "txn":
+            with wh.transaction() as txn:
+                for st in op["statements"]:
+                    if st["kind"] == "insert":
+                        txn.insert(st["table"], st["rows"])
+                    else:
+                        txn.delete(st["table"], st["rows"])
+        else:  # pragma: no cover - corrupt corpus entry
+            raise ValueError(f"unknown op kind {op['kind']!r}")
+        return "ok"
+    except ReproError as exc:
+        return type(exc).__name__
+
+
+def _table_state(wh: Warehouse) -> Dict[str, frozenset]:
+    return {
+        name: frozenset(table.rows)
+        for name, table in wh.db.tables.items()
+    }
+
+
+class _Reference:
+    """The view-free reference replay: expected op outcomes and expected
+    base-table state after every step."""
+
+    def __init__(self, scenario: Scenario):
+        self.outcomes: List[str] = []
+        self.states: List[Dict[str, frozenset]] = []
+        wh = Warehouse(scenario.build_database())
+        for op in scenario.ops:
+            self.outcomes.append(apply_op(wh, op))
+            self.states.append(_table_state(wh))
+        self.final_state = _table_state(wh)
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# consistency helpers (shared with the test suite)
+# ---------------------------------------------------------------------------
+def view_divergence(wh: Warehouse, name: str) -> Optional[str]:
+    """How the maintained view differs from a full recompute (``None``
+    when identical) — the per-view recompute oracle."""
+    maintainer = wh.maintainer(name)
+    expected = frozenset(maintainer.definition.evaluate(wh.db).rows)
+    actual = frozenset(maintainer.view.rows())
+    if actual == expected:
+        return None
+    missing = sorted(expected - actual)[:3]
+    extra = sorted(actual - expected)[:3]
+    return (
+        f"{len(expected - actual)} missing (e.g. {missing}), "
+        f"{len(actual - expected)} extra (e.g. {extra})"
+    )
+
+def consistency_mismatches(
+    wh: Warehouse, config: str = "warehouse", step: str = "check"
+) -> List[Mismatch]:
+    """Recompute-oracle check of every non-quarantined view (the helper
+    the repair/quarantine tests assert with)."""
+    wh.scheduler.drain()
+    found: List[Mismatch] = []
+    for name in wh.view_names:
+        if wh.scheduler.is_quarantined(name):
+            continue
+        diff = view_divergence(wh, name)
+        if diff is not None:
+            found.append(
+                Mismatch(config, step, "view-divergence", name, diff)
+            )
+    return found
+
+
+# ---------------------------------------------------------------------------
+# per-config execution
+# ---------------------------------------------------------------------------
+def run_case(
+    scenario: Scenario,
+    configs: Optional[List[OracleConfig]] = None,
+) -> CaseResult:
+    """Replay *scenario* under every config and collect all mismatches."""
+    configs = default_matrix() if configs is None else configs
+    result = CaseResult()
+    reference = _Reference(scenario)
+    final_views: Dict[str, Dict[str, frozenset]] = {}
+    for config in configs:
+        result.configs_run.append(config.name)
+        try:
+            views = _run_config(scenario, config, reference, result)
+            if views is not None:
+                final_views[config.name] = views
+        except Exception as exc:  # harness bug or unexpected blow-up
+            result.mismatches.append(
+                Mismatch(
+                    config.name, "run", "harness-error", None,
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+        if config.crash_check:
+            try:
+                _run_crash_check(scenario, config, reference, result)
+            except Exception as exc:
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "harness-error", None,
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+    _cross_config_check(final_views, result)
+    return result
+
+
+def _create_views(wh: Warehouse, scenario: Scenario, config: OracleConfig):
+    for defn in scenario.view_definitions(wh.db):
+        wh.create_view(defn.name, defn, options=config.options())
+
+
+def _check_step(
+    wh: Warehouse,
+    config: OracleConfig,
+    step: str,
+    expected_state: Dict[str, frozenset],
+    result: CaseResult,
+) -> None:
+    wh.scheduler.drain()
+    state = _table_state(wh)
+    if state != expected_state:
+        diverged = sorted(
+            name
+            for name in state
+            if state[name] != expected_state.get(name)
+        )
+        result.mismatches.append(
+            Mismatch(
+                config.name, step, "db-divergence", None,
+                f"base table(s) {diverged} differ from the reference replay",
+            )
+        )
+    quarantined = wh.quarantined_views
+    if quarantined:
+        reasons = {
+            name: wh.scheduler.state(name).quarantine_reason
+            for name in quarantined
+        }
+        result.mismatches.append(
+            Mismatch(
+                config.name, step, "quarantine", ",".join(quarantined),
+                f"view(s) quarantined during a clean run: {reasons}",
+            )
+        )
+    for name in wh.view_names:
+        if name in quarantined:
+            continue
+        diff = view_divergence(wh, name)
+        if diff is not None:
+            result.mismatches.append(
+                Mismatch(config.name, step, "view-divergence", name, diff)
+            )
+
+
+def _run_config(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> Optional[Dict[str, frozenset]]:
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        wal_path = (
+            os.path.join(tmp, f"{config.name}.wal") if config.wal else None
+        )
+        wh = Warehouse(
+            scenario.build_database(),
+            wal_path=wal_path,
+            workers=config.workers,
+            retry=config.retry,
+        )
+        try:
+            _create_views(wh, scenario, config)
+            if config.inject_transient:
+                # every maintenance task fails its *first* attempt; the
+                # retry loop must absorb all of them without quarantine
+                FAILPOINTS.arm(
+                    "scheduler.task", action="raise", times=None, attempt=1
+                )
+            for i, op in enumerate(scenario.ops):
+                step = f"op[{i}]"
+                outcome = apply_op(wh, op)
+                if outcome != reference.outcomes[i]:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, step, "outcome", None,
+                            f"{outcome!r} != reference "
+                            f"{reference.outcomes[i]!r} for {op['kind']} "
+                            f"on {op.get('table', '(txn)')!r}",
+                        )
+                    )
+                _check_step(wh, config, step, reference.states[i], result)
+            if config.wal:
+                try:
+                    wh.flush()
+                except ReproError as exc:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, "flush", "quarantine", None,
+                            "flush surfaced a maintenance failure: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                pending = wh.wal.pending()
+                if pending:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, "flush", "durability", None,
+                            f"{len(pending)} WAL entr(ies) still pending "
+                            "after flush (lsns "
+                            f"{[e.lsn for e in pending][:5]})",
+                        )
+                    )
+            return {
+                name: frozenset(wh.maintainer(name).view.rows())
+                for name in wh.view_names
+            }
+        finally:
+            if config.inject_transient:
+                FAILPOINTS.disarm("scheduler.task")
+            wh.scheduler.shutdown()
+            if wh.wal is not None:
+                wh.wal.close()
+
+
+def _run_crash_check(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> None:
+    """Crash after the WAL records a suffix of the stream but before any
+    of its acknowledgements: restart from the flush-boundary snapshot
+    and require recovery to converge to the reference state."""
+    ops = scenario.ops
+    if not ops:
+        return
+    crash_at = len(ops) // 2
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-crash-") as tmp:
+        wal_path = os.path.join(tmp, "crash.wal")
+        wh = Warehouse(
+            scenario.build_database(),
+            wal_path=wal_path,
+            workers=config.workers,
+            retry=config.retry,
+        )
+        _create_views(wh, scenario, config)
+        for op in ops[:crash_at]:
+            apply_op(wh, op)
+        wh.flush()  # durable boundary: everything so far is acked
+        snapshot = wh.db.copy()
+        with FAILPOINTS.armed("wal.ack", action="skip", times=None):
+            for op in ops[crash_at:]:
+                apply_op(wh, op)
+            wh.scheduler.drain()
+            wh.wal.sync()
+            # simulated crash: no flush, no acks, just drop the process
+            wh.scheduler.shutdown()
+            wh.wal.close()
+
+        restarted = Warehouse(
+            snapshot,
+            wal_path=wal_path,
+            workers=config.workers,
+            retry=config.retry,
+        )
+        try:
+            _create_views(restarted, scenario, config)
+            recovered = restarted.recover()
+            for fan_out in recovered:
+                if fan_out.error is not None or fan_out.failures:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, "recovery", "view-divergence",
+                            ",".join(sorted(fan_out.failures)) or None,
+                            "recovery fan-out failed: "
+                            f"{fan_out.error or fan_out.failures}",
+                        )
+                    )
+            if restarted.wal.pending():
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "durability", None,
+                        "recovery left WAL entries pending",
+                    )
+                )
+            state = _table_state(restarted)
+            if state != reference.final_state:
+                diverged = sorted(
+                    n
+                    for n in state
+                    if state[n] != reference.final_state.get(n)
+                )
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "db-divergence", None,
+                        f"recovered base table(s) {diverged} differ from "
+                        "the reference replay",
+                    )
+                )
+            for name in restarted.view_names:
+                if restarted.scheduler.is_quarantined(name):
+                    continue
+                diff = view_divergence(restarted, name)
+                if diff is not None:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, "recovery", "view-divergence",
+                            name, diff,
+                        )
+                    )
+        finally:
+            restarted.scheduler.shutdown()
+            if restarted.wal is not None:
+                restarted.wal.close()
+
+
+def _cross_config_check(
+    final_views: Dict[str, Dict[str, frozenset]], result: CaseResult
+) -> None:
+    """All configs that completed must agree on the final view contents
+    (pairwise differential check against the first as witness)."""
+    if len(final_views) < 2:
+        return
+    baseline_name = next(iter(final_views))
+    baseline = final_views[baseline_name]
+    for name, views in final_views.items():
+        for view_name, rows in views.items():
+            want = baseline.get(view_name)
+            if want is not None and rows != want:
+                result.mismatches.append(
+                    Mismatch(
+                        name, "final", "cross-config", view_name,
+                        f"final contents differ from {baseline_name!r} "
+                        f"({len(rows ^ want)} row(s) in the symmetric "
+                        "difference)",
+                    )
+                )

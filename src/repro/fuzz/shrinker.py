@@ -1,0 +1,219 @@
+"""Greedy delta-debugging shrinker for failing fuzz scenarios.
+
+Given a scenario and a ``still_fails`` predicate (normally "replaying it
+reports a mismatch in the same configs"), the shrinker repeatedly tries
+structurally smaller variants and keeps any that still fail:
+
+1. drop update ops (chunks first, then one at a time);
+2. shrink individual ops — drop a transaction statement, drop rows from
+   an insert/delete;
+3. drop initial base-table rows;
+4. simplify views — drop one entirely, or replace a view with one of its
+   own join subtrees;
+5. drop foreign-key declarations, then tables nothing references.
+
+Candidates that fail *differently* (or not at all — including variants
+that crash the replay, e.g. by breaking foreign-key integrity) are
+rejected; the predicate is the single source of truth.  Work is bounded
+by an evaluation budget, so shrinking a pathological case degrades to
+"less minimal", never "hangs".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from ..algebra.expr import RelExpr
+from ..sql import render_select
+from .generator import Scenario
+
+__all__ = ["shrink", "ShrinkReport"]
+
+
+class ShrinkReport:
+    """What one :func:`shrink` run did."""
+
+    def __init__(self, scenario: Scenario):
+        self.scenario = scenario
+        self.evaluations = 0
+        self.accepted_steps = 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ShrinkReport(steps={self.accepted_steps}, "
+            f"evals={self.evaluations}, final={self.scenario.describe()})"
+        )
+
+
+def shrink(
+    scenario: Scenario,
+    still_fails: Callable[[Scenario], bool],
+    budget: int = 300,
+    on_accept: Optional[Callable[[Scenario], None]] = None,
+) -> ShrinkReport:
+    """Minimize *scenario* under *still_fails* within *budget* replays."""
+    report = ShrinkReport(scenario)
+
+    def check(candidate: Scenario) -> bool:
+        report.evaluations += 1
+        try:
+            return bool(still_fails(candidate))
+        except Exception:
+            # a variant the replay machinery itself rejects (e.g. broken
+            # FK integrity) is simply not a valid shrink
+            return False
+
+    progress = True
+    while progress and report.evaluations < budget:
+        progress = False
+        current = report.scenario
+        for candidate in _candidates(current):
+            if report.evaluations >= budget:
+                break
+            if candidate.size() >= current.size():
+                continue
+            if check(candidate):
+                report.scenario = candidate
+                report.accepted_steps += 1
+                if on_accept is not None:
+                    on_accept(candidate)
+                progress = True
+                break  # restart all passes from the smaller scenario
+    return report
+
+
+# ---------------------------------------------------------------------------
+# candidate generation (lazy, cheapest/biggest-win passes first)
+# ---------------------------------------------------------------------------
+def _clone(scenario: Scenario) -> Scenario:
+    return Scenario.from_dict(scenario.to_dict())
+
+
+def _candidates(scenario: Scenario) -> Iterator[Scenario]:
+    yield from _drop_ops(scenario)
+    yield from _shrink_ops(scenario)
+    yield from _drop_base_rows(scenario)
+    yield from _simplify_views(scenario)
+    yield from _drop_foreign_keys(scenario)
+    yield from _drop_tables(scenario)
+
+
+def _chunks(n: int) -> List[Tuple[int, int]]:
+    """(start, length) windows to try removing: halves, quarters, then
+    singletons — classic ddmin schedule without the bookkeeping."""
+    out: List[Tuple[int, int]] = []
+    size = n // 2
+    while size > 1:
+        for start in range(0, n - size + 1, size):
+            out.append((start, size))
+        size //= 2
+    out.extend((i, 1) for i in range(n))
+    return out
+
+
+def _drop_ops(scenario: Scenario) -> Iterator[Scenario]:
+    n = len(scenario.ops)
+    for start, length in _chunks(n):
+        candidate = _clone(scenario)
+        del candidate.ops[start : start + length]
+        yield candidate
+
+
+def _shrink_ops(scenario: Scenario) -> Iterator[Scenario]:
+    for i, op in enumerate(scenario.ops):
+        if op["kind"] == "txn":
+            for j in range(len(op["statements"])):
+                candidate = _clone(scenario)
+                del candidate.ops[i]["statements"][j]
+                if candidate.ops[i]["statements"]:
+                    yield candidate
+            for j, st in enumerate(op["statements"]):
+                if len(st["rows"]) > 1:
+                    for r in range(len(st["rows"])):
+                        candidate = _clone(scenario)
+                        del candidate.ops[i]["statements"][j]["rows"][r]
+                        yield candidate
+        elif len(op["rows"]) > 1:
+            for r in range(len(op["rows"])):
+                candidate = _clone(scenario)
+                del candidate.ops[i]["rows"][r]
+                yield candidate
+
+
+def _drop_base_rows(scenario: Scenario) -> Iterator[Scenario]:
+    for name, spec in scenario.tables.items():
+        for start, length in _chunks(len(spec.get("rows", ()))):
+            candidate = _clone(scenario)
+            del candidate.tables[name]["rows"][start : start + length]
+            yield candidate
+
+
+def _join_subtrees(expr: RelExpr) -> List[RelExpr]:
+    """Proper subexpressions of an SPOJ tree, largest first (every one is
+    itself a valid SPOJ view)."""
+    out: List[RelExpr] = []
+
+    def walk(node: RelExpr, top: bool) -> None:
+        if not top:
+            out.append(node)
+        for sub in node.children():
+            walk(sub, False)
+
+    walk(expr, True)
+    out.sort(key=lambda e: -len(e.base_tables()))
+    return out
+
+
+def _simplify_views(scenario: Scenario) -> Iterator[Scenario]:
+    for i in range(len(scenario.views)):
+        candidate = _clone(scenario)
+        del candidate.views[i]
+        yield candidate
+    for i, view in enumerate(scenario.views):
+        try:
+            db = scenario.build_database()
+            defn = scenario.view_definitions(db)[i]
+        except Exception:
+            continue
+        for subtree in _join_subtrees(defn.join_expr):
+            candidate = _clone(scenario)
+            candidate.views[i] = {
+                "name": view["name"],
+                "sql": render_select(subtree),
+            }
+            yield candidate
+
+
+def _drop_foreign_keys(scenario: Scenario) -> Iterator[Scenario]:
+    for i in range(len(scenario.foreign_keys)):
+        candidate = _clone(scenario)
+        del candidate.foreign_keys[i]
+        yield candidate
+
+
+def _referenced_tables(scenario: Scenario) -> set:
+    used = set()
+    for fk in scenario.foreign_keys:
+        used.add(fk["source"])
+        used.add(fk["target"])
+    for op in scenario.ops:
+        if op["kind"] == "txn":
+            used.update(st["table"] for st in op["statements"])
+        else:
+            used.add(op["table"])
+    for view in scenario.views:
+        # cheap but sound over-approximation of the tables a view uses
+        for name in scenario.tables:
+            if name in view["sql"]:
+                used.add(name)
+    return used
+
+
+def _drop_tables(scenario: Scenario) -> Iterator[Scenario]:
+    used = _referenced_tables(scenario)
+    for name in list(scenario.tables):
+        if name in used:
+            continue
+        candidate = _clone(scenario)
+        del candidate.tables[name]
+        yield candidate

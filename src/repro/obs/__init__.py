@@ -224,6 +224,25 @@ class Telemetry:
             buckets=(0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025,
                      0.005, 0.01, 0.025, 0.05, 0.1),
         )
+        self.fuzz_cases = m.counter(
+            "repro_fuzz_cases_total",
+            "Differential fuzz cases executed, by outcome",
+            ("outcome",),
+        )
+        self.fuzz_mismatches = m.counter(
+            "repro_fuzz_mismatches_total",
+            "Oracle mismatches observed across fuzz cases, by kind",
+            ("kind",),
+        )
+        self.fuzz_shrink_steps = m.counter(
+            "repro_fuzz_shrink_steps_total",
+            "Accepted shrinker reductions while minimizing a failure",
+        )
+        self.failpoint_fires = m.counter(
+            "repro_failpoint_fires_total",
+            "Armed failpoints fired by fault-injection runs",
+            ("name",),
+        )
 
     # ------------------------------------------------------------------
     # recording (all no-ops on the disabled singleton)
@@ -320,6 +339,29 @@ class Telemetry:
             return
         with self._record_lock:
             self.wal_fsync_seconds.observe(seconds)
+
+    def record_fuzz_case(self, outcome: str, mismatch_kinds=()) -> None:
+        """One differential fuzz case (outcome ``pass`` or ``fail``)."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.fuzz_cases.inc(outcome=outcome)
+            for kind in mismatch_kinds:
+                self.fuzz_mismatches.inc(kind=kind)
+
+    def record_fuzz_shrink(self, steps: int = 1) -> None:
+        """Accepted reductions while minimizing a failing fuzz case."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.fuzz_shrink_steps.inc(steps)
+
+    def record_failpoint(self, name: str, fires: int = 1) -> None:
+        """Armed failpoint firings observed by a fault-injection run."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.failpoint_fires.inc(fires, name=name)
 
     # ------------------------------------------------------------------
     # reading

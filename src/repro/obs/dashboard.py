@@ -238,7 +238,7 @@ class Dashboard:
 
     def _render_view_detail(self, view: str) -> List[str]:
         s = self._views[view]
-        lines = [f"", f"-- {view} --"]
+        lines = ["", f"-- {view} --"]
         ops = ", ".join(
             f"{op}={n}" for op, n in sorted(s.operations.items())
         )

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..algebra.evaluate import static_join_plan
-from ..algebra.expr import Bound, Join, RelExpr, Relation
+from ..algebra.expr import Join, RelExpr, Relation
 from ..engine.catalog import Database
 from ..engine.index import find_index
 from ..engine.schema import Schema

@@ -13,8 +13,12 @@ maintainers:
   per-view timeouts, and quarantine-based graceful degradation.
 
 See ``docs/DURABILITY.md`` for the durability and staleness contract.
+The third piece, :mod:`repro.runtime.failpoints`, is the deterministic
+fault-injection registry the crash-recovery tests and the differential
+fuzz harness (:mod:`repro.fuzz`) drive these code paths with.
 """
 
+from .failpoints import FAILPOINTS, Failpoints, InjectedFault
 from .scheduler import (
     HEALTHY,
     QUARANTINED,
@@ -28,6 +32,9 @@ from .scheduler import (
 from .wal import WalEntry, WriteAheadLog
 
 __all__ = [
+    "FAILPOINTS",
+    "Failpoints",
+    "InjectedFault",
     "WriteAheadLog",
     "WalEntry",
     "MaintenanceScheduler",

@@ -48,6 +48,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..errors import MaintenanceError
 from ..obs import Telemetry
+from .failpoints import FAILPOINTS
 
 __all__ = [
     "RetryPolicy",
@@ -348,6 +349,9 @@ class MaintenanceScheduler:
         except Exception as exc:
             result.error = exc
             return result
+        # Crash window: the change is applied and logged but no view has
+        # been maintained yet (see runtime/failpoints.py).
+        FAILPOINTS.hit("scheduler.fanout", table=table, operation=operation)
         runnable: List[Task] = []
         for task in tasks:
             if self.is_quarantined(task.name):
@@ -399,6 +403,11 @@ class MaintenanceScheduler:
         last: Optional[Exception] = None
         for attempt in range(1, policy.max_attempts + 1):
             try:
+                # Inside the try: an injected fault is handled exactly
+                # like a raising maintainer (retry, then quarantine).
+                FAILPOINTS.hit(
+                    "scheduler.task", view=task.name, attempt=attempt
+                )
                 return task.run(), None, False
             except Exception as exc:
                 last = exc

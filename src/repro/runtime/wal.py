@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..engine.table import Row
 from ..errors import WalError
 from ..obs import Telemetry
+from .failpoints import FAILPOINTS
 
 __all__ = ["WalEntry", "WriteAheadLog"]
 
@@ -173,6 +174,9 @@ class WriteAheadLog:
         fk_allowed: bool = True,
     ) -> int:
         """Durably record one base-table delta; returns its LSN."""
+        # Crash window: the base table is updated but the change never
+        # reaches the log (see runtime/failpoints.py).
+        FAILPOINTS.hit("wal.append", table=table, operation=operation)
         with self._lock:
             entry = WalEntry(
                 lsn=self._next_lsn,
@@ -189,6 +193,10 @@ class WriteAheadLog:
 
     def ack(self, lsn: int) -> None:
         """Mark *lsn* as applied to every non-quarantined view."""
+        # Crash window: the fan-out completed but its acknowledgement
+        # never became durable — recovery must replay and converge.
+        if FAILPOINTS.hit("wal.ack", lsn=lsn):
+            return
         with self._lock:
             if lsn not in self._entries:
                 raise WalError(f"cannot ack unknown LSN {lsn}")

@@ -57,7 +57,7 @@ from .algebra.predicates import (
 )
 from .core.maintgraph import MaintenanceGraph
 from .core.maintain import ViewMaintainer
-from .core.secondary import DELETE, INSERT
+from .core.secondary import INSERT
 from .errors import ExpressionError
 
 _JOIN_SQL = {
@@ -218,7 +218,7 @@ class _SqlState:
             inner = self.render_from(expr.child, top=top)
             keys = ", ".join(expr.key_columns)
             self.prologue.append(
-                f"-- fix-up δ/↓: remove duplicates and subsumed rows per "
+                "-- fix-up δ/↓: remove duplicates and subsumed rows per "
                 f"group ({keys})"
             )
             self.distinct = True
@@ -276,7 +276,7 @@ def maintenance_script(
     expr = maintainer.delta_expression(table, True)
     if expr is None or not mgraph.directly_affected:
         statements.append(
-            f"-- foreign keys prove ΔV^D empty: no statement needed for "
+            "-- foreign keys prove ΔV^D empty: no statement needed for "
             f"{operation}s on {table}"
         )
         if operation == INSERT and table in defn.tables and expr is not None:
@@ -285,21 +285,21 @@ def maintenance_script(
 
     columns = defn.output_columns(db)
     q1 = (
-        f"-- Q1: compute the primary delta ΔV^D\n"
-        f"INSERT INTO #delta1\n"
+        "-- Q1: compute the primary delta ΔV^D\n"
+        "INSERT INTO #delta1\n"
         + render_select(expr, delta_alias=delta_alias, columns=columns)
     )
     statements.append(q1)
 
     if operation == INSERT:
         statements.append(
-            f"-- Q2: apply the primary delta\n"
+            "-- Q2: apply the primary delta\n"
             f"INSERT INTO {view_name}\nSELECT * FROM #delta1"
         )
     else:
         key_list = ", ".join(defn.key_columns(db))
         statements.append(
-            f"-- Q2: apply the primary delta\n"
+            "-- Q2: apply the primary delta\n"
             f"DELETE FROM {view_name}\n"
             f"WHERE ({key_list}) IN (SELECT {key_list} FROM #delta1)"
         )
@@ -351,13 +351,13 @@ def _secondary_statement(
     if operation == INSERT:
         return (
             f"-- Q{index}: term {label} — delete orphans that found a "
-            f"parent\n"
+            "parent\n"
             f"DELETE FROM {view_name}\n"
             f"WHERE {orphan_probe}\n"
             f"  AND ({key_list}) IN (\n"
             f"    SELECT {key_list} FROM #delta1\n"
             f"    WHERE {render_predicate(pi)}\n"
-            f"  )"
+            "  )"
         )
 
     term_columns = [
@@ -377,7 +377,7 @@ def _secondary_statement(
         f"-- Q{index}: term {label} — insert rows that became orphans\n"
         f"INSERT INTO {view_name}\n"
         f"SELECT DISTINCT {padded}\n"
-        f"FROM #delta1\n"
+        "FROM #delta1\n"
         f"WHERE {render_predicate(pi)}\n"
         f"  AND ({key_list}) NOT IN "
         f"(SELECT {key_list} FROM {view_name})"

@@ -1,9 +1,15 @@
-"""Random databases for property-based testing.
+"""Random databases for property-based testing and fuzzing.
 
 Small keyed tables with low-cardinality join columns (so joins actually
 match), optional NULLs in non-key columns (so three-valued logic is
 exercised) and optional foreign-key chains (so the Section 6 machinery is
-exercised).
+exercised).  The fuzz harness additionally stresses
+
+* **empty tables** — pass ``row_counts`` with zeros so outer joins have
+  whole sides missing;
+* **skewed duplicates** — ``skew`` concentrates join values on a single
+  hot value, producing multiplicity the subsumption machinery must
+  handle.
 """
 
 from __future__ import annotations
@@ -17,6 +23,21 @@ from ..engine.catalog import Database
 TABLE_NAMES = ("t0", "t1", "t2", "t3", "t4", "t5")
 
 
+def _join_value(
+    rng: random.Random,
+    value_range: int,
+    null_fraction: float,
+    skew: float,
+) -> Optional[int]:
+    """One join-column value: NULL with *null_fraction*, the hot value 0
+    with *skew*, uniform otherwise."""
+    if rng.random() < null_fraction:
+        return None
+    if skew and rng.random() < skew:
+        return 0
+    return rng.randrange(value_range)
+
+
 def random_database(
     rng: random.Random,
     n_tables: int = 4,
@@ -24,15 +45,27 @@ def random_database(
     value_range: int = 6,
     null_fraction: float = 0.1,
     with_foreign_keys: bool = False,
+    row_counts: Optional[Sequence[int]] = None,
+    skew: float = 0.0,
 ) -> Database:
     """Build ``n_tables`` tables ``t0..`` with columns ``k`` (key), ``a``
     and ``b`` (nullable join columns in ``0..value_range``).
 
     With *with_foreign_keys*, each table ``t<i>`` (i>0) gets an extra
-    NOT NULL column ``fk`` referencing ``t<i-1>.k``.
+    NOT NULL column ``fk`` referencing ``t<i-1>.k``.  *row_counts* gives
+    each table its own cardinality (zeros make empty tables); *skew*
+    biases join values toward the hot value 0, creating duplicates.
     """
     db = Database()
     names = TABLE_NAMES[:n_tables]
+    if row_counts is None:
+        counts = [rows_per_table] * n_tables
+    else:
+        counts = list(row_counts)
+        if len(counts) != n_tables:
+            raise ValueError(
+                f"row_counts has {len(counts)} entries for {n_tables} tables"
+            )
     for i, name in enumerate(names):
         columns = ["k", "a", "b"]
         not_null: List[str] = []
@@ -42,17 +75,18 @@ def random_database(
         db.create_table(name, columns, key=["k"], not_null=not_null)
 
     for i, name in enumerate(names):
+        # A foreign key cannot point at an empty parent, so the source
+        # must stay empty too when the chain breaks.
+        parent_keys = list(range(counts[i - 1])) if i > 0 else []
+        if with_foreign_keys and i > 0 and not parent_keys:
+            counts[i] = 0
         rows = []
-        for k in range(rows_per_table):
-            a = rng.randrange(value_range)
-            b = rng.randrange(value_range)
-            if rng.random() < null_fraction:
-                a = None
-            if rng.random() < null_fraction:
-                b = None
+        for k in range(counts[i]):
+            a = _join_value(rng, value_range, null_fraction, skew)
+            b = _join_value(rng, value_range, null_fraction, skew)
             row: Tuple = (k, a, b)
             if with_foreign_keys and i > 0:
-                row = row + (rng.randrange(rows_per_table),)
+                row = row + (rng.choice(parent_keys),)
             rows.append(row)
         db.insert(name, rows, check=False)
 
@@ -69,6 +103,7 @@ def random_insert_rows(
     count: int,
     value_range: int = 6,
     null_fraction: float = 0.1,
+    skew: float = 0.0,
 ) -> List[Tuple]:
     """Fresh rows for *table* with keys above the current maximum and
     foreign keys (if any) pointing at existing targets."""
@@ -83,12 +118,8 @@ def random_insert_rows(
         fk_target_rows = [target.key_of(r)[0] for r in target.rows]
     rows = []
     for i in range(count):
-        a = rng.randrange(value_range)
-        b = rng.randrange(value_range)
-        if rng.random() < null_fraction:
-            a = None
-        if rng.random() < null_fraction:
-            b = None
+        a = _join_value(rng, value_range, null_fraction, skew)
+        b = _join_value(rng, value_range, null_fraction, skew)
         row: Tuple = (next_key + i, a, b)
         if has_fk:
             if not fk_target_rows:

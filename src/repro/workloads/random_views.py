@@ -34,11 +34,18 @@ def _one_table_of(expr: RelExpr, rng: random.Random) -> str:
 
 
 def random_join_predicate(
-    rng: random.Random, left: RelExpr, right: RelExpr, db: Database
+    rng: random.Random,
+    left: RelExpr,
+    right: RelExpr,
+    db: Database,
+    key_join_probability: float = 0.0,
 ) -> Predicate:
     """An equijoin between a random table of each side, preferring the
     declared foreign key when one exists (50 %), so FK optimizations get
-    exercised."""
+    exercised.  With *key_join_probability*, one side occasionally joins
+    on its unique key column instead of ``a``/``b`` — the one-to-many
+    "self-join-ish" shape where the same table keeps re-appearing as the
+    one side of several joins."""
     lt = _one_table_of(left, rng)
     rt = _one_table_of(right, rng)
     fk = db.foreign_key_between(lt, rt) or db.foreign_key_between(rt, lt)
@@ -49,6 +56,11 @@ def random_join_predicate(
         return conjoin(parts)
     lcol = rng.choice(JOIN_COLUMNS)
     rcol = rng.choice(JOIN_COLUMNS)
+    if key_join_probability and rng.random() < key_join_probability:
+        if rng.random() < 0.5:
+            lcol = "k"
+        else:
+            rcol = "k"
     return eq(f"{lt}.{lcol}", f"{rt}.{rcol}")
 
 
@@ -58,6 +70,7 @@ def random_view_expression(
     tables: Optional[Sequence[str]] = None,
     select_probability: float = 0.3,
     value_range: int = 6,
+    key_join_probability: float = 0.0,
 ) -> RelExpr:
     """A random SPOJ tree joining all *tables* (default: every table)."""
     names = list(tables if tables is not None else sorted(db.tables))
@@ -80,7 +93,9 @@ def random_view_expression(
         left = forest.pop(i)
         j = rng.randrange(len(forest))
         right = forest.pop(j)
-        pred = random_join_predicate(rng, left, right, db)
+        pred = random_join_predicate(
+            rng, left, right, db, key_join_probability
+        )
         joined = Join(rng.choice(JOIN_KINDS), left, right, pred)
         forest.append(maybe_select(joined))
     return forest[0]
@@ -91,7 +106,10 @@ def random_view(
     db: Database,
     name: str = "rv",
     tables: Optional[Sequence[str]] = None,
+    key_join_probability: float = 0.0,
 ) -> ViewDefinition:
     """A random maintainable view definition over *db*."""
-    expr = random_view_expression(rng, db, tables)
+    expr = random_view_expression(
+        rng, db, tables, key_join_probability=key_join_probability
+    )
     return ViewDefinition(name, expr)

@@ -3,8 +3,6 @@ null-rejection analysis, SQL round trips and maintenance integration."""
 
 import pytest
 
-from repro.algebra import Q, evaluate
-from repro.algebra.expr import Select
 from repro.algebra.predicates import (
     Arith,
     Comparison,
@@ -12,7 +10,7 @@ from repro.algebra.predicates import (
     compile_predicate,
     operand_value,
 )
-from repro.core import MaterializedView, ViewDefinition, ViewMaintainer
+from repro.core import MaterializedView, ViewMaintainer
 from repro.engine import Database
 from repro.errors import ExpressionError
 from repro.parser import parse_predicate, parse_view

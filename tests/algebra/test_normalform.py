@@ -13,10 +13,10 @@ from repro.algebra.normalform import (
     term_expression,
 )
 from repro.algebra.predicates import Comparison
-from repro.engine import Database, minimum_union
+from repro.engine import Database
 from repro.errors import ExpressionError
 
-from ..conftest import make_example1_db, make_oj_view_defn, make_v1_db, make_v1_defn
+from ..conftest import make_example1_db, make_oj_view_defn
 
 
 def labels(terms):

@@ -1,6 +1,5 @@
 """Tests for predicate simplification and unsatisfiable-term pruning."""
 
-import pytest
 
 from repro.algebra import Q, eq, evaluate, normal_form
 from repro.algebra.predicates import (

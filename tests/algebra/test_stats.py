@@ -2,7 +2,6 @@
 the Section 4.1 claim it makes measurable: left-deep delta trees touch
 far fewer intermediate rows than bushy ones when ΔT is small."""
 
-import pytest
 
 from repro.algebra import Q, eq, evaluate
 from repro.algebra.evaluate import ExecutionStats

@@ -12,7 +12,7 @@ from repro.algebra.subsumption import (
 from repro.engine import remove_subsumed
 from repro.errors import ExpressionError
 
-from ..conftest import make_v1_db, make_v1_defn
+from ..conftest import make_v1_db
 
 
 @pytest.fixture

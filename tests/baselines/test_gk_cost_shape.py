@@ -3,8 +3,6 @@ Section 8 critiques must be *observable*, not just narrated."""
 
 import pytest
 
-from repro.algebra.evaluate import ExecutionStats, evaluate
-from repro.algebra.expr import delta_label
 from repro.baselines import GriffinKumarMaintainer, griffin_kumar_options
 from repro.core import (
     MaintenanceOptions,

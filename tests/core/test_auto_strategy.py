@@ -3,7 +3,6 @@
 
 import random
 
-import pytest
 
 from repro.algebra import Q, eq
 from repro.core import (

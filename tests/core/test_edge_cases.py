@@ -4,7 +4,6 @@ views."""
 
 import random
 
-import pytest
 
 from repro.algebra import Q, eq
 from repro.algebra.predicates import Comparison, conjoin
@@ -17,7 +16,6 @@ from repro.core import (
     ViewMaintainer,
 )
 from repro.engine import Database
-from repro.errors import MaintenanceError
 
 
 class TestCompositeKeys:

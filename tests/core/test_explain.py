@@ -6,12 +6,7 @@ from repro.core import MaterializedView, ViewMaintainer
 from repro.explain import explain_update, explain_view
 from repro.tpch import TPCHGenerator, v3
 
-from ..conftest import (
-    make_example1_db,
-    make_oj_view_defn,
-    make_v1_db,
-    make_v1_defn,
-)
+from ..conftest import make_example1_db, make_oj_view_defn
 
 
 @pytest.fixture(scope="module")

@@ -31,7 +31,7 @@ from repro.core.primary import primary_delta_expression
 from repro.engine import Database, same_rows
 from repro.errors import UnsupportedViewError
 
-from ..conftest import make_v1_db, make_v1_defn
+from ..conftest import make_v1_db
 
 
 def is_left_deep(expr) -> bool:

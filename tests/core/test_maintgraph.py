@@ -5,7 +5,7 @@ import pytest
 
 from repro.algebra import Q, eq, normal_form
 from repro.algebra.subsumption import SubsumptionGraph
-from repro.core.maintgraph import Affect, MaintenanceGraph
+from repro.core.maintgraph import MaintenanceGraph
 from repro.engine import Database
 
 from ..conftest import make_example1_db, make_oj_view_defn

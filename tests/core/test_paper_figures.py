@@ -4,7 +4,6 @@ text allows.  Each test cites the structure it reproduces.
 Figure 5 / Table 1 (the evaluation) live in benchmarks/, not here.
 """
 
-import pytest
 
 from repro.algebra import Q, eq, evaluate, normal_form
 from repro.algebra.expr import (
@@ -26,12 +25,7 @@ from repro.core import (
 )
 from repro.engine import Database, same_rows
 
-from ..conftest import (
-    make_example1_db,
-    make_oj_view_defn,
-    make_v1_db,
-    make_v1_defn,
-)
+from ..conftest import make_example1_db, make_oj_view_defn
 
 
 class TestFigure1:

@@ -19,7 +19,6 @@ from repro.core.primary import primary_delta_expression, vd_expression
 from repro.engine import Table, same_rows
 from repro.errors import MaintenanceError
 
-from ..conftest import make_v1_db, make_v1_defn
 
 
 class TestExample3Structure:

@@ -150,7 +150,7 @@ class TestSinglePassBehaviour:
         }
 
     def test_empty_delta_empty_result(self):
-        from repro.engine import Schema, Table
+        from repro.engine import Table
 
         db, defn, view, mgraph, primary, delta_t = setup_insert(2)
         empty = Table("d", primary.schema, [])

@@ -4,7 +4,6 @@ formulas of Section 5.2, plus the view sub-key index mechanics."""
 
 import random
 
-import pytest
 
 from repro.core import MaterializedView, ViewMaintainer
 from repro.core.secondary import (

@@ -2,13 +2,12 @@
 
 import pytest
 
-from repro.algebra import Q, eq
+from repro.algebra import eq
 from repro.algebra.expr import (
     Bound,
     Distinct,
     FixUp,
     NullIf,
-    Project,
     Relation,
     Select,
     antijoin,

@@ -2,12 +2,10 @@
 
 import pytest
 
-from repro.algebra import Q, eq
 from repro.algebra.expr import Project
 from repro.core.view import MaterializedView, ViewDefinition
 from repro.errors import MaintenanceError, UnsupportedViewError
 
-from ..conftest import make_v1_db, make_v1_defn
 
 
 class TestViewDefinition:

@@ -1,0 +1,195 @@
+"""The fuzz harness's own tests: determinism, oracle sensitivity to
+seeded bugs (the mutation smoke set from the paper's correctness
+surface), shrinking, corpus round-trips and the CLI."""
+
+import random
+
+import pytest
+
+import repro.core.maintain as maintain
+import repro.core.primary as primary
+import repro.runtime.wal as walmod
+from repro.algebra.expr import FULL, INNER
+from repro.fuzz import (
+    GeneratorProfile,
+    Scenario,
+    generate_scenario,
+    load_case,
+    make_still_fails,
+    run_case,
+    run_fuzz,
+    save_case,
+    shrink,
+)
+from repro.fuzz.__main__ import main as fuzz_main
+from repro.runtime import FAILPOINTS
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+def _scenario(seed) -> Scenario:
+    return generate_scenario(random.Random(seed), seed=str(seed))
+
+
+# ---------------------------------------------------------------------------
+# generator
+# ---------------------------------------------------------------------------
+def test_generation_is_deterministic():
+    assert _scenario(11).to_dict() == _scenario(11).to_dict()
+    assert _scenario(11).to_dict() != _scenario(12).to_dict()
+
+
+def test_scenario_json_round_trip():
+    for seed in range(6):
+        scenario = _scenario(seed)
+        again = Scenario.from_json(scenario.to_json())
+        assert again.to_dict() == scenario.to_dict()
+        # a rebuilt database carries the same rows as the spec
+        db = again.build_database()
+        for name, spec in again.tables.items():
+            assert sorted(db.table(name).rows) == sorted(spec["rows"])
+
+
+def test_generated_views_parse_and_evaluate():
+    for seed in range(6):
+        scenario = _scenario(seed)
+        db = scenario.build_database()
+        for defn in scenario.view_definitions(db):
+            defn.evaluate(db)  # must not raise
+
+
+def test_profile_bounds_are_respected():
+    profile = GeneratorProfile(max_tables=2, max_rows=3, max_ops=2)
+    for seed in range(10):
+        scenario = generate_scenario(random.Random(seed), profile)
+        assert len(scenario.tables) == 2
+        assert len(scenario.ops) <= 2
+        for spec in scenario.tables.values():
+            assert len(spec["rows"]) <= 3
+
+
+# ---------------------------------------------------------------------------
+# oracle: clean code passes
+# ---------------------------------------------------------------------------
+def test_clean_seeds_agree_with_recompute():
+    for seed in range(8):
+        result = run_case(_scenario(seed))
+        assert result.ok, f"seed {seed}:\n{result.summary()}"
+
+
+# ---------------------------------------------------------------------------
+# oracle: seeded bugs are caught (the acceptance mutation set)
+# ---------------------------------------------------------------------------
+def _first_detection(max_seeds=15):
+    for seed in range(max_seeds):
+        scenario = _scenario(seed)
+        result = run_case(scenario)
+        if not result.ok:
+            return scenario, result
+    return None, None
+
+
+def test_detects_flipped_join_kind_in_delta_rewrite(monkeypatch):
+    # FULL→LEFT is the paper's step-2 conversion; FULL→INNER drops the
+    # null-extended side of the delta
+    monkeypatch.setitem(primary._CONVERTED_KIND, FULL, INNER)
+    scenario, result = _first_detection()
+    assert result is not None, "join-kind flip went undetected"
+    assert "view-divergence" in result.kinds or "outcome" in result.kinds
+
+
+def test_detects_skipped_secondary_delta(monkeypatch):
+    monkeypatch.setattr(
+        maintain.ViewMaintainer,
+        "_apply_secondary",
+        lambda self, *args, **kwargs: None,
+    )
+    scenario, result = _first_detection()
+    assert result is not None, "skipped secondary delta went undetected"
+    assert "view-divergence" in result.kinds
+
+
+def test_detects_dropped_wal_ack(monkeypatch):
+    monkeypatch.setattr(
+        walmod.WriteAheadLog, "ack", lambda self, lsn: None
+    )
+    scenario, result = _first_detection(max_seeds=5)
+    assert result is not None, "dropped WAL ack went undetected"
+    assert "durability" in result.kinds
+
+
+# ---------------------------------------------------------------------------
+# shrinker
+# ---------------------------------------------------------------------------
+def test_shrinker_minimizes_and_preserves_failure(monkeypatch):
+    monkeypatch.setattr(
+        maintain.ViewMaintainer,
+        "_apply_secondary",
+        lambda self, *args, **kwargs: None,
+    )
+    scenario, result = _first_detection()
+    assert result is not None
+    report = shrink(
+        scenario, make_still_fails(result, None), budget=200
+    )
+    assert report.scenario.size() < scenario.size()
+    minimized = run_case(report.scenario)
+    assert not minimized.ok
+    # minimization should get small: a handful of ops at most
+    assert len(report.scenario.ops) <= 2
+
+
+def test_shrinker_rejects_variants_that_stop_failing():
+    scenario = _scenario(3)
+    report = shrink(scenario, lambda candidate: False, budget=50)
+    # nothing accepted: the scenario is returned unchanged
+    assert report.accepted_steps == 0
+    assert report.scenario.to_dict() == scenario.to_dict()
+
+
+# ---------------------------------------------------------------------------
+# corpus round-trip + runner + CLI
+# ---------------------------------------------------------------------------
+def test_corpus_save_load_round_trip(tmp_path):
+    scenario = _scenario(5)
+    path = save_case(
+        scenario, reason="unit test", corpus_dir=str(tmp_path), found="x"
+    )
+    loaded, meta = load_case(path)
+    assert loaded.to_dict() == scenario.to_dict()
+    assert meta["reason"] == "unit test"
+    assert meta["found"] == "x"
+    # saving the identical scenario is idempotent (same content hash)
+    assert save_case(scenario, "again", corpus_dir=str(tmp_path)) == path
+
+
+def test_run_fuzz_finds_minimizes_and_saves(tmp_path, monkeypatch):
+    monkeypatch.setattr(
+        maintain.ViewMaintainer,
+        "_apply_secondary",
+        lambda self, *args, **kwargs: None,
+    )
+    outcome = run_fuzz(
+        budget=40, seed=0, corpus_dir=str(tmp_path), shrink_budget=150
+    )
+    assert outcome.found
+    assert outcome.corpus_path is not None
+    loaded, meta = load_case(outcome.corpus_path)
+    assert not run_case(loaded).ok  # the saved case is the failing one
+
+
+def test_cli_clean_run_and_replay(tmp_path, capsys):
+    assert (
+        fuzz_main(["--budget", "3", "--seed", "1", "--no-save", "--quiet"])
+        == 0
+    )
+    scenario = _scenario(5)
+    save_case(scenario, reason="anchor", corpus_dir=str(tmp_path))
+    assert fuzz_main(["--replay", str(tmp_path), "--quiet"]) == 0
+    assert fuzz_main(["--configs", "definitely-not-a-config"]) == 2
+    capsys.readouterr()

@@ -1,7 +1,6 @@
 """Smoke tests for the benchmark harness functions at tiny scale — the
 experiment code itself must stay runnable and structurally correct."""
 
-import pytest
 
 from repro.bench import (
     Workbench,

@@ -12,10 +12,8 @@ import pytest
 
 from repro.algebra.expr import Project
 from repro.core import (
-    AggregatedView,
     MaintenanceOptions,
     MaterializedView,
-    UpdateBatch,
     ViewDefinition,
     ViewMaintainer,
     agg_sum,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.algebra import Q, eq
 from repro.core import ViewDefinition, agg_sum, count_star
-from repro.engine import Database
 from repro.errors import CatalogError
 from repro.tpch import TPCHGenerator, oj_view, v3
 from repro.warehouse import Warehouse

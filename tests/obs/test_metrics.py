@@ -3,7 +3,7 @@ Prometheus exposition format (golden text)."""
 
 import pytest
 
-from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.metrics import MetricsRegistry
 
 
 @pytest.fixture

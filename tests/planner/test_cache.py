@@ -1,7 +1,7 @@
 """Plan-cache behavior: hit/miss accounting, fingerprint invalidation on
 option and index changes, and automatic index provisioning."""
 
-from repro.algebra.expr import Join, Relation, delta_label
+from repro.algebra.expr import Join, Relation
 from repro.algebra.predicates import eq
 from repro.core import (
     MaintenanceOptions,

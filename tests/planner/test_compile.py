@@ -4,7 +4,7 @@ not change results, and unsupported shapes must fail cleanly."""
 
 import pytest
 
-from repro.algebra import Q, eq, evaluate
+from repro.algebra import eq, evaluate
 from repro.algebra.expr import (
     Bound,
     Distinct,
@@ -18,7 +18,7 @@ from repro.algebra.expr import (
 )
 from repro.algebra.predicates import Comparison, IsNull, NotNull
 from repro.core import ViewMaintainer, primary_delta_expression, to_left_deep
-from repro.engine import Database, Table, same_rows
+from repro.engine import Table, same_rows
 from repro.engine import operators as ops
 from repro.engine.schema import Schema
 from repro.planner import PlanCompileError, compile_plan
@@ -110,7 +110,8 @@ class TestBuildSideSelection:
 
     def test_build_left_with_residual(self, v1_db):
         small, big = self._sides(v1_db)
-        residual = lambda row: row[0] is not None and row[0] % 2 == 0
+        def residual(row):
+            return row[0] is not None and row[0] % 2 == 0
         for kind in ("inner", "left", "full", "semi", "anti"):
             default = ops.join(
                 small, big, kind, equi=[("r.v", "s.v")], residual=residual

@@ -29,7 +29,7 @@ from repro.algebra.expr import (
 )
 from repro.algebra.predicates import Comparison, eq
 from repro.core.leftdeep import to_left_deep
-from repro.engine import Database, Schema, Table, same_rows
+from repro.engine import Database, Table, same_rows
 
 seeds = st.integers(min_value=0, max_value=100_000)
 

@@ -11,7 +11,7 @@ state, even when the crash tore the WAL mid-record.
 
 import pytest
 
-from repro.errors import FanOutError, MaintenanceError
+from repro.errors import MaintenanceError
 from repro.obs import Telemetry
 from repro.runtime import RetryPolicy, WriteAheadLog
 from repro.tpch import TPCHGenerator, oj_view, v3

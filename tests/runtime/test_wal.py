@@ -6,7 +6,7 @@ import os
 import pytest
 
 from repro.errors import WalError
-from repro.runtime import WalEntry, WriteAheadLog
+from repro.runtime import WriteAheadLog
 
 
 @pytest.fixture

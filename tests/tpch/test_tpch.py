@@ -1,7 +1,6 @@
 """Tests for the TPC-H substrate: schema, generator, refresh batches and
 the paper's view definitions."""
 
-import pytest
 
 from repro.algebra import normal_form
 from repro.core import MaterializedView, ViewMaintainer

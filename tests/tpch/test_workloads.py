@@ -3,10 +3,8 @@ substrate under the property suites must itself behave."""
 
 import random
 
-import pytest
 
 from repro.algebra import normal_form, validate_spoj
-from repro.engine import Database
 from repro.workloads import (
     random_database,
     random_delete_rows,

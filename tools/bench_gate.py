@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Run a gated benchmark and enforce its CI thresholds, with one retry.
+
+CI shared runners are timing-noisy: a benchmark gate that is comfortably
+met on average can still miss on one unlucky run.  This wrapper runs the
+benchmark, checks the gate, and on failure re-runs the whole benchmark
+once before declaring defeat — a genuine regression fails twice, a noise
+spike does not.
+
+Usage::
+
+    python tools/bench_gate.py plancache --json BENCH_plancache.json --scale 0.001
+    python tools/bench_gate.py concurrent --json BENCH_concurrent.json
+
+Gates (mirrors what ``.github/workflows/ci.yml`` used to check inline):
+
+* ``plancache`` — at every measured scale the compiled plan must run at
+  most ``1.10x`` the interpreter's median, and the plan-cache hit rate
+  must exceed ``0.5``.
+* ``concurrent`` — the io-stalled fan-out speedup at 4 workers must
+  reach ``2.0x``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from typing import List
+
+PLANCACHE_MAX_RATIO = 1.10
+PLANCACHE_MIN_HIT_RATE = 0.5
+CONCURRENT_MIN_SPEEDUP = 2.0
+
+
+def run_benchmark(which: str, json_path: str, scale: "float | None") -> dict:
+    cmd = [sys.executable, "-m", "repro.bench", which, "--json", json_path]
+    if scale is not None:
+        cmd += ["--scale", str(scale)]
+    print("+ " + " ".join(cmd), flush=True)
+    subprocess.run(cmd, check=True)
+    with open(json_path) as handle:
+        return json.load(handle)
+
+
+def check_plancache(record: dict) -> List[str]:
+    failures: List[str] = []
+    for point in record["series"]:
+        compiled = point["compiled_median_seconds"]
+        interpreted = point["interpreted_median_seconds"]
+        if compiled > interpreted * PLANCACHE_MAX_RATIO:
+            failures.append(
+                f"compiled slower than interpreter at |item|={point['n_item']}: "
+                f"{compiled:.6f}s vs {interpreted:.6f}s "
+                f"(allowed ratio {PLANCACHE_MAX_RATIO})"
+            )
+        if point["plan_cache_hit_rate"] <= PLANCACHE_MIN_HIT_RATE:
+            failures.append(
+                f"plan-cache hit rate {point['plan_cache_hit_rate']:.2f} at "
+                f"|item|={point['n_item']} (need > {PLANCACHE_MIN_HIT_RATE})"
+            )
+    if not failures:
+        largest = record["series"][-1]
+        print(
+            f"speedup at largest scale (|item|={largest['n_item']}): "
+            f"{largest['speedup']:.1f}x, hit rate "
+            f"{largest['plan_cache_hit_rate']:.2f}"
+        )
+    return failures
+
+
+def check_concurrent(record: dict) -> List[str]:
+    speedup = record["speedup_at_4_workers"]
+    if speedup < CONCURRENT_MIN_SPEEDUP:
+        return [
+            f"io-stalled fan-out speedup at 4 workers fell to {speedup:.2f}x "
+            f"(need >= {CONCURRENT_MIN_SPEEDUP}x)"
+        ]
+    print(
+        f"io-stalled speedup at 4 workers: {speedup:.2f}x "
+        f"(cpu-bound: {record['cpu_speedup_at_4_workers']:.2f}x)"
+    )
+    return []
+
+
+CHECKS = {"plancache": check_plancache, "concurrent": check_concurrent}
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("which", choices=sorted(CHECKS), help="gate to run")
+    parser.add_argument("--json", required=True, help="benchmark JSON output path")
+    parser.add_argument("--scale", type=float, default=None, help="bench --scale")
+    parser.add_argument(
+        "--attempts",
+        type=int,
+        default=2,
+        help="total benchmark runs before failing (default: 2 = one retry)",
+    )
+    args = parser.parse_args(argv)
+
+    failures: List[str] = []
+    for attempt in range(1, args.attempts + 1):
+        record = run_benchmark(args.which, args.json, args.scale)
+        failures = CHECKS[args.which](record)
+        if not failures:
+            if attempt > 1:
+                print(f"gate passed on attempt {attempt} (first run was noise)")
+            return 0
+        print(f"gate FAILED (attempt {attempt}/{args.attempts}):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        if attempt < args.attempts:
+            print("re-running the benchmark once before failing...", flush=True)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

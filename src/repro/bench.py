@@ -848,6 +848,170 @@ def run_concurrent(
 
 
 # ---------------------------------------------------------------------------
+# E9 — checkpointing: bounded recovery and flat WAL footprint
+# ---------------------------------------------------------------------------
+def _checkpoint_state():
+    db = Database()
+    db.create_table("orders", ["o_orderkey", "o_custkey"], key=["o_orderkey"])
+    db.create_table(
+        "lineitem",
+        ["l_orderkey", "l_linenumber", "l_qty"],
+        key=["l_orderkey", "l_linenumber"],
+    )
+    db.add_foreign_key("lineitem", ["l_orderkey"], "orders", ["o_orderkey"])
+    expr = (
+        Q.table("orders")
+        .left_outer_join(
+            "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+        )
+        .build()
+    )
+    return db, ViewDefinition("order_lines", expr)
+
+
+def run_checkpoint(
+    total: int = 10_000,
+    intervals: Sequence[Optional[int]] = (256, 1024, None),
+    segment_bytes: int = 32 * 1024,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Restart cost and WAL footprint with and without checkpointing.
+
+    Drives *total* single-row changes through a WAL-backed warehouse
+    while WAL acknowledgements are suppressed (the ``wal.ack``
+    failpoint, ``action="skip"``), emulating a crash that loses every
+    in-flight fan-out: each run then restarts from a genesis database
+    and times :meth:`Warehouse.recover`.
+
+    * ``interval=None`` — the legacy contract: no checkpoint exists,
+      so recovery replays the entire logged history.
+    * ``interval=N`` — auto-checkpoint every N changes: recovery
+      restores the newest checkpoint and replays only the suffix past
+      its LSN, so ``replayed`` ≤ N regardless of *total* — and each
+      checkpoint compacts the WAL behind itself, so the on-disk
+      footprint stays flat instead of growing with history.
+
+    ``BENCH_checkpoint.json`` records both claims (``replayed``,
+    ``recovery_seconds``, ``wal_bytes_peak``/``final``) via ``--json``.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from .runtime import FAILPOINTS
+
+    rows: List[Dict[str, object]] = []
+    for interval in intervals:
+        workdir = tempfile.mkdtemp(prefix="repro-bench-ckpt-")
+        wal_path = os.path.join(workdir, "wal")
+        ckpt_dir = os.path.join(workdir, "checkpoints")
+        try:
+            db, defn = _checkpoint_state()
+            kwargs: Dict[str, object] = {}
+            if interval is not None:
+                kwargs = {
+                    "checkpoint_dir": ckpt_dir,
+                    "checkpoint_interval": interval,
+                }
+            wh = Warehouse(
+                db, wal_path=wal_path, segment_bytes=segment_bytes, **kwargs
+            )
+            wh.create_view(defn.name, defn)
+            wal_peak = 0
+            with FAILPOINTS.armed("wal.ack", action="skip", times=None):
+                for i in range(total):
+                    wh.insert("orders", [(i, i % 89)])
+                    if i % 200 == 0:
+                        wal_peak = max(wal_peak, wh.wal.disk_bytes())
+            wal_peak = max(wal_peak, wh.wal.disk_bytes())
+            wal_final = wh.wal.disk_bytes()
+            segments = wh.wal.segment_count
+            checkpoints = (
+                len(wh.checkpoints.checkpoint_paths())
+                if wh.checkpoints is not None
+                else 0
+            )
+            wh.scheduler.shutdown()
+            wh.wal.close()
+
+            # crash-restart: genesis database, durable state on disk
+            db2, defn2 = _checkpoint_state()
+            wh2 = Warehouse(
+                db2,
+                wal_path=wal_path,
+                segment_bytes=segment_bytes,
+                **kwargs,
+            )
+            wh2.create_view(defn2.name, defn2)
+            recovery_seconds = timed(wh2.recover)
+            info = wh2.last_recovery or {}
+            assert len(db2.tables["orders"].rows) == total
+            wh2.check_consistency()
+            wh2.close()
+            rows.append(
+                {
+                    "interval": interval,
+                    "replayed": info.get("replayed"),
+                    "recovery_seconds": recovery_seconds,
+                    "checkpoint_used": info.get("checkpoint_lsn")
+                    is not None,
+                    "checkpoints_written": checkpoints,
+                    "wal_bytes_peak": wal_peak,
+                    "wal_bytes_final": wal_final,
+                    "wal_segments_final": segments,
+                }
+            )
+        finally:
+            shutil.rmtree(workdir, ignore_errors=True)
+
+    baseline = next(
+        (r for r in rows if r["interval"] is None), rows[-1]
+    )
+    record: Dict[str, object] = {
+        "experiment": "checkpoint",
+        "total_changes": total,
+        "segment_bytes": segment_bytes,
+        "rows": rows,
+        # the two headline claims, asserted flat for CI comparison
+        "replay_bounded_by_interval": all(
+            r["replayed"] <= r["interval"]
+            for r in rows
+            if r["interval"] is not None
+        ),
+        "footprint_flat_under_compaction": all(
+            r["wal_bytes_peak"] < baseline["wal_bytes_final"] / 2
+            for r in rows
+            if r["interval"] is not None
+        ),
+    }
+    if not quiet:
+        print_table(
+            f"Checkpointed recovery: {total} logged changes, acks "
+            f"suppressed (crash), {segment_bytes}B segments",
+            [
+                "Interval",
+                "Replayed",
+                "Recovery s",
+                "Ckpts",
+                "WAL peak B",
+                "WAL final B",
+            ],
+            [
+                (
+                    r["interval"] if r["interval"] is not None else "none",
+                    r["replayed"],
+                    f"{r['recovery_seconds']:.3f}",
+                    r["checkpoints_written"],
+                    r["wal_bytes_peak"],
+                    r["wal_bytes_final"],
+                )
+                for r in rows
+            ],
+        )
+    return record
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 def write_csv(path: str, rows: List[Dict[str, float]]) -> None:
@@ -883,6 +1047,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "obs",
             "plancache",
             "concurrent",
+            "checkpoint",
             "all",
         ],
     )
@@ -976,6 +1141,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         record = run_concurrent(concurrent_scale, seed=args.seed)
         if args.json and chosen == "concurrent":
+            with open(args.json, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+    if chosen in ("checkpoint", "all"):
+        record = run_checkpoint()
+        if args.json and chosen == "checkpoint":
             with open(args.json, "w") as handle:
                 json.dump(record, handle, indent=2)
                 handle.write("\n")

@@ -38,6 +38,18 @@ class WalError(ReproError):
     (corruption before the final record, acking an unknown LSN, ...)."""
 
 
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, or none could be restored when
+    one was explicitly required."""
+
+
+class BackpressureError(MaintenanceError):
+    """A change was shed because the scheduler's bounded queue is full
+    (``overflow="shed"``).  The base tables were **not** modified — the
+    admission check runs before the change is prepared — so the caller
+    can retry, drop, or back off."""
+
+
 class FanOutError(MaintenanceError):
     """One or more views failed while a warehouse fanned an update out.
 

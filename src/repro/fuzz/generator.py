@@ -143,7 +143,7 @@ class Scenario:
             if op["kind"] == "txn":
                 for st in op["statements"]:
                     op_rows += len(st["rows"])
-            else:
+            elif op["kind"] != "crash":
                 op_rows += len(op["rows"])
         base_rows = sum(len(s.get("rows", ())) for s in self.tables.values())
         sql = sum(len(v["sql"]) for v in self.views)
@@ -162,6 +162,8 @@ class Scenario:
 
 
 def _op_to_dict(op: Dict) -> Dict:
+    if op["kind"] == "crash":
+        return {"kind": "crash"}
     if op["kind"] == "txn":
         return {
             "kind": "txn",
@@ -182,6 +184,8 @@ def _op_to_dict(op: Dict) -> Dict:
 
 
 def _op_from_dict(op: Dict) -> Dict:
+    if op["kind"] == "crash":
+        return {"kind": "crash"}
     if op["kind"] == "txn":
         return {
             "kind": "txn",
@@ -217,6 +221,10 @@ class GeneratorProfile:
     empty_table_probability: float = 0.15
     txn_probability: float = 0.15
     failing_txn_probability: float = 0.25  # of the transactions
+    # a "crash" op restarts WAL-enabled warehouses mid-stream (recovery
+    # must converge); the reference and WAL-less configs treat it as a
+    # no-op, so it never changes expected outcomes
+    crash_probability: float = 0.10
 
 
 def generate_scenario(
@@ -317,6 +325,14 @@ def _generate_ops(
         attempts -= 1
         roll = rng.random()
         table = rng.choice(names)
+        if roll < profile.crash_probability:
+            # never first (nothing to recover) and never back-to-back
+            if ops and ops[-1]["kind"] != "crash":
+                ops.append({"kind": "crash"})
+            continue
+        roll = (roll - profile.crash_probability) / (
+            1.0 - profile.crash_probability
+        )
         if roll < profile.txn_probability:
             op = _generate_txn(
                 rng, scratch, names, value_range, null_fraction, skew,

@@ -22,6 +22,18 @@ snapshot — converges to the reference state through
 ``scheduler.task`` failpoint each step and expects the retry path to
 absorb it.
 
+The durability configs go further.  ``checkpoint-wal`` checkpoints every
+few ops and restarts the warehouse at generated ``crash`` ops, so
+checkpoint + suffix-replay recovery runs *inside* the differential loop.
+``crash-checkpoint`` and ``crash-compaction`` kill the process inside
+:meth:`CheckpointManager.write` (the atomic-rename window) and inside
+segment deletion (``wal.compact.unlink``) and require the restart to
+self-heal and converge.  The ``corrupt-torn`` / ``corrupt-bitflip``
+configs byte-mangle the closed log deterministically (seeded from the
+scenario itself) and require :meth:`Warehouse.recover` to quarantine the
+damage, never raise, and leave every view recompute-equal over whatever
+history survived.
+
 Because every config is checked against recompute on an identical update
 stream, agreement with the oracle implies pairwise agreement of all
 strategy pairs; a final explicit cross-config comparison is kept anyway
@@ -31,7 +43,10 @@ as a belt-and-braces differential check.
 from __future__ import annotations
 
 import os
+import random
+import shutil
 import tempfile
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -43,7 +58,7 @@ from ..core.maintain import (
     SECONDARY_FROM_VIEW,
 )
 from ..errors import ReproError
-from ..runtime import FAILPOINTS, RetryPolicy
+from ..runtime import FAILPOINTS, InjectedFault, RetryPolicy
 from ..warehouse import Warehouse
 from .generator import Scenario
 
@@ -124,6 +139,11 @@ class OracleConfig:
     retry: Optional[RetryPolicy] = None
     crash_check: bool = False
     inject_transient: bool = False
+    checkpoint_every: Optional[int] = None  # ops between checkpoints
+    segment_bytes: Optional[int] = None  # tiny values force rotation
+    crash_checkpoint: bool = False  # die inside CheckpointManager.write
+    crash_compaction: bool = False  # die inside segment deletion
+    corruption: Optional[str] = None  # "torn" | "bitflip"
 
 
 def _opts(**kwargs) -> Callable[[], MaintenanceOptions]:
@@ -197,6 +217,41 @@ def default_matrix() -> List[OracleConfig]:
             retry=_FAST_RETRY,
             inject_transient=True,
         ),
+        OracleConfig(
+            "checkpoint-wal",
+            _opts(),
+            wal=True,
+            crash_check=True,
+            checkpoint_every=2,
+        ),
+        OracleConfig(
+            "crash-checkpoint",
+            _opts(),
+            wal=True,
+            checkpoint_every=2,
+            crash_checkpoint=True,
+        ),
+        OracleConfig(
+            "crash-compaction",
+            _opts(),
+            wal=True,
+            checkpoint_every=2,
+            segment_bytes=128,
+            crash_compaction=True,
+        ),
+        OracleConfig(
+            "corrupt-torn",
+            _opts(),
+            wal=True,
+            corruption="torn",
+        ),
+        OracleConfig(
+            "corrupt-bitflip",
+            _opts(),
+            wal=True,
+            segment_bytes=128,
+            corruption="bitflip",
+        ),
     ]
 
 
@@ -220,8 +275,13 @@ def configs_by_name(names) -> List[OracleConfig]:
 def apply_op(wh: Warehouse, op: Dict) -> str:
     """Apply one scenario op; returns ``"ok"`` or the error type name.
     Symmetric across configs: every config (and the view-less reference)
-    replays ops through exactly this function."""
+    replays ops through exactly this function.  A ``crash`` op is a
+    no-op here — it only means something to the WAL-enabled replay loop
+    (:func:`_run_config` restarts the warehouse), so the reference and
+    WAL-less configs sail through it."""
     try:
+        if op["kind"] == "crash":
+            return "ok"
         if op["kind"] == "insert":
             wh.insert(op["table"], op["rows"])
         elif op["kind"] == "delete":
@@ -323,9 +383,17 @@ def run_case(
                     f"{type(exc).__name__}: {exc}",
                 )
             )
-        if config.crash_check:
+        extra_checks = [
+            (config.crash_check, _run_crash_check),
+            (config.crash_checkpoint, _run_crash_checkpoint_check),
+            (config.crash_compaction, _run_crash_compaction_check),
+            (bool(config.corruption), _run_corruption_check),
+        ]
+        for enabled, check in extra_checks:
+            if not enabled:
+                continue
             try:
-                _run_crash_check(scenario, config, reference, result)
+                check(scenario, config, reference, result)
             except Exception as exc:
                 result.mismatches.append(
                     Mismatch(
@@ -335,6 +403,21 @@ def run_case(
                 )
     _cross_config_check(final_views, result)
     return result
+
+
+def _warehouse_kwargs(
+    config: OracleConfig,
+    wal_path: Optional[str] = None,
+    checkpoint_dir: Optional[str] = None,
+) -> Dict:
+    kwargs: Dict = {"workers": config.workers, "retry": config.retry}
+    if wal_path:
+        kwargs["wal_path"] = wal_path
+    if checkpoint_dir:
+        kwargs["checkpoint_dir"] = checkpoint_dir
+    if config.segment_bytes:
+        kwargs["segment_bytes"] = config.segment_bytes
+    return kwargs
 
 
 def _create_views(wh: Warehouse, scenario: Scenario, config: OracleConfig):
@@ -395,12 +478,18 @@ def _run_config(
         wal_path = (
             os.path.join(tmp, f"{config.name}.wal") if config.wal else None
         )
-        wh = Warehouse(
-            scenario.build_database(),
-            wal_path=wal_path,
-            workers=config.workers,
-            retry=config.retry,
+        checkpoint_dir = (
+            os.path.join(tmp, "checkpoints")
+            if config.checkpoint_every
+            else None
         )
+
+        def make_warehouse(db):
+            return Warehouse(
+                db, **_warehouse_kwargs(config, wal_path, checkpoint_dir)
+            )
+
+        wh = make_warehouse(scenario.build_database())
         try:
             _create_views(wh, scenario, config)
             if config.inject_transient:
@@ -409,8 +498,26 @@ def _run_config(
                 FAILPOINTS.arm(
                     "scheduler.task", action="raise", times=None, attempt=1
                 )
+            since_checkpoint = 0
             for i, op in enumerate(scenario.ops):
                 step = f"op[{i}]"
+                if op["kind"] == "crash" and config.wal:
+                    # restart at a durability boundary: flush (acks on
+                    # disk), drop the process, reopen over the same
+                    # directories and recover — with checkpoints this
+                    # resets the database to the last checkpoint and
+                    # rolls it forward through the suffix
+                    wh.flush()
+                    wh.scheduler.shutdown()
+                    wh.wal.close()
+                    db = wh.db
+                    wh = make_warehouse(db)
+                    _create_views(wh, scenario, config)
+                    wh.recover()
+                    _check_step(
+                        wh, config, step, reference.states[i], result
+                    )
+                    continue
                 outcome = apply_op(wh, op)
                 if outcome != reference.outcomes[i]:
                     result.mismatches.append(
@@ -422,6 +529,11 @@ def _run_config(
                         )
                     )
                 _check_step(wh, config, step, reference.states[i], result)
+                if config.checkpoint_every and op["kind"] != "crash":
+                    since_checkpoint += 1
+                    if since_checkpoint >= config.checkpoint_every:
+                        wh.checkpoint()
+                        since_checkpoint = 0
             if config.wal:
                 try:
                     wh.flush()
@@ -470,16 +582,22 @@ def _run_crash_check(
     crash_at = len(ops) // 2
     with tempfile.TemporaryDirectory(prefix="repro-fuzz-crash-") as tmp:
         wal_path = os.path.join(tmp, "crash.wal")
+        checkpoint_dir = (
+            os.path.join(tmp, "checkpoints")
+            if config.checkpoint_every
+            else None
+        )
         wh = Warehouse(
             scenario.build_database(),
-            wal_path=wal_path,
-            workers=config.workers,
-            retry=config.retry,
+            **_warehouse_kwargs(config, wal_path, checkpoint_dir),
         )
         _create_views(wh, scenario, config)
         for op in ops[:crash_at]:
             apply_op(wh, op)
-        wh.flush()  # durable boundary: everything so far is acked
+        if checkpoint_dir:
+            wh.checkpoint()  # durable boundary + WAL compacted behind it
+        else:
+            wh.flush()  # durable boundary: everything so far is acked
         snapshot = wh.db.copy()
         with FAILPOINTS.armed("wal.ack", action="skip", times=None):
             for op in ops[crash_at:]:
@@ -492,9 +610,7 @@ def _run_crash_check(
 
         restarted = Warehouse(
             snapshot,
-            wal_path=wal_path,
-            workers=config.workers,
-            retry=config.retry,
+            **_warehouse_kwargs(config, wal_path, checkpoint_dir),
         )
         try:
             _create_views(restarted, scenario, config)
@@ -545,6 +661,275 @@ def _run_crash_check(
             restarted.scheduler.shutdown()
             if restarted.wal is not None:
                 restarted.wal.close()
+
+
+def _replayable_ops(scenario: Scenario) -> List[Dict]:
+    """The scenario's ops minus ``crash`` markers (the dedicated crash
+    and corruption checks stage their own crash, at a point they
+    control)."""
+    return [op for op in scenario.ops if op["kind"] != "crash"]
+
+
+def _run_crash_checkpoint_check(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> None:
+    """Crash inside :meth:`CheckpointManager.write`, after the payload is
+    durable under its ``.tmp`` name but before the atomic rename: the
+    half-written checkpoint must never be restored, and recovery must
+    fall back to the previous one plus a longer suffix replay."""
+    ops = _replayable_ops(scenario)
+    if not ops:
+        return
+    half = max(1, len(ops) // 2)
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-ckpt-") as tmp:
+        wal_path = os.path.join(tmp, "wal")
+        checkpoint_dir = os.path.join(tmp, "checkpoints")
+        wh = Warehouse(
+            scenario.build_database(),
+            **_warehouse_kwargs(config, wal_path, checkpoint_dir),
+        )
+        _create_views(wh, scenario, config)
+        for op in ops[:half]:
+            apply_op(wh, op)
+        wh.checkpoint()  # checkpoint A: published, WAL compacted
+        for op in ops[half:]:
+            apply_op(wh, op)
+        crashed = False
+        with FAILPOINTS.armed("checkpoint.write", action="raise"):
+            try:
+                wh.checkpoint()  # dies in the atomic-rename window
+            except InjectedFault:
+                crashed = True
+        if not crashed:
+            result.mismatches.append(
+                Mismatch(
+                    config.name, "recovery", "harness-error", None,
+                    "checkpoint.write failpoint never fired",
+                )
+            )
+        wh.scheduler.shutdown()
+        wh.wal.close()
+
+        restarted = Warehouse(
+            scenario.build_database(),
+            **_warehouse_kwargs(config, wal_path, checkpoint_dir),
+        )
+        try:
+            _create_views(restarted, scenario, config)
+            restarted.recover()
+            info = restarted.last_recovery or {}
+            if crashed and info.get("checkpoint_lsn") is None:
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "durability", None,
+                        "no checkpoint restored although one was "
+                        "published before the crashed write",
+                    )
+                )
+            state = _table_state(restarted)
+            if state != reference.final_state:
+                diverged = sorted(
+                    n
+                    for n in state
+                    if state[n] != reference.final_state.get(n)
+                )
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "db-divergence", None,
+                        "after a crash mid-checkpoint, recovered base "
+                        f"table(s) {diverged} differ from the reference",
+                    )
+                )
+            result.mismatches.extend(
+                consistency_mismatches(restarted, config.name, "recovery")
+            )
+        finally:
+            restarted.scheduler.shutdown()
+            restarted.wal.close()
+
+
+def _run_crash_compaction_check(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> None:
+    """Crash between the durable compaction marker and segment deletion
+    (``wal.compact.unlink``): the next open must self-heal the stale
+    segments and recovery must converge as if compaction had finished."""
+    ops = _replayable_ops(scenario)
+    if not ops:
+        return
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-compact-") as tmp:
+        wal_path = os.path.join(tmp, "wal")
+        checkpoint_dir = os.path.join(tmp, "checkpoints")
+        kwargs = _warehouse_kwargs(config, wal_path, checkpoint_dir)
+        kwargs.setdefault("segment_bytes", 128)
+        wh = Warehouse(scenario.build_database(), **kwargs)
+        _create_views(wh, scenario, config)
+        for op in ops:
+            apply_op(wh, op)
+        with FAILPOINTS.armed("wal.compact.unlink", action="raise"):
+            try:
+                wh.checkpoint()
+            except InjectedFault:
+                pass  # marker durable, some covered segments left behind
+        wh.scheduler.shutdown()
+        wh.wal.close()
+
+        restarted = Warehouse(scenario.build_database(), **kwargs)
+        try:
+            _create_views(restarted, scenario, config)
+            restarted.recover()
+            state = _table_state(restarted)
+            if state != reference.final_state:
+                diverged = sorted(
+                    n
+                    for n in state
+                    if state[n] != reference.final_state.get(n)
+                )
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "db-divergence", None,
+                        "after a crash mid-compaction, recovered base "
+                        f"table(s) {diverged} differ from the reference",
+                    )
+                )
+            result.mismatches.extend(
+                consistency_mismatches(restarted, config.name, "recovery")
+            )
+        finally:
+            restarted.scheduler.shutdown()
+            restarted.wal.close()
+
+
+def _corrupt_wal(
+    wal_dir: str, mode: str, rng: random.Random
+) -> Optional[str]:
+    """Byte-mangle a closed WAL directory; returns a description of the
+    damage, or ``None`` when the log is too small to corrupt."""
+    segments = sorted(
+        name
+        for name in os.listdir(wal_dir)
+        if name.startswith("seg-") and name.endswith(".wal")
+    )
+    if not segments:
+        return None
+    if mode == "torn":
+        # an unterminated half-record after the final segment's last
+        # record — the classic torn write
+        path = os.path.join(wal_dir, segments[-1])
+        with open(path, "ab") as handle:
+            handle.write(b'deadbeef {"kind":"change","trunc')
+        return f"torn tail appended to {segments[-1]}"
+    if mode != "bitflip":
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    path = os.path.join(wal_dir, segments[0])
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    line_end = raw.find(b"\n")
+    if line_end <= 10:
+        return None
+    # flip one payload byte of the first record, past its CRC prefix
+    position = 9 + rng.randrange(line_end - 9)
+    mangled = (
+        raw[:position]
+        + bytes([raw[position] ^ 0x20])
+        + raw[position + 1 :]
+    )
+    with open(path, "wb") as handle:
+        handle.write(mangled)
+    return f"flipped byte {position} of {segments[0]}"
+
+
+def _export_artifacts(config_name: str, wal_dir: str) -> None:
+    """Copy the damaged log (including its ``corrupt/`` sidecar) out of
+    the about-to-be-deleted tempdir so CI can upload it with the failure
+    report.  Enabled by the ``REPRO_FUZZ_ARTIFACT_DIR`` env var."""
+    target_root = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR")
+    if not target_root or not os.path.isdir(wal_dir):
+        return
+    target = os.path.join(target_root, config_name)
+    for root, _dirs, files in os.walk(wal_dir):
+        rel = os.path.relpath(root, wal_dir)
+        dest_dir = os.path.normpath(os.path.join(target, rel))
+        os.makedirs(dest_dir, exist_ok=True)
+        for name in files:
+            shutil.copy2(
+                os.path.join(root, name), os.path.join(dest_dir, name)
+            )
+
+
+def _run_corruption_check(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> None:
+    """Mangle the closed log, then require :meth:`Warehouse.recover` to
+    (a) never raise, (b) actually notice the damage, and (c) leave every
+    view recompute-equal over whatever base-table history survived —
+    base tables may legitimately differ from the reference once records
+    are quarantined, but views must never silently diverge from *their*
+    database."""
+    ops = _replayable_ops(scenario)
+    if not ops:
+        return
+    # deterministic damage: seeded by the scenario content itself so a
+    # corpus replay injects byte-identical corruption
+    rng = random.Random(
+        zlib.crc32(scenario.to_json().encode("utf-8"))
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-corrupt-") as tmp:
+        wal_path = os.path.join(tmp, "wal")
+        kwargs = _warehouse_kwargs(config, wal_path)
+        wh = Warehouse(scenario.build_database(), **kwargs)
+        _create_views(wh, scenario, config)
+        # drop every ack so the whole stream is replayable, then crash
+        with FAILPOINTS.armed("wal.ack", action="skip", times=None):
+            for op in ops:
+                apply_op(wh, op)
+            wh.scheduler.drain()
+            wh.wal.sync()
+            wh.scheduler.shutdown()
+            wh.wal.close()
+        damage = _corrupt_wal(wal_path, config.corruption, rng)
+        if damage is None:
+            return
+        before = len(result.mismatches)
+        restarted = Warehouse(scenario.build_database(), **kwargs)
+        try:
+            _create_views(restarted, scenario, config)
+            try:
+                restarted.recover()
+            except Exception as exc:
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "corruption", None,
+                        f"recover() raised on a corrupted log ({damage}):"
+                        f" {type(exc).__name__}: {exc}",
+                    )
+                )
+                return
+            wal = restarted.wal
+            if not (wal.corruption_detected or wal.torn_tail_dropped):
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "recovery", "harness-error", None,
+                        f"injected damage went undetected ({damage})",
+                    )
+                )
+            result.mismatches.extend(
+                consistency_mismatches(restarted, config.name, "recovery")
+            )
+        finally:
+            restarted.scheduler.shutdown()
+            restarted.wal.close()
+            if len(result.mismatches) > before:
+                _export_artifacts(config.name, wal_path)
 
 
 def _cross_config_check(

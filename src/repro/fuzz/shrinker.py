@@ -133,7 +133,7 @@ def _shrink_ops(scenario: Scenario) -> Iterator[Scenario]:
                         candidate = _clone(scenario)
                         del candidate.ops[i]["statements"][j]["rows"][r]
                         yield candidate
-        elif len(op["rows"]) > 1:
+        elif op["kind"] != "crash" and len(op["rows"]) > 1:
             for r in range(len(op["rows"])):
                 candidate = _clone(scenario)
                 del candidate.ops[i]["rows"][r]
@@ -199,7 +199,7 @@ def _referenced_tables(scenario: Scenario) -> set:
     for op in scenario.ops:
         if op["kind"] == "txn":
             used.update(st["table"] for st in op["statements"])
-        else:
+        elif op["kind"] != "crash":
             used.add(op["table"])
     for view in scenario.views:
         # cheap but sound over-approximation of the tables a view uses

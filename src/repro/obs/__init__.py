@@ -243,6 +243,40 @@ class Telemetry:
             "Armed failpoints fired by fault-injection runs",
             ("name",),
         )
+        self.load_shed = m.counter(
+            "repro_scheduler_load_shed_total",
+            "Changes rejected because the bounded queue was full",
+            ("table",),
+        )
+        self.queue_wait_seconds = m.histogram(
+            "repro_scheduler_queue_wait_seconds",
+            "Time a change waited in the queue before its fan-out",
+        )
+        self.checkpoint_seconds = m.histogram(
+            "repro_checkpoint_seconds",
+            "Wall time of one durable checkpoint write",
+        )
+        self.checkpoint_total = m.counter(
+            "repro_checkpoint_total",
+            "Checkpoints written, by outcome",
+            ("outcome",),
+        )
+        self.checkpoint_bytes = m.gauge(
+            "repro_checkpoint_bytes",
+            "Payload size of the most recent checkpoint",
+        )
+        self.wal_compactions = m.counter(
+            "repro_wal_compactions_total",
+            "WAL compaction passes that deleted at least one segment",
+        )
+        self.wal_segments_deleted = m.counter(
+            "repro_wal_segments_deleted_total",
+            "WAL segment files deleted by compaction",
+        )
+        self.wal_segments_quarantined = m.counter(
+            "repro_wal_segments_quarantined_total",
+            "WAL segments moved to the corrupt/ sidecar on open",
+        )
 
     # ------------------------------------------------------------------
     # recording (all no-ops on the disabled singleton)
@@ -339,6 +373,55 @@ class Telemetry:
             return
         with self._record_lock:
             self.wal_fsync_seconds.observe(seconds)
+
+    def record_load_shed(self, table: str) -> None:
+        """A change was rejected by the bounded queue (shed policy)."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.load_shed.inc(table=table)
+            self.health.record_load_shed()
+
+    def record_queue_wait(self, seconds: float) -> None:
+        """Queue residency of one admitted change (submit → dequeue)."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.queue_wait_seconds.observe(seconds)
+
+    def record_checkpoint(self, seconds: float, size_bytes: int) -> None:
+        """One durable checkpoint was written and published."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.checkpoint_seconds.observe(seconds)
+            self.checkpoint_total.inc(outcome="written")
+            self.checkpoint_bytes.set(size_bytes)
+            self.health.record_checkpoint()
+
+    def record_checkpoint_corrupt(self, name: str) -> None:
+        """A checkpoint failed verification and was moved aside."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.checkpoint_total.inc(outcome="corrupt")
+
+    def record_wal_compaction(self, segments_deleted: int) -> None:
+        """One compaction pass removed *segments_deleted* segments."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.wal_compactions.inc()
+            self.wal_segments_deleted.inc(segments_deleted)
+            self.health.record_compaction(segments_deleted)
+
+    def record_wal_segment_quarantined(self, name: str) -> None:
+        """A WAL segment failed verification and was quarantined."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.wal_segments_quarantined.inc()
+            self.health.record_segment_quarantined(name)
 
     def record_fuzz_case(self, outcome: str, mismatch_kinds=()) -> None:
         """One differential fuzz case (outcome ``pass`` or ``fail``)."""

@@ -80,6 +80,14 @@ class Dashboard:
     def __init__(self, max_samples: int = MAX_LATENCY_SAMPLES):
         self.max_samples = max_samples
         self._views: Dict[str, _ViewSeries] = {}
+        # warehouse-wide durability/backpressure counters (kept out of
+        # the per-view series and out of totals(), whose shape is
+        # pinned by tests)
+        self._checkpoints = 0
+        self._compactions = 0
+        self._segments_deleted = 0
+        self._segments_quarantined: List[str] = []
+        self._load_sheds = 0
 
     # ------------------------------------------------------------------
     # feeding
@@ -142,6 +150,23 @@ class Dashboard:
     def clear_quarantine(self, view: str) -> None:
         """The view was repaired and reinstated into the fan-out."""
         self._series(view).quarantine_reason = None
+
+    def record_checkpoint(self) -> None:
+        """One durable checkpoint was written."""
+        self._checkpoints += 1
+
+    def record_compaction(self, segments_deleted: int) -> None:
+        """One WAL compaction pass deleted *segments_deleted* files."""
+        self._compactions += 1
+        self._segments_deleted += segments_deleted
+
+    def record_segment_quarantined(self, name: str) -> None:
+        """A WAL segment failed verification and was moved aside."""
+        self._segments_quarantined.append(name)
+
+    def record_load_shed(self) -> None:
+        """A change was rejected by the bounded scheduler queue."""
+        self._load_sheds += 1
 
     # ------------------------------------------------------------------
     # reading

@@ -1,16 +1,23 @@
 """Durable, concurrent maintenance runtime.
 
-Two pieces sit between the warehouse facade and the per-view
+Three pieces sit between the warehouse facade and the per-view
 maintainers:
 
-* :class:`WriteAheadLog` — an append-only JSON-lines change log that
+* :class:`WriteAheadLog` — a segmented, CRC-checksummed change log that
   records every netted base-table delta *before* any view is touched,
   so a crash mid-fan-out is recoverable by replaying unacknowledged
-  entries (:meth:`~repro.warehouse.Warehouse.recover`);
+  entries (:meth:`~repro.warehouse.Warehouse.recover`).  Segments whose
+  records fail verification are quarantined to a ``corrupt/`` sidecar
+  rather than aborting recovery;
+* :class:`CheckpointManager` — atomically written, fsynced snapshots of
+  base tables + view contents + last-applied LSN.  Together with WAL
+  compaction this bounds recovery cost by the checkpoint interval
+  instead of total history;
 * :class:`MaintenanceScheduler` — serializes changes through a single
   dispatcher while fanning each change's per-view maintenance across a
   thread pool, with bounded-backoff retry (:class:`RetryPolicy`),
-  per-view timeouts, and quarantine-based graceful degradation.
+  per-view timeouts, quarantine-based graceful degradation, and a
+  bounded admission queue (block or shed on overflow).
 
 See ``docs/DURABILITY.md`` for the durability and staleness contract.
 The third piece, :mod:`repro.runtime.failpoints`, is the deterministic
@@ -18,6 +25,7 @@ fault-injection registry the crash-recovery tests and the differential
 fuzz harness (:mod:`repro.fuzz`) drive these code paths with.
 """
 
+from .checkpoint import CheckpointData, CheckpointManager
 from .failpoints import FAILPOINTS, Failpoints, InjectedFault
 from .scheduler import (
     HEALTHY,
@@ -29,7 +37,7 @@ from .scheduler import (
     Task,
     ViewState,
 )
-from .wal import WalEntry, WriteAheadLog
+from .wal import DEFAULT_SEGMENT_BYTES, WalEntry, WriteAheadLog
 
 __all__ = [
     "FAILPOINTS",
@@ -37,6 +45,9 @@ __all__ = [
     "InjectedFault",
     "WriteAheadLog",
     "WalEntry",
+    "DEFAULT_SEGMENT_BYTES",
+    "CheckpointManager",
+    "CheckpointData",
     "MaintenanceScheduler",
     "RetryPolicy",
     "Task",

@@ -1,0 +1,289 @@
+"""Durable checkpoints: base tables + view contents + last-applied LSN.
+
+A checkpoint is the second half of the bounded-recovery contract (the
+first is WAL compaction, :meth:`WriteAheadLog.compact`): restart cost is
+*restore the newest checkpoint, then replay the WAL suffix past its
+LSN* — proportional to the checkpoint interval, not the total history.
+
+One checkpoint is one JSON file, written atomically::
+
+    checkpoints/
+      ckpt-00000001.json
+      ckpt-00000002.json        <- newest wins
+      corrupt/                  <- checkpoints that failed verification
+
+    # the whole file is a single framed record, like a WAL line:
+    9bb17ea3 {"lsn":412,"seq":2,"tables":{...},"foreign_keys":[...],
+              "views":{...}}
+
+* ``lsn`` — the highest WAL LSN whose effects the captured state
+  includes.  :meth:`CheckpointManager.write` must therefore be called at
+  a quiescent point (:meth:`Warehouse.flush` provides one).
+* ``tables`` — schema (bare column names, key, not-null) plus every row
+  of every base table.
+* ``views`` — the materialized rows of each *plain* view; aggregated
+  views are rebuilt from the restored base tables on restore (their
+  group state is derived, and rebuilding bounds restore cost by data
+  size, exactly like the table restore itself).
+
+Atomicity — the payload is written to a ``.tmp`` sibling, fsynced, then
+``os.replace``-d into place and the directory fsynced: a crash
+mid-checkpoint leaves either the previous checkpoint set intact or a
+``.tmp`` orphan that :meth:`latest` never considers.  Verification —
+the frame CRC is checked on read; a checkpoint that fails to verify is
+moved to the ``corrupt/`` sidecar and :meth:`latest` falls back to the
+next-newest one (or ``None``, meaning recovery replays the WAL from
+genesis).  See ``docs/DURABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..engine.catalog import Database
+from ..errors import CheckpointError
+from ..obs import Telemetry
+from .failpoints import FAILPOINTS
+
+__all__ = ["CheckpointData", "CheckpointManager"]
+
+_PREFIX = "ckpt-"
+_SUFFIX = ".json"
+_CORRUPT_DIR = "corrupt"
+
+
+def _checkpoint_name(seq: int) -> str:
+    return f"{_PREFIX}{seq:08d}{_SUFFIX}"
+
+
+def _checkpoint_seq(name: str) -> Optional[int]:
+    if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+        return None
+    try:
+        return int(name[len(_PREFIX) : -len(_SUFFIX)])
+    except ValueError:
+        return None
+
+
+def _bare(qualified: str) -> str:
+    """``lineitem.l_qty`` → ``l_qty`` (the engine qualifies internally)."""
+    return qualified.split(".", 1)[1] if "." in qualified else qualified
+
+
+@dataclass
+class CheckpointData:
+    """One verified checkpoint, decoded."""
+
+    lsn: int
+    seq: int
+    tables: Dict[str, Dict]  # name -> {columns, key, not_null, rows}
+    foreign_keys: List[Dict] = field(default_factory=list)
+    views: Dict[str, List] = field(default_factory=dict)  # plain views
+    path: str = ""
+
+    def build_database(self) -> Database:
+        """A fresh :class:`Database` at the checkpointed state."""
+        db = Database()
+        for name, spec in self.tables.items():
+            db.create_table(
+                name,
+                list(spec["columns"]),
+                key=list(spec["key"]),
+                not_null=list(spec.get("not_null", ())),
+            )
+            rows = [tuple(r) for r in spec.get("rows", ())]
+            if rows:
+                db.insert(name, rows, check=False)
+        for fk in self.foreign_keys:
+            db.add_foreign_key(
+                fk["source"],
+                list(fk["source_columns"]),
+                fk["target"],
+                list(fk["target_columns"]),
+                cascading_deletes=fk.get("cascading_deletes", False),
+                deferrable=fk.get("deferrable", False),
+            )
+        return db
+
+
+class CheckpointManager:
+    """Writes, lists and restores checkpoints under one directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        telemetry: Optional[Telemetry] = None,
+        keep: int = 2,
+    ):
+        self.directory = directory
+        self.telemetry = telemetry or Telemetry.disabled()
+        self.keep = max(1, int(keep))
+        os.makedirs(os.path.join(directory, _CORRUPT_DIR), exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write(
+        self,
+        db: Database,
+        views: Optional[Dict[str, List]] = None,
+        lsn: int = 0,
+    ) -> str:
+        """Atomically write one checkpoint; returns its path.
+
+        *views* maps plain-view names to their materialized row lists.
+        The caller is responsible for quiescence: *lsn* must be the
+        highest WAL LSN already applied to both *db* and *views*.
+        """
+        started = time.perf_counter()
+        seq = max((s for s, _ in self._sequence()), default=0) + 1
+        payload = json.dumps(
+            {
+                "lsn": lsn,
+                "seq": seq,
+                "tables": {
+                    name: {
+                        "columns": [
+                            _bare(c) for c in table.schema.columns
+                        ],
+                        "key": [_bare(c) for c in table.key or ()],
+                        "not_null": sorted(
+                            _bare(c)
+                            for c in table.not_null
+                            if c not in (table.key or ())
+                        ),
+                        "rows": [list(r) for r in table.rows],
+                    }
+                    for name, table in sorted(db.tables.items())
+                },
+                "foreign_keys": [
+                    {
+                        "source": fk.source,
+                        "source_columns": [
+                            _bare(c) for c in fk.source_columns
+                        ],
+                        "target": fk.target,
+                        "target_columns": [
+                            _bare(c) for c in fk.target_columns
+                        ],
+                        "cascading_deletes": fk.cascading_deletes,
+                        "deferrable": fk.deferrable,
+                    }
+                    for fk in db.foreign_keys
+                ],
+                "views": {
+                    name: [list(r) for r in rows]
+                    for name, rows in sorted((views or {}).items())
+                },
+            },
+            separators=(",", ":"),
+        )
+        crc = format(
+            zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF, "08x"
+        )
+        final = os.path.join(self.directory, _checkpoint_name(seq))
+        tmp = final + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(f"{crc} {payload}")
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Crash window: the payload is durable under the .tmp name but
+        # was never published; latest() ignores it and falls back.
+        FAILPOINTS.hit("checkpoint.write", seq=seq, lsn=lsn)
+        os.replace(tmp, final)
+        self._fsync_directory()
+        self._prune()
+        self.telemetry.record_checkpoint(
+            time.perf_counter() - started, len(payload)
+        )
+        return final
+
+    def _fsync_directory(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _prune(self) -> None:
+        """Keep the *keep* newest checkpoints, delete the rest."""
+        ordered = sorted(self._sequence(), reverse=True)
+        for _, name in ordered[self.keep :]:
+            os.remove(os.path.join(self.directory, name))
+        for name in os.listdir(self.directory):
+            if name.endswith(".tmp"):
+                os.remove(os.path.join(self.directory, name))
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def _sequence(self):
+        for name in os.listdir(self.directory):
+            seq = _checkpoint_seq(name)
+            if seq is not None:
+                yield seq, name
+
+    def checkpoint_paths(self) -> List[str]:
+        """Existing checkpoint files, oldest first."""
+        return [
+            os.path.join(self.directory, name)
+            for _, name in sorted(self._sequence())
+        ]
+
+    def latest(self) -> Optional[CheckpointData]:
+        """The newest checkpoint that verifies, or ``None``.
+
+        A checkpoint whose CRC or structure fails verification is moved
+        to the ``corrupt/`` sidecar and the next-newest one is tried —
+        recovery falls back to an older consistent state plus a longer
+        WAL replay rather than refusing to start.
+        """
+        for seq, name in sorted(self._sequence(), reverse=True):
+            path = os.path.join(self.directory, name)
+            data = self._read(path, seq)
+            if data is not None:
+                return data
+            sidecar = os.path.join(self.directory, _CORRUPT_DIR, name)
+            os.replace(path, sidecar)
+            self.telemetry.record_checkpoint_corrupt(name)
+        return None
+
+    @staticmethod
+    def _read(path: str, seq: int) -> Optional[CheckpointData]:
+        try:
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            if len(raw) < 10 or raw[8:9] != b" ":
+                return None
+            payload = raw[9:]
+            crc = format(zlib.crc32(payload) & 0xFFFFFFFF, "08x")
+            if raw[:8].decode("ascii", "replace") != crc:
+                return None
+            record = json.loads(payload.decode("utf-8"))
+            return CheckpointData(
+                lsn=record["lsn"],
+                seq=record.get("seq", seq),
+                tables=record["tables"],
+                foreign_keys=record.get("foreign_keys", []),
+                views={
+                    name: [tuple(r) for r in rows]
+                    for name, rows in record.get("views", {}).items()
+                },
+                path=path,
+            )
+        except (OSError, ValueError, KeyError, UnicodeDecodeError):
+            return None
+
+    def require_latest(self) -> CheckpointData:
+        """Like :meth:`latest`, but raising when nothing verifies."""
+        data = self.latest()
+        if data is None:
+            raise CheckpointError(
+                f"no verifiable checkpoint under {self.directory!r}"
+            )
+        return data

@@ -33,6 +33,20 @@ Instrumented sites (name → where it fires):
                     context carries ``view`` and ``attempt`` so a fault
                     can target one view or one attempt (exercising the
                     retry and quarantine paths).
+``wal.fsync``       :meth:`WriteAheadLog._fsync`, before ``os.fsync`` —
+                    simulates a device that fails to make the log
+                    durable (context carries ``segment``).
+``wal.compact``     :meth:`WriteAheadLog.compact`, before the compact
+                    marker is written — a crash at compaction start
+                    leaves all segments intact.
+``wal.compact.unlink`` before each covered segment is deleted (context
+                    carries ``segment``) — a crash mid-compaction
+                    leaves a durable marker plus stale segments, which
+                    the next open self-heals.
+``checkpoint.write`` :meth:`CheckpointManager.write`, after the ``.tmp``
+                    file is fsynced but before ``os.replace`` publishes
+                    it — the atomic-rename crash window (context
+                    carries ``seq`` and ``lsn``).
 ================== ====================================================
 
 Arming is match-filtered: ``arm("scheduler.task", view="v0", times=1)``

@@ -30,9 +30,26 @@ Failure handling per view task:
   surfaced on the health dashboard.  The batch is never poisoned — every
   other view is still maintained and acknowledged.
 
+Admission control — with ``max_queue_depth`` set, the change queue is
+bounded, so a producer that outruns the dispatcher can no longer grow
+memory without limit.  Two overflow policies:
+
+* ``"block"`` (default) — ``submit`` blocks until the dispatcher makes
+  room; throughput degrades to the fan-out rate, latency is absorbed by
+  the caller;
+* ``"shed"`` — ``submit`` raises
+  :class:`~repro.errors.BackpressureError` immediately (before the
+  change touches the base tables), bumping the
+  ``repro_scheduler_load_shed_total`` counter.
+
+Either way the ``repro_scheduler_queue_wait_seconds`` histogram records
+how long each admitted change sat in the queue before its fan-out
+started.
+
 With ``workers=0`` (the default) everything runs inline on the caller's
-thread in deterministic registration order — the legacy serial path.
-With ``retry=None`` the scheduler is a passthrough: one attempt, no
+thread in deterministic registration order — the legacy serial path
+(admission control does not apply: nothing ever queues).  With
+``retry=None`` the scheduler is a passthrough: one attempt, no
 quarantine, exactly the pre-runtime ``Warehouse`` semantics.
 """
 
@@ -46,7 +63,7 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..errors import MaintenanceError
+from ..errors import BackpressureError, MaintenanceError
 from ..obs import Telemetry
 from .failpoints import FAILPOINTS
 
@@ -184,6 +201,8 @@ class MaintenanceScheduler:
         retry: Optional[RetryPolicy] = None,
         telemetry: Optional[Telemetry] = None,
         quarantine: Optional[bool] = None,
+        max_queue_depth: Optional[int] = None,
+        overflow: str = "block",
     ):
         self.workers = max(0, int(workers))
         # No explicit policy: single attempt.  Quarantine defaults on
@@ -194,13 +213,28 @@ class MaintenanceScheduler:
         if quarantine is None:
             quarantine = retry is not None or self.workers > 0
         self.quarantine_enabled = quarantine
+        if overflow not in ("block", "shed"):
+            raise ValueError(
+                f"unknown overflow policy {overflow!r} "
+                "(expected 'block' or 'shed')"
+            )
+        self.max_queue_depth = (
+            max(1, int(max_queue_depth)) if max_queue_depth else None
+        )
+        self.overflow = overflow
+        self.load_shed_count = 0
         self.telemetry = telemetry or Telemetry.disabled()
         self._states: Dict[str, ViewState] = {}
         self._lock = threading.RLock()
         self._depth = 0
         self._pool: Optional[ThreadPoolExecutor] = None
         self._dispatcher: Optional[threading.Thread] = None
-        self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue()
+        # maxsize bounds user changes; internal sentinels (the drain
+        # barrier and the shutdown None) always use a blocking put, so
+        # they are delayed by a full queue but never lost.
+        self._queue: "queue.Queue[Optional[tuple]]" = queue.Queue(
+            maxsize=self.max_queue_depth or 0
+        )
         self._closed = False
         if self.workers > 0:
             self._pool = ThreadPoolExecutor(
@@ -281,6 +315,11 @@ class MaintenanceScheduler:
         ``(tasks, lsn)``.  *on_complete* fires on the executing thread
         after the fan-out, before the ticket unblocks — the warehouse
         acknowledges WAL entries there.
+
+        With a bounded queue (``max_queue_depth``), a full queue either
+        blocks this call (``overflow="block"``) or raises
+        :class:`~repro.errors.BackpressureError` (``overflow="shed"``)
+        before the change has any effect.
         """
         if self._closed:
             raise MaintenanceError("scheduler has been shut down")
@@ -291,10 +330,23 @@ class MaintenanceScheduler:
                 on_complete(result)
             ticket._complete(result)
             return ticket
+        item = (ticket, prepare, on_complete, time.perf_counter())
+        if self.max_queue_depth is not None and self.overflow == "shed":
+            try:
+                self._queue.put_nowait(item)
+            except queue.Full:
+                with self._lock:
+                    self.load_shed_count += 1
+                self.telemetry.record_load_shed(table)
+                raise BackpressureError(
+                    f"change queue is full ({self.max_queue_depth} "
+                    f"deep); shed {operation} on {table!r}"
+                ) from None
+        else:
+            self._queue.put(item)  # blocks when bounded and full
         with self._lock:
             self._depth += 1
             self.telemetry.record_queue_depth(self._depth)
-        self._queue.put((ticket, prepare, on_complete))
         return ticket
 
     def apply(
@@ -320,7 +372,10 @@ class MaintenanceScheduler:
             item = self._queue.get()
             if item is None:
                 return
-            ticket, prepare, on_complete = item
+            ticket, prepare, on_complete, enqueued = item
+            self.telemetry.record_queue_wait(
+                time.perf_counter() - enqueued
+            )
             try:
                 result = self._execute(
                     prepare, ticket.table, ticket.operation
@@ -447,7 +502,9 @@ class MaintenanceScheduler:
         if self._dispatcher is None:
             return
         barrier = ChangeTicket("(drain)", "(drain)")
-        self._queue.put((barrier, lambda: ([], None), None))
+        self._queue.put(
+            (barrier, lambda: ([], None), None, time.perf_counter())
+        )
         with self._lock:
             self._depth += 1
             self.telemetry.record_queue_depth(self._depth)

@@ -7,11 +7,19 @@ middle of a multi-view fan-out loses no maintenance work: on restart,
 acknowledged and :meth:`~repro.warehouse.Warehouse.recover` re-drives
 them through the registered maintainers.
 
-Format — JSON lines, append-only, two record kinds::
+Format (v2) — a *directory* of segment files, each a sequence of
+checksummed JSON lines::
 
-    {"kind":"change","lsn":7,"table":"lineitem","op":"insert",
-     "fk_allowed":true,"rows":[[1,1,5.0,...], ...]}
-    {"kind":"ack","lsn":7}
+    wal/
+      seg-00000001.wal
+      seg-00000002.wal          <- active (highest sequence number)
+      corrupt/                  <- quarantined segments, if any
+
+    # one record per line: CRC32 of the payload, a space, the payload
+    1c291ca3 {"kind":"change","lsn":7,"table":"lineitem","op":"insert",
+              "fk_allowed":true,"rows":[[1,1,5.0]]}
+    9bb17ea3 {"kind":"ack","lsn":7}
+    5e02ab1f {"kind":"compact","through":7}
 
 * LSNs are monotonically increasing and assigned by the log.
 * A ``change`` records the delta rows exactly as applied to the base
@@ -19,6 +27,13 @@ Format — JSON lines, append-only, two record kinds::
   which covers everything the engine stores).
 * An ``ack`` marks the change as fully applied to every non-quarantined
   view; acked entries are skipped by recovery.
+* A ``compact`` marker records that every LSN ≤ ``through`` is covered
+  by a durable checkpoint; segments wholly below the marker are deleted
+  (:meth:`compact`) and acks for compacted LSNs become no-ops.
+
+The active segment rotates once it exceeds ``segment_bytes``; rotation
+plus compaction is what keeps the on-disk footprint proportional to the
+checkpoint interval instead of the total history.
 
 Durability — group commit: every record is written and flushed to the OS
 immediately, but ``fsync`` runs only every *fsync_batch* records (1 =
@@ -27,20 +42,33 @@ an fsync; :meth:`~repro.warehouse.Warehouse.flush` calls it so that a
 flush boundary is always a consistent point to snapshot base tables at.
 Fsync latency feeds the ``repro_wal_fsync_seconds`` histogram.
 
-Crash tolerance — the log is append-only, so only the final record can
-be torn by a crash.  On open, a trailing record that does not parse is
-treated as a torn write and truncated away; corruption anywhere earlier
-raises :class:`~repro.errors.WalError`.
+Crash and corruption tolerance — on open, every segment is verified
+record by record against its CRCs:
 
-See ``docs/DURABILITY.md`` for the recovery contract.
+* a trailing record of the *final* segment that does not verify is a
+  torn write from a crash mid-append; it is truncated away and
+  :attr:`torn_tail_dropped` is set;
+* any other CRC or parse failure quarantines the **whole** containing
+  segment: the file is moved to the ``corrupt/`` sidecar directory,
+  none of its records are ingested, :attr:`corruption_detected` is set
+  and the segment path is appended to :attr:`quarantined_segments`.
+  Opening never raises for disk rot — the caller
+  (:meth:`Warehouse.recover`) degrades to per-view recompute instead.
+
+Legacy logs — a v1 WAL (a single checksum-less JSON-lines file at
+*path*) is transparently migrated on open: its records are re-written
+as segment 1 with CRCs and the file is replaced by the segment
+directory.  See ``docs/DURABILITY.md`` for the recovery contract.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 import threading
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -49,7 +77,16 @@ from ..errors import WalError
 from ..obs import Telemetry
 from .failpoints import FAILPOINTS
 
-__all__ = ["WalEntry", "WriteAheadLog"]
+__all__ = ["WalEntry", "WriteAheadLog", "DEFAULT_SEGMENT_BYTES"]
+
+#: Rotation threshold for the active segment.  Small enough that a
+#: steady workload spreads across several segments (so compaction has
+#: whole files to delete), large enough that rotation is rare.
+DEFAULT_SEGMENT_BYTES = 256 * 1024
+
+_SEGMENT_PREFIX = "seg-"
+_SEGMENT_SUFFIX = ".wal"
+_CORRUPT_DIR = "corrupt"
 
 
 @dataclass(frozen=True)
@@ -86,11 +123,49 @@ class WalEntry:
         )
 
 
+def _checksum(payload: bytes) -> str:
+    return format(zlib.crc32(payload) & 0xFFFFFFFF, "08x")
+
+
+def _frame(payload: str) -> str:
+    return f"{_checksum(payload.encode('utf-8'))} {payload}\n"
+
+
+def _segment_name(seq: int) -> str:
+    return f"{_SEGMENT_PREFIX}{seq:08d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_seq(name: str) -> Optional[int]:
+    if not (
+        name.startswith(_SEGMENT_PREFIX) and name.endswith(_SEGMENT_SUFFIX)
+    ):
+        return None
+    digits = name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    try:
+        return int(digits)
+    except ValueError:
+        return None
+
+
+@dataclass
+class _ParsedSegment:
+    """One segment's verified contents (or its verdict)."""
+
+    seq: int
+    path: str
+    records: List[Dict]
+    keep_bytes: int  # prefix length ending at the last intact record
+    total_bytes: int
+    torn_tail: bool  # final record fails verification
+    corrupt: bool  # a NON-final record fails verification
+
+
 class WriteAheadLog:
-    """An append-only JSON-lines change log with group commit.
+    """A segmented, checksummed, append-only change log (group commit).
 
     Thread-safe: the warehouse appends from its dispatcher thread while
-    acks arrive from the caller's ``flush``.
+    acks arrive from the caller's ``flush``.  Usable as a context
+    manager; :meth:`close` is idempotent.
     """
 
     def __init__(
@@ -98,49 +173,143 @@ class WriteAheadLog:
         path: str,
         fsync_batch: int = 1,
         telemetry: Optional[Telemetry] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
     ):
         self.path = path
         self.fsync_batch = max(1, int(fsync_batch))
+        # floor of 64: a segment must be able to hold at least one
+        # record, but tests (and the fuzzer's corruption configs) use
+        # tiny thresholds to force rotation on every few records
+        self.segment_bytes = max(64, int(segment_bytes))
         self.telemetry = telemetry or Telemetry.disabled()
-        self._lock = threading.Lock()
+        self._lock = threading.RLock()
         self._entries: Dict[int, WalEntry] = {}
         self._acked: Set[int] = set()
         self._next_lsn = 1
         self._unsynced = 0
+        self._closed = False
         self.torn_tail_dropped = False
-        self._load()
-        self._handle = open(self.path, "a", encoding="utf-8")
+        self.corruption_detected = False
+        self.quarantined_segments: List[str] = []
+        self.migrated_from_v1 = False
+        self.compacted_through = 0
+        # segment sequence -> highest change LSN it holds (0 if none)
+        self._segment_max_lsn: Dict[int, int] = {}
+        self._active_seq = 0
+        self._active_size = 0
+        self._handle = None
+        self._open_directory()
 
     # ------------------------------------------------------------------
-    # recovery-time reading
+    # open / load
     # ------------------------------------------------------------------
-    def _load(self) -> None:
-        if not os.path.exists(self.path):
-            return
-        with open(self.path, "rb") as handle:
+    def _open_directory(self) -> None:
+        self._recover_interrupted_migration()
+        if os.path.isfile(self.path):
+            self._migrate_v1()
+        os.makedirs(os.path.join(self.path, _CORRUPT_DIR), exist_ok=True)
+        seqs = sorted(
+            seq
+            for seq in (
+                _segment_seq(name) for name in os.listdir(self.path)
+            )
+            if seq is not None
+        )
+        for position, seq in enumerate(seqs):
+            self._load_segment(seq, final=position == len(seqs) - 1)
+        self._next_lsn = max(self._next_lsn, self.compacted_through + 1)
+        # forget whatever a compaction marker says is durable elsewhere
+        for lsn in [n for n in self._entries if n <= self.compacted_through]:
+            del self._entries[lsn]
+        self._acked = {n for n in self._acked if n > self.compacted_through}
+        # finish an interrupted compaction: drop fully-covered segments
+        if self.compacted_through:
+            self._delete_covered_segments(self.compacted_through)
+        self._active_seq = max(self._segment_max_lsn, default=0)
+        if self._active_seq == 0:
+            self._active_seq = 1
+            self._segment_max_lsn[1] = 0
+        active = self._segment_path(self._active_seq)
+        self._handle = open(active, "a", encoding="utf-8")
+        self._active_size = os.path.getsize(active)
+
+    def _segment_path(self, seq: int) -> str:
+        return os.path.join(self.path, _segment_name(seq))
+
+    def _parse_segment(self, seq: int) -> _ParsedSegment:
+        path = self._segment_path(seq)
+        with open(path, "rb") as handle:
             raw = handle.read()
+        records: List[Dict] = []
         offset = 0
-        keep = 0  # byte offset of the end of the last intact record
+        keep = 0
+        torn = corrupt = False
         while offset < len(raw):
             newline = raw.find(b"\n", offset)
             line = raw[offset:] if newline < 0 else raw[offset:newline]
             end = len(raw) if newline < 0 else newline + 1
-            try:
-                record = json.loads(line.decode("utf-8"))
-                self._ingest(record)
-            except (ValueError, KeyError, UnicodeDecodeError):
+            record = self._verify_line(line)
+            if record is None:
                 if end >= len(raw):
-                    # a torn final record from a crash mid-write: drop it
-                    self.torn_tail_dropped = True
-                    with open(self.path, "ab") as handle:
-                        handle.truncate(keep)
-                    return
-                raise WalError(
-                    f"corrupt WAL record at byte {offset} of {self.path!r} "
-                    "(not the final record, so this is not a torn tail)"
-                )
+                    torn = True
+                else:
+                    corrupt = True
+                break
+            records.append(record)
             keep = end
             offset = end
+        return _ParsedSegment(
+            seq, path, records, keep, len(raw), torn, corrupt
+        )
+
+    @staticmethod
+    def _verify_line(line: bytes) -> Optional[Dict]:
+        """The record on *line*, or None when it fails verification."""
+        space = line.find(b" ")
+        if space != 8:
+            return None
+        payload = line[9:]
+        if line[:8].decode("ascii", "replace") != _checksum(payload):
+            return None
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("kind") not in ("change", "ack", "compact"):
+            return None
+        return record
+
+    def _load_segment(self, seq: int, final: bool) -> None:
+        parsed = self._parse_segment(seq)
+        if parsed.corrupt or (parsed.torn_tail and not final):
+            self._quarantine_segment(parsed)
+            return
+        if parsed.torn_tail:
+            # a crash mid-append can only tear the final record of the
+            # final segment; drop the torn bytes so appends stay clean
+            with open(parsed.path, "ab") as handle:
+                handle.truncate(parsed.keep_bytes)
+            self.torn_tail_dropped = True
+        max_lsn = 0
+        for record in parsed.records:
+            self._ingest(record)
+            if record["kind"] == "change":
+                max_lsn = max(max_lsn, record["lsn"])
+        self._segment_max_lsn[seq] = max_lsn
+
+    def _quarantine_segment(self, parsed: _ParsedSegment) -> None:
+        """Move an unreadable segment aside; ingest none of it."""
+        sidecar = os.path.join(
+            self.path, _CORRUPT_DIR, os.path.basename(parsed.path)
+        )
+        os.replace(parsed.path, sidecar)
+        self.corruption_detected = True
+        self.quarantined_segments.append(sidecar)
+        self.telemetry.record_wal_segment_quarantined(
+            os.path.basename(parsed.path)
+        )
 
     def _ingest(self, record: Dict) -> None:
         kind = record["kind"]
@@ -150,9 +319,74 @@ class WriteAheadLog:
             self._next_lsn = max(self._next_lsn, entry.lsn + 1)
         elif kind == "ack":
             self._acked.add(record["lsn"])
-        else:
-            raise WalError(f"unknown WAL record kind {kind!r}")
+        else:  # "compact" (the only other kind _verify_line admits)
+            self.compacted_through = max(
+                self.compacted_through, record["through"]
+            )
 
+    # ------------------------------------------------------------------
+    # v1 migration
+    # ------------------------------------------------------------------
+    def _recover_interrupted_migration(self) -> None:
+        """Heal the two crash windows of :meth:`_migrate_v1`."""
+        backup = self.path + ".v1-old"
+        staging = self.path + ".migrating"
+        if os.path.exists(backup):
+            if os.path.isdir(self.path):
+                os.remove(backup)  # migration finished; drop the backup
+            else:
+                os.replace(backup, self.path)  # redo from the start
+        if os.path.isdir(staging):
+            shutil.rmtree(staging)
+
+    def _migrate_v1(self) -> None:
+        """Upgrade a legacy single-file checksum-less log in place."""
+        records = self._read_v1_records()
+        staging = self.path + ".migrating"
+        os.makedirs(staging)
+        seg_path = os.path.join(staging, _segment_name(1))
+        with open(seg_path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    _frame(json.dumps(record, separators=(",", ":")))
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        backup = self.path + ".v1-old"
+        os.replace(self.path, backup)
+        os.replace(staging, self.path)
+        os.remove(backup)
+        self.migrated_from_v1 = True
+
+    def _read_v1_records(self) -> List[Dict]:
+        with open(self.path, "rb") as handle:
+            raw = handle.read()
+        records: List[Dict] = []
+        offset = 0
+        while offset < len(raw):
+            newline = raw.find(b"\n", offset)
+            line = raw[offset:] if newline < 0 else raw[offset:newline]
+            end = len(raw) if newline < 0 else newline + 1
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if record.get("kind") not in ("change", "ack"):
+                    raise ValueError(record.get("kind"))
+            except (ValueError, KeyError, UnicodeDecodeError):
+                if end >= len(raw):
+                    # torn v1 tail: drop it, like the v1 loader did
+                    self.torn_tail_dropped = True
+                    break
+                raise WalError(
+                    f"corrupt v1 WAL record at byte {offset} of "
+                    f"{self.path!r}; cannot migrate"
+                )
+            records.append(record)
+            offset = end
+        return records
+
+    # ------------------------------------------------------------------
+    # recovery-time reading
+    # ------------------------------------------------------------------
     def pending(self) -> List[WalEntry]:
         """Change entries appended but never acknowledged, in LSN order —
         the replay work list for :meth:`Warehouse.recover`."""
@@ -161,6 +395,17 @@ class WriteAheadLog:
                 self._entries[lsn]
                 for lsn in sorted(self._entries)
                 if lsn not in self._acked
+            ]
+
+    def entries_after(self, lsn: int) -> List[WalEntry]:
+        """Every change entry with LSN > *lsn*, acked or not, in order —
+        the replay suffix when base tables were restored from a
+        checkpoint taken at *lsn* (an acked entry's effects are part of
+        the pre-crash state, not the checkpoint, so it must be
+        re-applied too)."""
+        with self._lock:
+            return [
+                self._entries[n] for n in sorted(self._entries) if n > lsn
             ]
 
     # ------------------------------------------------------------------
@@ -188,16 +433,26 @@ class WriteAheadLog:
             self._next_lsn += 1
             self._entries[entry.lsn] = entry
             self._write(entry.to_json())
+            self._segment_max_lsn[self._active_seq] = max(
+                self._segment_max_lsn.get(self._active_seq, 0), entry.lsn
+            )
             self.telemetry.record_wal_append(table)
             return entry.lsn
 
     def ack(self, lsn: int) -> None:
-        """Mark *lsn* as applied to every non-quarantined view."""
+        """Mark *lsn* as applied to every non-quarantined view.
+
+        An ack at or below :attr:`compacted_through` is a no-op: the
+        change lives in a segment a checkpoint already covered (and
+        compaction may have deleted), so there is nothing to record.
+        """
         # Crash window: the fan-out completed but its acknowledgement
         # never became durable — recovery must replay and converge.
         if FAILPOINTS.hit("wal.ack", lsn=lsn):
             return
         with self._lock:
+            if lsn <= self.compacted_through:
+                return
             if lsn not in self._entries:
                 raise WalError(f"cannot ack unknown LSN {lsn}")
             if lsn in self._acked:
@@ -205,15 +460,74 @@ class WriteAheadLog:
             self._acked.add(lsn)
             self._write(json.dumps({"kind": "ack", "lsn": lsn}))
 
-    def _write(self, line: str) -> None:
-        # caller holds the lock
-        self._handle.write(line + "\n")
+    def compact(self, through: int) -> int:
+        """Delete segments wholly covered by a checkpoint at *through*.
+
+        Writes a durable ``compact`` marker first, so a crash between
+        the marker and the deletions is healed on the next open (the
+        marker survives; covered segments are re-deleted).  Returns the
+        number of segment files removed.
+        """
+        FAILPOINTS.hit("wal.compact", through=through)
+        with self._lock:
+            if through <= self.compacted_through:
+                return 0
+            self._write(
+                json.dumps({"kind": "compact", "through": through})
+            )
+            self._fsync()  # the marker must be durable before deletions
+            self.compacted_through = through
+            for lsn in [n for n in self._entries if n <= through]:
+                del self._entries[lsn]
+            self._acked = {n for n in self._acked if n > through}
+            deleted = self._delete_covered_segments(through)
+        if deleted:
+            self.telemetry.record_wal_compaction(deleted)
+        return deleted
+
+    def _delete_covered_segments(self, through: int) -> int:
+        deleted = 0
+        active = max(self._segment_max_lsn, default=0)
+        for seq in sorted(self._segment_max_lsn):
+            if seq == active:
+                continue  # never delete the active segment
+            if self._segment_max_lsn[seq] <= through:
+                # Crash window: the marker is durable but this covered
+                # segment still exists; reopening self-heals.
+                FAILPOINTS.hit("wal.compact.unlink", seq=seq)
+                os.remove(self._segment_path(seq))
+                del self._segment_max_lsn[seq]
+                deleted += 1
+        return deleted
+
+    def _rotate(self) -> None:
+        # caller holds the lock; current segment is full
         self._handle.flush()
+        self._fsync()
+        self._handle.close()
+        self._active_seq += 1
+        self._segment_max_lsn.setdefault(self._active_seq, 0)
+        self._handle = open(
+            self._segment_path(self._active_seq), "a", encoding="utf-8"
+        )
+        self._active_size = 0
+
+    def _write(self, payload: str) -> None:
+        # caller holds the lock
+        if self._active_size >= self.segment_bytes:
+            self._rotate()
+        line = _frame(payload)
+        self._handle.write(line)
+        self._handle.flush()
+        self._active_size += len(line)
         self._unsynced += 1
         if self._unsynced >= self.fsync_batch:
             self._fsync()
 
     def _fsync(self) -> None:
+        # Failure window: the OS accepted the write but stable storage
+        # did not confirm it (see runtime/failpoints.py).
+        FAILPOINTS.hit("wal.fsync", segment=self._active_seq)
         started = time.perf_counter()
         os.fsync(self._handle.fileno())
         self.telemetry.record_wal_fsync(time.perf_counter() - started)
@@ -222,17 +536,27 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force the group commit: flush and fsync outstanding records."""
         with self._lock:
-            if not self._handle.closed:
+            if not self._closed:
                 self._handle.flush()
                 self._fsync()
 
     def close(self) -> None:
+        """Flush, fsync and close the active segment (idempotent)."""
         with self._lock:
-            if not self._handle.closed:
-                self._handle.flush()
-                if self._unsynced:
-                    self._fsync()
-                self._handle.close()
+            if self._closed:
+                return
+            self._closed = True
+            self._handle.flush()
+            if self._unsynced:
+                self._fsync()
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # introspection
@@ -245,9 +569,30 @@ class WriteAheadLog:
 
     def is_acked(self, lsn: int) -> bool:
         with self._lock:
-            return lsn in self._acked
+            return lsn in self._acked or lsn <= self.compacted_through
 
     def __len__(self) -> int:
-        """Number of change entries (acked or not)."""
+        """Number of live change entries (acked or not, uncompacted)."""
         with self._lock:
             return len(self._entries)
+
+    def segment_paths(self) -> List[str]:
+        """Current (non-quarantined) segment files, oldest first."""
+        with self._lock:
+            return [
+                self._segment_path(seq)
+                for seq in sorted(self._segment_max_lsn)
+                if os.path.exists(self._segment_path(seq))
+            ]
+
+    @property
+    def segment_count(self) -> int:
+        with self._lock:
+            return len(self.segment_paths())
+
+    def disk_bytes(self) -> int:
+        """Total size of the live segment files (the WAL footprint)."""
+        with self._lock:
+            return sum(
+                os.path.getsize(path) for path in self.segment_paths()
+            )

@@ -17,11 +17,15 @@ Example::
 Runtime options (see :mod:`repro.runtime` and ``docs/DURABILITY.md``)::
 
     wh = Warehouse(db, wal_path="changes.wal",   # durable change log
+                   checkpoint_dir="checkpoints", # bounded recovery
+                   checkpoint_interval=1000,     # auto-checkpoint cadence
                    workers=4,                    # parallel view fan-out
+                   max_queue_depth=256,          # admission control
                    retry=RetryPolicy(max_attempts=3))
     ticket = wh.apply_async("lineitem", "insert", rows)
     ...
     wh.flush()        # wait for queued changes, fsync the WAL
+    wh.checkpoint()   # snapshot state, compact the WAL behind it
 
 The serial, undurable path is simply the default (``workers=0``, no WAL,
 no retry) and behaves exactly like the pre-runtime warehouse.
@@ -42,7 +46,10 @@ from .engine.table import Row, Table
 from .errors import CatalogError, FanOutError, MaintenanceError
 from .obs import Telemetry
 from .runtime import (
+    DEFAULT_SEGMENT_BYTES,
     ChangeTicket,
+    CheckpointData,
+    CheckpointManager,
     FanOutResult,
     MaintenanceScheduler,
     RetryPolicy,
@@ -82,6 +89,27 @@ class Warehouse:
     fsync_batch:
         WAL group-commit size (records per fsync); see
         :class:`~repro.runtime.WriteAheadLog`.
+    segment_bytes:
+        WAL segment rotation threshold; see
+        :class:`~repro.runtime.WriteAheadLog`.
+    checkpoint_dir:
+        When given, :meth:`checkpoint` writes durable snapshots of base
+        tables + view contents + last-applied LSN here, and
+        :meth:`recover` restores the newest one and replays only the WAL
+        suffix past it (bounded recovery).  Each checkpoint compacts the
+        WAL behind itself.
+    checkpoint_interval:
+        Auto-checkpoint every N changes (measured at submission, taken
+        on the caller's thread at the next synchronous change or
+        :meth:`flush`).  ``None`` (default) means manual
+        :meth:`checkpoint` only.
+    max_queue_depth / overflow:
+        Admission control for the change queue.  ``None`` (default)
+        keeps the queue unbounded.  With a depth, a full queue either
+        blocks the submitter (``overflow="block"``) or sheds the change
+        with :class:`~repro.errors.BackpressureError` before any
+        base-table effect (``overflow="shed"``); sheds and queue-wait
+        times are metered through :class:`~repro.obs.Telemetry`.
     """
 
     def __init__(
@@ -93,18 +121,49 @@ class Warehouse:
         workers: int = 0,
         retry: Optional[RetryPolicy] = None,
         fsync_batch: int = 1,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_interval: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        overflow: str = "block",
     ):
         self.db = db
         self.telemetry = telemetry or Telemetry.disabled()
         self._maintainers: Dict[str, ViewMaintainer] = {}
         self._aggregates: Dict[str, AggregatedView] = {}
         self.wal: Optional[WriteAheadLog] = (
-            WriteAheadLog(wal_path, fsync_batch, self.telemetry)
+            WriteAheadLog(
+                wal_path,
+                fsync_batch,
+                self.telemetry,
+                segment_bytes=segment_bytes,
+            )
             if wal_path
             else None
         )
+        self.checkpoints: Optional[CheckpointManager] = (
+            CheckpointManager(checkpoint_dir, self.telemetry)
+            if checkpoint_dir
+            else None
+        )
+        self.checkpoint_interval: Optional[int] = (
+            max(1, int(checkpoint_interval))
+            if checkpoint_interval
+            else None
+        )
+        if self.checkpoint_interval is not None and self.checkpoints is None:
+            raise MaintenanceError(
+                "checkpoint_interval requires a checkpoint_dir"
+            )
+        self._changes_since_checkpoint = 0
+        self._checkpointing = False
+        self.last_recovery: Optional[Dict] = None
         self.scheduler = MaintenanceScheduler(
-            workers=workers, retry=retry, telemetry=self.telemetry
+            workers=workers,
+            retry=retry,
+            telemetry=self.telemetry,
+            max_queue_depth=max_queue_depth,
+            overflow=overflow,
         )
         self._pending_tickets: List[ChangeTicket] = []
 
@@ -217,7 +276,9 @@ class Warehouse:
             return self.db.delete_by_key(table, wanted)
 
         ticket = self._submit(table, DELETE, db_apply, fk_allowed=True)
-        return self._finalize(ticket.wait())
+        reports = self._finalize(ticket.wait())
+        self._maybe_checkpoint()
+        return reports
 
     def update(
         self,
@@ -256,6 +317,12 @@ class Warehouse:
         dispatcher (inline immediately when ``workers=0``).  Call
         :meth:`flush` to wait for every queued change and surface any
         failures, or ``ticket.wait()`` for just this one.
+
+        With ``max_queue_depth`` set, a full queue blocks here
+        (``overflow="block"``) or raises
+        :class:`~repro.errors.BackpressureError` *before* any
+        base-table effect (``overflow="shed"``) — memory stays bounded
+        either way.
         """
         if operation not in (INSERT, DELETE):
             raise MaintenanceError(
@@ -303,6 +370,7 @@ class Warehouse:
                 failures=failed,
                 quarantined=quarantined,
             ) from next(iter(failed.values()))
+        self._maybe_checkpoint()
         return results
 
     # ------------------------------------------------------------------
@@ -322,7 +390,9 @@ class Warehouse:
             return self.db.delete(table, rows, check=check)
 
         ticket = self._submit(table, operation, db_apply, fk_allowed)
-        return self._finalize(ticket.wait())
+        reports = self._finalize(ticket.wait())
+        self._maybe_checkpoint()
+        return reports
 
     def _submit(
         self, table: str, operation: str, db_apply, fk_allowed: bool
@@ -344,9 +414,11 @@ class Warehouse:
                 )
             return self._tasks(table, delta, operation, fk_allowed), lsn
 
-        return self.scheduler.submit(
+        ticket = self.scheduler.submit(
             prepare, table, operation, on_complete=self._ack
         )
+        self._changes_since_checkpoint += 1
+        return ticket
 
     def _ack(self, result: FanOutResult) -> None:
         """Completion hook (dispatcher thread): the change reached every
@@ -435,30 +507,118 @@ class Warehouse:
         return result.reports
 
     # ------------------------------------------------------------------
-    # recovery & repair
+    # checkpoint, recovery & repair
     # ------------------------------------------------------------------
-    def recover(self) -> List[FanOutResult]:
-        """Replay unacknowledged WAL entries through every view.
+    def checkpoint(self) -> str:
+        """Write a durable checkpoint and compact the WAL behind it.
 
-        Call on startup, after restoring base tables to the state of the
-        last :meth:`flush` (the acked prefix).  Each pending entry is
+        Flushes first (the checkpoint must capture a quiescent,
+        fully-acknowledged state), snapshots base tables + plain-view
+        rows + the last-applied LSN via
+        :class:`~repro.runtime.CheckpointManager`, then deletes every
+        WAL segment the checkpoint fully covers
+        (:meth:`~repro.runtime.WriteAheadLog.compact`).  Returns the
+        checkpoint path.
+        """
+        if self.checkpoints is None:
+            raise MaintenanceError("checkpoint() requires a checkpoint_dir")
+        self._checkpointing = True
+        try:
+            self.flush()
+            views = {
+                name: list(maintainer.view.rows())
+                for name, maintainer in self._maintainers.items()
+            }
+            lsn = self.wal.last_lsn if self.wal is not None else 0
+            path = self.checkpoints.write(self.db, views, lsn=lsn)
+            if self.wal is not None:
+                self.wal.compact(lsn)
+            self._changes_since_checkpoint = 0
+            return path
+        finally:
+            self._checkpointing = False
+
+    def _maybe_checkpoint(self) -> None:
+        """Auto-checkpoint from caller-thread paths only (never from the
+        dispatcher's completion hook — :meth:`checkpoint` flushes, and a
+        flush from the dispatcher thread would deadlock the drain)."""
+        if (
+            self.checkpoint_interval is None
+            or self._checkpointing
+            or self._changes_since_checkpoint < self.checkpoint_interval
+        ):
+            return
+        self.checkpoint()
+
+    def recover(self) -> List[FanOutResult]:
+        """Bounded, corruption-tolerant restart: checkpoint + suffix.
+
+        Restores the newest verifiable checkpoint (when a
+        ``checkpoint_dir`` is configured), then replays only the WAL
+        entries past its LSN — acknowledged or not, since the restored
+        state predates their effects.  Without a checkpoint the whole
+        unacknowledged log replays, as before.  Each replayed entry is
         re-applied to the database (``check=False`` — it already passed
-        integrity checks when first logged) and fanned out; its ack is
-        then durably recorded.  Quarantined views are skipped as usual
-        and should be repaired with :meth:`repair_view` afterwards.
+        integrity checks when first logged), fanned out, and durably
+        re-acknowledged.
+
+        Corruption never aborts recovery: segments that fail CRC
+        verification were quarantined by the WAL on open, so after the
+        intact suffix replays, every registered view is recomputed from
+        base tables (:meth:`repair_view`) — degraded, but consistent
+        with whatever history survived.  :attr:`last_recovery` records
+        what happened (checkpoint used, entries replayed, segments
+        quarantined, views recomputed).
         """
         if self.wal is None:
             raise MaintenanceError("recover() requires a wal_path")
+        checkpoint: Optional[CheckpointData] = (
+            self.checkpoints.latest()
+            if self.checkpoints is not None
+            else None
+        )
+        if checkpoint is not None:
+            # the restored state predates everything past the checkpoint
+            # LSN, so replay *all* entries after it — acked or not
+            self._restore_checkpoint(checkpoint)
+            entries = self.wal.entries_after(checkpoint.lsn)
+        else:
+            # no snapshot: base tables are assumed restored to the acked
+            # prefix (the legacy contract) — replay only the unacked tail
+            entries = self.wal.pending()
+        # A quarantined segment means records are *missing* from the
+        # middle of history: the surviving suffix may conflict with the
+        # restored state (e.g. an insert whose key a lost delete should
+        # have freed).  Degraded replay reconciles key conflicts — the
+        # replayed record is newer than anything the gap could have
+        # removed, so it wins — and skips per-entry view maintenance,
+        # since every view is recomputed wholesale afterwards.
+        degraded = self.wal.corruption_detected
         results: List[FanOutResult] = []
-        for entry in self.wal.pending():
+        for entry in entries:
 
             def db_apply(e=entry) -> Table:
                 if e.operation == INSERT:
+                    if degraded:
+                        table = self.db.tables.get(e.table)
+                        if table is not None and table.key is not None:
+                            incoming = {
+                                table.key_of(tuple(r)) for r in e.rows
+                            }
+                            stale = [
+                                row
+                                for row in table.rows
+                                if table.key_of(row) in incoming
+                            ]
+                            if stale:
+                                self.db.delete(e.table, stale, check=False)
                     return self.db.insert(e.table, e.rows, check=False)
                 return self.db.delete(e.table, e.rows, check=False)
 
             def prepare(e=entry, db_apply=db_apply):
                 delta = db_apply()
+                if degraded:
+                    return [], e.lsn
                 return (
                     self._tasks(e.table, delta, e.operation, e.fk_allowed),
                     e.lsn,
@@ -469,7 +629,61 @@ class Warehouse:
             )
             results.append(ticket.wait())
         self.wal.sync()
+        recomputed: List[str] = []
+        if self.wal.corruption_detected:
+            # records were lost somewhere in the log: the replayed
+            # suffix alone cannot be trusted to have reproduced every
+            # view, so degrade to per-view recompute from base tables
+            self.scheduler.drain()
+            for name in self.view_names:
+                self.repair_view(name)
+                recomputed.append(name)
+        self._changes_since_checkpoint = 0
+        self.last_recovery = {
+            "checkpoint_lsn": checkpoint.lsn if checkpoint else None,
+            "checkpoint_path": checkpoint.path if checkpoint else None,
+            "replayed": len(entries),
+            "corruption_detected": self.wal.corruption_detected,
+            "torn_tail_dropped": self.wal.torn_tail_dropped,
+            "quarantined_segments": list(self.wal.quarantined_segments),
+            "recomputed_views": recomputed,
+        }
         return results
+
+    def _restore_checkpoint(self, data: CheckpointData) -> None:
+        """Reset database and view state to a checkpoint, in place."""
+        fresh = data.build_database()
+        # swap table contents in place so registered maintainers keep
+        # their Database reference; bump the epoch so compiled plans
+        # re-resolve their index handles
+        self.db.tables = fresh.tables
+        self.db.foreign_keys = fresh.foreign_keys
+        self.db.index_epoch += 1
+        for name, maintainer in self._maintainers.items():
+            rows = data.views.get(name)
+            view = maintainer.view
+            if rows is None:
+                # view not captured (created after the checkpoint was
+                # written) — rebuild it from the restored tables
+                rebuilt = MaterializedView.materialize(
+                    maintainer.definition, self.db
+                )
+                view._rows = rebuilt._rows
+                view._subkey_indexes = rebuilt._subkey_indexes
+                continue
+            view._rows = {
+                view.key_of(tuple(r)): tuple(r) for r in rows
+            }
+            view._subkey_indexes = {}
+        for name, aggregated in self._aggregates.items():
+            # aggregated group state is derived — rebuild from tables
+            rebuilt = AggregatedView(
+                aggregated.definition,
+                aggregated.group_by,
+                aggregated.aggregates,
+                self.db,
+            )
+            aggregated.groups = rebuilt.groups
 
     def repair_view(self, name: str) -> None:
         """Rebuild a (typically quarantined) view from the current base

@@ -1,0 +1,321 @@
+"""Checkpointed, bounded recovery: checkpoint + WAL-suffix replay.
+
+The contract under test (docs/DURABILITY.md): a checkpoint captures
+base tables, plain-view rows and the last-applied LSN; recovery
+restores the newest verifiable checkpoint and replays only the WAL
+entries past its LSN, so restart cost is proportional to the
+checkpoint interval — not the total logged history.  Crash windows
+around the checkpoint write and the compaction that follows it are
+driven through failpoints.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import MaintenanceError
+from repro.runtime import (
+    FAILPOINTS,
+    CheckpointManager,
+    InjectedFault,
+    WriteAheadLog,
+)
+from repro.warehouse import Warehouse
+
+from .test_scheduler import build_db, order_lines_expr
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+def make_warehouse(tmp_path, db=None, **kwargs):
+    kwargs.setdefault("wal_path", str(tmp_path / "wal"))
+    kwargs.setdefault("checkpoint_dir", str(tmp_path / "checkpoints"))
+    return Warehouse(db if db is not None else build_db(), **kwargs)
+
+
+def restart(tmp_path, wh, **kwargs):
+    """Simulate a crash-restart: drop the warehouse, reopen the same
+    durable state against a fresh genesis database."""
+    wh.scheduler.shutdown()
+    if wh.wal is not None:
+        wh.wal.close()
+    wh2 = make_warehouse(tmp_path, **kwargs)
+    wh2.create_view("ol", order_lines_expr())
+    return wh2
+
+
+class TestCheckpointRoundTrip:
+    def test_checkpoint_captures_and_restores_state(self, tmp_path):
+        wh = make_warehouse(tmp_path)
+        wh.create_view("ol", order_lines_expr())
+        wh.insert("orders", [(1, 100), (2, 200)])
+        wh.insert("lineitem", [(1, 1, 5)])
+        path = wh.checkpoint()
+        assert os.path.exists(path)
+
+        # changes after the checkpoint are suffix, not snapshot
+        wh.insert("orders", [(3, 300)])
+        wh.flush()
+        expected = sorted(wh.view("ol").rows())
+
+        wh2 = restart(tmp_path, wh)
+        wh2.recover()
+        assert wh2.last_recovery["checkpoint_lsn"] is not None
+        assert wh2.last_recovery["replayed"] == 1  # only the suffix
+        assert sorted(wh2.view("ol").rows()) == expected
+        wh2.check_consistency()
+        wh2.close()
+
+    def test_checkpoint_requires_a_directory(self):
+        wh = Warehouse(build_db())
+        with pytest.raises(MaintenanceError, match="checkpoint_dir"):
+            wh.checkpoint()
+        wh.scheduler.shutdown()
+
+    def test_checkpoint_interval_requires_a_directory(self):
+        with pytest.raises(MaintenanceError, match="checkpoint_dir"):
+            Warehouse(build_db(), checkpoint_interval=10)
+
+    def test_checkpoint_compacts_the_wal(self, tmp_path):
+        wh = make_warehouse(tmp_path, segment_bytes=128)
+        wh.create_view("ol", order_lines_expr())
+        for o in range(20):
+            wh.insert("orders", [(o, o * 10)])
+        assert wh.wal.segment_count > 1
+        wh.checkpoint()
+        # everything the checkpoint covers is deleted; only the active
+        # segment (and at most one successor) survives
+        assert wh.wal.segment_count <= 2
+        assert wh.wal.compacted_through == wh.wal.last_lsn
+        wh.close()
+
+
+class TestBoundedRecovery:
+    def test_recovery_replays_only_the_post_checkpoint_suffix(
+        self, tmp_path
+    ):
+        """Acceptance: 10k logged changes with periodic checkpoints —
+        recovery replays the post-checkpoint suffix, not the history."""
+        wh = make_warehouse(
+            tmp_path,
+            checkpoint_interval=1000,
+            segment_bytes=64 * 1024,
+            workers=0,
+        )
+        wh.create_view("ol", order_lines_expr())
+        total = 10_000
+        for o in range(total):
+            wh.insert("orders", [(o, o % 97)])
+        wh.flush()
+        assert wh.wal.last_lsn == total
+        # auto-checkpoints fired; the WAL keeps a bounded suffix, not
+        # 10k records' worth of segments
+        assert wh.checkpoints.checkpoint_paths()
+        suffix = len(wh.wal.entries_after(wh.wal.compacted_through))
+
+        wh2 = restart(
+            tmp_path, wh, checkpoint_interval=1000, workers=0
+        )
+        wh2.recover()
+        info = wh2.last_recovery
+        assert info["checkpoint_lsn"] is not None
+        assert info["checkpoint_lsn"] >= total - 1000
+        assert info["replayed"] == total - info["checkpoint_lsn"]
+        assert info["replayed"] <= max(suffix, 1000) < total
+        assert len(wh2.db.tables["orders"].rows) == total
+        wh2.check_consistency()
+        wh2.close()
+
+    def test_empty_checkpoint_dir_falls_back_to_full_replay(
+        self, tmp_path
+    ):
+        """checkpoint_dir configured but never written: recovery uses
+        the legacy contract — replay the unacknowledged WAL tail."""
+        wh = make_warehouse(tmp_path)
+        wh.create_view("ol", order_lines_expr())
+        wh.insert("orders", [(1, 100)])
+        wh.flush()
+        snapshot = wh.db.copy()
+        lost = wh.wal.append("orders", "insert", [(2, 200)])
+        wh.scheduler.shutdown()
+        wh.wal.close()
+
+        wh2 = make_warehouse(tmp_path, db=snapshot)
+        wh2.create_view("ol", order_lines_expr())
+        wh2.recover()
+        assert wh2.last_recovery["checkpoint_lsn"] is None
+        assert wh2.last_recovery["replayed"] == 1
+        assert wh2.wal.is_acked(lost)
+        assert (2, 200) in wh2.db.tables["orders"].rows
+        wh2.check_consistency()
+        wh2.close()
+
+    def test_view_created_after_checkpoint_is_rebuilt(self, tmp_path):
+        wh = make_warehouse(tmp_path)
+        wh.create_view("ol", order_lines_expr())
+        wh.insert("orders", [(1, 100)])
+        wh.checkpoint()
+        wh.scheduler.shutdown()
+        wh.wal.close()
+
+        wh2 = make_warehouse(tmp_path)
+        wh2.create_view("ol", order_lines_expr())
+        wh2.create_view("ol2", order_lines_expr())  # not in the snapshot
+        wh2.recover()
+        assert sorted(wh2.view("ol2").rows()) == sorted(
+            wh2.view("ol").rows()
+        )
+        wh2.check_consistency()
+        wh2.close()
+
+
+class TestCrashWindows:
+    def test_crash_mid_checkpoint_keeps_the_previous_one(self, tmp_path):
+        """A crash between the .tmp fsync and the publish rename leaves
+        the previous checkpoint set intact — latest() never sees the
+        orphan and recovery replays a longer suffix instead."""
+        wh = make_warehouse(tmp_path)
+        wh.create_view("ol", order_lines_expr())
+        wh.insert("orders", [(1, 100)])
+        first = wh.checkpoint()
+
+        wh.insert("orders", [(2, 200)])
+        FAILPOINTS.arm("checkpoint.write", action="raise")
+        with pytest.raises(InjectedFault):
+            wh.checkpoint()
+        FAILPOINTS.disarm("checkpoint.write")
+
+        latest = wh.checkpoints.latest()
+        assert latest is not None and latest.path == first
+
+        wh2 = restart(tmp_path, wh)
+        wh2.recover()
+        info = wh2.last_recovery
+        assert info["checkpoint_path"] == first
+        assert info["replayed"] == 1  # the insert past checkpoint #1
+        assert (2, 200) in wh2.db.tables["orders"].rows
+        wh2.check_consistency()
+        # the orphaned .tmp is swept by the next successful write
+        wh2.checkpoint()
+        leftovers = [
+            n
+            for n in os.listdir(str(tmp_path / "checkpoints"))
+            if n.endswith(".tmp")
+        ]
+        assert leftovers == []
+        wh2.close()
+
+    def test_crash_between_checkpoint_write_and_compaction(
+        self, tmp_path
+    ):
+        """The checkpoint publishes but the compaction marker never
+        lands: recovery uses the new checkpoint and the stale covered
+        segments are simply replay-empty; the next checkpoint compacts
+        them away."""
+        wh = make_warehouse(tmp_path, segment_bytes=128)
+        wh.create_view("ol", order_lines_expr())
+        for o in range(8):
+            wh.insert("orders", [(o, o * 10)])
+        segments_before = wh.wal.segment_count
+
+        FAILPOINTS.arm("wal.compact", action="raise")
+        with pytest.raises(InjectedFault):
+            wh.checkpoint()
+        FAILPOINTS.disarm("wal.compact")
+        # checkpoint exists, WAL was never compacted behind it
+        assert wh.checkpoints.latest() is not None
+        assert wh.wal.compacted_through == 0
+        assert wh.wal.segment_count >= segments_before
+
+        wh2 = restart(tmp_path, wh, segment_bytes=128)
+        wh2.recover()
+        assert wh2.last_recovery["checkpoint_lsn"] == 8
+        assert wh2.last_recovery["replayed"] == 0
+        wh2.check_consistency()
+        wh2.checkpoint()  # compacts this time
+        assert wh2.wal.compacted_through >= 8
+        assert wh2.wal.segment_count <= 2
+        wh2.close()
+
+    def test_ack_for_lsn_inside_a_deleted_segment_is_a_noop(
+        self, tmp_path
+    ):
+        """An in-flight ack can arrive for a change whose segment the
+        compactor already deleted — it must not fail or resurrect."""
+        wal = WriteAheadLog(str(tmp_path / "wal"), segment_bytes=64)
+        lsns = [
+            wal.append("orders", "insert", [(o, o)]) for o in range(6)
+        ]
+        assert wal.segment_count > 1
+        wal.compact(lsns[-1])
+        for lsn in lsns:
+            wal.ack(lsn)  # late acks: all covered, all no-ops
+            assert wal.is_acked(lsn)
+        assert wal.pending() == []
+        wal.close()
+        # and the no-op acks left nothing weird behind on reopen
+        with WriteAheadLog(str(tmp_path / "wal"), segment_bytes=64) as w2:
+            assert w2.compacted_through == lsns[-1]
+            assert w2.pending() == []
+
+    def test_fsync_failure_surfaces_and_wal_stays_usable(self, tmp_path):
+        """An fsync error propagates to the writer (durability cannot
+        be silently skipped), and the log remains readable after."""
+        wal = WriteAheadLog(str(tmp_path / "wal"), fsync_batch=1)
+        wal.append("orders", "insert", [(1, 1)])
+        FAILPOINTS.arm("wal.fsync", action="raise")
+        with pytest.raises(InjectedFault):
+            wal.append("orders", "insert", [(2, 2)])
+        FAILPOINTS.disarm("wal.fsync")
+        lsn3 = wal.append("orders", "insert", [(3, 3)])
+        wal.close()
+
+        with WriteAheadLog(str(tmp_path / "wal")) as w2:
+            assert not w2.corruption_detected
+            assert w2.last_lsn == lsn3
+            assert len(w2.pending()) == 3
+
+
+class TestCheckpointManagerCorruption:
+    def test_corrupt_newest_checkpoint_falls_back(self, tmp_path):
+        db = build_db()
+        db.insert("orders", [(1, 100)])
+        manager = CheckpointManager(str(tmp_path / "ck"))
+        good = manager.write(db, lsn=5)
+        db.insert("orders", [(2, 200)])
+        bad = manager.write(db, lsn=9)
+        with open(bad, "r+b") as handle:
+            handle.seek(20)
+            handle.write(b"\xff")
+
+        latest = manager.latest()
+        assert latest is not None and latest.path == good
+        assert latest.lsn == 5
+        # the corrupt one was quarantined, not deleted
+        sidecar = os.path.join(
+            str(tmp_path / "ck"), "corrupt", os.path.basename(bad)
+        )
+        assert os.path.exists(sidecar)
+
+    def test_every_checkpoint_corrupt_means_none(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ck"), keep=1)
+        path = manager.write(build_db(), lsn=1)
+        with open(path, "wb") as handle:
+            handle.write(b"not a checkpoint")
+        assert manager.latest() is None
+
+    def test_prune_keeps_the_newest(self, tmp_path):
+        manager = CheckpointManager(str(tmp_path / "ck"), keep=2)
+        db = build_db()
+        for lsn in (1, 2, 3):
+            manager.write(db, lsn=lsn)
+        paths = manager.checkpoint_paths()
+        assert len(paths) == 2
+        assert manager.require_latest().lsn == 3

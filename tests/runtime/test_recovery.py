@@ -9,6 +9,8 @@ non-quarantined view equals a full recompute of the final database
 state, even when the crash tore the WAL mid-record.
 """
 
+from pathlib import Path
+
 import pytest
 
 from repro.errors import MaintenanceError
@@ -44,8 +46,10 @@ def test_recovery_replay_matches_full_recompute(generator, tmp_path):
     lost_lsn = wal.append("lineitem", "insert", [tuple(r) for r in lost_batch])
     wal.close()
     # ... and a crash mid-append of the next change: a torn final record
-    with open(wal_path, "ab") as handle:
-        handle.write(b'{"kind":"change","lsn":99,"table":"linei')
+    # in the active (newest) segment of the WAL directory
+    segments = sorted(Path(wal_path).glob("seg-*.wal"))
+    with open(segments[-1], "ab") as handle:
+        handle.write(b'deadbeef {"kind":"change","lsn":99,"table":"linei')
 
     # -- recovery ------------------------------------------------------
     restored = snapshot.copy()

@@ -1,17 +1,23 @@
-"""WriteAheadLog unit tests: LSNs, acks, group commit, crash tolerance."""
+"""WriteAheadLog unit tests: LSNs, acks, group commit, segmentation,
+compaction, corruption quarantine, and v1 migration."""
 
 import json
 import os
+import zlib
 
 import pytest
 
 from repro.errors import WalError
-from repro.runtime import WriteAheadLog
+from repro.runtime import DEFAULT_SEGMENT_BYTES, WriteAheadLog
 
 
 @pytest.fixture
 def wal_path(tmp_path):
     return str(tmp_path / "changes.wal")
+
+
+def active_segment(wal):
+    return wal.segment_paths()[-1]
 
 
 class TestAppendAck:
@@ -90,19 +96,119 @@ class TestDurabilityAcrossReopen:
         assert wal._unsynced == 0
         wal.close()
 
+    def test_context_manager_and_idempotent_close(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append("t", "insert", [(1,)])
+        wal.close()  # second close is a no-op
+        wal.sync()  # sync after close is a no-op too
+        with WriteAheadLog(wal_path) as reopened:
+            assert reopened.last_lsn == 1
+
+
+class TestSegmentation:
+    def test_rotation_at_the_size_threshold(self, wal_path):
+        wal = WriteAheadLog(wal_path, segment_bytes=200)
+        for i in range(12):
+            wal.append("orders", "insert", [(i, i * 10)])
+        assert wal.segment_count > 1
+        names = [os.path.basename(p) for p in wal.segment_paths()]
+        assert names == sorted(names)
+        assert all(n.startswith("seg-") and n.endswith(".wal") for n in names)
+        wal.close()
+        # every record survives the rotation boundaries
+        reopened = WriteAheadLog(wal_path, segment_bytes=200)
+        assert [e.lsn for e in reopened.pending()] == list(range(1, 13))
+        reopened.close()
+
+    def test_default_segment_size_keeps_one_segment(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        for i in range(20):
+            wal.append("orders", "insert", [(i,)])
+        assert wal.segment_count == 1
+        assert wal.disk_bytes() > 0
+        wal.close()
+
+    def test_records_are_crc_framed(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("orders", "insert", [(1, 10)])
+        wal.close()
+        raw = open(active_segment(WriteAheadLog(wal_path)), "rb").read()
+        line = raw.splitlines()[0]
+        crc, payload = line.split(b" ", 1)
+        assert crc.decode() == format(
+            zlib.crc32(payload) & 0xFFFFFFFF, "08x"
+        )
+        assert json.loads(payload)["kind"] == "change"
+
+
+class TestCompaction:
+    def test_compact_deletes_covered_segments(self, wal_path):
+        wal = WriteAheadLog(wal_path, segment_bytes=150)
+        for i in range(10):
+            wal.append("orders", "insert", [(i, i)])
+        before = wal.segment_count
+        assert before > 2
+        deleted = wal.compact(8)
+        assert deleted > 0
+        assert wal.segment_count < before
+        assert wal.compacted_through == 8
+        # entries at or below the horizon are gone; the tail survives
+        assert [e.lsn for e in wal.pending()] == [9, 10]
+        wal.close()
+
+    def test_compaction_horizon_is_durable(self, wal_path):
+        wal = WriteAheadLog(wal_path, segment_bytes=150)
+        for i in range(10):
+            wal.append("orders", "insert", [(i, i)])
+        wal.compact(8)
+        wal.close()
+        reopened = WriteAheadLog(wal_path, segment_bytes=150)
+        assert reopened.compacted_through == 8
+        assert [e.lsn for e in reopened.pending()] == [9, 10]
+        # LSNs keep counting past the compacted prefix
+        assert reopened.append("orders", "insert", [(99, 99)]) == 11
+        reopened.close()
+
+    def test_ack_below_the_horizon_is_a_noop(self, wal_path):
+        wal = WriteAheadLog(wal_path, segment_bytes=150)
+        for i in range(10):
+            wal.append("orders", "insert", [(i, i)])
+        wal.compact(8)
+        wal.ack(3)  # inside a deleted segment: must not raise
+        assert wal.is_acked(3)
+        with pytest.raises(WalError):
+            wal.ack(42)  # beyond last_lsn is still an error
+        wal.close()
+
+    def test_disk_footprint_stays_flat_under_compaction(self, wal_path):
+        wal = WriteAheadLog(wal_path, segment_bytes=256)
+        peaks = []
+        lsn = 0
+        for _round in range(5):
+            for _ in range(20):
+                lsn = wal.append("orders", "insert", [(lsn, "x" * 20)])
+            wal.compact(lsn)
+            peaks.append(wal.disk_bytes())
+        # each round logs the same volume and compacts it away again, so
+        # the footprint cannot trend upward
+        assert max(peaks) < 3 * min(peaks)
+        wal.close()
+
 
 class TestCrashTolerance:
     def test_torn_final_record_is_truncated(self, wal_path):
         wal = WriteAheadLog(wal_path)
         wal.append("orders", "insert", [(1, 10)])
         wal.append("orders", "insert", [(2, 20)])
+        segment = active_segment(wal)
         wal.close()
         # crash mid-write: final record is half a line
-        with open(wal_path, "ab") as handle:
-            handle.write(b'{"kind":"change","lsn":3,"table":"ord')
+        with open(segment, "ab") as handle:
+            handle.write(b'deadbeef {"kind":"change","lsn":3,"table":"ord')
 
         recovered = WriteAheadLog(wal_path)
         assert recovered.torn_tail_dropped
+        assert not recovered.corruption_detected
         assert recovered.last_lsn == 2
         assert [e.lsn for e in recovered.pending()] == [1, 2]
         # the torn bytes are gone from disk, so the next append is clean
@@ -110,28 +216,153 @@ class TestCrashTolerance:
         recovered.close()
         assert [e.lsn for e in WriteAheadLog(wal_path).pending()] == [1, 2, 3]
 
-    def test_corruption_before_the_tail_raises(self, wal_path):
+    def test_corruption_before_the_tail_quarantines_the_segment(
+        self, wal_path
+    ):
         wal = WriteAheadLog(wal_path)
         wal.append("orders", "insert", [(1, 10)])
         wal.append("orders", "insert", [(2, 20)])
+        segment = active_segment(wal)
         wal.close()
-        lines = open(wal_path, "rb").read().splitlines(keepends=True)
-        lines[0] = b'{"kind":"chan\n'  # corrupt a NON-final record
-        with open(wal_path, "wb") as handle:
+        lines = open(segment, "rb").read().splitlines(keepends=True)
+        lines[0] = b'deadbeef {"kind":"chan\n'  # corrupt a NON-final record
+        with open(segment, "wb") as handle:
             handle.writelines(lines)
-        with pytest.raises(WalError, match="corrupt WAL record"):
-            WriteAheadLog(wal_path)
 
-    def test_unknown_record_kind_raises(self, wal_path):
-        with open(wal_path, "w") as handle:
-            handle.write(json.dumps({"kind": "mystery", "lsn": 1}) + "\n")
-            handle.write(json.dumps({"kind": "ack", "lsn": 1}) + "\n")
-        with pytest.raises(WalError, match="unknown WAL record kind"):
-            WriteAheadLog(wal_path)
+        recovered = WriteAheadLog(wal_path)  # must NOT raise
+        assert recovered.corruption_detected
+        assert len(recovered.quarantined_segments) == 1
+        sidecar = recovered.quarantined_segments[0]
+        assert os.sep + "corrupt" + os.sep in sidecar
+        assert os.path.exists(sidecar)
+        # nothing from the damaged segment was ingested
+        assert recovered.pending() == []
+        recovered.close()
+
+    def test_bitflip_fails_the_crc_and_quarantines(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("orders", "insert", [(1, 10)])
+        wal.append("orders", "insert", [(2, 20)])
+        segment = active_segment(wal)
+        wal.close()
+        raw = bytearray(open(segment, "rb").read())
+        raw[15] ^= 0x01  # one bit, inside the first record's payload
+        with open(segment, "wb") as handle:
+            handle.write(bytes(raw))
+
+        recovered = WriteAheadLog(wal_path)
+        assert recovered.corruption_detected
+        assert recovered.pending() == []
+        recovered.close()
+
+    def test_unknown_record_kind_quarantines(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.append("orders", "insert", [(1, 10)])
+        segment = active_segment(wal)
+        wal.close()
+        payload = json.dumps({"kind": "mystery", "lsn": 2})
+        crc = format(zlib.crc32(payload.encode()) & 0xFFFFFFFF, "08x")
+        with open(segment, "a") as handle:
+            handle.write(f"{crc} {payload}\n")
+            handle.write(f"{crc} {payload}\n")  # NOT a torn tail: 2 records
+
+        recovered = WriteAheadLog(wal_path)
+        assert recovered.corruption_detected
+        assert recovered.pending() == []
+        recovered.close()
+
+    def test_middle_segment_quarantine_keeps_the_rest(self, wal_path):
+        wal = WriteAheadLog(wal_path, segment_bytes=150)
+        for i in range(10):
+            wal.append("orders", "insert", [(i, i)])
+        assert wal.segment_count >= 3
+        victim = wal.segment_paths()[1]
+        survivors = {
+            e.lsn for e in wal.pending()
+        }
+        wal.close()
+        raw = bytearray(open(victim, "rb").read())
+        raw[12] ^= 0x10
+        with open(victim, "wb") as handle:
+            handle.write(bytes(raw))
+
+        recovered = WriteAheadLog(wal_path, segment_bytes=150)
+        assert recovered.corruption_detected
+        kept = {e.lsn for e in recovered.pending()}
+        assert kept  # the intact segments still replay
+        assert kept < survivors  # the victim's records are gone
+        recovered.close()
 
     def test_empty_and_missing_files_are_fine(self, wal_path):
         assert WriteAheadLog(wal_path).pending() == []  # created fresh
         assert os.path.exists(wal_path)
-        wal = WriteAheadLog(wal_path)  # reopen the now-empty file
+        wal = WriteAheadLog(wal_path)  # reopen the now-empty directory
         assert wal.last_lsn == 0
         wal.close()
+
+
+class TestV1Migration:
+    @staticmethod
+    def _write_v1(path, records):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+
+    def test_v1_file_is_migrated_to_segments(self, wal_path):
+        self._write_v1(
+            wal_path,
+            [
+                {
+                    "kind": "change", "lsn": 1, "table": "orders",
+                    "op": "insert", "rows": [[1, 10]],
+                    "fk_allowed": True,
+                },
+                {
+                    "kind": "change", "lsn": 2, "table": "orders",
+                    "op": "insert", "rows": [[2, 20]],
+                    "fk_allowed": True,
+                },
+                {"kind": "ack", "lsn": 1},
+            ],
+        )
+        wal = WriteAheadLog(wal_path)
+        assert wal.migrated_from_v1
+        assert os.path.isdir(wal_path)  # the file became a directory
+        assert wal.last_lsn == 2
+        assert wal.is_acked(1)
+        assert [e.lsn for e in wal.pending()] == [2]
+        # the migrated segment is CRC-framed v2
+        raw = open(wal.segment_paths()[0], "rb").read()
+        assert raw.splitlines()[0][8:9] == b" "
+        wal.close()
+        # reopening the migrated directory is a plain v2 open
+        reopened = WriteAheadLog(wal_path)
+        assert not reopened.migrated_from_v1
+        assert [e.lsn for e in reopened.pending()] == [2]
+        reopened.close()
+
+    def test_v1_torn_tail_is_dropped_during_migration(self, wal_path):
+        self._write_v1(
+            wal_path,
+            [
+                {
+                    "kind": "change", "lsn": 1, "table": "orders",
+                    "op": "insert", "rows": [[1, 10]],
+                    "fk_allowed": True,
+                },
+            ],
+        )
+        with open(wal_path, "ab") as handle:
+            handle.write(b'{"kind":"change","lsn":2,"table":"or')
+        wal = WriteAheadLog(wal_path)
+        assert wal.migrated_from_v1
+        assert wal.torn_tail_dropped
+        assert [e.lsn for e in wal.pending()] == [1]
+        wal.close()
+
+    def test_corrupt_v1_record_refuses_to_migrate(self, wal_path):
+        with open(wal_path, "w") as handle:
+            handle.write('{"kind":"chan\n')
+            handle.write(json.dumps({"kind": "ack", "lsn": 1}) + "\n")
+        with pytest.raises(WalError, match="corrupt v1 WAL record"):
+            WriteAheadLog(wal_path)

@@ -463,55 +463,104 @@ def run_ablations(
 def run_obs_overhead(
     scale: float = DEFAULT_SCALE,
     batch: int = 600,
-    rounds: int = 5,
+    rounds: int = 9,
     seed: int = 20070415,
     quiet: bool = False,
 ) -> Dict[str, object]:
     """Measure one maintenance pass with telemetry off (the default
-    no-op singleton) and on (spans + metrics + dashboard), *rounds*
-    times each on identical state.  The medians are the baseline
-    ``BENCH_obs.json`` records: future PRs re-run this and compare the
-    *off* median to prove the disabled-path overhead stays < 3%."""
+    no-op singleton) and across the v2 instrumentation variants —
+    fully on (spans + metrics + flight recorder + SLO), recorder
+    disabled, and aggressive span sampling — *rounds* times each on
+    identical state.  The medians are the baseline ``BENCH_obs.json``
+    records: future PRs re-run this and the CI gate
+    (``tools/bench_gate.py obs``) fails if any instrumented variant
+    exceeds ``1.15x`` the uninstrumented median."""
     bench = Workbench(scale, seed)
     defn = v3()
     insert_batch = bench.generator.lineitem_insert_batch(batch, seed=77)
 
-    def measure(telemetry: Optional[Telemetry]) -> List[float]:
-        times = []
-        for round_no in range(rounds + 1):
-            db, view = bench.fresh_state(defn)
-            maintainer = ViewMaintainer(db, view, telemetry=telemetry)
-            elapsed = timed(
-                lambda: maintainer.insert("lineitem", list(insert_batch))
-            )
-            if round_no:  # round 0 is an unmeasured cache warmup
-                times.append(elapsed)
-        return times
+    def one_pass(telemetry: Optional[Telemetry]) -> float:
+        db, view = bench.fresh_state(defn)
+        maintainer = ViewMaintainer(db, view, telemetry=telemetry)
+        return timed(
+            lambda: maintainer.insert("lineitem", list(insert_batch))
+        )
 
-    off = measure(None)  # the Telemetry.disabled() default
-    on = measure(Telemetry())
+    # v2 variants, all against the same off baseline
+    variant_specs = [
+        ("on", "everything (recorder @200Hz + SLO)", lambda: Telemetry()),
+        (
+            "recorder_off",
+            "metrics + SLO, flight recorder disabled",
+            lambda: Telemetry(recorder_spans=0, recorder_events=0),
+        ),
+        (
+            "sampled_50hz",
+            "aggressive span sampling (target 50Hz)",
+            lambda: Telemetry(sample_target_hz=50.0),
+        ),
+    ]
+    # interleave the rounds — off, on, ..., off, on, ... — so clock
+    # drift on a shared runner hits every variant equally instead of
+    # landing wholesale on whichever was measured last
+    instances = [None] + [factory() for _, _, factory in variant_specs]
+    samples: List[List[float]] = [[] for _ in instances]
+    for round_no in range(rounds + 1):
+        for position, telemetry in enumerate(instances):
+            elapsed = one_pass(telemetry)
+            if round_no:  # round 0 is an unmeasured cache warmup
+                samples[position].append(elapsed)
+
+    off = samples[0]  # the Telemetry.disabled() default
     off_median = statistics.median(off)
-    on_median = statistics.median(on)
+    off_min = min(off)
+
+    variants: Dict[str, Dict[str, object]] = {}
+    for position, (name, _label, _factory) in enumerate(variant_specs, 1):
+        seconds = samples[position]
+        median = statistics.median(seconds)
+        variants[name] = {
+            "seconds": seconds,
+            "median_seconds": median,
+            "over_off_ratio": median / off_median if off_median else None,
+            # best-of-N is what the CI gate compares: medians of a
+            # handful of ~10ms passes are scheduler-noise-dominated,
+            # minima isolate the instrumentation cost itself
+            "min_seconds": min(seconds),
+            "over_off_min_ratio": min(seconds) / off_min
+            if off_min
+            else None,
+        }
+
+    on_median = variants["on"]["median_seconds"]
     result: Dict[str, object] = {
         "scale": scale,
         "batch": batch,
         "rounds": rounds,
         "telemetry_off_seconds": off,
-        "telemetry_on_seconds": on,
+        "telemetry_on_seconds": variants["on"]["seconds"],
         "telemetry_off_median_seconds": off_median,
+        "telemetry_off_min_seconds": off_min,
         "telemetry_on_median_seconds": on_median,
         "on_over_off_ratio": on_median / off_median if off_median else None,
+        "variants": variants,
     }
     if not quiet:
+        rows = [("telemetry off (default)", f"{off_median:.4f}", "1.000")]
+        for name, label, _factory in variant_specs:
+            entry = variants[name]
+            rows.append(
+                (
+                    label,
+                    f"{entry['median_seconds']:.4f}",
+                    f"{entry['over_off_ratio']:.3f}",
+                )
+            )
         print_table(
             f"Telemetry overhead (SF={scale}, insert {batch} lineitems, "
             f"median of {rounds})",
-            ["Mode", "Median s"],
-            [
-                ("telemetry off (default)", f"{off_median:.4f}"),
-                ("telemetry on", f"{on_median:.4f}"),
-                ("on/off ratio", f"{on_median / off_median:.3f}"),
-            ],
+            ["Mode", "Median s", "vs off"],
+            rows,
         )
     return result
 

@@ -37,6 +37,7 @@ from ..engine.table import Row, Table
 from ..errors import MaintenanceError, ReproError, UnsupportedViewError
 from ..obs import Telemetry
 from ..planner import PlanCache, PlanCompileError, compile_plan, provision_indexes
+from ..runtime.failpoints import FAILPOINTS
 from .fk import simplify_tree
 from .leftdeep import to_left_deep
 from .maintgraph import MaintenanceGraph
@@ -348,6 +349,15 @@ class ViewMaintainer:
             base_rows=len(delta),
         ) as root:
             try:
+                # fault-injection site *inside* the maintain span: an
+                # armed raise produces a real failing span chain, the
+                # shape quarantine flight-recorder dumps capture
+                FAILPOINTS.hit(
+                    "maintain.pass",
+                    view=self.definition.name,
+                    table=table,
+                    operation=operation,
+                )
                 with tracer.span("classify") as span:
                     mgraph = self.maintenance_graph(table, fk_allowed)
                     report.direct_terms = [

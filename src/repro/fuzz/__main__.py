@@ -115,7 +115,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.replay:
         return _replay(args.replay, configs, log)
 
-    telemetry = Telemetry()
+    # Failure artifacts (damaged WAL copies from the oracle, flight-
+    # recorder dumps on fuzz.mismatch) land in the same directory.
+    artifact_dir = os.environ.get("REPRO_FUZZ_ARTIFACT_DIR")
+    telemetry = Telemetry(dump_dir=artifact_dir)
     outcome = run_fuzz(
         budget=args.budget,
         seconds=args.seconds,

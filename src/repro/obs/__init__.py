@@ -29,6 +29,18 @@ import threading
 from typing import Dict, List, Optional
 
 from .dashboard import Dashboard, percentile
+from .events import (
+    DUMP_TRIGGERS,
+    EVENT_KINDS,
+    Event,
+    severity_of,
+)
+from .exposition import (
+    CONTENT_TYPE_OPENMETRICS,
+    ObsServer,
+    render_openmetrics,
+    validate_openmetrics,
+)
 from .metrics import (
     Counter,
     DEFAULT_BUCKETS,
@@ -36,6 +48,8 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .recorder import FlightRecorder
+from .slo import DEFAULT_OBJECTIVE, SLOTracker
 from .tracing import (
     InMemorySink,
     JsonLinesSink,
@@ -68,10 +82,22 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "Dashboard",
     "percentile",
+    "Event",
+    "EVENT_KINDS",
+    "DUMP_TRIGGERS",
+    "severity_of",
+    "FlightRecorder",
+    "SLOTracker",
+    "DEFAULT_OBJECTIVE",
+    "ObsServer",
+    "render_openmetrics",
+    "validate_openmetrics",
+    "CONTENT_TYPE_OPENMETRICS",
 ]
 
 TRACE_FILE_ENV = "REPRO_TRACE_FILE"
 METRICS_FILE_ENV = "REPRO_METRICS_FILE"
+FLIGHT_DIR_ENV = "REPRO_FLIGHT_DIR"
 
 
 class Telemetry:
@@ -87,6 +113,12 @@ class Telemetry:
         human-readable tree (handy in examples and debugging sessions).
     keep_spans:
         How many finished root spans the in-memory sink retains.
+    dump_dir:
+        When given, the flight recorder writes a JSON dump here on every
+        trigger event (quarantine, degraded recovery, shed, ...).
+    slo_objective / slo_window_seconds:
+        Per-view success-rate objective and sliding-window length for
+        the SLO tracker.
     """
 
     def __init__(
@@ -95,11 +127,23 @@ class Telemetry:
         echo_tree: bool = False,
         keep_spans: int = 1024,
         metrics: Optional[MetricsRegistry] = None,
+        dump_dir: Optional[str] = None,
+        recorder_spans: int = 256,
+        recorder_events: int = 512,
+        sample_target_hz: float = 200.0,
+        slo_objective: float = DEFAULT_OBJECTIVE,
+        slo_window_seconds: float = 3600.0,
     ):
         self.enabled = True
         self.memory = InMemorySink(keep_spans)
         self._jsonl: Optional[JsonLinesSink] = None
-        sinks: List = [self.memory]
+        self.recorder = FlightRecorder(
+            span_capacity=recorder_spans,
+            event_capacity=recorder_events,
+            dump_dir=dump_dir,
+            sample_target_hz=sample_target_hz,
+        )
+        sinks: List = [self.memory, self.recorder]
         if trace_path:
             self._jsonl = JsonLinesSink(trace_path)
             sinks.append(self._jsonl)
@@ -108,9 +152,13 @@ class Telemetry:
         self.tracer = Tracer(sinks)
         self.metrics = metrics or MetricsRegistry()
         self.health = Dashboard()
-        # Maintenance passes can run on scheduler worker threads; the
-        # registry's read-modify-write counter bumps need serializing.
-        self._record_lock = threading.Lock()
+        self.slo = SLOTracker(
+            objective=slo_objective, window_seconds=slo_window_seconds
+        )
+        # Serializes the dashboard (which has no internal locking) and
+        # keeps multi-instrument recordings atomic; reentrant because
+        # record_* methods emit events while already holding it.
+        self._record_lock = threading.RLock()
         self._declare_metrics()
 
     # ------------------------------------------------------------------
@@ -129,20 +177,26 @@ class Telemetry:
             instance.tracer = NullTracer()
             instance.metrics = MetricsRegistry()
             instance.health = Dashboard()
-            instance._record_lock = threading.Lock()
+            instance.recorder = FlightRecorder(
+                span_capacity=0, event_capacity=0
+            )
+            instance.slo = SLOTracker()
+            instance._record_lock = threading.RLock()
             cls._disabled_singleton = instance
         return cls._disabled_singleton
 
     @classmethod
     def from_env(cls, environ=None) -> "Telemetry":
         """Enabled telemetry configured from ``REPRO_TRACE_FILE`` (the
-        JSON-lines destination); returns the disabled singleton when the
-        variable is unset, so opt-in stays an environment decision."""
+        JSON-lines destination) and ``REPRO_FLIGHT_DIR`` (flight-recorder
+        dumps); returns the disabled singleton when both are unset, so
+        opt-in stays an environment decision."""
         env = os.environ if environ is None else environ
         trace_path = env.get(TRACE_FILE_ENV)
-        if not trace_path:
+        dump_dir = env.get(FLIGHT_DIR_ENV)
+        if not trace_path and not dump_dir:
             return cls.disabled()
-        return cls(trace_path=trace_path)
+        return cls(trace_path=trace_path, dump_dir=dump_dir)
 
     # ------------------------------------------------------------------
     # metric instruments
@@ -277,6 +331,48 @@ class Telemetry:
             "repro_wal_segments_quarantined_total",
             "WAL segments moved to the corrupt/ sidecar on open",
         )
+        self.events_total = m.counter(
+            "repro_events_total",
+            "Structured events emitted by the runtime, by kind",
+            ("kind", "severity"),
+        )
+        self.flight_dumps = m.counter(
+            "repro_flight_dumps_total",
+            "Flight-recorder dumps written, by triggering event kind",
+            ("kind",),
+        )
+
+    # ------------------------------------------------------------------
+    # structured events
+    # ------------------------------------------------------------------
+    def record_event(
+        self, kind: str, message: str = "", **attrs
+    ) -> Optional[str]:
+        """Emit one structured event into the flight recorder.
+
+        *kind* must come from :data:`~repro.obs.events.EVENT_KINDS`.
+        Returns the dump path when the event triggered a flight-recorder
+        dump (error-severity kinds with a dump directory configured),
+        else ``None``.
+        """
+        if not self.enabled:
+            return None
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {kind!r}")
+        event = Event(kind, message, attrs)
+        with self._record_lock:
+            self.events_total.inc(kind=kind, severity=event.severity)
+        dump_path = self.recorder.record_event(event)
+        if dump_path is not None:
+            with self._record_lock:
+                self.flight_dumps.inc(kind=kind)
+        return dump_path
+
+    def record_phase(self, phase: str, seconds: float) -> None:
+        """One latency sample for an SLO phase (apply/flush/...)."""
+        if not self.enabled:
+            return
+        self.slo.observe(phase, seconds)
 
     # ------------------------------------------------------------------
     # recording (all no-ops on the disabled singleton)
@@ -300,6 +396,8 @@ class Telemetry:
                     view=report.view, strategy=strategy
                 )
             self.health.record_report(report, span)
+        self.slo.observe("maintenance", report.elapsed_seconds)
+        self.slo.record_outcome(report.view, ok=True)
 
     def record_failure(self, view: str, table: str, operation: str) -> None:
         if not self.enabled:
@@ -307,6 +405,10 @@ class Telemetry:
         with self._record_lock:
             self.errors.inc(view=view, table=table, operation=operation)
             self.health.record_error(view)
+        self.slo.record_outcome(view, ok=False)
+        self.record_event(
+            "maintenance.error", view=view, table=table, operation=operation
+        )
 
     def record_view_size(self, view: str, rows: int) -> None:
         if not self.enabled:
@@ -330,21 +432,32 @@ class Telemetry:
         with self._record_lock:
             self.plan_compile_seconds.observe(seconds, view=view)
 
-    def record_retry(self, view: str) -> None:
+    def record_retry(self, view: str, attempt: int = 0) -> None:
         """The scheduler is re-attempting a view after a failure."""
         if not self.enabled:
             return
         with self._record_lock:
             self.view_retries.inc(view=view)
             self.health.record_retry(view)
+        self.record_event("view.retry", view=view, attempt=attempt)
 
-    def record_quarantine(self, view: str, reason: str) -> None:
-        """The scheduler quarantined a view (now stale, excluded)."""
+    def record_quarantine(self, view: str, reason: str) -> Optional[str]:
+        """The scheduler quarantined a view (now stale, excluded).
+
+        Returns the flight-recorder dump path when one was written."""
         if not self.enabled:
-            return
+            return None
         with self._record_lock:
             self.view_quarantines.inc(view=view)
             self.health.record_quarantine(view, reason)
+        dump = self.record_event(
+            "view.quarantined", reason, view=view, reason=reason
+        )
+        if "timed out" in reason:
+            # a timeout is also a quarantine; the quarantine event above
+            # already captured the dump, so this one just marks the kind
+            self.record_event("view.timeout", view=view, reason=reason)
+        return dump
 
     def record_reinstate(self, view: str) -> None:
         """A quarantined view was repaired and rejoined the fan-out."""
@@ -352,6 +465,7 @@ class Telemetry:
             return
         with self._record_lock:
             self.health.clear_quarantine(view)
+        self.record_event("view.reinstated", view=view)
 
     def record_queue_depth(self, depth: int) -> None:
         """Current number of changes queued for (or in) fan-out."""
@@ -381,6 +495,7 @@ class Telemetry:
         with self._record_lock:
             self.load_shed.inc(table=table)
             self.health.record_load_shed()
+        self.record_event("scheduler.load_shed", table=table)
 
     def record_queue_wait(self, seconds: float) -> None:
         """Queue residency of one admitted change (submit → dequeue)."""
@@ -398,6 +513,9 @@ class Telemetry:
             self.checkpoint_total.inc(outcome="written")
             self.checkpoint_bytes.set(size_bytes)
             self.health.record_checkpoint()
+        self.record_event(
+            "checkpoint.written", seconds=seconds, size_bytes=size_bytes
+        )
 
     def record_checkpoint_corrupt(self, name: str) -> None:
         """A checkpoint failed verification and was moved aside."""
@@ -405,6 +523,7 @@ class Telemetry:
             return
         with self._record_lock:
             self.checkpoint_total.inc(outcome="corrupt")
+        self.record_event("checkpoint.corrupt", name=name)
 
     def record_wal_compaction(self, segments_deleted: int) -> None:
         """One compaction pass removed *segments_deleted* segments."""
@@ -414,6 +533,9 @@ class Telemetry:
             self.wal_compactions.inc()
             self.wal_segments_deleted.inc(segments_deleted)
             self.health.record_compaction(segments_deleted)
+        self.record_event(
+            "wal.compaction", segments_deleted=segments_deleted
+        )
 
     def record_wal_segment_quarantined(self, name: str) -> None:
         """A WAL segment failed verification and was quarantined."""
@@ -422,6 +544,7 @@ class Telemetry:
         with self._record_lock:
             self.wal_segments_quarantined.inc()
             self.health.record_segment_quarantined(name)
+        self.record_event("wal.segment_quarantined", segment=name)
 
     def record_fuzz_case(self, outcome: str, mismatch_kinds=()) -> None:
         """One differential fuzz case (outcome ``pass`` or ``fail``)."""
@@ -431,6 +554,24 @@ class Telemetry:
             self.fuzz_cases.inc(outcome=outcome)
             for kind in mismatch_kinds:
                 self.fuzz_mismatches.inc(kind=kind)
+        if outcome != "pass":
+            self.record_event(
+                "fuzz.mismatch", kinds=list(mismatch_kinds)
+            )
+
+    def record_recovery(self, summary: Dict) -> Optional[str]:
+        """One finished ``Warehouse.recover()``; *summary* is its
+        ``last_recovery`` dict.  Emits ``recovery.degraded`` (and dumps
+        the flight recorder) when corruption forced any fallback."""
+        if not self.enabled:
+            return None
+        degraded = bool(
+            summary.get("corruption_detected")
+            or summary.get("quarantined_segments")
+            or summary.get("recomputed_views")
+        )
+        kind = "recovery.degraded" if degraded else "recovery.completed"
+        return self.record_event(kind, **summary)
 
     def record_fuzz_shrink(self, steps: int = 1) -> None:
         """Accepted reductions while minimizing a failing fuzz case."""
@@ -463,6 +604,13 @@ class Telemetry:
         if not self.enabled:
             return ""
         return self.metrics.render_prometheus()
+
+    def openmetrics_text(self) -> str:
+        """OpenMetrics 1.0 exposition, SLO gauges refreshed first."""
+        if not self.enabled:
+            return "# EOF\n"
+        self.slo.export(self.metrics)
+        return render_openmetrics(self.metrics)
 
     def totals(self) -> Dict[str, Dict[str, int]]:
         return self.health.totals()

@@ -197,6 +197,17 @@ class Dashboard:
             if s.quarantine_reason is not None
         }
 
+    def durability(self) -> Dict:
+        """Warehouse-wide durability/backpressure counters (kept out of
+        :meth:`totals`, whose shape is pinned by tests and CI)."""
+        return {
+            "checkpoints": self._checkpoints,
+            "compactions": self._compactions,
+            "segments_deleted": self._segments_deleted,
+            "segments_quarantined": list(self._segments_quarantined),
+            "load_sheds": self._load_sheds,
+        }
+
     def reliability(self) -> Dict[str, Dict[str, int]]:
         """Per-view retry/quarantine counters for the runtime layer."""
         return {
@@ -257,6 +268,28 @@ class Dashboard:
             lines.append("!! quarantined (stale, excluded from fan-out):")
             for view, reason in quarantined.items():
                 lines.append(f"  {view}: {reason}")
+        if (
+            self._checkpoints
+            or self._compactions
+            or self._segments_quarantined
+            or self._load_sheds
+        ):
+            lines.append("")
+            lines.append("-- durability --")
+            lines.append(
+                f"  checkpoints    : {self._checkpoints} written"
+            )
+            lines.append(
+                f"  compactions    : {self._compactions} passes, "
+                f"{self._segments_deleted} segments deleted"
+            )
+            if self._segments_quarantined:
+                names = ", ".join(self._segments_quarantined)
+                lines.append(f"  corrupt wal    : {names}")
+            if self._load_sheds:
+                lines.append(
+                    f"  load sheds     : {self._load_sheds} changes rejected"
+                )
         for view in self.views:
             lines.extend(self._render_view_detail(view))
         return "\n".join(lines)

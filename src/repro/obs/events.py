@@ -1,0 +1,164 @@
+"""Structured events: the discrete-incident half of observability.
+
+Spans answer *how long did normal work take*; events answer *what went
+wrong, when, with what context*.  An :class:`Event` is one timestamped,
+machine-readable incident record — a view quarantine, a shed change, a
+degraded recovery — emitted by the runtime through
+:meth:`repro.obs.Telemetry.record_event` and retained by the
+:class:`~repro.obs.recorder.FlightRecorder` ring buffer.
+
+The taxonomy is closed: every kind the runtime may emit is declared in
+:data:`EVENT_KINDS` with its severity and a one-line description, so
+dashboards and tests can enumerate what to expect and
+``record_event`` can reject typos at the source.  Kinds whose severity
+is ``error`` — plus the explicitly listed ``warn``-level degradations in
+:data:`DUMP_TRIGGERS` — automatically dump the flight recorder when a
+dump directory is configured, capturing the span history that explains
+the incident *before* the ring buffer evicts it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "Event",
+    "EVENT_KINDS",
+    "DUMP_TRIGGERS",
+    "SEVERITY_INFO",
+    "SEVERITY_WARN",
+    "SEVERITY_ERROR",
+    "severity_of",
+]
+
+SEVERITY_INFO = "info"
+SEVERITY_WARN = "warn"
+SEVERITY_ERROR = "error"
+
+#: kind -> (severity, description).  The runtime may emit exactly these.
+EVENT_KINDS: Dict[str, tuple] = {
+    # -- scheduler / fan-out ------------------------------------------------
+    "view.retry": (
+        SEVERITY_WARN,
+        "a view maintainer raised and is being re-attempted",
+    ),
+    "view.quarantined": (
+        SEVERITY_ERROR,
+        "a view exhausted its retry budget (or timed out) and was "
+        "quarantined: stale, excluded from fan-out",
+    ),
+    "view.reinstated": (
+        SEVERITY_INFO,
+        "a quarantined view was repaired and rejoined the fan-out",
+    ),
+    "view.timeout": (
+        SEVERITY_ERROR,
+        "a view's maintenance task missed its deadline in parallel mode",
+    ),
+    "scheduler.load_shed": (
+        SEVERITY_WARN,
+        "a change was rejected because the bounded queue was full",
+    ),
+    # -- durability ---------------------------------------------------------
+    "wal.segment_quarantined": (
+        SEVERITY_ERROR,
+        "a WAL segment failed CRC verification and was moved to corrupt/",
+    ),
+    "wal.compaction": (
+        SEVERITY_INFO,
+        "a compaction pass deleted checkpoint-covered WAL segments",
+    ),
+    "checkpoint.written": (
+        SEVERITY_INFO,
+        "a durable checkpoint was written and published",
+    ),
+    "checkpoint.corrupt": (
+        SEVERITY_ERROR,
+        "a checkpoint failed verification and was moved aside",
+    ),
+    # -- recovery -----------------------------------------------------------
+    "recovery.completed": (
+        SEVERITY_INFO,
+        "Warehouse.recover() finished with an intact log",
+    ),
+    "recovery.degraded": (
+        SEVERITY_ERROR,
+        "recovery detected corruption and fell back to per-view recompute",
+    ),
+    # -- maintenance --------------------------------------------------------
+    # warn, not error: a single failed pass is retried by the scheduler;
+    # the *terminal* outcome (view.quarantined) owns the dump, and an
+    # error here would consume the rate-limited dump slot first.
+    "maintenance.error": (
+        SEVERITY_WARN,
+        "one view-maintenance pass raised (the scheduler will retry)",
+    ),
+    # -- fuzzing ------------------------------------------------------------
+    "fuzz.mismatch": (
+        SEVERITY_ERROR,
+        "a differential fuzz case disagreed with the recompute oracle",
+    ),
+}
+
+#: Kinds that dump the flight recorder when they fire.  Every
+#: ``error``-severity kind triggers, plus the listed degradations that
+#: are warnings individually but incidents worth a capture.
+DUMP_TRIGGERS = frozenset(
+    kind
+    for kind, (severity, _doc) in EVENT_KINDS.items()
+    if severity == SEVERITY_ERROR
+) | {"scheduler.load_shed"}
+
+
+def severity_of(kind: str) -> str:
+    """The declared severity of *kind* (``info`` for unknown kinds,
+    which only tests construct directly)."""
+    entry = EVENT_KINDS.get(kind)
+    return entry[0] if entry else SEVERITY_INFO
+
+
+@dataclass
+class Event:
+    """One structured incident record."""
+
+    kind: str
+    message: str = ""
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    severity: Optional[str] = None
+    ts: Optional[float] = None  # epoch seconds
+
+    def __post_init__(self):
+        if self.severity is None:
+            self.severity = severity_of(self.kind)
+        if self.ts is None:
+            self.ts = time.time()
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "ts": self.ts,
+            "kind": self.kind,
+            "severity": self.severity,
+        }
+        if self.message:
+            out["message"] = self.message
+        if self.attrs:
+            out["attrs"] = _jsonable(self.attrs)
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), separators=(",", ":"))
+
+
+def _jsonable(value):
+    """Best-effort JSON coercion: events must never fail to serialize,
+    whatever the runtime stuffed into ``attrs`` (exceptions included)."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

@@ -18,10 +18,18 @@ Usage::
 Registration is idempotent: asking for an already-registered name with
 the same kind and label names returns the existing instrument; a
 conflicting redefinition raises ``ValueError``.
+
+Every mutation is thread-safe: the parallel scheduler fan-out updates
+counters and histograms from worker threads while the dispatcher and
+the HTTP exposition endpoint read them.  Locking is layered — one lock
+per registry (registration), one per metric (series creation and
+render), one per series (value updates) — so hot-path increments on
+distinct series never contend with each other.
 """
 
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -87,6 +95,7 @@ class _Metric:
         self.help = help_text
         self.labelnames = tuple(labelnames)
         self._series: Dict[Tuple, object] = {}
+        self._lock = threading.Lock()
 
     def _key(self, labels: Dict) -> Tuple:
         if set(labels) != set(self.labelnames):
@@ -100,8 +109,11 @@ class _Metric:
         key = self._key(labels)
         series = self._series.get(key)
         if series is None:
-            series = self._new_series()
-            self._series[key] = series
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    series = self._new_series()
+                    self._series[key] = series
         return series
 
     def _new_series(self):  # pragma: no cover - overridden
@@ -112,8 +124,10 @@ class _Metric:
         if self.help:
             lines.append(f"# HELP {self.name} {_escape(self.help)}")
         lines.append(f"# TYPE {self.name} {self.kind}")
-        for key in sorted(self._series, key=lambda k: tuple(map(str, k))):
-            lines.extend(self._render_series(key, self._series[key]))
+        with self._lock:
+            snapshot = dict(self._series)
+        for key in sorted(snapshot, key=lambda k: tuple(map(str, k))):
+            lines.extend(self._render_series(key, snapshot[key]))
         return lines
 
     def _render_series(self, key, series) -> List[str]:  # pragma: no cover
@@ -121,28 +135,35 @@ class _Metric:
 
 
 class _Value:
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self):
         self.value = 0.0
+        self._lock = threading.Lock()
 
 
 class _CounterSeries(_Value):
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        # read-modify-write: unguarded `+=` drops increments under
+        # concurrent fan-out
+        with self._lock:
+            self.value += amount
 
 
 class _GaugeSeries(_Value):
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class Counter(_Metric):
@@ -183,17 +204,26 @@ class Gauge(_Metric):
 
 
 class _HistogramSeries:
-    __slots__ = ("counts", "sum", "count")
+    __slots__ = ("counts", "sum", "count", "_lock")
 
     def __init__(self, n_buckets: int):
         self.counts = [0] * (n_buckets + 1)  # +1 for +Inf
         self.sum = 0.0
         self.count = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float, buckets: Sequence[float]) -> None:
-        self.counts[bisect_left(buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        idx = bisect_left(buckets, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self.sum += value
+            self.count += 1
+
+    def snapshot(self):
+        """(counts, sum, count) captured atomically, for rendering —
+        without it a scrape can see count ahead of the bucket tally."""
+        with self._lock:
+            return list(self.counts), self.sum, self.count
 
 
 class Histogram(_Metric):
@@ -219,20 +249,21 @@ class Histogram(_Metric):
         self.labels(**labels).observe(value, self.buckets)
 
     def _render_series(self, key, series) -> List[str]:
+        counts, total_sum, total_count = series.snapshot()
         lines = []
         cumulative = 0
-        for bound, count in zip(self.buckets, series.counts):
+        for bound, count in zip(self.buckets, counts):
             cumulative += count
             labels = _series_suffix(
                 self.labelnames + ("le",), key + (_fmt(bound),)
             )
             lines.append(f"{self.name}_bucket{labels} {cumulative}")
-        cumulative += series.counts[-1]
+        cumulative += counts[-1]
         labels = _series_suffix(self.labelnames + ("le",), key + ("+Inf",))
         lines.append(f"{self.name}_bucket{labels} {cumulative}")
         suffix = _series_suffix(self.labelnames, key)
-        lines.append(f"{self.name}_sum{suffix} {_fmt(series.sum)}")
-        lines.append(f"{self.name}_count{suffix} {series.count}")
+        lines.append(f"{self.name}_sum{suffix} {_fmt(total_sum)}")
+        lines.append(f"{self.name}_count{suffix} {total_count}")
         return lines
 
 
@@ -241,23 +272,25 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: Dict[str, _Metric] = {}
+        self._lock = threading.Lock()
 
     def _register(self, cls, name, help_text, labelnames, **kwargs):
-        existing = self._metrics.get(name)
-        if existing is not None:
-            same = (
-                type(existing) is cls
-                and existing.labelnames == tuple(labelnames)
-            )
-            if not same:
-                raise ValueError(
-                    f"metric {name!r} already registered as "
-                    f"{type(existing).__name__}{existing.labelnames}"
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                same = (
+                    type(existing) is cls
+                    and existing.labelnames == tuple(labelnames)
                 )
-            return existing
-        metric = cls(name, help_text, labelnames, **kwargs)
-        self._metrics[name] = metric
-        return metric
+                if not same:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}{existing.labelnames}"
+                    )
+                return existing
+            metric = cls(name, help_text, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
 
     def counter(
         self, name: str, help_text: str = "", labelnames: Sequence[str] = ()
@@ -283,9 +316,14 @@ class MetricsRegistry:
     def get(self, name: str) -> Optional[_Metric]:
         return self._metrics.get(name)
 
+    def metrics(self) -> List[_Metric]:
+        """All registered metrics, name-sorted (a snapshot)."""
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
     def render_prometheus(self) -> str:
         """The whole registry in Prometheus text exposition format."""
         lines: List[str] = []
-        for name in sorted(self._metrics):
-            lines.extend(self._metrics[name].render())
+        for metric in self.metrics():
+            lines.extend(metric.render())
         return "\n".join(lines) + ("\n" if lines else "")

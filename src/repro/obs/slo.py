@@ -1,0 +1,221 @@
+"""SLO tracking: latency quantiles, error budgets, and burn rates.
+
+The ROADMAP's serving-tier goal is stated in SLO terms — "99.9% of
+maintenance passes complete, p99 apply latency under X" — so the
+observability layer has to speak that language natively rather than
+leave operators to derive it from raw counters.
+
+:class:`SLOTracker` keeps two kinds of state:
+
+* **Latency samples** per phase (``apply``, ``flush``, ``maintenance``),
+  bounded reservoirs from which p50/p95/p99 are computed on demand.
+  Quantiles use the nearest-rank method over the retained window — exact
+  for windows below the bound, a recent-biased estimate beyond it.
+* **Outcome windows** per view: ``(timestamp, ok)`` pairs over a sliding
+  window (default one hour).  From these come the error rate, the
+  remaining error budget, and the **burn rate** — observed error rate
+  divided by the budgeted rate ``1 - objective``.  Burn rate 1.0 means
+  the view is consuming its budget exactly as fast as the SLO allows;
+  14.4 is the classic "page now" threshold (budget gone in 1/14.4 of the
+  window).
+
+The clock is injectable so tests can step time deterministically.
+All state is guarded by one lock; every operation is O(window) or
+better, and windows are bounded, so the tracker is safe to leave on in
+the hot path.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["SLOTracker", "PHASES", "DEFAULT_OBJECTIVE", "QUANTILES"]
+
+#: Maintenance phases with latency SLOs.
+PHASES = ("apply", "flush", "maintenance")
+
+#: Success-rate objective views are held to unless overridden: 99.9%.
+DEFAULT_OBJECTIVE = 0.999
+
+#: Quantiles surfaced in the dashboard and the exported gauges.
+QUANTILES = (0.5, 0.95, 0.99)
+
+MAX_LATENCY_SAMPLES = 4096
+MAX_OUTCOME_SAMPLES = 8192
+
+
+def _nearest_rank(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = max(0, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+class SLOTracker:
+    """Sliding-window SLO state for the warehouse."""
+
+    def __init__(
+        self,
+        objective: float = DEFAULT_OBJECTIVE,
+        window_seconds: float = 3600.0,
+        clock=time.time,
+    ):
+        if not 0.0 < objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        self.objective = float(objective)
+        self.window_seconds = float(window_seconds)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._latencies: Dict[str, deque] = {
+            phase: deque(maxlen=MAX_LATENCY_SAMPLES) for phase in PHASES
+        }
+        self._outcomes: Dict[str, deque] = {}
+
+    # ------------------------------------------------------------------
+    # ingestion
+    # ------------------------------------------------------------------
+    def observe(self, phase: str, seconds: float) -> None:
+        """One latency sample for *phase* (unknown phases get a lane)."""
+        with self._lock:
+            lane = self._latencies.get(phase)
+            if lane is None:
+                lane = deque(maxlen=MAX_LATENCY_SAMPLES)
+                self._latencies[phase] = lane
+            lane.append(float(seconds))
+
+    def record_outcome(self, view: str, ok: bool) -> None:
+        """One maintenance outcome for *view* into its sliding window."""
+        now = self._clock()
+        with self._lock:
+            window = self._outcomes.get(view)
+            if window is None:
+                window = deque(maxlen=MAX_OUTCOME_SAMPLES)
+                self._outcomes[view] = window
+            window.append((now, bool(ok)))
+            self._expire(window, now)
+
+    def _expire(self, window: deque, now: float) -> None:
+        cutoff = now - self.window_seconds
+        while window and window[0][0] < cutoff:
+            window.popleft()
+
+    # ------------------------------------------------------------------
+    # latency quantiles
+    # ------------------------------------------------------------------
+    def latency_quantiles(
+        self, phase: str, quantiles: Tuple[float, ...] = QUANTILES
+    ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` for *phase*."""
+        with self._lock:
+            values = sorted(self._latencies.get(phase, ()))
+        return {
+            f"p{int(q * 100)}": _nearest_rank(values, q) for q in quantiles
+        }
+
+    def phases(self) -> List[str]:
+        """Phases with at least one sample, declared order first."""
+        with self._lock:
+            return [p for p, lane in self._latencies.items() if lane]
+
+    # ------------------------------------------------------------------
+    # error budgets
+    # ------------------------------------------------------------------
+    def _view_stats(self, view: str, now: float) -> Tuple[int, int]:
+        window = self._outcomes.get(view)
+        if window is None:
+            return 0, 0
+        self._expire(window, now)
+        total = len(window)
+        errors = sum(1 for _, ok in window if not ok)
+        return total, errors
+
+    def error_rate(self, view: str) -> float:
+        now = self._clock()
+        with self._lock:
+            total, errors = self._view_stats(view, now)
+        return errors / total if total else 0.0
+
+    def burn_rate(self, view: str) -> float:
+        """Error rate over the window divided by the budgeted rate.
+
+        1.0 = consuming budget exactly at the sustainable pace; >1
+        exhausts the budget before the window rolls over; 0 = clean.
+        """
+        budget = 1.0 - self.objective
+        return self.error_rate(view) / budget
+
+    def budget_remaining(self, view: str) -> float:
+        """Fraction of the window's error budget still unspent, in
+        [0, 1].  With no observations the budget is intact (1.0)."""
+        now = self._clock()
+        with self._lock:
+            total, errors = self._view_stats(view, now)
+        if not total:
+            return 1.0
+        allowed = total * (1.0 - self.objective)
+        if allowed <= 0:
+            return 0.0 if errors else 1.0
+        return max(0.0, 1.0 - errors / allowed)
+
+    def views(self) -> List[str]:
+        with self._lock:
+            return sorted(self._outcomes)
+
+    # ------------------------------------------------------------------
+    # surfacing
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict:
+        """Everything the dashboard shows, one JSON-friendly dict."""
+        out: Dict = {
+            "objective": self.objective,
+            "window_seconds": self.window_seconds,
+            "latency": {
+                phase: self.latency_quantiles(phase)
+                for phase in self.phases()
+            },
+            "views": {},
+        }
+        now = self._clock()
+        for view in self.views():
+            with self._lock:
+                total, errors = self._view_stats(view, now)
+            out["views"][view] = {
+                "passes": total,
+                "errors": errors,
+                "error_rate": errors / total if total else 0.0,
+                "burn_rate": self.burn_rate(view),
+                "budget_remaining": self.budget_remaining(view),
+            }
+        return out
+
+    def export(self, registry) -> None:
+        """Refresh the SLO gauges in *registry* from current state.
+
+        Called just before exposition so scrapes always see fresh
+        values; gauges (not counters) because quantiles and burn rates
+        are point-in-time statistics, free to move in both directions.
+        """
+        latency = registry.gauge(
+            "repro_slo_latency_seconds",
+            "Phase latency quantile over the retained window",
+            ("phase", "quantile"),
+        )
+        burn = registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per view (1.0 = budget pace)",
+            ("view",),
+        )
+        budget = registry.gauge(
+            "repro_slo_error_budget_remaining",
+            "Fraction of the error budget left in the sliding window",
+            ("view",),
+        )
+        for phase in self.phases():
+            for name, value in self.latency_quantiles(phase).items():
+                latency.set(value, phase=phase, quantile=name)
+        for view in self.views():
+            burn.set(self.burn_rate(view), view=view)
+            budget.set(self.budget_remaining(view), view=view)

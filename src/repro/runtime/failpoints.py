@@ -33,6 +33,11 @@ Instrumented sites (name → where it fires):
                     context carries ``view`` and ``attempt`` so a fault
                     can target one view or one attempt (exercising the
                     retry and quarantine paths).
+``maintain.pass``   :meth:`ViewMaintainer.maintain`, inside the root
+                    ``maintain`` trace span (context carries ``view``,
+                    ``table``, ``operation``) — a raise here produces a
+                    real failing span chain, the shape flight-recorder
+                    quarantine dumps capture.
 ``wal.fsync``       :meth:`WriteAheadLog._fsync`, before ``os.fsync`` —
                     simulates a device that fails to make the log
                     durable (context carries ``segment``).

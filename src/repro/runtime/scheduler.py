@@ -475,7 +475,7 @@ class MaintenanceScheduler:
                 if attempt < policy.max_attempts:
                     with self._lock:
                         state.retries += 1
-                    self.telemetry.record_retry(task.name)
+                    self.telemetry.record_retry(task.name, attempt=attempt)
                     time.sleep(policy.delay(attempt))
         return None, last, False
 

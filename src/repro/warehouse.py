@@ -33,6 +33,7 @@ no retry) and behaves exactly like the pre-runtime warehouse.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from .algebra.expr import RelExpr
@@ -44,7 +45,7 @@ from .core.view import MaterializedView, ViewDefinition
 from .engine.catalog import Database
 from .engine.table import Row, Table
 from .errors import CatalogError, FanOutError, MaintenanceError
-from .obs import Telemetry
+from .obs import ObsServer, Telemetry
 from .runtime import (
     DEFAULT_SEGMENT_BYTES,
     ChangeTicket,
@@ -110,6 +111,12 @@ class Warehouse:
         with :class:`~repro.errors.BackpressureError` before any
         base-table effect (``overflow="shed"``); sheds and queue-wait
         times are metered through :class:`~repro.obs.Telemetry`.
+    obs_http_port / obs_http_host:
+        When a port is given (``0`` = ephemeral), an
+        :class:`~repro.obs.ObsServer` starts on a daemon thread serving
+        ``/metrics``, ``/healthz``, ``/dashboard.json`` and
+        ``/flight-recorder`` for this warehouse; it stops on
+        :meth:`close`.  See ``docs/OBSERVABILITY.md``.
     """
 
     def __init__(
@@ -126,6 +133,8 @@ class Warehouse:
         checkpoint_interval: Optional[int] = None,
         max_queue_depth: Optional[int] = None,
         overflow: str = "block",
+        obs_http_port: Optional[int] = None,
+        obs_http_host: str = "127.0.0.1",
     ):
         self.db = db
         self.telemetry = telemetry or Telemetry.disabled()
@@ -166,6 +175,9 @@ class Warehouse:
             overflow=overflow,
         )
         self._pending_tickets: List[ChangeTicket] = []
+        self.obs_server: Optional[ObsServer] = None
+        if obs_http_port is not None:
+            self.serve_obs(host=obs_http_host, port=obs_http_port)
 
     # ------------------------------------------------------------------
     # view DDL
@@ -275,8 +287,12 @@ class Warehouse:
         def db_apply() -> Table:
             return self.db.delete_by_key(table, wanted)
 
+        started = time.perf_counter()
         ticket = self._submit(table, DELETE, db_apply, fk_allowed=True)
         reports = self._finalize(ticket.wait())
+        self.telemetry.record_phase(
+            "apply", time.perf_counter() - started
+        )
         self._maybe_checkpoint()
         return reports
 
@@ -350,11 +366,15 @@ class Warehouse:
         :class:`~repro.errors.FanOutError` if any flushed change failed
         on some view (after waiting for all of them and syncing).
         """
+        started = time.perf_counter()
         tickets, self._pending_tickets = self._pending_tickets, []
         results = [ticket.wait() for ticket in tickets]
         self.scheduler.drain()
         if self.wal is not None:
             self.wal.sync()
+        self.telemetry.record_phase(
+            "flush", time.perf_counter() - started
+        )
         failed: Dict[str, Exception] = {}
         quarantined: List[str] = []
         for result in results:
@@ -389,8 +409,12 @@ class Warehouse:
                 return self.db.insert(table, rows, check=check)
             return self.db.delete(table, rows, check=check)
 
+        started = time.perf_counter()
         ticket = self._submit(table, operation, db_apply, fk_allowed)
         reports = self._finalize(ticket.wait())
+        self.telemetry.record_phase(
+            "apply", time.perf_counter() - started
+        )
         self._maybe_checkpoint()
         return reports
 
@@ -648,6 +672,7 @@ class Warehouse:
             "quarantined_segments": list(self.wal.quarantined_segments),
             "recomputed_views": recomputed,
         }
+        self.telemetry.record_recovery(self.last_recovery)
         return results
 
     def _restore_checkpoint(self, data: CheckpointData) -> None:
@@ -709,6 +734,18 @@ class Warehouse:
             raise CatalogError(f"no view named {name!r}")
         self.scheduler.reinstate(name)
 
+    def serve_obs(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> ObsServer:
+        """Start (or return) the HTTP introspection endpoint for this
+        warehouse — ``/metrics``, ``/healthz``, ``/dashboard.json``,
+        ``/flight-recorder`` — on a daemon thread."""
+        if self.obs_server is None:
+            self.obs_server = ObsServer(
+                self.telemetry, warehouse=self, host=host, port=port
+            ).start()
+        return self.obs_server
+
     def close(self) -> None:
         """Drain queued changes, stop the scheduler, close the WAL."""
         try:
@@ -717,6 +754,9 @@ class Warehouse:
             self.scheduler.shutdown()
             if self.wal is not None:
                 self.wal.close()
+            if self.obs_server is not None:
+                self.obs_server.stop()
+                self.obs_server = None
 
     def __enter__(self) -> "Warehouse":
         return self
@@ -833,6 +873,11 @@ class Warehouse:
         """Prometheus text exposition of every maintenance metric."""
         self._refresh_view_sizes()
         return self.telemetry.metrics_text()
+
+    def openmetrics_text(self) -> str:
+        """OpenMetrics 1.0 exposition (what ``/metrics`` serves)."""
+        self._refresh_view_sizes()
+        return self.telemetry.openmetrics_text()
 
     def _refresh_view_sizes(self) -> None:
         for maintainer in self._maintainers.values():

@@ -167,3 +167,83 @@ class TestRender:
         assert "slowest terms  : {customer} max 2.00ms" in out
         assert "-- v3 --" in out
         assert "operations     : insert=1" in out
+
+
+class TestQuarantineSection:
+    def test_quarantined_views_listed_with_reason(self):
+        dash = Dashboard()
+        dash.record_report(make_report(view="v3"))
+        dash.record_retry("v3")
+        dash.record_quarantine("v3", "insert on 'lineitem' failed: boom")
+        out = dash.render()
+        assert "!! quarantined (stale, excluded from fan-out):" in out
+        assert "v3: insert on 'lineitem' failed: boom" in out
+        assert "reliability    : 1 retries, 1 quarantines (QUARANTINED)" in out
+
+    def test_reinstated_view_leaves_the_section(self):
+        dash = Dashboard()
+        dash.record_report(make_report(view="v3"))
+        dash.record_quarantine("v3", "boom")
+        dash.clear_quarantine("v3")
+        out = dash.render()
+        assert "!! quarantined" not in out
+        assert "(healthy)" in out
+
+    def test_quarantined_accessor_tracks_state(self):
+        dash = Dashboard()
+        dash.record_quarantine("a", "x")
+        dash.record_quarantine("b", "y")
+        dash.clear_quarantine("a")
+        assert dash.quarantined() == {"b": "y"}
+
+    def test_totals_shape_unchanged_by_quarantine(self):
+        # totals() is consumed by CI scripts: quarantine state must not
+        # leak new keys into it
+        dash = Dashboard()
+        dash.record_report(make_report(view="v3"))
+        dash.record_quarantine("v3", "boom")
+        assert sorted(dash.totals()["v3"]) == [
+            "base_rows", "errors", "fk_skips", "passes", "rows_changed",
+        ]
+
+
+class TestDurabilitySection:
+    def test_hidden_when_nothing_happened(self):
+        dash = Dashboard()
+        dash.record_report(make_report(view="v3"))
+        assert "-- durability --" not in dash.render()
+
+    def test_counters_rendered(self):
+        dash = Dashboard()
+        dash.record_report(make_report(view="v3"))
+        dash.record_checkpoint()
+        dash.record_checkpoint()
+        dash.record_compaction(3)
+        dash.record_load_shed()
+        out = dash.render()
+        assert "-- durability --" in out
+        assert "checkpoints    : 2 written" in out
+        assert "compactions    : 1 passes, 3 segments deleted" in out
+        assert "load sheds     : 1 changes rejected" in out
+        assert "corrupt wal" not in out
+
+    def test_quarantined_segments_listed(self):
+        dash = Dashboard()
+        dash.record_report(make_report(view="v3"))
+        dash.record_segment_quarantined("wal-000001.seg")
+        out = dash.render()
+        assert "corrupt wal    : wal-000001.seg" in out
+
+    def test_durability_accessor(self):
+        dash = Dashboard()
+        dash.record_checkpoint()
+        dash.record_compaction(2)
+        dash.record_segment_quarantined("wal-7.seg")
+        dash.record_load_shed()
+        assert dash.durability() == {
+            "checkpoints": 1,
+            "compactions": 1,
+            "segments_deleted": 2,
+            "segments_quarantined": ["wal-7.seg"],
+            "load_sheds": 1,
+        }

@@ -1,5 +1,8 @@
-"""Metrics registry: counters, gauges, histogram bucket edges, and the
-Prometheus exposition format (golden text)."""
+"""Metrics registry: counters, gauges, histogram bucket edges, the
+Prometheus exposition format (golden text), and thread-safety under
+concurrent fan-out."""
+
+import threading
 
 import pytest
 
@@ -138,3 +141,102 @@ class TestExposition:
         c.inc(name='we"ird\\label\nvalue')
         text = registry.render_prometheus()
         assert 'name="we\\"ird\\\\label\\nvalue"' in text
+
+
+class TestConcurrency:
+    """The parallel scheduler fan-out hammers shared instruments from
+    worker threads; every increment must survive."""
+
+    THREADS = 8
+    ITERS = 2000
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.THREADS)
+
+        def work():
+            barrier.wait()
+            for i in range(self.ITERS):
+                fn(i)
+
+        threads = [
+            threading.Thread(target=work) for _ in range(self.THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_not_lost(self, registry):
+        c = registry.counter("c_total", "", ("view",))
+        self._hammer(lambda i: c.inc(view="v"))
+        assert c.value(view="v") == self.THREADS * self.ITERS
+
+    def test_counter_series_creation_races(self, registry):
+        # every thread touches every label the first time around, so
+        # series creation itself races, not just the increments
+        c = registry.counter("s_total", "", ("view",))
+        self._hammer(lambda i: c.inc(view=f"v{i % 16}"))
+        assert c.total() == self.THREADS * self.ITERS
+
+    def test_gauge_inc_dec_balance(self, registry):
+        g = registry.gauge("g", "", ())
+        self._hammer(
+            lambda i: g.labels().inc() if i % 2 else g.labels().dec()
+        )
+        assert g.value() == 0
+
+    def test_histogram_counts_consistent(self, registry):
+        h = registry.histogram("h", "", (), buckets=(0.5,))
+        self._hammer(lambda i: h.observe(i % 2 * 1.0))
+        series = h.labels()
+        counts, total_sum, total_count = series.snapshot()
+        assert total_count == self.THREADS * self.ITERS
+        assert sum(counts) == total_count
+        assert total_sum == self.THREADS * self.ITERS / 2
+
+    def test_registration_races_return_same_instrument(self, registry):
+        got = []
+        lock = threading.Lock()
+
+        def register(i):
+            metric = registry.counter("race_total", "", ("k",))
+            with lock:
+                got.append(metric)
+
+        self._hammer(register)
+        assert len(set(map(id, got))) == 1
+
+    def test_render_during_writes_is_coherent(self, registry):
+        h = registry.histogram("lat", "", (), buckets=(0.5,))
+        stop = threading.Event()
+        bad: list = []
+
+        def scrape():
+            while not stop.is_set():
+                text = registry.render_prometheus()
+                for block in _histogram_blocks(text, "lat"):
+                    if block["count"] < block["inf"]:
+                        bad.append(block)
+
+        scraper = threading.Thread(target=scrape)
+        scraper.start()
+        try:
+            self._hammer(lambda i: h.observe(0.25))
+        finally:
+            stop.set()
+            scraper.join()
+        assert not bad
+
+
+def _histogram_blocks(text, name):
+    """Extract {inf, count} pairs for histogram *name* from exposition
+    text; `_count` must never lag the rendered +Inf bucket."""
+    inf = count = None
+    for line in text.splitlines():
+        if line.startswith(f'{name}_bucket{{le="+Inf"}}'):
+            inf = int(line.rsplit(" ", 1)[1])
+        elif line.startswith(f"{name}_count"):
+            count = int(line.rsplit(" ", 1)[1])
+    if inf is None or count is None:
+        return []
+    return [{"inf": inf, "count": count}]

@@ -1,0 +1,132 @@
+"""SLO tracker: quantiles, sliding-window budgets, burn rate, export."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import DEFAULT_OBJECTIVE, SLOTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def tracker(clock):
+    return SLOTracker(objective=0.9, window_seconds=100.0, clock=clock)
+
+
+class TestLatencyQuantiles:
+    def test_empty_phase_is_zero(self, tracker):
+        q = tracker.latency_quantiles("apply")
+        assert q == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_quantiles_ordered(self, tracker):
+        for i in range(1, 101):
+            tracker.observe("maintenance", i / 1000.0)
+        q = tracker.latency_quantiles("maintenance")
+        assert q["p50"] == pytest.approx(0.050, abs=0.002)
+        assert q["p95"] == pytest.approx(0.095, abs=0.002)
+        assert q["p99"] == pytest.approx(0.099, abs=0.002)
+        assert q["p50"] <= q["p95"] <= q["p99"]
+
+    def test_unknown_phase_gets_a_lane(self, tracker):
+        tracker.observe("compaction", 0.5)
+        assert tracker.latency_quantiles("compaction")["p50"] == 0.5
+        assert "compaction" in tracker.phases()
+
+    def test_phases_lists_only_observed(self, tracker):
+        assert tracker.phases() == []
+        tracker.observe("apply", 0.001)
+        assert tracker.phases() == ["apply"]
+
+
+class TestErrorBudget:
+    def test_clean_view_burns_nothing(self, tracker):
+        for _ in range(10):
+            tracker.record_outcome("v3", ok=True)
+        assert tracker.error_rate("v3") == 0.0
+        assert tracker.burn_rate("v3") == 0.0
+        assert tracker.budget_remaining("v3") == 1.0
+
+    def test_burn_rate_is_error_rate_over_budget(self, tracker):
+        # objective 0.9 -> budgeted error rate 0.1; observed rate 0.2
+        for i in range(10):
+            tracker.record_outcome("v3", ok=i % 5 != 0)
+        assert tracker.error_rate("v3") == pytest.approx(0.2)
+        assert tracker.burn_rate("v3") == pytest.approx(2.0)
+
+    def test_budget_remaining_hits_zero(self, tracker):
+        for _ in range(5):
+            tracker.record_outcome("v3", ok=False)
+        assert tracker.budget_remaining("v3") == 0.0
+
+    def test_unknown_view_is_intact(self, tracker):
+        assert tracker.burn_rate("never_seen") == 0.0
+        assert tracker.budget_remaining("never_seen") == 1.0
+
+    def test_window_slides(self, tracker, clock):
+        tracker.record_outcome("v3", ok=False)
+        assert tracker.error_rate("v3") == 1.0
+        clock.advance(101.0)  # past the 100s window
+        tracker.record_outcome("v3", ok=True)
+        assert tracker.error_rate("v3") == 0.0
+
+    def test_default_objective_is_three_nines(self):
+        assert DEFAULT_OBJECTIVE == 0.999
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(ValueError):
+            SLOTracker(objective=1.0)
+        with pytest.raises(ValueError):
+            SLOTracker(objective=0.0)
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_shape(self, tracker):
+        tracker.observe("apply", 0.002)
+        tracker.record_outcome("v3", ok=True)
+        tracker.record_outcome("v3", ok=False)
+        snap = tracker.snapshot()
+        assert snap["objective"] == 0.9
+        assert snap["window_seconds"] == 100.0
+        assert "p99" in snap["latency"]["apply"]
+        view = snap["views"]["v3"]
+        assert view["passes"] == 2
+        assert view["errors"] == 1
+        assert view["burn_rate"] == pytest.approx(5.0)
+
+    def test_export_refreshes_gauges(self, tracker):
+        registry = MetricsRegistry()
+        tracker.observe("maintenance", 0.010)
+        tracker.record_outcome("v3", ok=False)
+        tracker.export(registry)
+        latency = registry.get("repro_slo_latency_seconds")
+        assert latency.value(phase="maintenance", quantile="p99") == 0.010
+        burn = registry.get("repro_slo_burn_rate")
+        assert burn.value(view="v3") == pytest.approx(10.0)
+        # second export overwrites rather than accumulating
+        tracker.record_outcome("v3", ok=True)
+        tracker.export(registry)
+        assert burn.value(view="v3") == pytest.approx(5.0)
+
+    def test_exported_text_carries_quantiles(self, tracker):
+        registry = MetricsRegistry()
+        tracker.observe("maintenance", 0.5)
+        tracker.export(registry)
+        text = registry.render_prometheus()
+        assert (
+            'repro_slo_latency_seconds{phase="maintenance",quantile="p50"}'
+            in text
+        )

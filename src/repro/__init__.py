@@ -65,8 +65,11 @@ from .runtime import (
     FanOutResult,
     MaintenanceScheduler,
     RetryPolicy,
+    Snapshot,
+    SnapshotStore,
     WriteAheadLog,
 )
+from .serving import AsyncWarehouse
 from .warehouse import Warehouse
 from .errors import (
     CatalogError,
@@ -129,5 +132,8 @@ __all__ = [
     "MaintenanceScheduler",
     "RetryPolicy",
     "FanOutResult",
+    "Snapshot",
+    "SnapshotStore",
+    "AsyncWarehouse",
     "__version__",
 ]

@@ -1061,6 +1061,373 @@ def run_checkpoint(
 
 
 # ---------------------------------------------------------------------------
+# E10 — online serving: open-loop read/write traffic, snapshot reads
+# ---------------------------------------------------------------------------
+SERVING_SATURATION_RATES = (1_000.0, 3_000.0, 9_000.0, 27_000.0)
+
+
+def _zipf_sampler(n: int, s: float, rng: random.Random) -> Callable[[], int]:
+    """Rank-``i`` draws with probability ∝ 1/(i+1)**s (CDF inversion),
+    the standard skewed-popularity model for key-value read traffic."""
+    import bisect
+
+    weights = [1.0 / (i + 1) ** s for i in range(n)]
+    total = sum(weights)
+    cdf: List[float] = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cdf.append(acc)
+    return lambda: min(n - 1, bisect.bisect_left(cdf, rng.random()))
+
+
+def _poisson_schedule(
+    rate: float, duration: float, rng: random.Random
+) -> List[float]:
+    """Arrival offsets (seconds from phase start) of a Poisson process."""
+    if rate <= 0:
+        return []
+    t = 0.0
+    out: List[float] = []
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            return out
+        out.append(t)
+
+
+def _pctl_ms(sorted_seconds: List[float], q: float) -> Optional[float]:
+    if not sorted_seconds:
+        return None
+    idx = min(len(sorted_seconds) - 1, int(q * len(sorted_seconds)))
+    return sorted_seconds[idx] * 1000.0
+
+
+def _serving_phase(
+    wh: Warehouse,
+    generator: TPCHGenerator,
+    probe_view: str,
+    keys: List[Tuple],
+    key_cols: Tuple[str, ...],
+    read_rate: float,
+    write_rate: float,
+    duration: float,
+    zipf: Callable[[], int],
+    rng: random.Random,
+    seed_base: int,
+    batch_rows: int,
+) -> Dict[str, object]:
+    """One open-loop traffic phase against a live warehouse.
+
+    Reads and writes both arrive on Poisson schedules computed up front;
+    every latency is measured from the *scheduled* arrival time, not the
+    moment the driver got around to issuing it, so queueing inside the
+    driver counts against the system (no coordinated omission).  Write
+    completion is observed via the change ticket's done-callback — the
+    writer thread never waits on a fan-out, keeping the load open-loop.
+    """
+    import threading
+
+    from .errors import BackpressureError
+
+    read_sched = _poisson_schedule(read_rate, duration, rng)
+    write_sched = _poisson_schedule(write_rate, duration, rng)
+    # pre-generate the batches: row generation must not bill the system
+    batches = [
+        generator.lineitem_insert_batch(batch_rows, seed=seed_base + i)
+        for i in range(len(write_sched))
+    ]
+    write_lat: List[float] = []  # appended from the dispatcher thread
+    shed = [0]
+    seq_before = wh.snapshots.last_seq
+    base = time.perf_counter() + 0.005
+
+    def write_loop() -> None:
+        for arrival, batch in zip(write_sched, batches):
+            target = base + arrival
+            delay = target - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                ticket = wh.apply_async("lineitem", "insert", batch)
+            except BackpressureError:
+                shed[0] += 1
+                continue
+            ticket.add_done_callback(
+                lambda _r, t=target: write_lat.append(
+                    time.perf_counter() - t
+                )
+            )
+
+    writer = (
+        threading.Thread(target=write_loop, daemon=True)
+        if write_sched
+        else None
+    )
+    if writer is not None:
+        writer.start()
+    read_lat: List[float] = []
+    read_lag: List[float] = []  # how late each read was *issued*
+    hits = 0
+    for arrival in read_sched:
+        target = base + arrival
+        delay = target - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        read_lag.append(max(0.0, time.perf_counter() - target))
+        key = keys[zipf()]
+        rows = wh.query(probe_view, **dict(zip(key_cols, key)))
+        read_lat.append(time.perf_counter() - target)
+        if rows:
+            hits += 1
+    elapsed = time.perf_counter() - base
+    if writer is not None:
+        writer.join()
+    wh.flush()  # drain so write completions (and the phase) are settled
+    read_lat.sort()
+    read_lag.sort()
+    write_lat.sort()
+    return {
+        "offered_read_rate": read_rate,
+        "write_rate": write_rate,
+        "reads": len(read_lat),
+        "achieved_read_rate": (
+            len(read_lat) / elapsed if elapsed > 0 else None
+        ),
+        "read_hit_fraction": (
+            hits / len(read_lat) if read_lat else None
+        ),
+        "read_p50_ms": _pctl_ms(read_lat, 0.50),
+        "read_p99_ms": _pctl_ms(read_lat, 0.99),
+        "read_max_ms": read_lat[-1] * 1000.0 if read_lat else None,
+        "issue_lag_p99_ms": _pctl_ms(read_lag, 0.99),
+        "writes": len(write_lat),
+        "write_p50_ms": _pctl_ms(write_lat, 0.50),
+        "write_p99_ms": _pctl_ms(write_lat, 0.99),
+        "shed": shed[0],
+        "snapshots_published": wh.snapshots.last_seq - seq_before,
+    }
+
+
+def run_serving(
+    scale: float = 0.002,
+    seed: int = 20070415,
+    read_rate: float = 300.0,
+    duration: float = 2.0,
+    write_rates: Sequence[float] = (1.0, 3.0),
+    batch_rows: int = 6,
+    zipf_s: float = 1.1,
+    workers: int = 2,
+    stall_ms: float = 0.0,
+    switch_interval: float = 0.0001,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Open-loop mixed read/write traffic against the 16-view warehouse.
+
+    The serving claim under test: snapshot reads are decoupled from
+    maintenance, so adding a live write stream must not blow up the read
+    tail.  Three measurements:
+
+    * **read-only baseline** — Poisson reads at *read_rate* with
+      Zipf(*zipf_s*)-skewed view-key point lookups, no writes.
+    * **mix sweep** — the same read traffic with lineitem insert batches
+      arriving at each rate in *write_rates*; the headline
+      ``mixed_over_readonly_p99_ratio`` is the worst mixed read p99 over
+      the baseline p99 (CI gates it at ≤ 5, see ``tools/bench_gate.py``).
+    * **saturation climb** — read rate tripling steps (writes held at
+      ``write_rates[0]``) until the driver falls >10% behind the offered
+      rate or issues reads >2ms late at p99: the knee of the latency
+      curve.
+
+    Latencies are measured from scheduled arrival times (coordinated-
+    omission-free).  *stall_ms* optionally adds the ``concurrent``
+    experiment's per-view durable-commit stall to each maintenance
+    pass.  *switch_interval* lowers the CPython GIL switch interval for
+    the run (restored after): maintenance passes are long bytecode
+    stretches, and a serving process that cohosts readers with them
+    wants frequent handoffs — the same tuning a production asyncio tier
+    would apply.  Writes ride ``apply_async``; admission-control
+    rejections count as ``shed``.  The write rates default low because a
+    lineitem batch fans out to all 16 views: at SF 0.002 one batch costs
+    ~100ms of maintenance compute, so a few batches per second already
+    keeps maintenance occupancy in the tens of percent.
+
+    Writes ``BENCH_serving.json`` via ``--json``.
+    """
+    generator, base_db, definitions, views = _concurrent_state(scale, seed)
+    wh = _concurrent_warehouse(base_db, views, workers, stall_ms / 1000.0)
+    wh._publish()  # registration bypassed create_view: publish view zero
+    previous_interval = sys.getswitchinterval()
+    if switch_interval:
+        sys.setswitchinterval(switch_interval)
+    try:
+        probe_view = "oj_copy0"
+        slice_ = wh.snapshot().views[probe_view]
+        key_cols = slice_.key_cols
+        # insertion order is deterministic for a fixed seed; keys may
+        # contain None (null-extended sides), so no sorting
+        keys = list(slice_.rows_by_key)
+        rng = random.Random(seed ^ 0x5E41)
+        zipf = _zipf_sampler(len(keys), zipf_s, rng)
+        # warmup: plan compilation, index provisioning, snapshot capture
+        wh.apply_async(
+            "lineitem",
+            "insert",
+            generator.lineitem_insert_batch(batch_rows, seed=999),
+        )
+        wh.flush()
+        for _ in range(200):
+            wh.query(probe_view, **dict(zip(key_cols, keys[zipf()])))
+
+        phases: List[Dict[str, object]] = []
+        for i, write_rate in enumerate([0.0] + list(write_rates)):
+            phase = _serving_phase(
+                wh,
+                generator,
+                probe_view,
+                keys,
+                key_cols,
+                read_rate,
+                write_rate,
+                duration,
+                zipf,
+                rng,
+                seed_base=1_000 + 10_000 * i,
+                batch_rows=batch_rows,
+            )
+            phase["label"] = (
+                "readonly" if write_rate == 0 else f"mixed@{write_rate:g}"
+            )
+            phases.append(phase)
+        # oracle: the served views still equal a full recompute
+        for name in ("v3_win0", "oj_copy0"):
+            wh._maintainers[name].check_consistency()
+
+        saturation_series: List[Dict[str, object]] = []
+        saturation_rate: Optional[float] = None
+        for j, rate in enumerate(SERVING_SATURATION_RATES):
+            phase = _serving_phase(
+                wh,
+                generator,
+                probe_view,
+                keys,
+                key_cols,
+                rate,
+                write_rates[0] if write_rates else 0.0,
+                duration * 0.5,
+                zipf,
+                rng,
+                seed_base=500_000 + 10_000 * j,
+                batch_rows=batch_rows,
+            )
+            saturation_series.append(phase)
+            achieved = phase["achieved_read_rate"] or 0.0
+            lag_p99 = phase["issue_lag_p99_ms"] or 0.0
+            if achieved < 0.9 * rate or lag_p99 > 2.0:
+                saturation_rate = rate
+                break
+        serving_stats = wh.serving_stats()
+    finally:
+        sys.setswitchinterval(previous_interval)
+        wh.close()
+
+    readonly = phases[0]
+    mixed = phases[1:]
+    ratio: Optional[float] = None
+    if mixed and readonly["read_p99_ms"]:
+        ratio = max(
+            p["read_p99_ms"] / readonly["read_p99_ms"] for p in mixed
+        )
+    record: Dict[str, object] = {
+        "experiment": "serving",
+        "scale": scale,
+        "views": CONCURRENT_VIEWS,
+        "workers": workers,
+        "probe_view": probe_view,
+        "zipf_s": zipf_s,
+        "batch_rows": batch_rows,
+        "stall_ms": stall_ms,
+        "offered_read_rate": read_rate,
+        "duration_seconds": duration,
+        "switch_interval": switch_interval,
+        "phases": phases,
+        "saturation": {
+            "series": saturation_series,
+            "write_rate": write_rates[0] if write_rates else 0.0,
+            "saturation_read_rate": saturation_rate,
+            "max_tested_read_rate": SERVING_SATURATION_RATES[
+                len(saturation_series) - 1
+            ],
+        },
+        "serving_stats": serving_stats,
+        "readonly_read_p99_ms": readonly["read_p99_ms"],
+        "mixed_read_p99_ms_worst": (
+            max(p["read_p99_ms"] for p in mixed) if mixed else None
+        ),
+        "mixed_over_readonly_p99_ratio": ratio,
+    }
+    if not quiet:
+        print_table(
+            f"Serving: {CONCURRENT_VIEWS} views, Zipf({zipf_s:g}) point "
+            f"reads at {read_rate:g}/s, open-loop Poisson arrivals",
+            [
+                "Phase",
+                "Writes/s",
+                "Reads",
+                "Achieved/s",
+                "p50 ms",
+                "p99 ms",
+                "Write p99 ms",
+                "Shed",
+            ],
+            [
+                (
+                    p["label"],
+                    f"{p['write_rate']:g}",
+                    p["reads"],
+                    f"{p['achieved_read_rate']:.0f}",
+                    f"{p['read_p50_ms']:.3f}",
+                    f"{p['read_p99_ms']:.3f}",
+                    (
+                        f"{p['write_p99_ms']:.1f}"
+                        if p["write_p99_ms"] is not None
+                        else "-"
+                    ),
+                    p["shed"],
+                )
+                for p in phases
+            ],
+        )
+        print_table(
+            "Saturation climb (writes at "
+            f"{write_rates[0] if write_rates else 0:g}/s)",
+            ["Offered/s", "Achieved/s", "p50 ms", "p99 ms"],
+            [
+                (
+                    f"{p['offered_read_rate']:g}",
+                    f"{p['achieved_read_rate']:.0f}",
+                    f"{p['read_p50_ms']:.3f}",
+                    f"{p['read_p99_ms']:.3f}",
+                )
+                for p in saturation_series
+            ],
+        )
+        if ratio is not None:
+            knee = (
+                format(saturation_rate, "g")
+                if saturation_rate
+                else ">" + format(
+                    record["saturation"]["max_tested_read_rate"], "g"
+                )
+            )
+            print(
+                f"\nmixed/readonly read p99 ratio: {ratio:.2f}x  "
+                f"(saturation at {knee} reads/s)"
+            )
+    return record
+
+
+# ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
 def write_csv(path: str, rows: List[Dict[str, float]]) -> None:
@@ -1097,6 +1464,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "plancache",
             "concurrent",
             "checkpoint",
+            "serving",
             "all",
         ],
     )
@@ -1196,6 +1564,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if chosen in ("checkpoint", "all"):
         record = run_checkpoint()
         if args.json and chosen == "checkpoint":
+            with open(args.json, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+    if chosen in ("serving", "all"):
+        # same sizing rule as `concurrent`: the 16-view build dominates
+        # at the shared default SF
+        serving_scale = args.scale if args.scale != DEFAULT_SCALE else 0.002
+        record = run_serving(serving_scale, seed=args.seed)
+        if args.json and chosen == "serving":
             with open(args.json, "w") as handle:
                 json.dump(record, handle, indent=2)
                 handle.write("\n")

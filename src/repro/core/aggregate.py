@@ -29,7 +29,7 @@ from ..algebra.expr import delta_label
 from ..algebra.evaluate import evaluate
 from ..engine.catalog import Database
 from ..engine.schema import Schema
-from ..engine.table import Row, Table
+from ..engine.table import Row, Table, next_version
 from ..errors import MaintenanceError, UnsupportedViewError
 from .maintain import (
     MaintenanceOptions,
@@ -133,7 +133,14 @@ class AggregatedView:
 
         self.groups: Dict[Row, _Group] = {}
         self._mgraphs: Dict[str, MaintenanceGraph] = {}
+        # Mutation-clock tick (see engine.table.next_version): advanced
+        # by every fold and by wholesale ``groups`` replacement.
+        self.version: int = next_version()
         self._populate()
+
+    def bump_version(self) -> None:
+        """Advance the mutation clock after a content change."""
+        self.version = next_version()
 
     # ------------------------------------------------------------------
     def _populate(self) -> None:
@@ -185,6 +192,8 @@ class AggregatedView:
                     f"group {key!r} reached negative row count — "
                     "inconsistent delta"
                 )
+        if table.rows:
+            self.bump_version()
         return len(table.rows)
 
     @staticmethod

@@ -22,7 +22,7 @@ from ..algebra.normalform import Term, normal_form
 from ..algebra.subsumption import SubsumptionGraph
 from ..engine.catalog import Database
 from ..engine.schema import Schema
-from ..engine.table import Row, Table
+from ..engine.table import Row, Table, next_version
 from ..errors import MaintenanceError, UnsupportedViewError
 
 
@@ -212,6 +212,14 @@ class MaterializedView:
         # column tuple.  Used by the maintainer's orphan probes and by
         # lookup(); see SubkeyIndex.
         self._subkey_indexes: Dict[Tuple[str, ...], SubkeyIndex] = {}
+        # Mutation-clock tick: advanced by every delta application and
+        # by wholesale ``_rows`` replacement (bump_version at those
+        # sites).  Snapshot capture keys its copy cache on this.
+        self.version: int = next_version()
+
+    def bump_version(self) -> None:
+        """Advance the mutation clock after a content change."""
+        self.version = next_version()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -257,6 +265,7 @@ class MaterializedView:
             cols: index.copy()
             for cols, index in self._subkey_indexes.items()
         }
+        twin.version = next_version()
         return twin
 
     # ------------------------------------------------------------------
@@ -327,6 +336,8 @@ class MaterializedView:
             for index in self._subkey_indexes.values():
                 index.add(stored, key)
             added += 1
+        if added:
+            self.bump_version()
         return added
 
     def delete_rows(self, rows: Iterable[Row]) -> int:
@@ -344,4 +355,6 @@ class MaterializedView:
                 index.discard(stored, key)
             del self._rows[key]
             removed += 1
+        if removed:
+            self.bump_version()
         return removed

@@ -183,6 +183,8 @@ class Database:
         for index in table.indexes:
             for offset, row in enumerate(new_rows):
                 index.add(row, start + offset)
+        if new_rows:
+            table.bump_version()
         return delta
 
     def delete(self, name: str, rows: Iterable[Row], check: bool = True) -> Table:
@@ -209,6 +211,8 @@ class Database:
         table.rows = [row for row in table.rows if row not in doomed_set]
         for index in table.indexes:
             index.rebuild()
+        if doomed:
+            table.bump_version()
         return delta
 
     def delete_by_key(

@@ -8,12 +8,26 @@ latter case ``name`` is a synthetic label and ``key`` may be ``None``.
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..errors import ConstraintError, SchemaError
 from .schema import Schema
 
 Row = Tuple[object, ...]
+
+#: Global monotonic mutation clock shared by tables and materialized
+#: views.  Every mutation (and every fresh container) draws the next
+#: tick, so a ``version`` value is never reused — snapshot capture can
+#: key its copy-on-write cache on the version alone, even across object
+#: replacement.  ``next()`` on a C-level iterator is atomic under the
+#: GIL, which is all the hot path needs.
+_MUTATION_CLOCK = count(1)
+
+
+def next_version() -> int:
+    """The next tick of the global mutation clock."""
+    return next(_MUTATION_CLOCK)
 
 
 class Table:
@@ -36,7 +50,9 @@ class Table:
         contain nulls" restriction.
     """
 
-    __slots__ = ("name", "schema", "rows", "key", "not_null", "indexes")
+    __slots__ = (
+        "name", "schema", "rows", "key", "not_null", "indexes", "version"
+    )
 
     def __init__(
         self,
@@ -65,6 +81,14 @@ class Table:
         # Persistent hash indexes (engine.index.HashIndex), maintained by
         # the catalog's DML and consulted by the join operator.
         self.indexes: list = []
+        # Mutation-clock tick, advanced by the catalog's DML.  Snapshot
+        # capture (runtime.snapshots) reuses its previous copy of any
+        # table whose version has not moved.
+        self.version: int = next_version()
+
+    def bump_version(self) -> None:
+        """Advance the mutation clock after an in-place row change."""
+        self.version = next_version()
 
     # ------------------------------------------------------------------
     # container protocol

@@ -34,6 +34,13 @@ scenario itself) and require :meth:`Warehouse.recover` to quarantine the
 damage, never raise, and leave every view recompute-equal over whatever
 history survived.
 
+The ``serving`` config exercises the MVCC read path: after every op it
+takes a :meth:`Warehouse.snapshot` and requires (a) the snapshot's base
+tables to equal the reference replay's state at that step, and (b) every
+non-stale view in the snapshot to equal a full recompute of its
+definition over the snapshot's *own* base tables — i.e. each published
+epoch is internally consistent at its LSN, never a torn batch.
+
 Because every config is checked against recompute on an identical update
 stream, agreement with the oracle implies pairwise agreement of all
 strategy pairs; a final explicit cross-config comparison is kept anyway
@@ -86,7 +93,8 @@ class Mismatch:
     config: str
     step: str  # "op[3]", "flush", "recovery", "final"
     kind: str  # view-divergence | db-divergence | outcome | quarantine
-    #          | durability | cross-config | harness-error
+    #          | durability | cross-config | snapshot-divergence
+    #          | harness-error
     view: Optional[str] = None
     detail: str = ""
 
@@ -144,6 +152,7 @@ class OracleConfig:
     crash_checkpoint: bool = False  # die inside CheckpointManager.write
     crash_compaction: bool = False  # die inside segment deletion
     corruption: Optional[str] = None  # "torn" | "bitflip"
+    snapshot_reads: bool = False  # MVCC snapshot queries vs recompute
 
 
 def _opts(**kwargs) -> Callable[[], MaintenanceOptions]:
@@ -251,6 +260,14 @@ def default_matrix() -> List[OracleConfig]:
             wal=True,
             segment_bytes=128,
             corruption="bitflip",
+        ),
+        OracleConfig(
+            "serving",
+            _opts(),
+            workers=2,
+            wal=True,
+            retry=_FAST_RETRY,
+            snapshot_reads=True,
         ),
     ]
 
@@ -468,6 +485,70 @@ def _check_step(
             )
 
 
+def _check_snapshot(
+    wh: Warehouse,
+    config: OracleConfig,
+    step: str,
+    expected_state: Dict[str, frozenset],
+    result: CaseResult,
+) -> None:
+    """The serving oracle: the latest published snapshot must equal the
+    reference replay's state at this step, and every non-stale view in
+    it must equal a recompute over the snapshot's own base tables.
+
+    The caller has already drained (``_check_step``), so the newest
+    snapshot corresponds to the just-applied op — or, when the op
+    failed, to the unchanged/rolled-back state, which the reference
+    reached the same way.
+    """
+    snapshot = wh.snapshot()
+    if not snapshot.valid:
+        result.mismatches.append(
+            Mismatch(
+                config.name, step, "snapshot-divergence", None,
+                f"latest snapshot invalid ({snapshot.invalid_reason}) "
+                "outside recovery",
+            )
+        )
+        return
+    snap_state = {
+        name: frozenset(slice_.rows)
+        for name, slice_ in snapshot.tables.items()
+    }
+    if snap_state != expected_state:
+        diverged = sorted(
+            name
+            for name in snap_state
+            if snap_state[name] != expected_state.get(name)
+        )
+        result.mismatches.append(
+            Mismatch(
+                config.name, step, "snapshot-divergence", None,
+                f"snapshot base table(s) {diverged} (lsn "
+                f"{snapshot.lsn}) differ from the reference replay",
+            )
+        )
+    recompute_db = snapshot.build_database()
+    for name in snapshot.view_names:
+        if name in snapshot.stale_views:
+            continue
+        definition = wh.maintainer(name).definition
+        expected = frozenset(definition.evaluate(recompute_db).rows)
+        actual = frozenset(snapshot.view_rows(name))
+        if actual != expected:
+            missing = sorted(expected - actual)[:3]
+            extra = sorted(actual - expected)[:3]
+            result.mismatches.append(
+                Mismatch(
+                    config.name, step, "snapshot-divergence", name,
+                    f"snapshot view differs from recompute at lsn "
+                    f"{snapshot.lsn}: {len(expected - actual)} missing "
+                    f"(e.g. {missing}), {len(actual - expected)} extra "
+                    f"(e.g. {extra})",
+                )
+            )
+
+
 def _run_config(
     scenario: Scenario,
     config: OracleConfig,
@@ -517,6 +598,10 @@ def _run_config(
                     _check_step(
                         wh, config, step, reference.states[i], result
                     )
+                    if config.snapshot_reads:
+                        _check_snapshot(
+                            wh, config, step, reference.states[i], result
+                        )
                     continue
                 outcome = apply_op(wh, op)
                 if outcome != reference.outcomes[i]:
@@ -529,6 +614,10 @@ def _run_config(
                         )
                     )
                 _check_step(wh, config, step, reference.states[i], result)
+                if config.snapshot_reads:
+                    _check_snapshot(
+                        wh, config, step, reference.states[i], result
+                    )
                 if config.checkpoint_every and op["kind"] != "crash":
                     since_checkpoint += 1
                     if since_checkpoint >= config.checkpoint_every:

@@ -341,6 +341,37 @@ class Telemetry:
             "Flight-recorder dumps written, by triggering event kind",
             ("kind",),
         )
+        self.read_seconds = m.histogram(
+            "repro_read_seconds",
+            "Wall time of one snapshot query",
+            ("view",),
+            buckets=(0.00001, 0.000025, 0.00005, 0.0001, 0.00025,
+                     0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05),
+        )
+        self.snapshot_age_seconds = m.gauge(
+            "repro_snapshot_age_seconds",
+            "Age of the snapshot serving the most recent read",
+        )
+        self.snapshot_lag = m.gauge(
+            "repro_snapshot_reader_lag",
+            "Epochs between the snapshot just read and the latest one",
+        )
+        self.snapshots_published = m.counter(
+            "repro_snapshots_published_total",
+            "Consistent read snapshots published by the warehouse",
+        )
+        self.snapshots_retained = m.gauge(
+            "repro_snapshots_retained",
+            "Read snapshots currently retained by the store",
+        )
+        self.snapshot_lsn = m.gauge(
+            "repro_snapshot_lsn",
+            "Applied LSN of the latest published read snapshot",
+        )
+        self.snapshot_stale_views = m.gauge(
+            "repro_snapshot_stale_views",
+            "Quarantined (stale) views in the latest snapshot",
+        )
 
     # ------------------------------------------------------------------
     # structured events
@@ -572,6 +603,35 @@ class Telemetry:
         )
         kind = "recovery.degraded" if degraded else "recovery.completed"
         return self.record_event(kind, **summary)
+
+    def record_read(
+        self,
+        view: str,
+        seconds: float,
+        snapshot_age: float = 0.0,
+        lag: int = 0,
+    ) -> None:
+        """One snapshot query: latency, snapshot age, reader lag."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.read_seconds.observe(seconds, view=view)
+            self.snapshot_age_seconds.set(snapshot_age)
+            self.snapshot_lag.set(lag)
+        self.slo.observe("read", seconds)
+
+    def record_snapshot_publish(
+        self, lsn: Optional[int], retained: int, stale_views: int = 0
+    ) -> None:
+        """The warehouse published a consistent read snapshot."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.snapshots_published.inc()
+            self.snapshots_retained.set(retained)
+            if lsn is not None:
+                self.snapshot_lsn.set(lsn)
+            self.snapshot_stale_views.set(stale_views)
 
     def record_fuzz_shrink(self, steps: int = 1) -> None:
         """Accepted reductions while minimizing a failing fuzz case."""

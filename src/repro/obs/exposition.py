@@ -335,6 +335,12 @@ class ObsServer:
         last_recovery = getattr(self.warehouse, "last_recovery", None)
         if last_recovery is not None:
             payload["last_recovery"] = last_recovery
+        serving_stats = getattr(self.warehouse, "serving_stats", None)
+        if callable(serving_stats):
+            try:
+                payload["serving"] = serving_stats()
+            except Exception:  # never let the read path break the scrape
+                pass
         return payload
 
     @staticmethod

@@ -7,7 +7,8 @@ leave operators to derive it from raw counters.
 
 :class:`SLOTracker` keeps two kinds of state:
 
-* **Latency samples** per phase (``apply``, ``flush``, ``maintenance``),
+* **Latency samples** per phase (``apply``, ``flush``, ``maintenance``,
+  ``read``),
   bounded reservoirs from which p50/p95/p99 are computed on demand.
   Quantiles use the nearest-rank method over the retained window — exact
   for windows below the bound, a recent-biased estimate beyond it.
@@ -34,8 +35,9 @@ from typing import Dict, List, Optional, Tuple
 
 __all__ = ["SLOTracker", "PHASES", "DEFAULT_OBJECTIVE", "QUANTILES"]
 
-#: Maintenance phases with latency SLOs.
-PHASES = ("apply", "flush", "maintenance")
+#: Pipeline phases with latency SLOs (``read`` is the serving tier's
+#: snapshot-query lane — see docs/SERVING.md).
+PHASES = ("apply", "flush", "maintenance", "read")
 
 #: Success-rate objective views are held to unless overridden: 99.9%.
 DEFAULT_OBJECTIVE = 0.999

@@ -1,6 +1,6 @@
 """Durable, concurrent maintenance runtime.
 
-Three pieces sit between the warehouse facade and the per-view
+Four pieces sit between the warehouse facade and the per-view
 maintainers:
 
 * :class:`WriteAheadLog` — a segmented, CRC-checksummed change log that
@@ -17,10 +17,13 @@ maintainers:
   dispatcher while fanning each change's per-view maintenance across a
   thread pool, with bounded-backoff retry (:class:`RetryPolicy`),
   per-view timeouts, quarantine-based graceful degradation, and a
-  bounded admission queue (block or shed on overflow).
+  bounded admission queue (block or shed on overflow);
+* :class:`SnapshotStore` — MVCC-style published snapshots of base
+  tables + views at consistent LSNs, giving readers torn-read-free,
+  non-blocking access (see ``docs/SERVING.md``).
 
 See ``docs/DURABILITY.md`` for the durability and staleness contract.
-The third piece, :mod:`repro.runtime.failpoints`, is the deterministic
+A fifth piece, :mod:`repro.runtime.failpoints`, is the deterministic
 fault-injection registry the crash-recovery tests and the differential
 fuzz harness (:mod:`repro.fuzz`) drive these code paths with.
 """
@@ -37,9 +40,14 @@ from .scheduler import (
     Task,
     ViewState,
 )
+from .snapshots import Snapshot, SnapshotStore, TableSlice, ViewSlice
 from .wal import DEFAULT_SEGMENT_BYTES, WalEntry, WriteAheadLog
 
 __all__ = [
+    "Snapshot",
+    "SnapshotStore",
+    "TableSlice",
+    "ViewSlice",
     "FAILPOINTS",
     "Failpoints",
     "InjectedFault",

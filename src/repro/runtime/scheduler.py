@@ -156,6 +156,8 @@ class ChangeTicket:
         self.operation = operation
         self._event = threading.Event()
         self._result: Optional[FanOutResult] = None
+        self._callbacks: List[Callable[[FanOutResult], None]] = []
+        self._cb_lock = threading.Lock()
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -169,9 +171,29 @@ class ChangeTicket:
         assert self._result is not None
         return self._result
 
+    def add_done_callback(
+        self, fn: Callable[[FanOutResult], None]
+    ) -> None:
+        """Run *fn(result)* once the change completes — immediately (on
+        the calling thread) if it already has, otherwise on the thread
+        that completes the ticket.  This is how the asyncio front end
+        bridges tickets to futures without a waiter thread per change;
+        exceptions from *fn* propagate to the completing thread, so
+        callbacks must not raise."""
+        with self._cb_lock:
+            if self._result is None:
+                self._callbacks.append(fn)
+                return
+            result = self._result
+        fn(result)
+
     def _complete(self, result: FanOutResult) -> None:
-        self._result = result
+        with self._cb_lock:
+            self._result = result
+            callbacks, self._callbacks = self._callbacks, []
         self._event.set()
+        for fn in callbacks:
+            fn(result)
 
 
 @dataclass

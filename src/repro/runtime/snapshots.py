@@ -1,0 +1,504 @@
+"""MVCC-style snapshot reads over the maintained warehouse state.
+
+The maintenance pipeline keeps views correct under a continuous update
+stream, but that alone does not make them *servable*: a query reading
+``view._rows`` while a fan-out is mid-flight can observe half of a batch
+(torn reads), and blocking reads behind the change queue would couple
+read latency to maintenance latency.  This module decouples the two with
+the classic MVCC move — readers never touch live state at all:
+
+* At every **consistent point** — a completed change (dispatcher's
+  completion hook), a transaction commit/rollback, view DDL, repair,
+  recovery — the warehouse publishes an immutable :class:`Snapshot` of
+  base tables + view contents, keyed by the applied LSN.
+* :meth:`Warehouse.snapshot` hands out the latest published snapshot
+  without taking any scheduler lock; :meth:`Warehouse.query` serves
+  point lookups and predicate scans from it.  Readers therefore never
+  block on maintenance and never observe a partially-applied batch —
+  every read is consistent with *some* applied LSN.
+* Capture is **copy-on-write**: tables and views carry a global
+  mutation-clock ``version`` (see :func:`repro.engine.table.next_version`),
+  and :class:`SnapshotStore` reuses its previous copy of any container
+  whose version has not moved.  A change that touches 3 of 16 views
+  copies 3 views, not 16.
+
+Retention is bounded two ways: the store keeps at most ``retain``
+snapshots (a deque), and :meth:`Warehouse.checkpoint` prunes snapshots
+older than the checkpoint LSN — the same boundary that compacts the WAL.
+Snapshot objects already handed to readers stay alive (plain Python
+references) and remain queryable after pruning; they are only *flagged*
+invalid when :meth:`Warehouse.recover` discards unacknowledged history,
+because a pre-crash snapshot may reflect changes that recovery rolled
+back.
+
+Staleness contract: a snapshot's non-quarantined views equal a full
+recompute of their definitions over the snapshot's own base tables (the
+``serving`` fuzz config asserts exactly this); views listed in
+``stale_views`` were quarantined at publish time and reflect their last
+healthy state.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from collections import deque
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from ..engine.catalog import Database
+from ..engine.table import Row, Table
+from ..errors import CatalogError
+
+__all__ = ["Snapshot", "SnapshotStore", "ViewSlice", "TableSlice"]
+
+
+def _bare(qualified: str) -> str:
+    """``customer.c_custkey`` -> ``c_custkey`` (checkpoint convention)."""
+    return qualified.split(".", 1)[1] if "." in qualified else qualified
+
+
+class ViewSlice:
+    """One view's frozen contents inside a snapshot.
+
+    ``rows_by_key`` maps the view key to the stored row, so key-equality
+    queries stay O(1) hash probes even on a frozen copy; everything else
+    scans.  Slices are shared across snapshots while the source view's
+    version does not move — never mutate one.
+    """
+
+    __slots__ = ("name", "columns", "key_cols", "rows_by_key", "version")
+
+    def __init__(
+        self,
+        name: str,
+        columns: Tuple[str, ...],
+        key_cols: Tuple[str, ...],
+        rows_by_key: Dict[Row, Row],
+        version: int,
+    ):
+        self.name = name
+        self.columns = columns
+        self.key_cols = key_cols
+        self.rows_by_key = rows_by_key
+        self.version = version
+
+    def rows(self) -> List[Row]:
+        return list(self.rows_by_key.values())
+
+    def __len__(self) -> int:
+        return len(self.rows_by_key)
+
+
+class TableSlice:
+    """One base table's frozen contents inside a snapshot."""
+
+    __slots__ = ("name", "columns", "key", "not_null", "rows", "version")
+
+    def __init__(
+        self,
+        name: str,
+        columns: Tuple[str, ...],
+        key: Optional[Tuple[str, ...]],
+        not_null: Tuple[str, ...],
+        rows: Tuple[Row, ...],
+        version: int,
+    ):
+        self.name = name
+        self.columns = columns
+        self.key = key
+        self.not_null = not_null
+        self.rows = rows
+        self.version = version
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Snapshot:
+    """An immutable, consistent epoch of the warehouse.
+
+    ``lsn`` is the applied LSN the snapshot corresponds to: the WAL LSN
+    of the last change it includes (WAL-backed warehouses) or the
+    publish sequence number (undurable ones).  ``seq`` is the publish
+    sequence, strictly monotonic either way.
+    """
+
+    __slots__ = (
+        "lsn",
+        "seq",
+        "created_at",
+        "views",
+        "tables",
+        "stale_views",
+        "_valid",
+        "_invalid_reason",
+        "__weakref__",
+    )
+
+    def __init__(
+        self,
+        lsn: int,
+        seq: int,
+        created_at: float,
+        views: Dict[str, ViewSlice],
+        tables: Dict[str, TableSlice],
+        stale_views: frozenset,
+    ):
+        self.lsn = lsn
+        self.seq = seq
+        self.created_at = created_at
+        self.views = views
+        self.tables = tables
+        self.stale_views = stale_views
+        self._valid = True
+        self._invalid_reason: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # validity
+    # ------------------------------------------------------------------
+    @property
+    def valid(self) -> bool:
+        """False once recovery discarded the history this snapshot may
+        include (it was published before a crash lost unacked changes)."""
+        return self._valid
+
+    @property
+    def invalid_reason(self) -> Optional[str]:
+        return self._invalid_reason
+
+    def _invalidate(self, reason: str) -> None:
+        self._valid = False
+        self._invalid_reason = reason
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    @property
+    def view_names(self) -> List[str]:
+        return sorted(self.views)
+
+    def view_rows(self, view: str) -> List[Row]:
+        return self._slice(view).rows()
+
+    def table_rows(self, table: str) -> List[Row]:
+        try:
+            return list(self.tables[table].rows)
+        except KeyError:
+            raise CatalogError(
+                f"snapshot has no base table {table!r}"
+            ) from None
+
+    def age_seconds(self, now: Optional[float] = None) -> float:
+        return max(0.0, (time.time() if now is None else now) - self.created_at)
+
+    def _slice(self, view: str) -> ViewSlice:
+        try:
+            return self.views[view]
+        except KeyError:
+            raise CatalogError(f"snapshot has no view {view!r}") from None
+
+    def _positions(
+        self, slice_: ViewSlice, names: Iterable[str]
+    ) -> List[int]:
+        positions = []
+        for name in names:
+            if name in slice_.columns:
+                positions.append(slice_.columns.index(name))
+                continue
+            # accept bare column names when unambiguous
+            matches = [
+                i
+                for i, col in enumerate(slice_.columns)
+                if _bare(col) == name
+            ]
+            if len(matches) != 1:
+                raise CatalogError(
+                    f"view {slice_.name!r} has no column {name!r}"
+                    + (" (ambiguous bare name)" if matches else "")
+                )
+            positions.append(matches[0])
+        return positions
+
+    def query(
+        self,
+        view: str,
+        predicate: Optional[Callable[[Dict[str, object]], bool]] = None,
+        limit: Optional[int] = None,
+        **equalities,
+    ) -> List[Row]:
+        """Rows of *view* at this snapshot, optionally filtered.
+
+        ``equalities`` are column=value filters (qualified names via
+        ``**{"customer.c_custkey": 5}``, or bare names when unambiguous);
+        an exact view-key match is answered by one hash probe.
+        *predicate* receives each candidate row as a column->value dict.
+        """
+        slice_ = self._slice(view)
+        rows: Iterable[Row]
+        if equalities:
+            names = sorted(equalities)
+            positions = self._positions(slice_, names)
+            values = [equalities[n] for n in names]
+            probed = {slice_.columns[p] for p in positions}
+            if probed == set(slice_.key_cols) and predicate is None:
+                by_col = dict(zip((slice_.columns[p] for p in positions), values))
+                key = tuple(by_col[c] for c in slice_.key_cols)
+                row = slice_.rows_by_key.get(key)
+                rows = [row] if row is not None else []
+                return list(rows[:limit] if limit is not None else rows)
+            rows = (
+                row
+                for row in slice_.rows_by_key.values()
+                if all(row[p] == v for p, v in zip(positions, values))
+            )
+        else:
+            rows = slice_.rows_by_key.values()
+        if predicate is not None:
+            columns = slice_.columns
+            rows = (
+                row for row in rows if predicate(dict(zip(columns, row)))
+            )
+        out: List[Row] = []
+        for row in rows:
+            out.append(row)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    # recompute support
+    # ------------------------------------------------------------------
+    def build_database(self) -> Database:
+        """A fresh :class:`Database` holding this snapshot's base tables
+        (no foreign keys — evaluation does not need them).  Used by the
+        ``serving`` fuzz oracle to recompute every view definition at
+        this snapshot's LSN and compare against the captured view rows.
+        """
+        db = Database()
+        for name, slice_ in self.tables.items():
+            db.create_table(
+                name,
+                [_bare(c) for c in slice_.columns],
+                key=[_bare(c) for c in (slice_.key or ())],
+                not_null=[_bare(c) for c in slice_.not_null],
+            )
+            if slice_.rows:
+                db.insert(name, slice_.rows, check=False)
+        return db
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Snapshot(lsn={self.lsn}, seq={self.seq}, "
+            f"views={len(self.views)}, valid={self._valid})"
+        )
+
+
+class SnapshotStore:
+    """Bounded ring of published snapshots with copy-on-write capture.
+
+    ``publish`` must only be called from consistent points (the caller
+    guarantees no fan-out is mutating views concurrently — the warehouse
+    publishes from the dispatcher's completion hook or after a drain).
+    ``latest``/``at`` are safe from any thread and never block on
+    maintenance: they take only the store's own lock, held for O(1).
+    """
+
+    def __init__(self, retain: int = 8, clock=time.time):
+        self.retain = max(1, int(retain))
+        self._clock = clock
+        # _lock guards the published ring and is only ever held for
+        # O(1) work, so readers never wait on a capture in progress;
+        # _publish_lock serializes publishers (and owns the CoW caches)
+        self._lock = threading.Lock()
+        self._publish_lock = threading.Lock()
+        self._snapshots: "deque[Snapshot]" = deque()
+        self._seq = 0
+        # every snapshot ever published and still referenced somewhere,
+        # so invalidate() can flag copies readers are already holding
+        self._issued: "weakref.WeakSet[Snapshot]" = weakref.WeakSet()
+        # copy-on-write caches: name -> (version, captured slice)
+        self._view_cache: Dict[str, Tuple[int, ViewSlice]] = {}
+        self._table_cache: Dict[str, Tuple[int, TableSlice]] = {}
+        self.published_count = 0
+        self.invalidated_count = 0
+
+    # ------------------------------------------------------------------
+    # publishing (consistent points only)
+    # ------------------------------------------------------------------
+    def publish(
+        self,
+        tables: Dict[str, Table],
+        views: Dict[str, object],
+        aggregates: Dict[str, object],
+        stale: Iterable[str] = (),
+        lsn: Optional[int] = None,
+    ) -> Snapshot:
+        """Capture the current state as a new snapshot and retain it.
+
+        *views* maps name -> :class:`~repro.core.view.MaterializedView`;
+        *aggregates* maps name -> :class:`~repro.core.aggregate.AggregatedView`.
+        *stale* names quarantined views: their previous capture is
+        reused (a zombie timeout attempt may still be mutating the live
+        object) and they are listed in ``Snapshot.stale_views``.
+        *lsn* defaults to the publish sequence number.
+        """
+        stale = frozenset(stale)
+        with self._publish_lock:
+            # capture happens OUTSIDE the ring lock: a reader calling
+            # latest() mid-capture must not wait out the copies
+            view_slices: Dict[str, ViewSlice] = {}
+            for name, view in views.items():
+                view_slices[name] = self._capture_view(name, view, stale)
+            for name, aggregated in aggregates.items():
+                view_slices[name] = self._capture_aggregate(
+                    name, aggregated, stale
+                )
+            table_slices = {
+                name: self._capture_table(name, table)
+                for name, table in tables.items()
+            }
+            # drop cache entries for views/tables that no longer exist
+            live = set(view_slices)
+            for gone in set(self._view_cache) - live:
+                del self._view_cache[gone]
+            for gone in set(self._table_cache) - set(table_slices):
+                del self._table_cache[gone]
+            with self._lock:
+                self._seq += 1
+                seq = self._seq
+                snapshot = Snapshot(
+                    lsn=seq if lsn is None else lsn,
+                    seq=seq,
+                    created_at=self._clock(),
+                    views=view_slices,
+                    tables=table_slices,
+                    stale_views=stale & live,
+                )
+                self._snapshots.append(snapshot)
+                while len(self._snapshots) > self.retain:
+                    self._snapshots.popleft()
+                self._issued.add(snapshot)
+                self.published_count += 1
+                return snapshot
+
+    def _capture_view(self, name: str, view, stale: frozenset) -> ViewSlice:
+        cached = self._view_cache.get(name)
+        if cached is not None and (
+            cached[0] == view.version or name in stale
+        ):
+            return cached[1]
+        slice_ = ViewSlice(
+            name,
+            tuple(view.schema.columns),
+            tuple(view.key_cols),
+            dict(view._rows),
+            view.version,
+        )
+        self._view_cache[name] = (view.version, slice_)
+        return slice_
+
+    def _capture_aggregate(
+        self, name: str, aggregated, stale: frozenset
+    ) -> ViewSlice:
+        cached = self._view_cache.get(name)
+        if cached is not None and (
+            cached[0] == aggregated.version or name in stale
+        ):
+            return cached[1]
+        columns = tuple(aggregated.group_by) + tuple(
+            f"agg.{a.alias}" for a in aggregated.aggregates
+        )
+        key_cols = tuple(aggregated.group_by)
+        key_len = len(key_cols)
+        rows_by_key = {row[:key_len]: row for row in aggregated.rows()}
+        slice_ = ViewSlice(
+            name, columns, key_cols, rows_by_key, aggregated.version
+        )
+        self._view_cache[name] = (aggregated.version, slice_)
+        return slice_
+
+    def _capture_table(self, name: str, table: Table) -> TableSlice:
+        cached = self._table_cache.get(name)
+        if cached is not None and cached[0] == table.version:
+            return cached[1]
+        slice_ = TableSlice(
+            name,
+            tuple(table.schema.columns),
+            tuple(table.key) if table.key is not None else None,
+            tuple(sorted(table.not_null)),
+            tuple(table.rows),
+            table.version,
+        )
+        self._table_cache[name] = (table.version, slice_)
+        return slice_
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def latest(self) -> Optional[Snapshot]:
+        """The newest published snapshot (never blocks on maintenance)."""
+        with self._lock:
+            return self._snapshots[-1] if self._snapshots else None
+
+    def at(self, lsn: int) -> Optional[Snapshot]:
+        """The newest retained snapshot with ``snapshot.lsn <= lsn``."""
+        with self._lock:
+            best: Optional[Snapshot] = None
+            for snapshot in self._snapshots:
+                if snapshot.lsn <= lsn:
+                    best = snapshot
+            return best
+
+    @property
+    def retained(self) -> int:
+        with self._lock:
+            return len(self._snapshots)
+
+    @property
+    def last_seq(self) -> int:
+        """Publish sequence of the newest snapshot (0 before any)."""
+        with self._lock:
+            return self._seq
+
+    def retained_snapshots(self) -> List[Snapshot]:
+        with self._lock:
+            return list(self._snapshots)
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+    def prune(self, min_lsn: int) -> int:
+        """Drop retained snapshots older than *min_lsn* (the checkpoint
+        boundary), always keeping the newest.  Readers holding a pruned
+        snapshot keep a perfectly valid object — pruning only bounds the
+        store's own retention.  Returns the number dropped."""
+        dropped = 0
+        with self._lock:
+            while (
+                len(self._snapshots) > 1
+                and self._snapshots[0].lsn < min_lsn
+            ):
+                self._snapshots.popleft()
+                dropped += 1
+        return dropped
+
+    def invalidate(self, reason: str = "recovery") -> int:
+        """Flag every issued snapshot invalid and clear the store.
+
+        Called by :meth:`Warehouse.recover`: snapshots published before
+        a crash may include changes whose acknowledgements never became
+        durable, so post-recovery they no longer correspond to any
+        applied LSN.  Returns the number of snapshots flagged."""
+        with self._publish_lock:  # the caches belong to publishers
+            with self._lock:
+                flagged = 0
+                for snapshot in list(self._issued):
+                    if snapshot._valid:
+                        snapshot._invalidate(reason)
+                        flagged += 1
+                self._snapshots.clear()
+                self._view_cache.clear()
+                self._table_cache.clear()
+                self.invalidated_count += flagged
+                return flagged

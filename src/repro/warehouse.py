@@ -36,6 +36,8 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
+from typing import Callable
+
 from .algebra.expr import RelExpr
 from .core.aggregate import Aggregate, AggregatedView
 from .core.batch import NetDelta
@@ -54,6 +56,8 @@ from .runtime import (
     FanOutResult,
     MaintenanceScheduler,
     RetryPolicy,
+    Snapshot,
+    SnapshotStore,
     Task,
     WriteAheadLog,
 )
@@ -117,6 +121,12 @@ class Warehouse:
         ``/metrics``, ``/healthz``, ``/dashboard.json`` and
         ``/flight-recorder`` for this warehouse; it stops on
         :meth:`close`.  See ``docs/OBSERVABILITY.md``.
+    snapshot_retain:
+        How many published read snapshots the warehouse keeps (default
+        8).  Readers holding older :class:`~repro.runtime.Snapshot`
+        objects keep them alive independently; retention only bounds
+        the store.  :meth:`checkpoint` additionally prunes snapshots
+        older than the checkpoint LSN.  See ``docs/SERVING.md``.
     """
 
     def __init__(
@@ -135,6 +145,7 @@ class Warehouse:
         overflow: str = "block",
         obs_http_port: Optional[int] = None,
         obs_http_host: str = "127.0.0.1",
+        snapshot_retain: int = 8,
     ):
         self.db = db
         self.telemetry = telemetry or Telemetry.disabled()
@@ -175,6 +186,11 @@ class Warehouse:
             overflow=overflow,
         )
         self._pending_tickets: List[ChangeTicket] = []
+        self.snapshots = SnapshotStore(retain=snapshot_retain)
+        self._recovering = False
+        self._publish_errors = 0
+        # the store is never empty: readers can always get *a* snapshot
+        self._publish()
         self.obs_server: Optional[ObsServer] = None
         if obs_http_port is not None:
             self.serve_obs(host=obs_http_host, port=obs_http_port)
@@ -205,6 +221,7 @@ class Warehouse:
         # telemetry series are keyed by the *definition* name (that is what
         # the maintainer stamps on spans and metrics)
         self.telemetry.record_view_size(definition.name, len(materialized))
+        self._publish()  # queue is drained: a consistent point
         return materialized
 
     def create_aggregated_view(
@@ -226,15 +243,18 @@ class Warehouse:
         aggregated = AggregatedView(definition, group_by, aggregates, self.db)
         self._aggregates[name] = aggregated
         self.scheduler.register(name)
+        self._publish()
         return aggregated
 
     def drop_view(self, name: str) -> None:
         self.scheduler.drain()
         if self._maintainers.pop(name, None) is not None:
             self.scheduler.forget(name)
+            self._publish()
             return
         if self._aggregates.pop(name, None) is not None:
             self.scheduler.forget(name)
+            self._publish()
             return
         raise CatalogError(f"no view named {name!r}")
 
@@ -267,6 +287,69 @@ class Warehouse:
     def quarantined_views(self) -> List[str]:
         """Views excluded from fan-out until :meth:`repair_view`."""
         return self.scheduler.quarantined
+
+    # ------------------------------------------------------------------
+    # snapshot reads (MVCC — see docs/SERVING.md)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Snapshot:
+        """The latest published consistent :class:`~repro.runtime.Snapshot`.
+
+        Never blocks on maintenance: this is an O(1) handle grab, even
+        while a fan-out is mid-flight.  The snapshot reflects all
+        changes up to its ``lsn`` and nothing of any later change —
+        reads from it can never observe a torn batch.
+        """
+        snapshot = self.snapshots.latest()
+        assert snapshot is not None  # one is published at construction
+        return snapshot
+
+    def query(
+        self,
+        view: str,
+        predicate: Optional[Callable[[Dict[str, object]], bool]] = None,
+        snapshot: Optional[Snapshot] = None,
+        limit: Optional[int] = None,
+        **equalities,
+    ) -> List[Row]:
+        """Read *view* at a consistent snapshot (the latest by default).
+
+        ``equalities`` are column=value filters — a full view-key match
+        is a single hash probe; *predicate* sees each candidate row as a
+        column->value dict.  Pass an explicit *snapshot* (from
+        :meth:`snapshot`) to run several queries against one epoch.
+        Read latency, snapshot age and reader-visible lag are metered
+        through :class:`~repro.obs.Telemetry`.
+        """
+        started = time.perf_counter()
+        snap = snapshot if snapshot is not None else self.snapshot()
+        rows = snap.query(
+            view, predicate=predicate, limit=limit, **equalities
+        )
+        elapsed = time.perf_counter() - started
+        self.telemetry.record_read(
+            view,
+            elapsed,
+            snapshot_age=snap.age_seconds(),
+            lag=max(0, self.snapshots.last_seq - snap.seq),
+        )
+        return rows
+
+    def serving_stats(self) -> Dict[str, object]:
+        """Read-path counters for the dashboard (see ``/dashboard.json``)."""
+        latest = self.snapshots.latest()
+        return {
+            "snapshots_published": self.snapshots.published_count,
+            "snapshots_retained": self.snapshots.retained,
+            "snapshots_invalidated": self.snapshots.invalidated_count,
+            "publish_errors": self._publish_errors,
+            "latest_lsn": latest.lsn if latest is not None else None,
+            "latest_age_seconds": (
+                latest.age_seconds() if latest is not None else None
+            ),
+            "stale_views": (
+                sorted(latest.stale_views) if latest is not None else []
+            ),
+        }
 
     # ------------------------------------------------------------------
     # DML with fan-out
@@ -447,9 +530,50 @@ class Warehouse:
     def _ack(self, result: FanOutResult) -> None:
         """Completion hook (dispatcher thread): the change reached every
         non-quarantined view, so recovery must not replay it — failed
-        views are repaired by re-materialization, not by replay."""
+        views are repaired by re-materialization, not by replay.
+
+        This is also the MVCC publish point: the fan-out is complete and
+        the next change's prepare has not started (the dispatcher is
+        serial), so the current state is a consistent epoch.  A failure
+        that did *not* end in quarantine left some view half-updated
+        (legacy no-quarantine mode); those epochs are not published —
+        readers keep the last good snapshot."""
         if self.wal is not None and result.lsn is not None:
             self.wal.ack(result.lsn)
+        if result.error is None and (
+            not result.failures
+            or set(result.failures) <= set(result.quarantined)
+        ):
+            self._publish(lsn=result.lsn)
+
+    def _publish(self, lsn: Optional[int] = None) -> Optional[Snapshot]:
+        """Publish a read snapshot of the current state.  Never raises —
+        it runs inside the dispatcher's completion hook, where an
+        exception would be misreported as a change failure; a failed
+        publish just leaves readers on the previous snapshot."""
+        if self._recovering:
+            return None
+        try:
+            if lsn is None and self.wal is not None:
+                lsn = self.wal.last_lsn  # 0 before any append
+            snapshot = self.snapshots.publish(
+                self.db.tables,
+                {n: m.view for n, m in self._maintainers.items()},
+                self._aggregates,
+                stale=self.scheduler.quarantined,
+                lsn=lsn,
+            )
+        except Exception:
+            # e.g. a timed-out zombie attempt mutating a quarantined
+            # view mid-capture before any cached slice exists
+            self._publish_errors += 1
+            return None
+        self.telemetry.record_snapshot_publish(
+            lsn=snapshot.lsn,
+            retained=self.snapshots.retained,
+            stale_views=len(snapshot.stale_views),
+        )
+        return snapshot
 
     def _tasks(
         self, table: str, delta: Table, operation: str, fk_allowed: bool
@@ -478,6 +602,7 @@ class Warehouse:
                     fresh = saved.clone()
                     m.view._rows = fresh._rows
                     m.view._subkey_indexes = fresh._subkey_indexes
+                    m.view.bump_version()
 
                 return restore
 
@@ -508,6 +633,7 @@ class Warehouse:
                         key: _clone_group(group)
                         for key, group in saved.items()
                     }
+                    a.bump_version()
 
                 return restore
 
@@ -557,6 +683,9 @@ class Warehouse:
             path = self.checkpoints.write(self.db, views, lsn=lsn)
             if self.wal is not None:
                 self.wal.compact(lsn)
+            # snapshot retention follows the same boundary as the WAL:
+            # epochs the checkpoint covers need not be kept in the store
+            self.snapshots.prune(lsn)
             self._changes_since_checkpoint = 0
             return path
         finally:
@@ -596,6 +725,13 @@ class Warehouse:
         """
         if self.wal is None:
             raise MaintenanceError("recover() requires a wal_path")
+        # Snapshots published before the crash may include changes whose
+        # acknowledgements never became durable — after recovery they no
+        # longer correspond to any applied LSN.  Flag them invalid for
+        # any reader still holding one, and suppress publishes until the
+        # replay settles on a consistent state.
+        self.snapshots.invalidate("recovery")
+        self._recovering = True
         checkpoint: Optional[CheckpointData] = (
             self.checkpoints.latest()
             if self.checkpoints is not None
@@ -663,6 +799,12 @@ class Warehouse:
                 self.repair_view(name)
                 recomputed.append(name)
         self._changes_since_checkpoint = 0
+        # replay settled: resume publishing and issue the post-recovery
+        # epoch.  (If recovery itself raised above, the flag stays set
+        # and readers keep seeing only invalidated snapshots — state is
+        # uncertain, so that is the honest answer.)
+        self._recovering = False
+        self._publish(lsn=self.wal.last_lsn)
         self.last_recovery = {
             "checkpoint_lsn": checkpoint.lsn if checkpoint else None,
             "checkpoint_path": checkpoint.path if checkpoint else None,
@@ -695,11 +837,13 @@ class Warehouse:
                 )
                 view._rows = rebuilt._rows
                 view._subkey_indexes = rebuilt._subkey_indexes
+                view.bump_version()
                 continue
             view._rows = {
                 view.key_of(tuple(r)): tuple(r) for r in rows
             }
             view._subkey_indexes = {}
+            view.bump_version()
         for name, aggregated in self._aggregates.items():
             # aggregated group state is derived — rebuild from tables
             rebuilt = AggregatedView(
@@ -709,6 +853,7 @@ class Warehouse:
                 self.db,
             )
             aggregated.groups = rebuilt.groups
+            aggregated.bump_version()
 
     def repair_view(self, name: str) -> None:
         """Rebuild a (typically quarantined) view from the current base
@@ -721,6 +866,7 @@ class Warehouse:
             )
             maintainer.view._rows = fresh._rows
             maintainer.view._subkey_indexes = fresh._subkey_indexes
+            maintainer.view.bump_version()
         elif name in self._aggregates:
             aggregated = self._aggregates[name]
             rebuilt = AggregatedView(
@@ -730,9 +876,11 @@ class Warehouse:
                 self.db,
             )
             aggregated.groups = rebuilt.groups
+            aggregated.bump_version()
         else:
             raise CatalogError(f"no view named {name!r}")
         self.scheduler.reinstate(name)
+        self._publish()  # the repaired view is fresh again
 
     def serve_obs(
         self, host: str = "127.0.0.1", port: int = 0
@@ -992,6 +1140,9 @@ class Transaction:
         self._db_snapshot = None
         self._view_snapshots = {}
         self._agg_snapshots = {}
+        # commit is a consistent point; intermediate statement states
+        # were never published (readers cannot see uncommitted data)
+        self.warehouse._publish()
 
     def _rollback(self) -> None:
         wh = self.warehouse
@@ -1004,9 +1155,12 @@ class Transaction:
             maintainer = wh._maintainers[name]
             maintainer.view._rows = snapshot._rows
             maintainer.view._subkey_indexes = snapshot._subkey_indexes
+            maintainer.view.bump_version()
         for name, groups in self._agg_snapshots.items():
             wh._aggregates[name].groups = groups
+            wh._aggregates[name].bump_version()
         self._active = False
+        wh._publish()  # rollback restored the pre-transaction epoch
 
 
 def _clone_group(group):

@@ -1,0 +1,144 @@
+"""AsyncWarehouse: the asyncio bridge over the blocking warehouse.
+
+What the bridge must guarantee (src/repro/serving.py):
+
+* ``await apply(...)`` resolves with the fan-out result, delivered from
+  the dispatcher thread through ``call_soon_threadsafe`` — no waiter
+  thread, no polling;
+* admission control carries over: a shedding queue raises
+  :class:`BackpressureError` into the awaiting coroutine, a blocking
+  queue suspends only that coroutine (the loop keeps serving reads);
+* ``query`` runs inline on the loop unless ``offload=True``;
+* the async context manager closes the warehouse.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import AsyncWarehouse
+from repro.errors import BackpressureError
+from repro.runtime import FAILPOINTS
+from repro.warehouse import Warehouse
+
+from ..runtime.test_scheduler import build_db, order_lines_expr
+
+
+@pytest.fixture(autouse=True)
+def clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+def make_warehouse(**kwargs):
+    db = build_db()
+    db.insert("orders", [(i, i % 3) for i in range(20)])
+    wh = Warehouse(db, **kwargs)
+    wh.create_view("ol", order_lines_expr())
+    return wh
+
+
+def test_apply_and_query_round_trip():
+    async def scenario():
+        wh = make_warehouse(workers=2)
+        async with AsyncWarehouse(wh) as awh:
+            result = await awh.insert(
+                "lineitem", [(7, line, line) for line in range(3)]
+            )
+            assert result.ok and result.error is None
+            rows = await awh.query("ol", **{"orders.o_orderkey": 7})
+            assert len([r for r in rows if r[-1] is not None]) == 3
+            offloaded = await awh.query(
+                "ol",
+                predicate=lambda r: r["orders.o_orderkey"] == 7,
+                offload=True,
+            )
+            assert len(offloaded) == 3
+        # __aexit__ closed the warehouse: the dispatcher is gone
+        assert not wh.scheduler._dispatcher.is_alive()
+
+    asyncio.run(scenario())
+
+
+def test_concurrent_applies_resolve_independently():
+    async def scenario():
+        wh = make_warehouse(workers=2)
+        async with AsyncWarehouse(wh) as awh:
+            results = await asyncio.gather(
+                *(
+                    awh.insert("lineitem", [(okey, 0, okey)])
+                    for okey in range(10)
+                )
+            )
+            assert all(r.ok for r in results)
+            await awh.flush()
+            snap = awh.snapshot()
+            assert snap.valid
+            joined = snap.query(
+                "ol", predicate=lambda r: r["lineitem.l_qty"] is not None
+            )
+            assert len(joined) == 10
+
+    asyncio.run(scenario())
+
+
+def test_shed_overflow_raises_into_the_coroutine():
+    async def scenario():
+        gate = threading.Event()
+        wh = make_warehouse(workers=1, max_queue_depth=1, overflow="shed")
+        # park the dispatcher so the queue can actually fill: one change
+        # in flight, one queued, the next one sheds
+        FAILPOINTS.arm(
+            "scheduler.fanout",
+            action="call",
+            times=1,
+            callback=lambda **ctx: gate.wait(timeout=30),
+        )
+        awh = AsyncWarehouse(wh)
+        try:
+            first = asyncio.ensure_future(
+                awh.insert("lineitem", [(1, 0, 1)])
+            )
+            await asyncio.sleep(0.05)  # dispatcher parked on change 1
+            second = asyncio.ensure_future(
+                awh.insert("lineitem", [(2, 0, 2)])
+            )
+            await asyncio.sleep(0.05)  # queue now holds change 2
+            with pytest.raises(BackpressureError):
+                await awh.insert("lineitem", [(3, 0, 3)])
+            # reads still work while writes are backed up
+            snap = awh.snapshot()
+            assert snap.valid
+            gate.set()
+            results = await asyncio.gather(first, second)
+            assert all(r.ok for r in results)
+        finally:
+            gate.set()
+            await awh.close()
+
+    asyncio.run(scenario())
+
+
+def test_lifecycle_checkpoint_and_recover(tmp_path):
+    async def scenario():
+        wh = make_warehouse(
+            workers=2,
+            wal_path=str(tmp_path / "wal"),
+            checkpoint_dir=str(tmp_path / "ckpt"),
+        )
+        async with AsyncWarehouse(wh) as awh:
+            pre = awh.snapshot()
+            await awh.insert("lineitem", [(4, 0, 4)])
+            await awh.checkpoint()
+            await awh.recover()
+            assert not pre.valid  # recovery invalidates issued epochs
+            snap = awh.snapshot()
+            assert snap.valid
+            rows = await awh.query("ol", **{"orders.o_orderkey": 4})
+            assert any(r[-1] is not None for r in rows)
+
+    asyncio.run(scenario())

@@ -23,6 +23,9 @@ Gates (mirrors what ``.github/workflows/ci.yml`` used to check inline):
 * ``obs`` — every instrumented telemetry variant (full v2, recorder
   disabled, aggressive sampling) must stay within ``1.15x`` of the
   uninstrumented median.
+* ``serving`` — under mixed read/write load the snapshot-read p99 must
+  stay within ``5x`` of the read-only p99 at the same offered read
+  rate (the MVCC claim: reads never block on maintenance).
 """
 
 from __future__ import annotations
@@ -37,6 +40,7 @@ PLANCACHE_MAX_RATIO = 1.10
 PLANCACHE_MIN_HIT_RATE = 0.5
 CONCURRENT_MIN_SPEEDUP = 2.0
 OBS_MAX_OVERHEAD_RATIO = 1.15
+SERVING_MAX_P99_RATIO = 5.0
 
 
 def run_benchmark(which: str, json_path: str, scale: "float | None") -> dict:
@@ -110,10 +114,40 @@ def check_obs(record: dict) -> List[str]:
     return failures
 
 
+def check_serving(record: dict) -> List[str]:
+    failures: List[str] = []
+    ratio = record["mixed_over_readonly_p99_ratio"]
+    if ratio is None:
+        failures.append("serving record has no mixed/readonly p99 ratio")
+    elif ratio > SERVING_MAX_P99_RATIO:
+        failures.append(
+            f"mixed-load read p99 is {ratio:.2f}x the read-only p99 "
+            f"(allowed {SERVING_MAX_P99_RATIO}x): "
+            f"{record['mixed_read_p99_ms_worst']:.3f}ms vs "
+            f"{record['readonly_read_p99_ms']:.3f}ms"
+        )
+    for phase in record["phases"]:
+        if phase["reads"] == 0:
+            failures.append(f"phase {phase['label']!r} issued no reads")
+    if not failures:
+        sat = record["saturation"]["saturation_read_rate"]
+        knee = (
+            f"{sat:g}/s"
+            if sat is not None
+            else f">{record['saturation']['max_tested_read_rate']:g}/s"
+        )
+        print(
+            f"mixed/readonly read p99 ratio: {ratio:.2f}x "
+            f"(allowed {SERVING_MAX_P99_RATIO}x), saturation at {knee}"
+        )
+    return failures
+
+
 CHECKS = {
     "plancache": check_plancache,
     "concurrent": check_concurrent,
     "obs": check_obs,
+    "serving": check_serving,
 }
 
 

@@ -1,16 +1,26 @@
 #!/usr/bin/env python
-"""Fail on dead relative links in README.md and docs/*.md.
+"""Fail on dead links, dead anchors and dead code paths in the docs.
 
-Checks every markdown link and image whose target is a relative path
-(external ``http(s)``/``mailto`` links and pure ``#anchor`` references
-are skipped).  Targets are resolved against the file containing the
-link; a ``#fragment`` suffix is stripped before the existence check.
+Three checks over README.md and docs/*.md:
+
+* **relative links** — every markdown link/image whose target is a
+  relative path must resolve against the file containing it
+  (external ``http(s)``/``mailto`` links are skipped);
+* **anchor fragments** — ``#fragment`` suffixes (both in-page
+  ``[..](#section)`` references and cross-doc ``file.md#section``
+  ones) must name a real heading in the target document, using
+  GitHub's heading-slug rules;
+* **code paths** — inline code spans that look like repository paths
+  (``src/...``, ``tools/...``, ``tests/...``, ``benchmarks/...``,
+  ``examples/...``, ``docs/...``) must exist, so prose never points at
+  renamed or deleted files.  Spans containing placeholders
+  (``<>*{}``, ``...``) are skipped.
 
 Usage::
 
     python tools/check_doc_links.py [repo_root]
 
-Exits 1 listing every dead link, 0 when all links resolve.
+Exits 1 listing every problem, 0 when the docs are sound.
 """
 
 from __future__ import annotations
@@ -18,10 +28,15 @@ from __future__ import annotations
 import re
 import sys
 from pathlib import Path
+from typing import Dict, Iterable, List, Set, Tuple
 
 # [text](target) and ![alt](target); target may carry an optional title
 LINK = re.compile(r"!?\[[^\]]*\]\(\s*([^)\s]+)(?:\s+\"[^\"]*\")?\s*\)")
-SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+CODE_SPAN = re.compile(r"`([^`]+)`")
+CODE_PATH_ROOTS = ("src/", "tools/", "tests/", "benchmarks/", "examples/", "docs/")
+PLACEHOLDER_CHARS = set("<>*{}$")
 
 
 def doc_files(root: Path):
@@ -33,39 +48,110 @@ def doc_files(root: Path):
         yield from sorted(docs.glob("*.md"))
 
 
-def dead_links(root: Path):
+def doc_lines(doc: Path) -> Iterable[Tuple[int, str]]:
+    """(lineno, line) pairs with fenced code blocks blanked out."""
+    in_code = False
+    for lineno, line in enumerate(
+        doc.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if line.strip().startswith("```"):
+            in_code = not in_code
+            continue
+        if not in_code:
+            yield lineno, line
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: drop markup, lowercase, strip
+    everything but word characters/spaces/hyphens, spaces -> hyphens."""
+    text = heading.strip().lstrip("#").strip()
+    text = re.sub(r"`([^`]*)`", r"\1", text)  # unwrap code spans
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # unwrap links
+    text = re.sub(r"[^\w\- ]", "", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(doc: Path) -> Set[str]:
+    """Every anchor the rendered document exposes (duplicate headings
+    get ``-1``, ``-2``, ... suffixes, as on GitHub)."""
+    anchors: Set[str] = set()
+    counts: Dict[str, int] = {}
+    for _, line in doc_lines(doc):
+        if not re.match(r"#{1,6}\s", line):
+            continue
+        slug = github_slug(line)
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
+
+
+def check_links(root: Path, anchors_by_doc: Dict[Path, Set[str]]):
     for doc in doc_files(root):
-        text = doc.read_text(encoding="utf-8")
-        in_code = False
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            if line.strip().startswith("```"):
-                in_code = not in_code
-                continue
-            if in_code:
-                continue
+        for lineno, line in doc_lines(doc):
             for match in LINK.finditer(line):
                 target = match.group(1)
                 if target.startswith(SKIP_PREFIXES):
                     continue
-                path = target.split("#", 1)[0]
-                if not path:
+                path, _, fragment = target.partition("#")
+                if path:
+                    resolved = (doc.parent / path).resolve()
+                    if not resolved.exists():
+                        yield doc, lineno, f"dead link ({target})"
+                        continue
+                else:
+                    resolved = doc.resolve()
+                if fragment:
+                    anchors = anchors_by_doc.get(resolved)
+                    if anchors is None:
+                        continue  # fragment into a non-doc file
+                    if fragment.lower() not in anchors:
+                        yield doc, lineno, f"dead anchor ({target})"
+
+
+def check_code_paths(root: Path):
+    for doc in doc_files(root):
+        for lineno, line in doc_lines(doc):
+            for match in CODE_SPAN.finditer(line):
+                span = match.group(1).strip()
+                if not span.startswith(CODE_PATH_ROOTS):
                     continue
-                resolved = (doc.parent / path).resolve()
-                if not resolved.exists():
-                    yield doc, lineno, target
+                if PLACEHOLDER_CHARS & set(span) or "..." in span:
+                    continue  # placeholder, not a concrete path
+                # `src/repro/bench.py:123` / `docs/API.md#anchor` forms
+                path = span.split("#", 1)[0].split(":", 1)[0].rstrip("/")
+                if " " in path:
+                    continue  # a shell snippet, not a bare path
+                if not (root / path).exists():
+                    yield doc, lineno, f"dead code path ({span})"
 
 
 def main(argv):
     root = Path(argv[1]) if len(argv) > 1 else Path(".")
-    broken = list(dead_links(root))
-    checked = [str(p.relative_to(root.resolve()) if p.is_absolute() else p)
-               for p in doc_files(root)]
-    if broken:
-        for doc, lineno, target in broken:
-            print(f"DEAD LINK {doc}:{lineno}: ({target})")
-        print(f"{len(broken)} dead link(s) across {len(checked)} file(s)")
+    root = root.resolve()
+    anchors_by_doc = {
+        doc.resolve(): heading_anchors(doc) for doc in doc_files(root)
+    }
+    problems: List[Tuple[Path, int, str]] = list(
+        check_links(root, anchors_by_doc)
+    )
+    problems += list(check_code_paths(root))
+    checked = [
+        str(p.relative_to(root) if p.is_absolute() else p)
+        for p in doc_files(root)
+    ]
+    if problems:
+        for doc, lineno, message in sorted(
+            problems, key=lambda item: (str(item[0]), item[1])
+        ):
+            print(f"DEAD {doc}:{lineno}: {message}")
+        print(f"{len(problems)} problem(s) across {len(checked)} file(s)")
         return 1
-    print(f"doc links ok: {len(checked)} file(s) checked")
+    anchors_total = sum(len(a) for a in anchors_by_doc.values())
+    print(
+        f"doc links ok: {len(checked)} file(s) checked, "
+        f"{anchors_total} anchors indexed"
+    )
     return 0
 
 

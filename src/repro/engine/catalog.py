@@ -347,6 +347,17 @@ class Database:
     # ------------------------------------------------------------------
     # misc
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # locks don't pickle; the fixture cache and spawned shard
+        # workers ship databases across process boundaries
+        state = self.__dict__.copy()
+        del state["_ddl_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._ddl_lock = threading.Lock()
+
     def copy(self) -> "Database":
         """Deep-enough copy: fresh table objects and row lists (rows are
         immutable tuples and are shared)."""

@@ -73,5 +73,11 @@ class FanOutError(MaintenanceError):
         self.quarantined = list(quarantined or ())
 
 
+class ShardingError(ReproError):
+    """A sharding spec is invalid for the schema, a view cannot be
+    maintained shard-locally under it, or a sharded-only operation was
+    attempted on the wrong warehouse flavour."""
+
+
 class UnsupportedViewError(ReproError):
     """The view falls outside the class the paper's algorithm supports."""

@@ -18,11 +18,12 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+from dataclasses import replace
 from typing import List, Optional
 
 from ..obs import Telemetry
 from .corpus import iter_cases, replay_case
-from .oracle import config_names, configs_by_name
+from .oracle import config_names, configs_by_name, default_matrix
 from .runner import run_fuzz
 
 FUZZ_METRIC_PREFIXES = ("repro_fuzz_", "repro_failpoint_")
@@ -50,6 +51,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--configs", default=None, metavar="A,B,...",
         help="comma-separated subset of the oracle matrix "
         f"(default: all of {', '.join(config_names())})",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help="restrict to the sharded configs and run them with N "
+        "shards (CI matrix hook)",
     )
     parser.add_argument(
         "--corpus", default=None, metavar="DIR",
@@ -111,6 +117,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.shards is not None:
+        if args.shards < 1:
+            print("error: --shards must be >= 1", file=sys.stderr)
+            return 2
+        pool = configs if configs is not None else default_matrix()
+        configs = [
+            replace(c, shards=args.shards) for c in pool if c.shards
+        ]
+        if not configs:
+            print(
+                "error: --shards with --configs requires at least one "
+                "sharded config in the selection",
+                file=sys.stderr,
+            )
+            return 2
 
     if args.replay:
         return _replay(args.replay, configs, log)

@@ -153,6 +153,7 @@ class OracleConfig:
     crash_compaction: bool = False  # die inside segment deletion
     corruption: Optional[str] = None  # "torn" | "bitflip"
     snapshot_reads: bool = False  # MVCC snapshot queries vs recompute
+    shards: int = 0  # > 0: run through a ShardedWarehouse (thread backend)
 
 
 def _opts(**kwargs) -> Callable[[], MaintenanceOptions]:
@@ -268,6 +269,18 @@ def default_matrix() -> List[OracleConfig]:
             wal=True,
             retry=_FAST_RETRY,
             snapshot_reads=True,
+        ),
+        OracleConfig(
+            "sharded",
+            _opts(),
+            shards=2,
+        ),
+        OracleConfig(
+            "sharded-wal",
+            _opts(),
+            wal=True,
+            shards=2,
+            checkpoint_every=2,
         ),
     ]
 
@@ -389,8 +402,9 @@ def run_case(
     final_views: Dict[str, Dict[str, frozenset]] = {}
     for config in configs:
         result.configs_run.append(config.name)
+        runner = _run_sharded_config if config.shards else _run_config
         try:
-            views = _run_config(scenario, config, reference, result)
+            views = runner(scenario, config, reference, result)
             if views is not None:
                 final_views[config.name] = views
         except Exception as exc:  # harness bug or unexpected blow-up
@@ -654,6 +668,164 @@ def _run_config(
             wh.scheduler.shutdown()
             if wh.wal is not None:
                 wh.wal.close()
+
+
+def _check_sharded_step(
+    wh,
+    config: OracleConfig,
+    step: str,
+    expected_state: Dict[str, frozenset],
+    result: CaseResult,
+) -> None:
+    """The sharded twin of :func:`_check_step`, over merged state:
+
+    * ``shard-vs-unsharded`` — the union of per-shard base-table
+      partitions must equal the (unsharded) reference replay's state;
+    * ``shard-vs-recompute`` — every merged view must equal a recompute
+      over the merged database (the merge-barrier correctness oracle).
+    """
+    state = {
+        name: frozenset(map(tuple, rows))
+        for name, rows in wh.merged_table_state().items()
+    }
+    if state != expected_state:
+        diverged = sorted(
+            name
+            for name in state
+            if state[name] != expected_state.get(name)
+        )
+        result.mismatches.append(
+            Mismatch(
+                config.name, step, "shard-vs-unsharded", None,
+                f"merged base table(s) {diverged} differ from the "
+                "unsharded reference replay",
+            )
+        )
+    quarantined = wh.quarantined_views
+    if quarantined:
+        result.mismatches.append(
+            Mismatch(
+                config.name, step, "quarantine", ",".join(quarantined),
+                "view(s) quarantined inside shard worker(s) during a "
+                "clean run",
+            )
+        )
+    merged_db = wh.merged_database()
+    for name, rows in wh.merged_views().items():
+        if name in quarantined:
+            continue
+        expected = frozenset(wh._definitions[name].evaluate(merged_db).rows)
+        actual = frozenset(map(tuple, rows))
+        if actual != expected:
+            missing = sorted(expected - actual)[:3]
+            extra = sorted(actual - expected)[:3]
+            result.mismatches.append(
+                Mismatch(
+                    config.name, step, "shard-vs-recompute", name,
+                    f"merged view differs from recompute over the merged "
+                    f"database: {len(expected - actual)} missing "
+                    f"(e.g. {missing}), {len(actual - expected)} extra "
+                    f"(e.g. {extra})",
+                )
+            )
+
+
+def _run_sharded_config(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> Optional[Dict[str, frozenset]]:
+    """Replay the scenario through a :class:`~repro.sharded.ShardedWarehouse`
+    (thread-backend workers: deterministic, and they share this process's
+    :data:`FAILPOINTS`, so fault-injection configs compose).  A ``crash``
+    op under WAL restarts every shard over its own WAL/checkpoint
+    lineage.  Failure artifacts export the whole per-shard WAL tree."""
+    before = len(result.mismatches)
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-shard-") as tmp:
+        wal_root = (
+            os.path.join(tmp, f"{config.name}.wal") if config.wal else None
+        )
+        checkpoint_root = (
+            os.path.join(tmp, "checkpoints")
+            if config.checkpoint_every
+            else None
+        )
+        kwargs: Dict = {
+            "shards": config.shards,
+            "shard_backend": "thread",
+            "workers": config.workers,
+            "retry": config.retry,
+        }
+        if wal_root:
+            kwargs["wal_path"] = wal_root
+        if checkpoint_root:
+            kwargs["checkpoint_dir"] = checkpoint_root
+        if config.segment_bytes:
+            kwargs["segment_bytes"] = config.segment_bytes
+        wh = Warehouse(scenario.build_database(), **kwargs)
+        try:
+            _create_views(wh, scenario, config)
+            since_checkpoint = 0
+            for i, op in enumerate(scenario.ops):
+                step = f"op[{i}]"
+                if op["kind"] == "crash" and config.wal:
+                    wh.crash_restart()
+                    _check_sharded_step(
+                        wh, config, step, reference.states[i], result
+                    )
+                    continue
+                outcome = apply_op(wh, op)
+                if outcome != reference.outcomes[i]:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, step, "outcome", None,
+                            f"{outcome!r} != reference "
+                            f"{reference.outcomes[i]!r} for {op['kind']} "
+                            f"on {op.get('table', '(txn)')!r}",
+                        )
+                    )
+                _check_sharded_step(
+                    wh, config, step, reference.states[i], result
+                )
+                if config.checkpoint_every and op["kind"] != "crash":
+                    since_checkpoint += 1
+                    if since_checkpoint >= config.checkpoint_every:
+                        wh.checkpoint()
+                        since_checkpoint = 0
+            if config.wal:
+                try:
+                    wh.flush()
+                except ReproError as exc:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, "flush", "quarantine", None,
+                            "flush surfaced a maintenance failure: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                shard_stats = wh.shard_stats()["shards"]
+                pending = {
+                    shard: info["wal_pending"]
+                    for shard, info in shard_stats.items()
+                    if info["wal_pending"]
+                }
+                if pending:
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, "flush", "durability", None,
+                            f"shard WAL entr(ies) still pending after "
+                            f"flush: {pending}",
+                        )
+                    )
+            return {
+                name: frozenset(map(tuple, rows))
+                for name, rows in wh.merged_views().items()
+            }
+        finally:
+            if len(result.mismatches) > before and wal_root:
+                _export_artifacts(config.name, wal_root)
+            wh.close()
 
 
 def _run_crash_check(

@@ -372,6 +372,46 @@ class Telemetry:
             "repro_snapshot_stale_views",
             "Quarantined (stale) views in the latest snapshot",
         )
+        self.shard_rows = m.gauge(
+            "repro_shard_rows",
+            "Rows held by one shard, per base table",
+            ("shard", "table"),
+        )
+        self.shard_queue_depth = m.gauge(
+            "repro_shard_queue_depth",
+            "Commands submitted to a shard worker and not yet answered",
+            ("shard",),
+        )
+        self.shard_skew = m.gauge(
+            "repro_shard_skew",
+            "Max/mean row-count ratio across shards, per partitioned table",
+            ("table",),
+        )
+        self.shard_changes = m.counter(
+            "repro_shard_changes_total",
+            "Base-table change statements routed to a shard",
+            ("shard", "table"),
+        )
+        self.shard_queries = m.counter(
+            "repro_shard_queries_total",
+            "Sharded snapshot queries by routing outcome",
+            ("outcome",),
+        )
+        self.shard_merge_seconds = m.histogram(
+            "repro_shard_merge_seconds",
+            "Wall time recombining per-shard view fragments at a merge "
+            "barrier",
+        )
+        self.shard_rebalance_hints = m.counter(
+            "repro_shard_rebalance_hints_total",
+            "Rebalance advisories emitted because skew exceeded threshold",
+            ("table",),
+        )
+        self.shard_compensations = m.counter(
+            "repro_shard_compensations_total",
+            "Inverse changes applied to undo a partially failed statement",
+            ("table",),
+        )
 
     # ------------------------------------------------------------------
     # structured events
@@ -504,6 +544,65 @@ class Telemetry:
             return
         with self._record_lock:
             self.queue_depth.set(depth)
+
+    def record_shard_rows(self, shard: int, table_rows) -> None:
+        """Per-table row counts reported by one shard worker."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            for table, rows in table_rows.items():
+                self.shard_rows.set(rows, shard=str(shard), table=table)
+
+    def record_shard_queue_depth(self, shard: int, depth: int) -> None:
+        """Outstanding (unanswered) commands on one shard's pipe."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_queue_depth.set(depth, shard=str(shard))
+
+    def record_shard_skew(self, table: str, skew: float) -> None:
+        """Max/mean row-count ratio across shards (1.0 = balanced)."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_skew.set(skew, table=table)
+
+    def record_shard_change(self, shard: int, table: str) -> None:
+        """One change statement routed to one shard."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_changes.inc(shard=str(shard), table=table)
+
+    def record_shard_query(self, fastpath: bool) -> None:
+        """One sharded query: single-shard key probe or full fan-out."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_queries.inc(
+                outcome="fastpath" if fastpath else "fanout"
+            )
+
+    def record_shard_merge(self, seconds: float) -> None:
+        """One merge-barrier recombination of per-shard fragments."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_merge_seconds.observe(seconds)
+
+    def record_shard_rebalance_hint(self, table: str) -> None:
+        """Skew crossed the advisory threshold for a partitioned table."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_rebalance_hints.inc(table=table)
+
+    def record_shard_compensation(self, table: str) -> None:
+        """One inverse change undoing a partially failed statement."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_compensations.inc(table=table)
 
     def record_wal_append(self, table: str) -> None:
         """One base-table delta recorded in the write-ahead log."""

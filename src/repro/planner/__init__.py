@@ -27,6 +27,18 @@ from .compile import (
     compile_plan,
 )
 from .provision import ProbeSite, probe_sites, provision_indexes
+from .wire import (
+    build_database,
+    decode_options,
+    decode_report,
+    decode_rows,
+    decode_view,
+    encode_options,
+    encode_report,
+    encode_rows,
+    encode_schema,
+    encode_view,
+)
 
 __all__ = [
     "CompiledPlan",
@@ -35,7 +47,17 @@ __all__ = [
     "PlanCache",
     "PlanCompileError",
     "ProbeSite",
+    "build_database",
     "compile_plan",
+    "decode_options",
+    "decode_report",
+    "decode_rows",
+    "decode_view",
+    "encode_options",
+    "encode_report",
+    "encode_rows",
+    "encode_schema",
+    "encode_view",
     "probe_sites",
     "provision_indexes",
 ]

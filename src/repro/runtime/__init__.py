@@ -26,6 +26,12 @@ See ``docs/DURABILITY.md`` for the durability and staleness contract.
 A fifth piece, :mod:`repro.runtime.failpoints`, is the deterministic
 fault-injection registry the crash-recovery tests and the differential
 fuzz harness (:mod:`repro.fuzz`) drive these code paths with.
+
+:mod:`repro.runtime.sharding` and :mod:`repro.runtime.shardproc` layer
+horizontal sharding on top: partitioning specs and the view merge
+barrier (pure logic), and the per-shard worker processes that each run
+the full stack above over one partition.  :mod:`repro.sharded` is the
+facade; ``docs/SHARDING.md`` the contract.
 """
 
 from .checkpoint import CheckpointData, CheckpointManager
@@ -40,10 +46,34 @@ from .scheduler import (
     Task,
     ViewState,
 )
+from .sharding import (
+    ShardingSpec,
+    ShardRouter,
+    ViewShardPlan,
+    merge_view_rows,
+    plan_view,
+    shard_hash,
+)
+from .shardproc import (
+    ProcessShardHandle,
+    ShardServer,
+    ThreadShardHandle,
+    make_handle,
+)
 from .snapshots import Snapshot, SnapshotStore, TableSlice, ViewSlice
 from .wal import DEFAULT_SEGMENT_BYTES, WalEntry, WriteAheadLog
 
 __all__ = [
+    "ShardingSpec",
+    "ShardRouter",
+    "ViewShardPlan",
+    "plan_view",
+    "merge_view_rows",
+    "shard_hash",
+    "ShardServer",
+    "ProcessShardHandle",
+    "ThreadShardHandle",
+    "make_handle",
     "Snapshot",
     "SnapshotStore",
     "TableSlice",

@@ -1,0 +1,678 @@
+"""Shard workers: one warehouse per shard, driven over a command pipe.
+
+A sharded warehouse (:mod:`repro.sharded`) owns no table data itself —
+each shard's partition lives inside a **worker** running a private,
+fully ordinary :class:`~repro.warehouse.Warehouse` (its own WAL segment
+directory, checkpoint lineage, scheduler, snapshot store and plan
+cache).  The parent talks to workers through a small command protocol
+whose messages are plain picklable data built with
+:mod:`repro.planner.wire`; replies come back in FIFO order, so the
+parent can pipeline many commands per shard and only block at merge
+barriers.
+
+Two interchangeable backends run the same :class:`ShardServer` loop:
+
+* :class:`ProcessShardHandle` — a ``multiprocessing`` child started
+  with the **spawn** method (no interpreter state is inherited; the
+  init blob and every command crosses the pipe by pickle).  This is the
+  production backend: per-shard maintenance runs on separate cores,
+  outside the parent's GIL.
+* :class:`ThreadShardHandle` — the server on a daemon thread, with
+  every command and reply still round-tripped through ``pickle`` so the
+  wire contract stays honest.  Deterministic and cheap to start; the
+  fuzz oracle uses it (and it shares the parent's
+  :data:`~repro.runtime.failpoints.FAILPOINTS`, so fault injection
+  reaches into every shard).
+
+Protocol sketch (``{"cmd": ..., **payload} -> {"ok": True, ...}`` or
+``{"ok": False, "error": <ReproError subclass name>, "message": ...}``)::
+
+    create_view {view, options}          change {table, operation, rows,
+    flush                                        fk_allowed, check}
+    checkpoint / recover                 txn_begin / txn_stmt /
+    snapshot_pin / snapshot_release        txn_commit / txn_rollback
+    query {view, equalities, seq}        mark_boundary / crash_hard /
+    dump / stats / check                   restart
+    repair_view {view}                   close
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import threading
+from collections import deque
+from typing import Dict, List, Optional
+
+from .. import errors as _errors
+from ..errors import ReproError, ShardingError
+
+__all__ = [
+    "ShardServer",
+    "ProcessShardHandle",
+    "ThreadShardHandle",
+    "make_handle",
+    "raise_shard_error",
+]
+
+
+# ---------------------------------------------------------------------------
+# the per-shard server (runs inside the worker)
+# ---------------------------------------------------------------------------
+class ShardServer:
+    """One shard's warehouse plus the command dispatch around it.
+
+    *init* is the plain-data blob the parent built: database schema and
+    this shard's rows (:func:`repro.planner.wire.encode_schema` form),
+    the runtime directories, and the views to create.
+    """
+
+    def __init__(self, shard_id: int, init: Dict):
+        from ..planner import wire
+        from ..warehouse import Warehouse
+
+        self._wire = wire
+        self._Warehouse = Warehouse
+        self.shard_id = shard_id
+        self._init = init
+        self._views: List[Dict] = []
+        self._txn = None
+        self._pinned: Dict[int, object] = {}
+        self._boundary = None  # db snapshot at the last durable boundary
+        self._stall = init.get("stall_seconds") or 0.0
+        self.wh = self._build_warehouse(
+            wire.build_database(init["schema"], init.get("rows") or {})
+        )
+        for blob in init.get("views") or []:
+            self._create_view(blob)
+
+    # ------------------------------------------------------------------
+    def _build_warehouse(self, db):
+        init = self._init
+        kwargs: Dict = {
+            "workers": init.get("workers", 0),
+            "snapshot_retain": init.get("snapshot_retain", 8),
+        }
+        if init.get("wal_dir"):
+            kwargs["wal_path"] = init["wal_dir"]
+        if init.get("checkpoint_dir"):
+            kwargs["checkpoint_dir"] = init["checkpoint_dir"]
+            if init.get("checkpoint_interval"):
+                kwargs["checkpoint_interval"] = init["checkpoint_interval"]
+        if init.get("segment_bytes"):
+            kwargs["segment_bytes"] = init["segment_bytes"]
+        if init.get("retry"):
+            from .scheduler import RetryPolicy
+
+            kwargs["retry"] = RetryPolicy(**init["retry"])
+        wh = self._Warehouse(db, **kwargs)
+        if self._stall:
+            self._stall_views(wh, self._stall)
+        return wh
+
+    @classmethod
+    def _stall_views(cls, wh, stall: float) -> None:
+        for maintainer in wh._maintainers.values():
+            cls._stall_maintainer(maintainer, stall)
+
+    @staticmethod
+    def _stall_maintainer(maintainer, stall: float) -> None:
+        """Benchmark aid: prefix every maintenance pass with a sleep, the
+        same io-stall model :mod:`repro.bench` uses for thread fan-out."""
+        import time as _time
+
+        original = maintainer.maintain
+
+        def stalled(*args, _original=original, **kwargs):
+            _time.sleep(stall)
+            return _original(*args, **kwargs)
+
+        maintainer.maintain = stalled
+
+    def _create_view(self, blob: Dict) -> None:
+        definition = self._wire.decode_view(self.wh.db, blob["view"])
+        self.wh.create_view(
+            definition.name,
+            definition,
+            options=self._wire.decode_options(blob.get("options")),
+        )
+        if self._stall:
+            self._stall_maintainer(
+                self.wh._maintainers[definition.name], self._stall
+            )
+        if blob not in self._views:
+            self._views.append(blob)
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: Dict) -> Dict:
+        command = msg.get("cmd")
+        method = getattr(self, f"cmd_{command}", None)
+        if method is None:
+            return {
+                "ok": False,
+                "error": "ShardingError",
+                "message": f"unknown shard command {command!r}",
+            }
+        try:
+            out = method(**{k: v for k, v in msg.items() if k != "cmd"})
+            reply = {"ok": True}
+            reply.update(out or {})
+            return reply
+        except ReproError as exc:
+            return {
+                "ok": False,
+                "error": type(exc).__name__,
+                "message": str(exc),
+            }
+        except Exception as exc:  # pragma: no cover - worker bug surface
+            return {
+                "ok": False,
+                "error": "ShardingError",
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+
+    # -- DDL ------------------------------------------------------------
+    def cmd_create_view(self, view: Dict, options: Optional[Dict] = None):
+        self._create_view({"view": view, "options": options})
+
+    def cmd_repair_view(self, view: str):
+        self.wh.repair_view(view)
+
+    # -- DML ------------------------------------------------------------
+    def cmd_change(
+        self,
+        table: str,
+        operation: str,
+        rows: List,
+        fk_allowed: bool = True,
+        check: bool = True,
+    ):
+        decoded = self._wire.decode_rows(rows)
+        if operation == "delete_by_key":
+            # resolve the doomed rows first: the parent needs them to
+            # compensate sibling shards if one of them fails
+            table_obj = self.wh.db.tables[table]
+            key_cols = tuple(table_obj.key or ())
+            positions = [
+                table_obj.schema.index_of(c) for c in key_cols
+            ]
+            wanted = set(decoded)
+            doomed = [
+                row
+                for row in table_obj.rows
+                if tuple(row[p] for p in positions) in wanted
+            ]
+            reports = self.wh.delete_by_key(table, decoded)
+            return {
+                "reports": {
+                    name: self._wire.encode_report(r)
+                    for name, r in reports.items()
+                },
+                "deleted": self._wire.encode_rows(doomed),
+            }
+        reports = self.wh._change(
+            table,
+            operation,
+            decoded,
+            fk_allowed=fk_allowed,
+            check=check,
+        )
+        return {
+            "reports": {
+                name: self._wire.encode_report(r)
+                for name, r in reports.items()
+            }
+        }
+
+    def cmd_flush(self):
+        self.wh.flush()
+        return {"pending": self._pending_count()}
+
+    # -- transactions ---------------------------------------------------
+    def cmd_txn_begin(self):
+        if self._txn is not None:
+            raise ShardingError(
+                f"shard {self.shard_id}: transaction already active"
+            )
+        self._txn = self.wh.transaction()
+        self._txn.__enter__()
+
+    def _require_txn(self):
+        if self._txn is None:
+            raise ShardingError(
+                f"shard {self.shard_id}: no active transaction"
+            )
+        return self._txn
+
+    def cmd_txn_stmt(self, kind: str, table: str, rows: List):
+        txn = self._require_txn()
+        decoded = self._wire.decode_rows(rows)
+        if kind == "insert":
+            txn.insert(table, decoded)
+        else:
+            txn.delete(table, decoded)
+
+    def cmd_txn_prepare(self):
+        """Phase one of the cross-shard commit: run this shard's
+        deferred-FK checks without committing.  The transaction stays
+        active either way, so the parent can still roll every shard back
+        when a sibling's prepare fails."""
+        txn = self._require_txn()
+        for table, rows in txn._deferred:
+            self.wh.db.check_deferred_fks(table, rows)
+
+    def cmd_txn_commit(self):
+        txn = self._require_txn()
+        self._txn = None
+        try:
+            txn._commit()
+        except Exception:
+            txn._rollback()
+            raise
+
+    def cmd_txn_rollback(self):
+        txn = self._require_txn()
+        self._txn = None
+        txn._rollback()
+
+    # -- durability -----------------------------------------------------
+    def cmd_checkpoint(self):
+        return {"path": self.wh.checkpoint()}
+
+    def cmd_recover(self):
+        self.wh.recover()
+        return {"summary": self.wh.last_recovery}
+
+    def cmd_mark_boundary(self):
+        """Remember the current (flushed) state as the durable boundary a
+        simulated hard crash will fall back to."""
+        self._boundary = self.wh.db.copy()
+
+    def cmd_crash_hard(self):
+        """Die without acknowledging: drop in-memory state, reopen over
+        the same WAL/checkpoint directories from the last marked
+        boundary, and recover.  Mirrors the oracle's crash contract."""
+        wh = self.wh
+        wh.scheduler.drain()
+        if wh.wal is not None:
+            wh.wal.sync()
+        wh.scheduler.shutdown()
+        if wh.wal is not None:
+            wh.wal.close()
+        base = self._boundary
+        if base is None:
+            base = self._wire.build_database(
+                self._init["schema"], self._init.get("rows") or {}
+            )
+        self._pinned.clear()
+        self.wh = self._build_warehouse(base)
+        for blob in list(self._views):
+            self._views.remove(blob)
+            self._create_view(blob)
+        if self.wh.wal is not None:
+            self.wh.recover()
+        return {"summary": self.wh.last_recovery}
+
+    def cmd_restart(self):
+        """Orderly restart (flush first), reopening over the same
+        directories — the WAL-enabled replay loop's ``crash`` op."""
+        wh = self.wh
+        wh.flush()
+        wh.scheduler.shutdown()
+        if wh.wal is not None:
+            wh.wal.close()
+        db = wh.db
+        self._pinned.clear()
+        self.wh = self._build_warehouse(db)
+        for blob in list(self._views):
+            self._views.remove(blob)
+            self._create_view(blob)
+        if self.wh.wal is not None:
+            self.wh.recover()
+        return {"summary": self.wh.last_recovery}
+
+    # -- reads ----------------------------------------------------------
+    def cmd_snapshot_pin(self):
+        snapshot = self.wh.snapshot()
+        self._pinned[snapshot.seq] = snapshot
+        return {
+            "seq": snapshot.seq,
+            "lsn": snapshot.lsn,
+            "stale": sorted(snapshot.stale_views),
+        }
+
+    def cmd_snapshot_release(self, seq: int):
+        self._pinned.pop(seq, None)
+
+    def cmd_query(
+        self,
+        view: str,
+        equalities: Optional[Dict] = None,
+        limit: Optional[int] = None,
+        seq: Optional[int] = None,
+    ):
+        if seq is not None:
+            try:
+                snapshot = self._pinned[seq]
+            except KeyError:
+                raise ShardingError(
+                    f"shard {self.shard_id}: snapshot seq {seq} not pinned"
+                ) from None
+        else:
+            snapshot = self.wh.snapshot()
+        rows = snapshot.query(view, limit=limit, **(equalities or {}))
+        return {"rows": self._wire.encode_rows(rows)}
+
+    def cmd_dump(self):
+        self.wh.scheduler.drain()
+        return {
+            "tables": {
+                name: self._wire.encode_rows(table.rows)
+                for name, table in self.wh.db.tables.items()
+            },
+            "views": {
+                name: self._wire.encode_rows(
+                    self.wh.maintainer(name).view.rows()
+                )
+                for name in self.wh.view_names
+            },
+        }
+
+    # -- health ---------------------------------------------------------
+    def _pending_count(self) -> int:
+        if self.wh.wal is None:
+            return 0
+        return len(self.wh.wal.pending())
+
+    def cmd_stats(self):
+        wh = self.wh
+        return {
+            "table_rows": {
+                name: len(table.rows) for name, table in wh.db.tables.items()
+            },
+            "view_rows": {
+                name: len(wh.maintainer(name).view) for name in wh.view_names
+            },
+            "quarantined": list(wh.quarantined_views),
+            "wal_pending": self._pending_count(),
+            "wal_corruption": (
+                bool(wh.wal.corruption_detected) if wh.wal else False
+            ),
+            "last_recovery": wh.last_recovery,
+        }
+
+    def cmd_check(self):
+        """Shard-local recompute oracle: every view against its own
+        partition (raises through the error envelope on divergence)."""
+        self.wh.check_consistency()
+
+    def cmd_close(self):
+        if self._txn is not None:
+            self._txn._rollback()
+            self._txn = None
+        self._pinned.clear()
+        self.wh.close()
+        return {"bye": True}
+
+
+def _shard_worker_main(conn, shard_id: int, init: Dict) -> None:
+    """Entry point of a spawned shard process: serve until ``close``."""
+    try:
+        server = ShardServer(shard_id, init)
+    except Exception as exc:  # constructor failure must reach the parent
+        conn.send(
+            {
+                "ok": False,
+                "error": "ShardingError",
+                "message": f"shard {shard_id} failed to start: "
+                f"{type(exc).__name__}: {exc}",
+            }
+        )
+        conn.close()
+        return
+    conn.send({"ok": True, "shard": shard_id})  # readiness handshake
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        reply = server.handle(msg)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+        if msg.get("cmd") == "close":
+            break
+    conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side handles
+# ---------------------------------------------------------------------------
+class _Reply:
+    """A pending FIFO reply from one shard."""
+
+    __slots__ = ("_event", "_response")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._response: Optional[Dict] = None
+
+    def resolve(self, response: Dict) -> None:
+        self._response = response
+        self._event.set()
+
+    def wait(self, timeout: Optional[float] = None) -> Dict:
+        if not self._event.wait(timeout):
+            raise ShardingError("timed out waiting for a shard reply")
+        assert self._response is not None
+        return self._response
+
+
+def raise_shard_error(response: Dict) -> Dict:
+    """Return *response* if ok, else re-raise the worker's error under
+    its original :class:`~repro.errors.ReproError` subclass."""
+    if response.get("ok"):
+        return response
+    name = response.get("error", "ShardingError")
+    cls = getattr(_errors, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ShardingError
+    raise cls(response.get("message", "shard command failed"))
+
+
+class _HandleBase:
+    """FIFO submit/wait plumbing shared by both backends."""
+
+    shard_id: int
+
+    def __init__(self, shard_id: int):
+        self.shard_id = shard_id
+        self._pending: deque = deque()
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def submit(self, cmd: str, **payload) -> _Reply:
+        reply = _Reply()
+        message = {"cmd": cmd}
+        message.update(payload)
+        with self._lock:
+            if self._closed:
+                raise ShardingError(
+                    f"shard {self.shard_id} handle is closed"
+                )
+            self._pending.append(reply)
+            self._send(message)
+        return reply
+
+    def call(self, cmd: str, timeout: Optional[float] = None, **payload) -> Dict:
+        return raise_shard_error(self.submit(cmd, **payload).wait(timeout))
+
+    @property
+    def queue_depth(self) -> int:
+        """Commands submitted but not yet answered."""
+        return len(self._pending)
+
+    def _resolve_next(self, response: Dict) -> None:
+        try:
+            reply = self._pending.popleft()
+        except IndexError:  # pragma: no cover - protocol violation
+            return
+        reply.resolve(response)
+
+    def _fail_outstanding(self, message: str) -> None:
+        while self._pending:
+            self._pending.popleft().resolve(
+                {"ok": False, "error": "ShardingError", "message": message}
+            )
+
+    def _send(self, message: Dict) -> None:
+        raise NotImplementedError
+
+
+class ProcessShardHandle(_HandleBase):
+    """A shard worker in a spawned child process."""
+
+    backend = "process"
+
+    def __init__(self, shard_id: int, init: Dict, start_method: str = "spawn"):
+        import multiprocessing
+
+        super().__init__(shard_id)
+        ctx = multiprocessing.get_context(start_method)
+        self._conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child, shard_id, init),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self.process.start()
+        child.close()
+        # handshake synchronously so a failed spawn surfaces here, not
+        # on the first command
+        handshake = _Reply()
+        self._pending.append(handshake)
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"repro-shard-{shard_id}-reader",
+            daemon=True,
+        )
+        self._reader.start()
+        raise_shard_error(handshake.wait(120.0))
+
+    def _send(self, message: Dict) -> None:
+        self._conn.send(message)
+
+    def _read_loop(self) -> None:
+        while True:
+            try:
+                response = self._conn.recv()
+            except (EOFError, OSError):
+                break
+            self._resolve_next(response)
+        self._fail_outstanding(
+            f"shard {self.shard_id} worker exited unexpectedly"
+        )
+
+    def close(self, timeout: float = 30.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            reply = _Reply()
+            self._pending.append(reply)
+            try:
+                self._conn.send({"cmd": "close"})
+            except (BrokenPipeError, OSError):
+                pass
+        try:
+            reply.wait(timeout)
+        except ShardingError:
+            pass
+        self.process.join(timeout)
+        if self.process.is_alive():  # pragma: no cover - deadlocked worker
+            self.process.terminate()
+            self.process.join(5.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._fail_outstanding(f"shard {self.shard_id} closed")
+
+
+class ThreadShardHandle(_HandleBase):
+    """The same server on a daemon thread, pickle-round-tripping every
+    message so the protocol stays process-portable."""
+
+    backend = "thread"
+
+    def __init__(self, shard_id: int, init: Dict):
+        super().__init__(shard_id)
+        self._inbox: "queue.Queue" = queue.Queue()
+        self._startup = _Reply()
+        self._pending.append(self._startup)
+        self._thread = threading.Thread(
+            target=self._run,
+            args=(pickle.loads(pickle.dumps(init)),),
+            name=f"repro-shard-{shard_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        raise_shard_error(self._startup.wait(120.0))
+
+    def _run(self, init: Dict) -> None:
+        try:
+            server = ShardServer(self.shard_id, init)
+        except Exception as exc:
+            self._resolve_next(
+                {
+                    "ok": False,
+                    "error": "ShardingError",
+                    "message": f"shard {self.shard_id} failed to start: "
+                    f"{type(exc).__name__}: {exc}",
+                }
+            )
+            return
+        self._resolve_next({"ok": True, "shard": self.shard_id})
+        while True:
+            message = self._inbox.get()
+            if message is None:
+                break
+            message = pickle.loads(pickle.dumps(message))
+            reply = server.handle(message)
+            self._resolve_next(pickle.loads(pickle.dumps(reply)))
+            if message.get("cmd") == "close":
+                break
+        self._fail_outstanding(f"shard {self.shard_id} worker stopped")
+
+    def _send(self, message: Dict) -> None:
+        self._inbox.put(message)
+
+    def close(self, timeout: float = 30.0) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            reply = _Reply()
+            self._pending.append(reply)
+            self._inbox.put({"cmd": "close"})
+        try:
+            reply.wait(timeout)
+        except ShardingError:
+            pass
+        self._inbox.put(None)
+        self._thread.join(timeout)
+
+
+def make_handle(
+    backend: str, shard_id: int, init: Dict, start_method: str = "spawn"
+):
+    if backend == "process":
+        return ProcessShardHandle(shard_id, init, start_method=start_method)
+    if backend == "thread":
+        return ThreadShardHandle(shard_id, init)
+    raise ShardingError(
+        f"unknown shard backend {backend!r} (expected 'process' or 'thread')"
+    )

@@ -1,7 +1,7 @@
 """TPC-H substrate: schema, deterministic data generator, refresh batches
 and the paper's view definitions (oj_view, V2, V3 and the core view)."""
 
-from .generator import TPCHGenerator, retail_price
+from .generator import TPCHGenerator, cached_instance, retail_price
 from .schema import cardinalities, create_schema
 from .views import (
     DATE_HI,
@@ -21,6 +21,7 @@ from .views import (
 
 __all__ = [
     "TPCHGenerator",
+    "cached_instance",
     "retail_price",
     "create_schema",
     "cardinalities",

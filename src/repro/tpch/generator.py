@@ -280,3 +280,61 @@ class TPCHGenerator:
             )
             for i in range(size)
         ]
+
+
+# ---------------------------------------------------------------------------
+# fixture cache
+# ---------------------------------------------------------------------------
+def _source_digest() -> str:
+    """Digest of the generator sources: a change to any of them must
+    invalidate cached fixtures."""
+    import hashlib
+    import os
+
+    digest = hashlib.sha256()
+    here = os.path.dirname(__file__)
+    for name in ("generator.py", "schema.py"):
+        with open(os.path.join(here, name), "rb") as handle:
+            digest.update(handle.read())
+    return digest.hexdigest()[:12]
+
+
+def cached_instance(
+    scale_factor: float,
+    seed: int = 20070415,
+    directory: Optional[str] = None,
+) -> Tuple["TPCHGenerator", Database]:
+    """``(generator, database)`` for one deterministic TPC-H instance,
+    loaded from the on-disk fixture cache when possible.
+
+    The cache directory comes from *directory* or ``REPRO_FIXTURE_DIR``;
+    when neither is set this is exactly a fresh build.  CI warms the
+    directory with ``tools/warm_fixtures.py`` and restores it through
+    ``actions/cache``, so matrix cells skip the (dominant) data
+    generation cost.  Entries embed a digest of the generator sources —
+    editing the generator invalidates them — and the generator is
+    pickled *with* its post-build PRNG state, so refresh batches drawn
+    from a cached instance match a fresh one exactly.
+    """
+    import os
+    import pickle
+
+    directory = directory or os.environ.get("REPRO_FIXTURE_DIR")
+    if not directory:
+        generator = TPCHGenerator(scale_factor=scale_factor, seed=seed)
+        return generator, generator.build()
+    path = os.path.join(
+        directory,
+        f"tpch-{scale_factor:g}-{seed}-{_source_digest()}.pkl",
+    )
+    if os.path.exists(path):
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    generator = TPCHGenerator(scale_factor=scale_factor, seed=seed)
+    db = generator.build()
+    os.makedirs(directory, exist_ok=True)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as handle:
+        pickle.dump((generator, db), handle)
+    os.replace(tmp, path)  # atomic: concurrent warmers never tear
+    return generator, db

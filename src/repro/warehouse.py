@@ -129,6 +129,19 @@ class Warehouse:
         older than the checkpoint LSN.  See ``docs/SERVING.md``.
     """
 
+    def __new__(cls, *args, **kwargs):
+        # Warehouse(db, shards=N) transparently constructs the sharded
+        # flavour (repro.sharded.ShardedWarehouse): __new__ returns the
+        # subclass instance, so Python dispatches __init__ to it with
+        # these same arguments.
+        if cls is Warehouse and (
+            kwargs.get("shards") or kwargs.get("sharding")
+        ):
+            from .sharded import ShardedWarehouse
+
+            return super().__new__(ShardedWarehouse)
+        return super().__new__(cls)
+
     def __init__(
         self,
         db: Database,

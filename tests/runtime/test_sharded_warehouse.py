@@ -1,0 +1,357 @@
+"""The sharded warehouse facade: routing edge cases, transactions,
+recovery with damaged shard WALs, and shard-vs-unsharded equivalence.
+
+Thread-backend workers everywhere except the one process-backend smoke
+test: they run the identical ``ShardServer`` code, round-trip every
+message through pickle, and keep the suite fast and deterministic.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro import Database, Q, eq
+from repro.core import ViewDefinition
+from repro.errors import (
+    CatalogError,
+    ConstraintError,
+    MaintenanceError,
+    ShardingError,
+)
+from repro.sharded import ShardedSnapshot, ShardedWarehouse
+from repro.warehouse import Warehouse
+
+
+def build_db(orders=6, lines_per=2, deferrable=False):
+    db = Database()
+    db.create_table("orders", ["o_orderkey", "o_custkey"], key=["o_orderkey"])
+    db.create_table(
+        "lineitem",
+        ["l_orderkey", "l_linenumber", "l_qty"],
+        key=["l_orderkey", "l_linenumber"],
+    )
+    db.add_foreign_key(
+        "lineitem",
+        ["l_orderkey"],
+        "orders",
+        ["o_orderkey"],
+        deferrable=deferrable,
+    )
+    db.insert("orders", [(o, o % 3) for o in range(orders)])
+    db.insert(
+        "lineitem",
+        [
+            (o, ln, 10 * o + ln)
+            for o in range(orders)
+            for ln in range(lines_per)
+        ],
+    )
+    return db
+
+
+def order_lines_defn(name="order_lines"):
+    expr = (
+        Q.table("orders")
+        .left_outer_join(
+            "lineitem", on=eq("lineitem.l_orderkey", "orders.o_orderkey")
+        )
+        .build()
+    )
+    return ViewDefinition(name, expr)
+
+
+def make_sharded(db=None, shards=2, **kwargs):
+    kwargs.setdefault("shard_backend", "thread")
+    wh = Warehouse(db if db is not None else build_db(), shards=shards, **kwargs)
+    wh.create_view("order_lines", order_lines_defn())
+    return wh
+
+
+def reference_views(db, ops=()):
+    """What an unsharded warehouse produces for the same stream."""
+    wh = Warehouse(db.copy())
+    wh.create_view("order_lines", order_lines_defn())
+    for kind, table, rows in ops:
+        getattr(wh, kind)(table, rows)
+    rows = frozenset(wh.maintainer("order_lines").view.rows())
+    wh.close()
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# construction and routing
+# ---------------------------------------------------------------------------
+def test_warehouse_shards_kwarg_dispatches_to_sharded_subclass():
+    wh = Warehouse(build_db(), shards=2, shard_backend="thread")
+    try:
+        assert isinstance(wh, ShardedWarehouse)
+        assert wh.shards == 2
+    finally:
+        wh.close()
+    plain = Warehouse(build_db())
+    try:
+        assert not isinstance(plain, ShardedWarehouse)
+    finally:
+        plain.close()
+
+
+def test_sharded_matches_unsharded_through_mixed_changes():
+    db = build_db()
+    ops = [
+        ("insert", "orders", [(100, 1), (101, 2)]),
+        ("insert", "lineitem", [(100, 0, 5), (101, 0, 7), (101, 1, 8)]),
+        ("delete", "lineitem", [(0, 0, 0)]),
+        ("delete", "lineitem", [(5, 0, 50), (5, 1, 51)]),
+        ("delete", "orders", [(5, 2)]),
+    ]
+    wh = make_sharded(db.copy(), shards=3)
+    try:
+        for kind, table, rows in ops:
+            getattr(wh, kind)(table, rows)
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        assert merged == reference_views(db, ops)
+        wh.check_consistency()
+    finally:
+        wh.close()
+
+
+def test_empty_shard_participates_in_merge_and_accepts_late_rows():
+    # range-partition so every initial row lands on shard 0: shard 1
+    # starts empty but must still answer merges (its fragments decide
+    # residue-row survival) and accept rows later
+    db = build_db(orders=4)
+    wh = make_sharded(
+        db.copy(),
+        shards=2,
+        routing={"lineitem": ("l_orderkey",)},
+        ranges=(1000,),
+    )
+    try:
+        stats = wh.shard_stats()
+        assert stats["shards"][1]["table_rows"]["lineitem"] == 0
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        assert merged == reference_views(db)
+        # a row beyond the split point lands on the empty shard
+        wh.insert("orders", [(2000, 1)])
+        wh.insert("lineitem", [(2000, 0, 1)])
+        with pytest.raises(ConstraintError):
+            wh.insert("lineitem", [(2000, 0, 1)])  # dup key, shard-local
+        stats = wh.shard_stats()
+        assert stats["shards"][1]["table_rows"]["lineitem"] == 1
+    finally:
+        wh.close()
+
+
+def test_max_skew_reports_rebalance_advisory():
+    # all rows hash... I mean, range to shard 0 of 4 -> skew 4.0
+    db = build_db(orders=8)
+    wh = make_sharded(
+        db.copy(),
+        shards=4,
+        routing={"lineitem": ("l_orderkey",)},
+        ranges=(1000, 2000, 3000),
+    )
+    try:
+        stats = wh.shard_stats()
+        assert stats["skew"]["lineitem"] == pytest.approx(4.0)
+        (advisory,) = stats["rebalance"]
+        assert advisory["table"] == "lineitem"
+        assert advisory["hottest_shard"] == 0
+        assert "range split points" in advisory["suggestion"]
+    finally:
+        wh.close()
+
+
+def test_single_shard_key_probe_avoids_fan_out():
+    wh = make_sharded(shards=3)
+    try:
+        probes = []
+        original = wh.telemetry.record_shard_query
+        wh.telemetry.record_shard_query = lambda fp: probes.append(fp)
+        try:
+            # all routing columns pinned -> single-shard fast path
+            rows = wh.query(
+                "order_lines",
+                **{"lineitem.l_orderkey": 2, "lineitem.l_linenumber": 1},
+            )
+        finally:
+            wh.telemetry.record_shard_query = original
+        assert rows == [r for r in wh.query("order_lines") if r[2] == 2 and r[3] == 1]
+    finally:
+        wh.close()
+
+
+def test_snapshot_pins_a_stable_cross_shard_epoch():
+    wh = make_sharded(shards=2)
+    try:
+        wh.flush()
+        snap = wh.snapshot()
+        before = frozenset(map(tuple, snap.query("order_lines")))
+        wh.insert("orders", [(500, 1)])
+        wh.insert("lineitem", [(500, 0, 9)])
+        wh.flush()
+        assert frozenset(map(tuple, snap.query("order_lines"))) == before
+        live = frozenset(map(tuple, wh.query("order_lines")))
+        assert live != before
+        snap.release()
+    finally:
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# cross-shard transactions
+# ---------------------------------------------------------------------------
+def test_cross_shard_transaction_commits_atomically():
+    db = build_db(deferrable=True)
+    wh = make_sharded(db.copy(), shards=3)
+    try:
+        with wh.transaction() as txn:
+            # lineitem before its order: FK is deferred to the prepare
+            # round, and the rows hash to different shards
+            txn.insert("lineitem", [(300, 0, 1), (301, 0, 2)])
+            txn.insert("orders", [(300, 1), (301, 1)])
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        ops = [
+            ("insert", "lineitem", [(300, 0, 1), (301, 0, 2)]),
+            ("insert", "orders", [(300, 1), (301, 1)]),
+        ]
+        assert merged == reference_views(db, [(k, t, r) for k, t, r in [
+            ("insert", "orders", [(300, 1), (301, 1)]),
+            ("insert", "lineitem", [(300, 0, 1), (301, 0, 2)]),
+        ]])
+    finally:
+        wh.close()
+
+
+def test_cross_shard_transaction_rolls_back_on_exception():
+    db = build_db(deferrable=True)
+    wh = make_sharded(db.copy(), shards=3)
+    try:
+        before_tables = {
+            t: frozenset(map(tuple, rows))
+            for t, rows in wh.merged_table_state().items()
+        }
+        with pytest.raises(RuntimeError):
+            with wh.transaction() as txn:
+                txn.insert("orders", [(400, 1)])
+                txn.insert("lineitem", [(400, 0, 1), (401, 0, 1)])
+                raise RuntimeError("abort mid-transaction")
+        after_tables = {
+            t: frozenset(map(tuple, rows))
+            for t, rows in wh.merged_table_state().items()
+        }
+        assert after_tables == before_tables
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        assert merged == reference_views(db)
+    finally:
+        wh.close()
+
+
+def test_cross_shard_transaction_rolls_back_on_prepare_failure():
+    # one shard's deferred FK check fails at prepare: every shard —
+    # including those whose local statements were fine — must roll back
+    db = build_db(deferrable=True)
+    wh = make_sharded(db.copy(), shards=3)
+    try:
+        with pytest.raises(ConstraintError):
+            with wh.transaction() as txn:
+                txn.insert("orders", [(600, 1)])
+                txn.insert("lineitem", [(600, 0, 1), (999, 0, 1)])
+                # order 999 never arrives
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        assert merged == reference_views(db)
+        wh.check_consistency()
+    finally:
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+def test_recovery_iterates_shard_lineages(tmp_path):
+    db = build_db()
+    wh = make_sharded(db.copy(), shards=2, wal_path=str(tmp_path / "wal"))
+    try:
+        wh.insert("orders", [(700, 1)])
+        wh.insert("lineitem", [(700, 0, 3), (700, 1, 4)])
+        wh.crash_restart()
+        summary = wh.last_recovery
+        assert set(summary["shards"]) == {0, 1}
+        assert not summary["degraded"]
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        assert merged == reference_views(db, [
+            ("insert", "orders", [(700, 1)]),
+            ("insert", "lineitem", [(700, 0, 3), (700, 1, 4)]),
+        ])
+    finally:
+        wh.close()
+
+
+def test_recovery_with_one_corrupt_shard_wal_degrades_not_dies(tmp_path):
+    db = build_db()
+    wal_root = tmp_path / "wal"
+    wh = make_sharded(db.copy(), shards=2, wal_path=str(wal_root))
+    try:
+        wh.insert("orders", [(800, 1), (801, 2)])
+        wh.insert("lineitem", [(800, 0, 1), (801, 0, 2)])
+        wh.flush()
+        # bit-flip the middle of shard 0's log; shard 1 stays pristine
+        segments = sorted(glob.glob(str(wal_root / "shard-0" / "*")))
+        segments = [p for p in segments if os.path.isfile(p)]
+        assert segments, "shard 0 wrote no WAL segment"
+        with open(segments[0], "r+b") as handle:
+            raw = handle.read()
+            handle.seek(len(raw) // 2)
+            handle.write(b"\xff\xfe\xfd\xfc")
+        wh.crash_restart()
+        summary = wh.last_recovery
+        assert summary["degraded"]
+        assert summary["corruption_detected"]
+        assert 0 in summary["quarantined_segments"]
+        assert 1 not in summary["quarantined_segments"]
+        # the warehouse survives and keeps serving coherent views
+        wh.insert("orders", [(900, 1)])
+        wh.check_consistency()
+    finally:
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# guardrails and the process backend
+# ---------------------------------------------------------------------------
+def test_unsupported_surfaces_raise_sharding_error():
+    wh = make_sharded(shards=2)
+    try:
+        with pytest.raises(ShardingError):
+            wh.maintainer("order_lines")
+        with pytest.raises(CatalogError):
+            wh.table_rows("nope")
+    finally:
+        wh.close()
+
+
+def test_shard_count_must_match_spec():
+    from repro.runtime import ShardingSpec
+
+    db = build_db()
+    spec = ShardingSpec(2, {"lineitem": ("l_orderkey",)})
+    with pytest.raises(ShardingError, match="shard"):
+        Warehouse(db, shards=3, sharding=spec, shard_backend="thread")
+
+
+def test_process_backend_smoke():
+    # spawned OS processes: the production backend the bench gate times
+    db = build_db(orders=4)
+    wh = Warehouse(db.copy(), shards=2, shard_backend="process")
+    try:
+        wh.create_view("order_lines", order_lines_defn())
+        wh.apply_async("lineitem", "insert", [(0, 7, 70), (1, 7, 71)])
+        wh.flush()
+        merged = frozenset(map(tuple, wh.merged_views()["order_lines"]))
+        assert merged == reference_views(db, [
+            ("insert", "lineitem", [(0, 7, 70), (1, 7, 71)]),
+        ])
+        wh.check_consistency()
+    finally:
+        wh.close()

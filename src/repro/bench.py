@@ -1585,6 +1585,155 @@ def run_sharded(
     return record
 
 
+def run_chaos(
+    scale: float = 0.002,
+    seed: int = 20070415,
+    shards: int = 2,
+    batches: int = 12,
+    batch_rows: int = 48,
+    kill_every: int = 4,
+    quiet: bool = False,
+) -> Dict[str, object]:
+    """Availability and recovery time under repeated worker SIGKILLs.
+
+    A process-backed sharded warehouse (WAL + checkpoints in a temp
+    lineage) ingests *batches* lineitem batches; every *kill_every*
+    batches one worker process is SIGKILLed mid-stream, alternating the
+    victim shard.  Three claims, recorded in ``BENCH_chaos.json``:
+
+    * **No hangs** — every facade call returns within its deadline: a
+      call into a killed shard fails with a typed
+      ``ShardUnavailableError`` instead of blocking on a reply that can
+      never arrive.  ``max_op_seconds`` records the worst case.
+    * **Availability** — the fraction of batch operations that
+      succeeded end-to-end.  Batches between kills retry nothing; the
+      supervisor has already swapped a recovered worker in, so only the
+      operations overlapping a kill window fail.
+    * **Bounded recovery** — after each kill the supervisor
+      reincarnates the shard from its WAL/checkpoint lineage;
+      ``recovery_seconds`` records each settle time (kill to all-up)
+      and the final state passes ``check_consistency`` (merged views ==
+      recompute over the merged database).
+    """
+    import tempfile as _tempfile
+
+    from .errors import ReproError
+
+    generator, base_db = cached_instance(scale, seed)
+    definitions = _concurrent_definitions()[:4]
+    change_batches = [
+        generator.lineitem_insert_batch(batch_rows, seed=300 + i)
+        for i in range(batches)
+    ]
+    ops_total = 0
+    ops_ok = 0
+    max_op_seconds = 0.0
+    kills = 0
+    recovery_seconds: List[float] = []
+    consistent = False
+    with _tempfile.TemporaryDirectory(prefix="repro-bench-chaos-") as tmp:
+        wh = Warehouse(
+            base_db.copy(),
+            shards=shards,
+            shard_backend="process",
+            workers=0,
+            wal_path=f"{tmp}/wal",
+            checkpoint_dir=f"{tmp}/ckpt",
+            checkpoint_interval=3,
+            call_deadline_seconds=5.0,
+            probe_timeout_seconds=1.0,
+            restart_budget=batches + shards,
+            restart_window_seconds=600.0,
+        )
+        try:
+            for defn in definitions:
+                wh.create_view(defn.name, defn)
+            for index, batch in enumerate(change_batches):
+                if index and index % kill_every == 0:
+                    victim = (index // kill_every - 1) % shards
+                    handle = wh._handles[victim]
+                    if handle.backend == "process" and handle.is_alive():
+                        killed_at = time.perf_counter()
+                        handle.process.kill()
+                        kills += 1
+                ops_total += 1
+                started = time.perf_counter()
+                try:
+                    wh.apply_async("lineitem", "insert", batch).wait()
+                    wh.flush()
+                    ops_ok += 1
+                except ReproError:
+                    pass  # typed failure — the op, not the tier, is lost
+                max_op_seconds = max(
+                    max_op_seconds, time.perf_counter() - started
+                )
+                if kills and len(recovery_seconds) < kills:
+                    # settle: the supervisor swaps a recovered worker in
+                    wh.supervisor.wait_quiesced(60.0)
+                    deadline = time.perf_counter() + 60.0
+                    while time.perf_counter() < deadline:
+                        states = wh.supervisor.status()
+                        if all(
+                            s["state"] == "up" for s in states.values()
+                        ):
+                            break
+                        time.sleep(0.05)
+                    recovery_seconds.append(
+                        time.perf_counter() - killed_at
+                    )
+            wh.supervisor.wait_quiesced(60.0)
+            try:
+                wh.flush()
+            except ReproError:
+                pass
+            wh.check_consistency()
+            consistent = True
+        finally:
+            wh.close()
+    record: Dict[str, object] = {
+        "experiment": "chaos",
+        "scale": scale,
+        "shards": shards,
+        "batches": batches,
+        "batch_rows": batch_rows,
+        "kill_every": kill_every,
+        "kills": kills,
+        "ops_total": ops_total,
+        "ops_ok": ops_ok,
+        "availability": (ops_ok / ops_total) if ops_total else None,
+        "max_op_seconds": max_op_seconds,
+        "recovery_seconds": recovery_seconds,
+        "max_recovery_seconds": (
+            max(recovery_seconds) if recovery_seconds else None
+        ),
+        "consistent_after_recovery": consistent,
+    }
+    if not quiet:
+        print_table(
+            f"Chaos: {kills} SIGKILLs across {shards} process shards, "
+            f"{batches} batches x {batch_rows} rows",
+            ["Ops", "OK", "Availability", "Max op s", "Max recovery s"],
+            [
+                (
+                    ops_total,
+                    ops_ok,
+                    f"{record['availability']:.2f}",
+                    f"{max_op_seconds:.2f}",
+                    (
+                        f"{record['max_recovery_seconds']:.2f}"
+                        if recovery_seconds
+                        else "-"
+                    ),
+                )
+            ],
+        )
+        print(
+            "\nconsistency after recovery: "
+            + ("ok" if consistent else "FAILED")
+        )
+    return record
+
+
 # ---------------------------------------------------------------------------
 # CLI
 # ---------------------------------------------------------------------------
@@ -1624,6 +1773,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "checkpoint",
             "serving",
             "sharded",
+            "chaos",
             "all",
         ],
     )
@@ -1739,6 +1889,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sharded_scale = args.scale if args.scale != DEFAULT_SCALE else 0.002
         record = run_sharded(sharded_scale, seed=args.seed)
         if args.json and chosen == "sharded":
+            with open(args.json, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+    if chosen == "chaos":
+        # deliberately not part of `all`: the experiment kills its own
+        # workers, which makes a poor neighbour for timing runs
+        chaos_scale = args.scale if args.scale != DEFAULT_SCALE else 0.002
+        record = run_chaos(chaos_scale, seed=args.seed)
+        if args.json:
             with open(args.json, "w") as handle:
                 json.dump(record, handle, indent=2)
                 handle.write("\n")

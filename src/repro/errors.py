@@ -79,5 +79,19 @@ class ShardingError(ReproError):
     attempted on the wrong warehouse flavour."""
 
 
+class ShardUnavailableError(ShardingError):
+    """A shard worker died, hung past its deadline, or is quarantined.
+
+    Raised instead of blocking when a reply can no longer arrive: the
+    worker process exited, a liveness probe timed out, or the shard
+    exhausted its restart budget and was quarantined by the
+    :class:`~repro.runtime.supervisor.ShardSupervisor`.  The outcome of
+    the in-flight command on that shard is *unknown* — it may or may
+    not have reached the shard's WAL before the failure.  Callers
+    should treat the statement as failed; reincarnation replays the
+    shard's durable history, so retrying after the supervisor reports
+    the shard healthy is safe for idempotent operations."""
+
+
 class UnsupportedViewError(ReproError):
     """The view falls outside the class the paper's algorithm supports."""

@@ -34,6 +34,23 @@ scenario itself) and require :meth:`Warehouse.recover` to quarantine the
 damage, never raise, and leave every view recompute-equal over whatever
 history survived.
 
+The ``chaos-*`` configs point the same differential machinery at
+*partial* failure.  ``chaos-shard`` replays the stream through a
+sharded warehouse while deterministically (seeded from the scenario)
+killing, stalling or tearing the reply pipe of individual shard
+workers mid-stream; it requires every faulted call to fail within the
+per-call deadline (no hangs), the supervisor to reincarnate the shard,
+and the post-havoc merged state to stay *internally* consistent —
+every merged view equal to a recompute over the merged database.
+(Lost or compensated ops legitimately diverge from the reference
+stream, so the reference-state check is deliberately absent.)
+``chaos-2pc`` drives every generated transaction through a coordinator
+crash — before the decision record, after it, or mid-commit-broadcast
+— then requires ``recover()`` to land all shards on the same outcome:
+presumed abort without a durable decision, commit with one.  Its
+reference replay applies exactly the transactions the decision log
+says survived, so base state *is* checked.
+
 The ``serving`` config exercises the MVCC read path: after every op it
 takes a :meth:`Warehouse.snapshot` and requires (a) the snapshot's base
 tables to equal the reference replay's state at that step, and (b) every
@@ -53,6 +70,7 @@ import os
 import random
 import shutil
 import tempfile
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -94,7 +112,7 @@ class Mismatch:
     step: str  # "op[3]", "flush", "recovery", "final"
     kind: str  # view-divergence | db-divergence | outcome | quarantine
     #          | durability | cross-config | snapshot-divergence
-    #          | harness-error
+    #          | chaos-divergence | harness-error
     view: Optional[str] = None
     detail: str = ""
 
@@ -154,6 +172,8 @@ class OracleConfig:
     corruption: Optional[str] = None  # "torn" | "bitflip"
     snapshot_reads: bool = False  # MVCC snapshot queries vs recompute
     shards: int = 0  # > 0: run through a ShardedWarehouse (thread backend)
+    chaos: Optional[str] = None  # "shard" (kill/stall/drop workers)
+    #                            | "2pc" (coordinator crash windows)
 
 
 def _opts(**kwargs) -> Callable[[], MaintenanceOptions]:
@@ -282,6 +302,21 @@ def default_matrix() -> List[OracleConfig]:
             shards=2,
             checkpoint_every=2,
         ),
+        OracleConfig(
+            "chaos-shard",
+            _opts(),
+            wal=True,
+            shards=2,
+            checkpoint_every=2,
+            chaos="shard",
+        ),
+        OracleConfig(
+            "chaos-2pc",
+            _opts(),
+            wal=True,
+            shards=2,
+            chaos="2pc",
+        ),
     ]
 
 
@@ -402,7 +437,12 @@ def run_case(
     final_views: Dict[str, Dict[str, frozenset]] = {}
     for config in configs:
         result.configs_run.append(config.name)
-        runner = _run_sharded_config if config.shards else _run_config
+        if config.chaos:
+            runner = _run_chaos_config
+        elif config.shards:
+            runner = _run_sharded_config
+        else:
+            runner = _run_config
         try:
             views = runner(scenario, config, reference, result)
             if views is not None:
@@ -825,6 +865,348 @@ def _run_sharded_config(
         finally:
             if len(result.mismatches) > before and wal_root:
                 _export_artifacts(config.name, wal_root)
+            wh.close()
+
+
+# ---------------------------------------------------------------------------
+# chaos: partial failure under the differential oracle
+# ---------------------------------------------------------------------------
+_CHAOS_FAULTS = ("shard.worker.kill", "shard.worker.stall", "shard.pipe.drop")
+_COORDINATOR_FAILPOINTS = (
+    "txn.coordinator.prepared",
+    "txn.coordinator.decided",
+    "txn.coordinator.commit",
+)
+_CHAOS_DEADLINE = 0.6  # facade per-call deadline during chaos replay
+_CHAOS_PROBE = 0.3  # supervisor liveness-probe timeout
+_CHAOS_STALL = 1.3  # stall long enough to blow both deadlines
+_CHAOS_INJECTIONS = 3  # faults per scenario (fewer if the stream is short)
+_CHAOS_SETTLE = 30.0  # max seconds to wait for reincarnation
+
+
+def _all_shards_up(wh) -> bool:
+    # quiesced first: a just-detected death may not have flipped the
+    # per-shard state yet, and "all up" must mean *settled*, not
+    # "the revive has not registered"
+    if not wh.supervisor.quiesced:
+        return False
+    status = wh.supervisor.status()
+    if not status or any(s["state"] != "up" for s in status.values()):
+        return False
+    return all(
+        h.is_alive() and not getattr(h, "_closed", False)
+        for h in wh._handles
+    )
+
+
+def _wait_all_up(wh, timeout: float = _CHAOS_SETTLE) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if _all_shards_up(wh):
+            return True
+        time.sleep(0.02)
+    return False
+
+
+def _run_chaos_config(
+    scenario: Scenario,
+    config: OracleConfig,
+    reference: _Reference,
+    result: CaseResult,
+) -> None:
+    if config.chaos == "shard":
+        _run_chaos_shard(scenario, config, result)
+    elif config.chaos == "2pc":
+        _run_chaos_2pc(scenario, config, result)
+    else:  # pragma: no cover - config typo
+        raise ValueError(f"unknown chaos mode {config.chaos!r}")
+
+
+def _make_chaos_warehouse(scenario: Scenario, config: OracleConfig, tmp):
+    kwargs: Dict = {
+        "shards": config.shards,
+        "shard_backend": "thread",
+        "wal_path": os.path.join(tmp, "wal"),
+        "call_deadline_seconds": _CHAOS_DEADLINE,
+        "probe_timeout_seconds": _CHAOS_PROBE,
+        "restart_budget": 50,  # havoc is intentional; don't quarantine
+        "restart_window_seconds": 60.0,
+    }
+    if config.checkpoint_every:
+        kwargs["checkpoint_dir"] = os.path.join(tmp, "checkpoints")
+    wh = Warehouse(scenario.build_database(), **kwargs)
+    _create_views(wh, scenario, config)
+    return wh
+
+
+def _run_chaos_shard(
+    scenario: Scenario, config: OracleConfig, result: CaseResult
+) -> None:
+    """Kill-9 havoc under the oracle: deterministically (seeded from the
+    scenario) kill, stall or tear the pipe of shard workers mid-stream.
+    Checks: every faulted call fails within the deadline instead of
+    hanging, the supervisor brings every shard back, and the post-havoc
+    merged state is internally consistent (``check_consistency``:
+    per-shard recompute, replicated-table identity, merged views ==
+    recompute over the merged database).  The reference-state check is
+    deliberately absent — faulted ops are legitimately lost or
+    compensated."""
+    rng = random.Random(
+        zlib.crc32(scenario.to_json().encode("utf-8")) ^ 0x5EED
+    )
+    ops = scenario.ops
+    eligible = [i for i, op in enumerate(ops) if op["kind"] != "crash"]
+    count = min(_CHAOS_INJECTIONS, len(eligible))
+    chosen = sorted(rng.sample(eligible, count)) if count else []
+    plan = {
+        index: (
+            _CHAOS_FAULTS[n % len(_CHAOS_FAULTS)],
+            rng.randrange(config.shards),
+        )
+        for n, index in enumerate(chosen)
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-chaos-") as tmp:
+        wh = _make_chaos_warehouse(scenario, config, tmp)
+        try:
+            since_checkpoint = 0
+            for i, op in enumerate(ops):
+                step = f"op[{i}]"
+                fault = plan.get(i)
+                if fault is not None:
+                    name, shard = fault
+                    if name == "shard.worker.stall":
+                        FAILPOINTS.arm(
+                            name,
+                            action="call",
+                            times=1,
+                            callback=lambda **_ctx: time.sleep(
+                                _CHAOS_STALL
+                            ),
+                            shard=shard,
+                        )
+                    else:
+                        FAILPOINTS.arm(
+                            name,
+                            action=(
+                                "skip"
+                                if name == "shard.pipe.drop"
+                                else "raise"
+                            ),
+                            times=1,
+                            shard=shard,
+                        )
+                fired_before = (
+                    FAILPOINTS.fired(fault[0]) if fault else 0
+                )
+                started = time.monotonic()
+                if op["kind"] == "crash":
+                    # all shards are up here (crash ops are never fault
+                    # targets), so the orderly restart path is safe
+                    wh.crash_restart()
+                else:
+                    apply_op(wh, op)  # outcome legitimately diverges
+                elapsed = time.monotonic() - started
+                if fault is not None:
+                    for fp_name in _CHAOS_FAULTS:
+                        FAILPOINTS.disarm(fp_name)
+                    if FAILPOINTS.fired(fault[0]) == fired_before:
+                        continue  # op never touched the target shard
+                    # no-hang contract: the op must resolve within the
+                    # deadline plus scheduling slack, never block on the
+                    # dead worker's 30s default
+                    if elapsed > _CHAOS_STALL + 5.0:
+                        result.mismatches.append(
+                            Mismatch(
+                                config.name, step, "chaos-divergence",
+                                None,
+                                f"op blocked {elapsed:.1f}s on faulted "
+                                f"shard {fault[1]} ({fault[0]}) instead "
+                                "of failing within the deadline",
+                            )
+                        )
+                    if not _wait_all_up(wh):
+                        result.mismatches.append(
+                            Mismatch(
+                                config.name, step, "chaos-divergence",
+                                None,
+                                f"shard {fault[1]} never reincarnated "
+                                f"after {fault[0]}: "
+                                f"{wh.supervisor.status()}",
+                            )
+                        )
+                        return
+                    continue
+                if config.checkpoint_every and op["kind"] != "crash":
+                    since_checkpoint += 1
+                    if since_checkpoint >= config.checkpoint_every:
+                        try:
+                            wh.checkpoint()
+                        except ReproError:
+                            pass  # a straggler fault; settle below
+                        since_checkpoint = 0
+            # settle, then hold the survivors to the consistency oracle
+            if not _wait_all_up(wh):
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "final", "chaos-divergence", None,
+                        "shards still down after the stream: "
+                        f"{wh.supervisor.status()}",
+                    )
+                )
+                return
+            try:
+                wh.flush()
+            except ReproError:
+                pass  # failures were already compensated per ticket
+            try:
+                wh.check_consistency()
+            except ReproError as exc:
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "final", "chaos-divergence", None,
+                        "post-havoc state inconsistent: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+        finally:
+            for fp_name in _CHAOS_FAULTS:
+                FAILPOINTS.disarm(fp_name)
+            wh.close()
+
+
+def _drive_2pc(wh, op: Dict, failpoint: str) -> str:
+    """Run one generated transaction into a coordinator crash at
+    *failpoint*, then recover.  Returns the resolved outcome:
+    ``"commit"``, ``"abort"`` (a real constraint failure), or
+    ``"forced-abort"`` (the injected pre-decision crash)."""
+    txn = wh.transaction()
+    txn.__enter__()
+    try:
+        for st in op["statements"]:
+            apply = txn.insert if st["kind"] == "insert" else txn.delete
+            apply(st["table"], st["rows"])
+    except ReproError:
+        txn._rollback()
+        return "abort"
+    match = (
+        {"shard": wh.shards - 1}
+        if failpoint == "txn.coordinator.commit"
+        else {}
+    )
+    FAILPOINTS.arm(
+        failpoint, action="raise", times=1, txn=txn.txn_id, **match
+    )
+    try:
+        txn._commit()
+        return "commit"  # e.g. commit-failpoint with a 1-shard facade
+    except InjectedFault:
+        # the coordinator "dies" here; recover() must resolve the
+        # in-doubt transaction from the decision log (presumed abort
+        # before the record, commit after)
+        wh.recover()
+        return (
+            "forced-abort"
+            if failpoint == "txn.coordinator.prepared"
+            else "commit"
+        )
+    except ReproError:
+        txn._rollback()
+        return "abort"
+    finally:
+        FAILPOINTS.disarm(failpoint)
+
+
+def _run_chaos_2pc(
+    scenario: Scenario, config: OracleConfig, result: CaseResult
+) -> None:
+    """Every generated transaction is driven through a coordinator
+    crash, cycling the three windows (after prepare, after the durable
+    decision, mid-commit-broadcast).  The inline reference replay
+    applies exactly the transactions the decision log committed, so the
+    merged base state is checked op by op — all shards must land on the
+    same side of every transaction."""
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-2pc-") as tmp:
+        wh = _make_chaos_warehouse(scenario, config, tmp)
+        ref = Warehouse(scenario.build_database())
+        txn_count = 0
+        try:
+            for i, op in enumerate(ops := scenario.ops):
+                step = f"op[{i}]"
+                if op["kind"] == "crash":
+                    continue
+                if op["kind"] == "txn":
+                    failpoint = _COORDINATOR_FAILPOINTS[
+                        txn_count % len(_COORDINATOR_FAILPOINTS)
+                    ]
+                    txn_count += 1
+                    outcome = _drive_2pc(wh, op, failpoint)
+                    if outcome != "forced-abort":
+                        # mirror the surviving outcome; a natural abort
+                        # must abort in the reference replay too
+                        ref_outcome = apply_op(ref, op)
+                        if (outcome == "commit") != (ref_outcome == "ok"):
+                            result.mismatches.append(
+                                Mismatch(
+                                    config.name, step, "outcome", None,
+                                    f"2PC resolved {outcome!r} but the "
+                                    "reference replay said "
+                                    f"{ref_outcome!r}",
+                                )
+                            )
+                else:
+                    outcome = apply_op(wh, op)
+                    ref_outcome = apply_op(ref, op)
+                    if outcome != ref_outcome:
+                        result.mismatches.append(
+                            Mismatch(
+                                config.name, step, "outcome", None,
+                                f"{outcome!r} != reference "
+                                f"{ref_outcome!r} for {op['kind']}",
+                            )
+                        )
+                state = {
+                    name: frozenset(map(tuple, rows))
+                    for name, rows in wh.merged_table_state().items()
+                }
+                expected = _table_state(ref)
+                if state != expected:
+                    diverged = sorted(
+                        n
+                        for n in state
+                        if state[n] != expected.get(n)
+                    )
+                    result.mismatches.append(
+                        Mismatch(
+                            config.name, step, "chaos-divergence", None,
+                            f"merged base table(s) {diverged} differ "
+                            "from the decision-log reference replay",
+                        )
+                    )
+                    return
+            pending = wh.txnlog.pending()
+            if pending:
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "final", "durability", None,
+                        f"{len(pending)} coordinator decision(s) still "
+                        "pending after every transaction resolved: "
+                        f"{[r.txn_id for r in pending]}",
+                    )
+                )
+            try:
+                wh.check_consistency()
+            except ReproError as exc:
+                result.mismatches.append(
+                    Mismatch(
+                        config.name, "final", "chaos-divergence", None,
+                        "post-2PC state inconsistent: "
+                        f"{type(exc).__name__}: {exc}",
+                    )
+                )
+        finally:
+            for fp_name in _COORDINATOR_FAILPOINTS:
+                FAILPOINTS.disarm(fp_name)
+            ref.close()
             wh.close()
 
 

@@ -412,6 +412,34 @@ class Telemetry:
             "Inverse changes applied to undo a partially failed statement",
             ("table",),
         )
+        self.shard_deaths = m.counter(
+            "repro_shard_deaths_total",
+            "Shard workers detected dead or hung, by detection reason",
+            ("shard", "reason"),
+        )
+        self.shard_reincarnations = m.counter(
+            "repro_shard_reincarnations_total",
+            "Shard workers rebuilt from their WAL/checkpoint lineage",
+            ("shard",),
+        )
+        self.shard_reincarnation_seconds = m.histogram(
+            "repro_shard_reincarnation_seconds",
+            "Wall time from death detection to the replacement worker "
+            "serving",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0),
+        )
+        self.shard_health = m.gauge(
+            "repro_shard_health",
+            "Supervisor state per shard: 1 up, 0 reincarnating, "
+            "-1 quarantined",
+            ("shard",),
+        )
+        self.txn_indoubt_resolved = m.counter(
+            "repro_txn_indoubt_resolved_total",
+            "In-doubt cross-shard transactions resolved from the "
+            "coordinator decision log, by outcome",
+            ("outcome",),
+        )
 
     # ------------------------------------------------------------------
     # structured events
@@ -603,6 +631,47 @@ class Telemetry:
             return
         with self._record_lock:
             self.shard_compensations.inc(table=table)
+
+    def record_shard_death(self, shard: int, reason: str) -> None:
+        """A shard worker died or hung; its replies were failed fast."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_deaths.inc(shard=str(shard), reason=reason)
+            self.shard_health.set(0, shard=str(shard))
+        self.record_event("shard.dead", shard=shard, reason=reason)
+
+    def record_shard_reincarnated(self, shard: int, seconds: float,
+                                  summary=None) -> None:
+        """The supervisor swapped in a rebuilt worker for *shard*."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_reincarnations.inc(shard=str(shard))
+            self.shard_reincarnation_seconds.observe(seconds)
+            self.shard_health.set(1, shard=str(shard))
+        self.record_event(
+            "shard.reincarnated", shard=shard, seconds=seconds,
+            summary=summary,
+        )
+
+    def record_shard_flapping(self, shard: int, restarts: int) -> None:
+        """A shard exhausted its restart budget and was quarantined."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.shard_health.set(-1, shard=str(shard))
+        self.record_event("shard.flapping", shard=shard, restarts=restarts)
+
+    def record_txn_resolved(self, txn_id: str, outcome: str) -> None:
+        """One in-doubt transaction landed per the decision log."""
+        if not self.enabled:
+            return
+        with self._record_lock:
+            self.txn_indoubt_resolved.inc(outcome=outcome)
+        self.record_event(
+            "txn.indoubt.resolved", txn=txn_id, outcome=outcome
+        )
 
     def record_wal_append(self, table: str) -> None:
         """One base-table delta recorded in the write-ahead log."""

@@ -96,6 +96,27 @@ EVENT_KINDS: Dict[str, tuple] = {
         SEVERITY_WARN,
         "one view-maintenance pass raised (the scheduler will retry)",
     ),
+    # -- shard supervision --------------------------------------------------
+    "shard.dead": (
+        SEVERITY_ERROR,
+        "a shard worker died or hung past its deadline; outstanding "
+        "replies were resolved with ShardUnavailableError",
+    ),
+    "shard.reincarnated": (
+        SEVERITY_INFO,
+        "the supervisor rebuilt a dead shard's worker from its "
+        "WAL/checkpoint lineage and swapped it in",
+    ),
+    "shard.flapping": (
+        SEVERITY_ERROR,
+        "a shard exhausted its restart budget and was quarantined into "
+        "degraded mode (fails fast until rebuilt)",
+    ),
+    "txn.indoubt.resolved": (
+        SEVERITY_WARN,
+        "an in-doubt cross-shard transaction was committed or aborted "
+        "per the coordinator decision log during recovery",
+    ),
     # -- fuzzing ------------------------------------------------------------
     "fuzz.mismatch": (
         SEVERITY_ERROR,

@@ -312,6 +312,9 @@ class ObsServer:
             last_recovery.get("corruption_detected")
             or last_recovery.get("quarantined_segments")
             or last_recovery.get("recomputed_views")
+            # sharded: a quarantined shard or a reincarnation that lost
+            # WAL history reports itself through the same channel
+            or last_recovery.get("degraded")
         )
         status = "degraded" if quarantined or degraded_recovery else "ok"
         payload: Dict = {"status": status, "quarantined": quarantined}

@@ -32,6 +32,14 @@ horizontal sharding on top: partitioning specs and the view merge
 barrier (pure logic), and the per-shard worker processes that each run
 the full stack above over one partition.  :mod:`repro.sharded` is the
 facade; ``docs/SHARDING.md`` the contract.
+
+:mod:`repro.runtime.supervisor` and :mod:`repro.runtime.txnlog` make
+that tier self-healing: the :class:`ShardSupervisor` detects dead or
+hung workers (pipe EOF, call deadlines, optional heartbeats), fails
+their outstanding calls fast, and reincarnates them from their
+WAL/checkpoint lineage under a bounded restart budget; the
+:class:`TxnDecisionLog` makes cross-shard commit decisions durable so
+a coordinator crash mid-2PC resolves deterministically.
 """
 
 from .checkpoint import CheckpointData, CheckpointManager
@@ -61,6 +69,8 @@ from .shardproc import (
     make_handle,
 )
 from .snapshots import Snapshot, SnapshotStore, TableSlice, ViewSlice
+from .supervisor import DeadShardHandle, ShardSupervisor
+from .txnlog import DecisionRecord, TxnDecisionLog
 from .wal import DEFAULT_SEGMENT_BYTES, WalEntry, WriteAheadLog
 
 __all__ = [
@@ -74,6 +84,10 @@ __all__ = [
     "ProcessShardHandle",
     "ThreadShardHandle",
     "make_handle",
+    "ShardSupervisor",
+    "DeadShardHandle",
+    "TxnDecisionLog",
+    "DecisionRecord",
     "Snapshot",
     "SnapshotStore",
     "TableSlice",

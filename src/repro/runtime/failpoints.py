@@ -52,6 +52,26 @@ Instrumented sites (name → where it fires):
                     file is fsynced but before ``os.replace`` publishes
                     it — the atomic-rename crash window (context
                     carries ``seq`` and ``lsn``).
+``shard.worker.kill`` thread-backend shard serve loop, before a command
+                    runs — ``raise`` makes the worker die abruptly
+                    (no reply, command never applied), the in-process
+                    stand-in for SIGKILL (context: ``shard``, ``cmd``).
+``shard.worker.stall`` same loop, ``action="call"`` with a sleeping
+                    callback — the worker hangs past the facade's
+                    per-call deadline, exercising probe-and-reincarnate.
+``shard.pipe.drop`` same loop, after the command ran — the reply is
+                    lost and the connection dies, the torn-reply
+                    window that breaks FIFO pairing for good.
+``txn.coordinator.prepared`` :meth:`ShardedTransaction._commit`, after
+                    every prepare acknowledgement but before the
+                    decision record is written — a coordinator crash
+                    here must abort everywhere (context: ``txn``).
+``txn.coordinator.decided`` same method, after the decision record is
+                    durable but before any commit message — a crash
+                    here must commit everywhere on ``recover()``.
+``txn.coordinator.commit`` before each per-shard commit send (context:
+                    ``txn``, ``shard``) — a crash mid-broadcast leaves
+                    some shards committed, others in doubt.
 ================== ====================================================
 
 Arming is match-filtered: ``arm("scheduler.task", view="v0", times=1)``

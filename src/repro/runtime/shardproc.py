@@ -29,11 +29,25 @@ Protocol sketch (``{"cmd": ..., **payload} -> {"ok": True, ...}`` or
 
     create_view {view, options}          change {table, operation, rows,
     flush                                        fk_allowed, check}
-    checkpoint / recover                 txn_begin / txn_stmt /
-    snapshot_pin / snapshot_release        txn_commit / txn_rollback
-    query {view, equalities, seq}        mark_boundary / crash_hard /
-    dump / stats / check                   restart
-    repair_view {view}                   close
+    checkpoint / recover {from_origin}   txn_begin {txn_id} / txn_stmt /
+    snapshot_pin / snapshot_release        txn_commit / txn_rollback /
+    query {view, equalities, seq}          txn_resolve {commits}
+    dump / stats / check                 mark_boundary / crash_hard /
+    repair_view {view}                     restart
+    ping                                 close
+
+Partial-failure plumbing (see ``docs/SHARDING.md``, "Partial failure
+runbook"): ``ping`` is the supervisor's liveness probe;
+``txn_resolve`` lands an in-doubt two-phase transaction on the side
+the coordinator's decision log (:mod:`repro.runtime.txnlog`) recorded;
+``recover {from_origin: true}`` replays the *whole* WAL against the
+initial partition rows, the cold-start path a reincarnated worker
+uses when no checkpoint exists.  The thread backend's serve loop is
+instrumented with three chaos failpoints — ``shard.worker.kill``
+(abrupt death before the command runs), ``shard.worker.stall``
+(``action="call"`` sleep before the command runs) and
+``shard.pipe.drop`` (the command runs but its reply is lost and the
+connection dies) — which the ``chaos-shard`` fuzz config drives.
 """
 
 from __future__ import annotations
@@ -45,7 +59,8 @@ from collections import deque
 from typing import Dict, List, Optional
 
 from .. import errors as _errors
-from ..errors import ReproError, ShardingError
+from ..errors import ReproError, ShardingError, ShardUnavailableError
+from .failpoints import FAILPOINTS, InjectedFault
 
 __all__ = [
     "ShardServer",
@@ -77,6 +92,7 @@ class ShardServer:
         self._init = init
         self._views: List[Dict] = []
         self._txn = None
+        self._txn_id: Optional[str] = None
         self._pinned: Dict[int, object] = {}
         self._boundary = None  # db snapshot at the last durable boundary
         self._stall = init.get("stall_seconds") or 0.0
@@ -229,12 +245,13 @@ class ShardServer:
         return {"pending": self._pending_count()}
 
     # -- transactions ---------------------------------------------------
-    def cmd_txn_begin(self):
+    def cmd_txn_begin(self, txn_id: Optional[str] = None):
         if self._txn is not None:
             raise ShardingError(
                 f"shard {self.shard_id}: transaction already active"
             )
         self._txn = self.wh.transaction()
+        self._txn_id = txn_id
         self._txn.__enter__()
 
     def _require_txn(self):
@@ -264,6 +281,7 @@ class ShardServer:
     def cmd_txn_commit(self):
         txn = self._require_txn()
         self._txn = None
+        self._txn_id = None
         try:
             txn._commit()
         except Exception:
@@ -273,14 +291,41 @@ class ShardServer:
     def cmd_txn_rollback(self):
         txn = self._require_txn()
         self._txn = None
+        self._txn_id = None
         txn._rollback()
+
+    def cmd_txn_resolve(self, commits: List[str]):
+        """Land an in-doubt transaction on the coordinator's side.
+
+        ``commits`` is the set of transaction ids the coordinator's
+        decision log (:mod:`repro.runtime.txnlog`) durably decided to
+        commit.  If this shard holds an open transaction whose id is in
+        the set, commit it; any other open transaction aborts (presumed
+        abort — no decision record means the commit phase never
+        started).  Idempotent: with no open transaction this is a
+        no-op, so the parent can broadcast it freely during
+        ``recover()`` and shard reincarnation."""
+        if self._txn is None:
+            return {"resolved": None}
+        txn, txn_id = self._txn, self._txn_id
+        self._txn = None
+        self._txn_id = None
+        if txn_id is not None and txn_id in set(commits):
+            try:
+                txn._commit()
+            except Exception:
+                txn._rollback()
+                raise
+            return {"resolved": "commit", "txn_id": txn_id}
+        txn._rollback()
+        return {"resolved": "abort", "txn_id": txn_id}
 
     # -- durability -----------------------------------------------------
     def cmd_checkpoint(self):
         return {"path": self.wh.checkpoint()}
 
-    def cmd_recover(self):
-        self.wh.recover()
+    def cmd_recover(self, from_origin: bool = False):
+        self.wh.recover(from_origin=from_origin)
         return {"summary": self.wh.last_recovery}
 
     def cmd_mark_boundary(self):
@@ -292,6 +337,11 @@ class ShardServer:
         """Die without acknowledging: drop in-memory state, reopen over
         the same WAL/checkpoint directories from the last marked
         boundary, and recover.  Mirrors the oracle's crash contract."""
+        # an open transaction is volatile state: it dies with the crash
+        # (never roll it back — its undo path touches the pre-crash
+        # warehouse, whose WAL handle is about to close)
+        self._txn = None
+        self._txn_id = None
         wh = self.wh
         wh.scheduler.drain()
         if wh.wal is not None:
@@ -316,6 +366,10 @@ class ShardServer:
     def cmd_restart(self):
         """Orderly restart (flush first), reopening over the same
         directories — the WAL-enabled replay loop's ``crash`` op."""
+        if self._txn is not None:  # orderly: abort it while it still can
+            self._txn._rollback()
+            self._txn = None
+            self._txn_id = None
         wh = self.wh
         wh.flush()
         wh.scheduler.shutdown()
@@ -406,6 +460,11 @@ class ShardServer:
         partition (raises through the error envelope on divergence)."""
         self.wh.check_consistency()
 
+    def cmd_ping(self):
+        """Supervisor liveness probe: answers iff the serve loop is
+        draining its inbox (a stalled or dead worker never replies)."""
+        return {"shard": self.shard_id}
+
     def cmd_close(self):
         if self._txn is not None:
             self._txn._rollback()
@@ -464,7 +523,11 @@ class _Reply:
 
     def wait(self, timeout: Optional[float] = None) -> Dict:
         if not self._event.wait(timeout):
-            raise ShardingError("timed out waiting for a shard reply")
+            # typed so callers (and the supervisor) can distinguish a
+            # hung/dead worker from an ordinary shard error
+            raise ShardUnavailableError(
+                f"timed out after {timeout}s waiting for a shard reply"
+            )
         assert self._response is not None
         return self._response
 
@@ -491,6 +554,27 @@ class _HandleBase:
         self._pending: deque = deque()
         self._lock = threading.Lock()
         self._closed = False
+        # the supervisor installs this: called (once, off the caller's
+        # thread) when the worker dies without being close()-d first
+        self.on_death: Optional[callable] = None
+        self._death_reported = False
+
+    def _report_death(self, reason: str) -> None:
+        """Notify the supervisor and fail all outstanding replies —
+        exactly once, and never for an orderly close.  The hook runs
+        *first* so the supervisor is visibly busy before any waiter
+        wakes up (its revive fails the outstanding replies itself when
+        it terminates this handle); the explicit `_fail_outstanding`
+        after it covers handles with no supervisor attached."""
+        with self._lock:
+            if self._death_reported:
+                return
+            self._death_reported = True
+            closed = self._closed
+        hook = self.on_death
+        if hook is not None and not closed:
+            hook(self, reason)
+        self._fail_outstanding(reason)
 
     # ------------------------------------------------------------------
     def submit(self, cmd: str, **payload) -> _Reply:
@@ -503,7 +587,20 @@ class _HandleBase:
                     f"shard {self.shard_id} handle is closed"
                 )
             self._pending.append(reply)
-            self._send(message)
+            try:
+                self._send(message)
+            except (OSError, ValueError) as exc:
+                # a SIGKILLed worker can break the pipe before the
+                # reader thread notices the death: surface it as the
+                # typed unavailability envelope, never a raw
+                # BrokenPipeError
+                failure = exc
+            else:
+                failure = None
+        if failure is not None:
+            self._report_death(
+                f"shard {self.shard_id} pipe write failed: {failure}"
+            )
         return reply
 
     def call(self, cmd: str, timeout: Optional[float] = None, **payload) -> Dict:
@@ -524,10 +621,26 @@ class _HandleBase:
     def _fail_outstanding(self, message: str) -> None:
         while self._pending:
             self._pending.popleft().resolve(
-                {"ok": False, "error": "ShardingError", "message": message}
+                {
+                    "ok": False,
+                    "error": "ShardUnavailableError",
+                    "message": message,
+                }
             )
 
     def _send(self, message: Dict) -> None:
+        raise NotImplementedError
+
+    def is_alive(self) -> bool:
+        raise NotImplementedError
+
+    def terminate(self) -> None:
+        """Hard-stop the worker without the graceful close round-trip.
+
+        Used by the supervisor before reincarnating a shard and by the
+        facade constructor's cleanup path; outstanding replies resolve
+        immediately with :class:`~repro.errors.ShardUnavailableError`.
+        """
         raise NotImplementedError
 
 
@@ -560,7 +673,14 @@ class ProcessShardHandle(_HandleBase):
             daemon=True,
         )
         self._reader.start()
-        raise_shard_error(handshake.wait(120.0))
+        try:
+            raise_shard_error(handshake.wait(120.0))
+        except Exception:
+            # a worker that failed (or hung) its handshake must not
+            # outlive the constructor — the caller has no handle to
+            # clean it up with
+            self.terminate()
+            raise
 
     def _send(self, message: Dict) -> None:
         self._conn.send(message)
@@ -572,25 +692,37 @@ class ProcessShardHandle(_HandleBase):
             except (EOFError, OSError):
                 break
             self._resolve_next(response)
-        self._fail_outstanding(
+        self._report_death(
             f"shard {self.shard_id} worker exited unexpectedly"
         )
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
 
     def close(self, timeout: float = 30.0) -> None:
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-            reply = _Reply()
-            self._pending.append(reply)
+            # a worker that already exited can never answer a close
+            # round-trip: resolve everything outstanding immediately
+            # instead of sitting out the full timeout
+            dead = (
+                self.process.exitcode is not None or self._death_reported
+            )
+            reply = None
+            if not dead:
+                reply = _Reply()
+                self._pending.append(reply)
+                try:
+                    self._conn.send({"cmd": "close"})
+                except (BrokenPipeError, OSError):
+                    pass
+        if reply is not None:
             try:
-                self._conn.send({"cmd": "close"})
-            except (BrokenPipeError, OSError):
+                reply.wait(timeout)
+            except ShardingError:
                 pass
-        try:
-            reply.wait(timeout)
-        except ShardingError:
-            pass
         self.process.join(timeout)
         if self.process.is_alive():  # pragma: no cover - deadlocked worker
             self.process.terminate()
@@ -600,6 +732,20 @@ class ProcessShardHandle(_HandleBase):
         except OSError:  # pragma: no cover
             pass
         self._fail_outstanding(f"shard {self.shard_id} closed")
+
+    def terminate(self) -> None:
+        with self._lock:
+            self._closed = True
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join(10.0)
+        try:
+            self._conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._fail_outstanding(
+            f"shard {self.shard_id} worker terminated"
+        )
 
 
 class ThreadShardHandle(_HandleBase):
@@ -611,6 +757,7 @@ class ThreadShardHandle(_HandleBase):
     def __init__(self, shard_id: int, init: Dict):
         super().__init__(shard_id)
         self._inbox: "queue.Queue" = queue.Queue()
+        self._server: Optional[ShardServer] = None
         self._startup = _Reply()
         self._pending.append(self._startup)
         self._thread = threading.Thread(
@@ -636,34 +783,77 @@ class ThreadShardHandle(_HandleBase):
             )
             return
         self._resolve_next({"ok": True, "shard": self.shard_id})
+        self._server = server  # debugging / test introspection
         while True:
             message = self._inbox.get()
             if message is None:
                 break
             message = pickle.loads(pickle.dumps(message))
-            reply = server.handle(message)
-            self._resolve_next(pickle.loads(pickle.dumps(reply)))
-            if message.get("cmd") == "close":
+            cmd = message.get("cmd")
+            # chaos sites (see the module docstring): the thread backend
+            # shares the parent's FAILPOINTS, so the fuzz harness can
+            # kill, stall or sever this worker deterministically
+            try:
+                FAILPOINTS.hit(
+                    "shard.worker.kill", shard=self.shard_id, cmd=cmd
+                )
+            except InjectedFault:
+                break  # die abruptly: no reply, command never ran
+            FAILPOINTS.hit(
+                "shard.worker.stall", shard=self.shard_id, cmd=cmd
+            )
+            if self._closed:
+                # abandoned while stalled (the supervisor reincarnated
+                # this shard): exit without touching the warehouse, so
+                # the replacement worker owns the WAL lineage alone
                 break
-        self._fail_outstanding(f"shard {self.shard_id} worker stopped")
+            reply = server.handle(message)
+            if FAILPOINTS.hit(
+                "shard.pipe.drop", shard=self.shard_id, cmd=cmd
+            ):
+                break  # reply lost mid-send: the connection is gone
+            self._resolve_next(pickle.loads(pickle.dumps(reply)))
+            if cmd == "close":
+                break
+        self._report_death(f"shard {self.shard_id} worker stopped")
 
     def _send(self, message: Dict) -> None:
         self._inbox.put(message)
+
+    def is_alive(self) -> bool:
+        return self._thread.is_alive()
 
     def close(self, timeout: float = 30.0) -> None:
         with self._lock:
             if self._closed:
                 return
+            dead = self._death_reported or not self._thread.is_alive()
             self._closed = True
-            reply = _Reply()
-            self._pending.append(reply)
-            self._inbox.put({"cmd": "close"})
-        try:
-            reply.wait(timeout)
-        except ShardingError:
-            pass
+            reply = None
+            if not dead:
+                reply = _Reply()
+                self._pending.append(reply)
+                self._inbox.put({"cmd": "close"})
+        if reply is not None:
+            try:
+                reply.wait(timeout)
+            except ShardingError:
+                pass
         self._inbox.put(None)
         self._thread.join(timeout)
+        self._fail_outstanding(f"shard {self.shard_id} closed")
+
+    def terminate(self) -> None:
+        """Abandon the worker thread: threads cannot be killed, so mark
+        the handle closed (the serve loop checks this after its stall
+        site and exits without touching the warehouse) and poison the
+        inbox."""
+        with self._lock:
+            self._closed = True
+        self._inbox.put(None)
+        self._fail_outstanding(
+            f"shard {self.shard_id} worker terminated"
+        )
 
 
 def make_handle(

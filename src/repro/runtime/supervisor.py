@@ -1,0 +1,515 @@
+"""Shard supervision: heartbeats, death detection, reincarnation.
+
+A sharded warehouse's workers are ordinary OS processes (or threads):
+they can be SIGKILLed, hang past any reasonable deadline, or lose
+their pipe mid-reply.  Before this module, any of those hung the
+caller forever — ``_Reply.wait`` had no deadline — and left the shard
+permanently absent.  :class:`ShardSupervisor` turns each of those
+events into a bounded, observable recovery:
+
+* **Detection.**  Three signals funnel into :meth:`_revive`: the
+  handle's reader loop reporting an unexpected exit (``on_death``), a
+  facade call timing out past its per-call deadline
+  (:meth:`worker_unresponsive`, which confirms with a ``ping`` probe
+  before acting), and the optional background heartbeat thread probing
+  every worker each ``heartbeat_interval`` seconds.
+* **Fail-fast.**  The dying handle's outstanding replies resolve with
+  a typed :class:`~repro.errors.ShardUnavailableError` — callers get
+  an error within their deadline instead of blocking on a reply that
+  can never arrive.  (A lost reply breaks the FIFO pairing of the wire
+  protocol for good, so the worker is always *replaced*, never
+  retried in place.)
+* **Reincarnation.**  Under a per-shard lock the supervisor terminates
+  the old worker, spawns a replacement from the shard's retained init
+  blob (initial partition rows + every view created since), replays
+  its WAL lineage (checkpoint restore + suffix when checkpoints
+  exist, full-log cold replay otherwise — ``recover(from_origin=
+  True)``), resolves in-doubt cross-shard transactions against the
+  coordinator's :class:`~repro.runtime.txnlog.TxnDecisionLog`, and
+  resyncs replicated tables from a healthy donor shard before
+  swapping the new handle in.
+* **Restart budget.**  More than ``restart_budget`` restarts within
+  ``restart_window`` seconds marks the shard *flapping*: it is
+  quarantined behind a :class:`DeadShardHandle` that fails every
+  command fast, ``last_recovery`` reports ``degraded`` and ``/healthz``
+  turns 503.  Quarantine is terminal for the facade instance — rebuild
+  the warehouse (the durable lineage survives) to clear it.
+
+Everything is reported through :class:`~repro.obs.Telemetry`: events
+``shard.dead`` / ``shard.reincarnated`` / ``shard.flapping`` /
+``txn.indoubt.resolved``, counters ``repro_shard_deaths_total`` and
+``repro_shard_reincarnations_total``, the
+``repro_shard_reincarnation_seconds`` histogram and the per-shard
+``repro_shard_health`` gauge.  ``docs/SHARDING.md`` ("Partial failure
+runbook") is the operator-facing contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from ..core.secondary import DELETE, INSERT
+from ..errors import ReproError, ShardUnavailableError
+from ..planner import wire
+from .shardproc import _Reply, make_handle
+
+__all__ = ["ShardSupervisor", "DeadShardHandle"]
+
+STATE_UP = "up"
+STATE_REINCARNATING = "reincarnating"
+STATE_QUARANTINED = "quarantined"
+
+
+class DeadShardHandle:
+    """Placeholder handle for a quarantined shard: every command fails
+    fast with :class:`~repro.errors.ShardUnavailableError` instead of
+    touching a worker that no longer exists."""
+
+    backend = "dead"
+
+    def __init__(self, shard_id: int, reason: str):
+        self.shard_id = shard_id
+        self.reason = reason
+        self.on_death = None
+        self._closed = True
+
+    def _message(self) -> str:
+        return f"shard {self.shard_id} is quarantined: {self.reason}"
+
+    def submit(self, cmd: str, **payload) -> _Reply:
+        reply = _Reply()
+        reply.resolve(
+            {
+                "ok": False,
+                "error": "ShardUnavailableError",
+                "message": self._message(),
+            }
+        )
+        return reply
+
+    def call(self, cmd: str, timeout: Optional[float] = None, **payload):
+        raise ShardUnavailableError(self._message())
+
+    @property
+    def queue_depth(self) -> int:
+        return 0
+
+    def is_alive(self) -> bool:
+        return False
+
+    def close(self, timeout: float = 30.0) -> None:
+        pass
+
+    def terminate(self) -> None:
+        pass
+
+
+class ShardSupervisor:
+    """Watches a :class:`~repro.sharded.ShardedWarehouse`'s workers and
+    reincarnates the ones that die (see the module docstring)."""
+
+    def __init__(
+        self,
+        warehouse,
+        *,
+        heartbeat_interval: Optional[float] = None,
+        probe_timeout: float = 5.0,
+        restart_budget: int = 5,
+        restart_window: float = 60.0,
+        reincarnate_timeout: float = 120.0,
+    ):
+        self.warehouse = warehouse
+        self.heartbeat_interval = heartbeat_interval
+        self.probe_timeout = probe_timeout
+        self.restart_budget = max(0, int(restart_budget))
+        self.restart_window = restart_window
+        self.reincarnate_timeout = reincarnate_timeout
+        shards = warehouse.shards
+        self._locks = [threading.RLock() for _ in range(shards)]
+        self._restarts: List[List[float]] = [[] for _ in range(shards)]
+        self._total_restarts = [0] * shards
+        self._states: List[Dict] = [
+            {
+                "state": STATE_UP,
+                "restarts": 0,
+                "last_error": None,
+                "last_reincarnation_seconds": None,
+            }
+            for _ in range(shards)
+        ]
+        self.quarantined: set = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # count of in-flight detections/revives, so callers (and
+        # ``stop()``) can tell "all shards look up" from "a revive has
+        # not registered yet" — see :attr:`quiesced`
+        self._busy = 0
+        self._busy_cond = threading.Condition()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Install death hooks on every handle and start the heartbeat
+        thread (when an interval is configured)."""
+        for handle in self.warehouse._handles:
+            handle.on_death = self._on_death
+        if self.heartbeat_interval and self._thread is None:
+            self._thread = threading.Thread(
+                target=self._heartbeat_loop,
+                name="repro-shard-supervisor",
+                daemon=True,
+            )
+            self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(
+                (self.heartbeat_interval or 0) + self.probe_timeout + 1.0
+            )
+            self._thread = None
+        # Drain in-flight probes/revives (bounded): a revive racing the
+        # facade's close would otherwise submit to handles mid-teardown.
+        deadline = time.monotonic() + 10.0
+        with self._busy_cond:
+            while self._busy:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._busy_cond.wait(remaining)
+
+    def _busy_enter(self) -> None:
+        with self._busy_cond:
+            self._busy += 1
+
+    def _busy_exit(self) -> None:
+        with self._busy_cond:
+            self._busy -= 1
+            self._busy_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def status(self) -> Dict[int, Dict]:
+        """Per-shard supervision state (for ``shard_stats`` and ops)."""
+        return {
+            shard: dict(self._states[shard])
+            for shard in range(self.warehouse.shards)
+        }
+
+    def is_quarantined(self, shard: int) -> bool:
+        return shard in self.quarantined
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.quarantined)
+
+    @property
+    def quiesced(self) -> bool:
+        """True when no detection/revive is in flight — only then does
+        "every state is ``up``" actually mean the tier is settled."""
+        with self._busy_cond:
+            return self._busy == 0
+
+    def wait_quiesced(self, timeout: float) -> bool:
+        """Block until no detection/revive is in flight, or *timeout*."""
+        deadline = time.monotonic() + timeout
+        with self._busy_cond:
+            while self._busy:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._busy_cond.wait(remaining)
+        return True
+
+    def realign_replicated(self, shard: int) -> None:
+        """Re-run the replicated-table resync for *shard* against a
+        healthy donor, under the shard's revive lock.  The facade calls
+        this after compensating around an unavailable shard: the revive
+        may have copied the donor's state *before* the compensation
+        landed, leaving the replacement with the un-compensated half."""
+        with self._locks[shard]:
+            handle = self.warehouse._handles[shard]
+            if handle.backend == "dead" or getattr(handle, "_closed", False):
+                return
+            self._resync_replicated(shard, handle)
+
+    # ------------------------------------------------------------------
+    # detection
+    # ------------------------------------------------------------------
+    def _on_death(self, handle, reason: str) -> None:
+        """Reader-loop hook: the worker exited without an orderly close."""
+        if self._stop.is_set():
+            return
+        self._revive(handle.shard_id, handle, reason)
+
+    def worker_unresponsive(self, shard: int, reason: str) -> None:
+        """A facade call on *shard* timed out.  Confirm with a liveness
+        probe, then replace the worker if it really is gone or stuck.
+        Runs on a background thread so the timed-out caller is not also
+        charged the reincarnation time."""
+        if self._stop.is_set():
+            return
+        handle = self.warehouse._handles[shard]
+        if handle.backend == "dead" or getattr(handle, "_closed", False):
+            return
+        # mark busy *before* the thread exists so the caller — who just
+        # observed the timeout — cannot see a quiesced supervisor in
+        # the gap before the probe starts
+        self._busy_enter()
+        thread = threading.Thread(
+            target=self._probe_and_revive,
+            args=(shard, handle, reason),
+            name=f"repro-shard-{shard}-probe",
+            daemon=True,
+        )
+        thread.start()
+
+    def _probe_and_revive(self, shard: int, handle, reason: str) -> None:
+        try:
+            if self._stop.is_set():
+                return
+            if self.warehouse._handles[shard] is not handle:
+                return  # already replaced
+            if handle.is_alive():
+                try:
+                    response = handle.submit("ping").wait(self.probe_timeout)
+                    if response.get("ok"):
+                        # slow but alive: the caller's deadline was
+                        # simply tighter than the queue — no replacement
+                        return
+                except ReproError:
+                    pass
+            self._revive(shard, handle, reason)
+        finally:
+            self._busy_exit()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            if self.warehouse._closed:
+                return
+            for shard in range(self.warehouse.shards):
+                if self._stop.is_set() or self.warehouse._closed:
+                    return
+                handle = self.warehouse._handles[shard]
+                if handle.backend == "dead" or getattr(
+                    handle, "_closed", False
+                ):
+                    continue
+                if not handle.is_alive():
+                    self._revive(shard, handle, "heartbeat: worker gone")
+                    continue
+                try:
+                    response = handle.submit("ping").wait(self.probe_timeout)
+                    if not response.get("ok"):
+                        self._revive(
+                            shard,
+                            handle,
+                            "heartbeat: "
+                            + str(response.get("message", "probe failed")),
+                        )
+                except ReproError as exc:
+                    self._revive(shard, handle, f"heartbeat: {exc}")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _recent_restarts(self, shard: int) -> List[float]:
+        cutoff = time.monotonic() - self.restart_window
+        self._restarts[shard] = [
+            ts for ts in self._restarts[shard] if ts >= cutoff
+        ]
+        return self._restarts[shard]
+
+    def _revive(self, shard: int, handle, reason: str) -> None:
+        wh = self.warehouse
+        self._busy_enter()
+        try:
+            with self._locks[shard]:
+                if wh._closed or shard in self.quarantined:
+                    return
+                if wh._handles[shard] is not handle:
+                    return  # a concurrent detection already replaced it
+                if getattr(handle, "_closed", False):
+                    return  # orderly close/terminate, not a failure
+                self._states[shard]["state"] = STATE_REINCARNATING
+                self._states[shard]["last_error"] = reason
+                wh.telemetry.record_shard_death(shard, reason)
+                while True:
+                    if wh._closed or self._stop.is_set():
+                        # teardown raced the revive: leave a fail-fast
+                        # placeholder rather than a half-built worker;
+                        # no telemetry — the facade is going away
+                        wh._handles[shard].terminate()
+                        wh._handles[shard] = DeadShardHandle(shard, reason)
+                        self._states[shard]["state"] = STATE_QUARANTINED
+                        return
+                    if (
+                        len(self._recent_restarts(shard))
+                        >= self.restart_budget
+                    ):
+                        self._quarantine_locked(shard, reason)
+                        return
+                    self._restarts[shard].append(time.monotonic())
+                    self._total_restarts[shard] += 1
+                    self._states[shard]["restarts"] = self._total_restarts[
+                        shard
+                    ]
+                    try:
+                        self._reincarnate_locked(shard, reason)
+                        return
+                    except Exception as exc:  # noqa: BLE001 — any failure
+                        # (typed or not) must burn restart budget, not
+                        # leak out of a background thread leaving the
+                        # dead handle installed
+                        reason = f"reincarnation failed: {exc}"
+                        self._states[shard]["last_error"] = reason
+        finally:
+            self._busy_exit()
+
+    def _reincarnate_locked(self, shard: int, reason: str) -> None:
+        wh = self.warehouse
+        started = time.monotonic()
+        old = wh._handles[shard]
+        old.terminate()
+        init = wh._shard_init(shard)
+        replacement = make_handle(
+            wh.backend, shard, init, start_method=wh._start_method
+        )
+        summary = None
+        degraded = False
+        try:
+            if init.get("wal_dir"):
+                response = replacement.call(
+                    "recover",
+                    from_origin=True,
+                    timeout=self.reincarnate_timeout,
+                )
+                summary = response.get("summary")
+                degraded = bool((summary or {}).get("corruption_detected"))
+            else:
+                # no durable lineage: the shard restarts from its initial
+                # partition rows and its post-construction history is lost
+                degraded = True
+            self._resolve_indoubt(shard, replacement)
+            self._resync_replicated(shard, replacement)
+        except Exception:
+            replacement.terminate()
+            raise
+        replacement.on_death = self._on_death
+        wh._handles[shard] = replacement
+        elapsed = time.monotonic() - started
+        self._states[shard]["state"] = STATE_UP
+        self._states[shard]["last_reincarnation_seconds"] = elapsed
+        wh.telemetry.record_shard_reincarnated(
+            shard, elapsed, summary=summary
+        )
+        wh._note_shard_recovery(
+            shard,
+            summary=summary,
+            reason=reason,
+            degraded=degraded,
+            duration_seconds=elapsed,
+        )
+
+    def _resolve_indoubt(self, shard: int, handle) -> None:
+        """Land any transaction the replacement worker might be asked
+        about on the coordinator's decided side (a fresh worker has no
+        open transaction, so this is usually a no-op — but it keeps the
+        reincarnation path symmetric with ``recover()``)."""
+        txnlog = self.warehouse.txnlog
+        if txnlog is None:
+            return
+        commits = [record.txn_id for record in txnlog.pending()]
+        handle.call(
+            "txn_resolve", commits=commits, timeout=self.reincarnate_timeout
+        )
+
+    def _resync_replicated(self, shard: int, handle) -> None:
+        """Copy replicated tables from a healthy donor shard onto the
+        replacement: a kill can lose the tail of replicated history that
+        sibling shards already applied, and the merge barrier's
+        replicated-identical invariant must hold again before the new
+        handle is published.  Best-effort — with no live donor the shard
+        keeps its replayed state."""
+        wh = self.warehouse
+        replicated = [
+            name
+            for name in wh.db.tables
+            if not wh.spec.is_partitioned(name)
+        ]
+        if not replicated:
+            return
+        donor = None
+        for other in range(wh.shards):
+            candidate = wh._handles[other]
+            if other == shard or candidate.backend == "dead":
+                continue
+            if getattr(candidate, "_closed", False):
+                continue
+            if candidate.is_alive():
+                donor = candidate
+                break
+        if donor is None:
+            return
+        try:
+            donor_dump = donor.call(
+                "dump", timeout=self.reincarnate_timeout
+            )
+        except ReproError:
+            return  # the donor died too; its own revival will follow
+        own_dump = handle.call("dump", timeout=self.reincarnate_timeout)
+        for table in replicated:
+            want = [
+                tuple(row)
+                for row in wire.decode_rows(donor_dump["tables"][table])
+            ]
+            have = [
+                tuple(row)
+                for row in wire.decode_rows(own_dump["tables"][table])
+            ]
+            want_set, have_set = set(want), set(have)
+            extra = [row for row in have if row not in want_set]
+            missing = [row for row in want if row not in have_set]
+            if extra:
+                handle.call(
+                    "change",
+                    table=table,
+                    operation=DELETE,
+                    rows=wire.encode_rows(extra),
+                    fk_allowed=True,
+                    check=False,
+                    timeout=self.reincarnate_timeout,
+                )
+            if missing:
+                handle.call(
+                    "change",
+                    table=table,
+                    operation=INSERT,
+                    rows=wire.encode_rows(missing),
+                    fk_allowed=True,
+                    check=False,
+                    timeout=self.reincarnate_timeout,
+                )
+
+    def _quarantine_locked(self, shard: int, reason: str) -> None:
+        wh = self.warehouse
+        wh._handles[shard].terminate()
+        wh._handles[shard] = DeadShardHandle(shard, reason)
+        self.quarantined.add(shard)
+        self._states[shard]["state"] = STATE_QUARANTINED
+        self._states[shard]["last_error"] = reason
+        wh.telemetry.record_shard_flapping(
+            shard, self._total_restarts[shard]
+        )
+        wh._note_shard_recovery(
+            shard,
+            summary=None,
+            reason=reason,
+            degraded=True,
+            duration_seconds=None,
+            quarantined=True,
+        )

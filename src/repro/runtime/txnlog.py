@@ -1,0 +1,195 @@
+"""Coordinator decision log for cross-shard two-phase commit.
+
+The sharded facade's transaction protocol (``docs/SHARDING.md``) runs a
+prepare round on every touched shard and then broadcasts the commit.
+Without a durable record of the *decision*, a coordinator crash between
+those two phases leaves the outcome ambiguous: some shards may have
+committed while others still hold the prepared transaction open — the
+classic in-doubt window.
+
+:class:`TxnDecisionLog` closes that window.  The coordinator writes one
+record per transaction **after** every prepare acknowledgement and
+**before** the first commit message:
+
+* the record is a small JSON file ``txn-<id>.json`` written to a
+  ``.tmp`` sibling, fsynced, ``os.replace``-d into place, with the
+  directory fsynced — the same atomicity idiom as
+  :class:`~repro.runtime.checkpoint.CheckpointManager`;
+* presence of a readable record means **commit**; absence (or a torn /
+  unparseable record, which is moved to a ``corrupt/`` sidecar) means
+  **abort** — presumed abort, the standard 2PC resolution;
+* once every shard has acknowledged the commit the record is
+  :meth:`forget`-ten, so the log stays empty in steady state and
+  :meth:`pending` enumerates exactly the in-doubt transactions.
+
+``ShardedWarehouse.recover()`` and shard reincarnation read
+:meth:`pending` and broadcast ``txn_resolve`` so every worker lands on
+the same side of the decision (see ``ShardServer.cmd_txn_resolve``).
+
+With no directory (a sharded warehouse built without ``wal_path``),
+the log degrades to a volatile in-memory dict: the protocol still runs
+and in-process recovery still resolves, but a real coordinator restart
+loses the decisions — matching the durability the rest of such a
+warehouse has (none).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+from ..errors import WalError
+
+_CORRUPT_DIR = "corrupt"
+_PREFIX = "txn-"
+_SUFFIX = ".json"
+
+
+class DecisionRecord:
+    """One durable coordinator decision (always ``commit``).
+
+    ``shards`` records which shards the commit was addressed to, and
+    ``payload`` carries the raw decoded record for forensics.
+    """
+
+    __slots__ = ("txn_id", "decision", "shards", "payload")
+
+    def __init__(self, txn_id: str, decision: str, shards: List[int],
+                 payload: Optional[Dict] = None):
+        self.txn_id = txn_id
+        self.decision = decision
+        self.shards = list(shards)
+        self.payload = payload or {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DecisionRecord(txn_id={self.txn_id!r}, "
+            f"decision={self.decision!r}, shards={self.shards!r})"
+        )
+
+
+class TxnDecisionLog:
+    """Durable (or volatile, when ``directory`` is None) decision log."""
+
+    def __init__(self, directory: Optional[str] = None):
+        self.directory = directory
+        self._volatile: Dict[str, DecisionRecord] = {}
+        self.quarantined: List[str] = []
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+            os.makedirs(os.path.join(directory, _CORRUPT_DIR), exist_ok=True)
+            # a crash can strand a .tmp orphan: never a decision
+            for name in os.listdir(directory):
+                if name.endswith(".tmp"):
+                    os.remove(os.path.join(directory, name))
+
+    @property
+    def durable(self) -> bool:
+        return self.directory is not None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def decide(self, txn_id: str, shards: List[int]) -> DecisionRecord:
+        """Durably record the commit decision for ``txn_id``.
+
+        Returns only after the record (and the directory entry) are
+        fsynced: once this returns, every future :meth:`pending` — in
+        this process or after a coordinator restart — resolves the
+        transaction as committed.
+        """
+        record = DecisionRecord(txn_id, "commit", list(shards))
+        if self.directory is None:
+            self._volatile[txn_id] = record
+            return record
+        payload = {
+            "version": 1,
+            "txn_id": txn_id,
+            "decision": "commit",
+            "shards": list(shards),
+        }
+        final = self._path(txn_id)
+        tmp = final + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Crash window: durable under the .tmp name but invisible to
+        # pending() — identical to no decision at all (presumed abort).
+        os.replace(tmp, final)
+        self._fsync_directory()
+        return record
+
+    def forget(self, txn_id: str) -> None:
+        """Drop the record once every shard acknowledged the commit."""
+        self._volatile.pop(txn_id, None)
+        if self.directory is None:
+            return
+        try:
+            os.remove(self._path(txn_id))
+        except FileNotFoundError:
+            return
+        self._fsync_directory()
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def pending(self) -> List[DecisionRecord]:
+        """All decided-but-unacknowledged transactions, oldest first.
+
+        A record that fails to parse (torn write under a crashed
+        filesystem, manual tampering) is moved to the ``corrupt/``
+        sidecar and **not** returned: with no readable decision the
+        transaction resolves as aborted, which is always safe because
+        the decision is written before any commit message is sent.
+        """
+        if self.directory is None:
+            return list(self._volatile.values())
+        if not os.path.isdir(self.directory):
+            # The log directory can vanish mid-teardown (temp dir
+            # removed while a background revive drains) — with no
+            # readable decisions everything resolves presumed-abort.
+            return []
+        records = []
+        for name in sorted(os.listdir(self.directory)):
+            if not (name.startswith(_PREFIX) and name.endswith(_SUFFIX)):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    payload = json.load(handle)
+                txn_id = payload["txn_id"]
+                decision = payload["decision"]
+                shards = list(payload.get("shards", ()))
+                if decision != "commit":
+                    raise WalError(f"unknown decision {decision!r}")
+            except (OSError, ValueError, KeyError, TypeError, WalError):
+                self._quarantine(name)
+                continue
+            records.append(DecisionRecord(txn_id, decision, shards, payload))
+        return records
+
+    def get(self, txn_id: str) -> Optional[DecisionRecord]:
+        for record in self.pending():
+            if record.txn_id == txn_id:
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _path(self, txn_id: str) -> str:
+        return os.path.join(self.directory, f"{_PREFIX}{txn_id}{_SUFFIX}")
+
+    def _quarantine(self, name: str) -> None:
+        sidecar = os.path.join(self.directory, _CORRUPT_DIR, name)
+        os.replace(os.path.join(self.directory, name), sidecar)
+        self.quarantined.append(name)
+
+    def _fsync_directory(self) -> None:
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)

@@ -54,7 +54,9 @@ Semantics and caveats
 
 from __future__ import annotations
 
+import itertools
 import time
+import uuid
 from collections import Counter
 from dataclasses import asdict
 from typing import Dict, Iterable, List, Optional, Sequence, Union
@@ -69,10 +71,12 @@ from .errors import (
     MaintenanceError,
     ReproError,
     ShardingError,
+    ShardUnavailableError,
 )
 from .obs import Telemetry
 from .planner import wire
 from .runtime import RetryPolicy
+from .runtime.failpoints import FAILPOINTS
 from .runtime.sharding import (
     ShardingSpec,
     ShardRouter,
@@ -81,6 +85,8 @@ from .runtime.sharding import (
     plan_view,
 )
 from .runtime.shardproc import make_handle, raise_shard_error
+from .runtime.supervisor import ShardSupervisor
+from .runtime.txnlog import TxnDecisionLog
 from .warehouse import Reports, Warehouse
 
 __all__ = ["ShardedWarehouse", "ShardedSnapshot", "ShardedTransaction"]
@@ -107,7 +113,7 @@ class ShardedChangeTicket:
     def wait(self, timeout: Optional[float] = None) -> Reports:
         if not self._done:
             responses = {
-                shard: reply.wait(timeout)
+                shard: self._warehouse._wait_for(shard, reply, timeout)
                 for shard, reply in self._replies.items()
             }
             self._done = True
@@ -119,7 +125,14 @@ class ShardedChangeTicket:
                     s: self._parts[s] for s in responses if s not in failures
                 }
                 self._warehouse._compensate(
-                    self.table, self.operation, succeeded
+                    self.table,
+                    self.operation,
+                    succeeded,
+                    unavailable=[
+                        s
+                        for s, resp in failures.items()
+                        if resp.get("error") == "ShardUnavailableError"
+                    ],
                 )
                 try:
                     raise_shard_error(failures[min(failures)])
@@ -173,9 +186,13 @@ class ShardedSnapshot:
             return
         self._released = True
         for shard, pin in self._pins.items():
-            self._warehouse._handles[shard].call(
-                "snapshot_release", seq=pin["seq"]
-            )
+            try:
+                self._warehouse._call(
+                    "snapshot_release", shard, seq=pin["seq"]
+                )
+            except ShardUnavailableError:
+                # the pin died with the worker; nothing left to release
+                pass
 
     def __enter__(self) -> "ShardedSnapshot":
         return self
@@ -215,6 +232,19 @@ class ShardedWarehouse(Warehouse):
     stall_seconds:
         Benchmark aid: prefix each worker-side maintenance pass with a
         sleep (models an I/O-bound maintenance workload).
+    call_deadline_seconds:
+        Per-call reply deadline (default 30).  A reply that misses it
+        raises :class:`~repro.errors.ShardUnavailableError` and tips
+        the supervisor off to probe (and, if the worker is gone or
+        stuck, reincarnate) the shard — no caller ever blocks forever
+        on a dead worker.
+    heartbeat_interval_seconds / probe_timeout_seconds /
+    restart_budget / restart_window_seconds:
+        :class:`~repro.runtime.supervisor.ShardSupervisor` knobs — see
+        ``docs/SHARDING.md`` ("Partial failure runbook").  Heartbeating
+        is off by default (death is still detected via pipe EOF and
+        call deadlines); set an interval to also catch silent hangs
+        between calls.
     """
 
     def __init__(
@@ -236,6 +266,11 @@ class ShardedWarehouse(Warehouse):
         checkpoint_interval: Optional[int] = None,
         snapshot_retain: int = 8,
         stall_seconds: float = 0.0,
+        call_deadline_seconds: float = 30.0,
+        heartbeat_interval_seconds: Optional[float] = None,
+        probe_timeout_seconds: float = 5.0,
+        restart_budget: int = 5,
+        restart_window_seconds: float = 60.0,
     ):
         # deliberately no super().__init__: the parent holds no tables,
         # no WAL and no scheduler — only routing state and worker pipes
@@ -266,6 +301,15 @@ class ShardedWarehouse(Warehouse):
         self._pending: List[ShardedChangeTicket] = []
         self._closed = False
         self.last_recovery: Optional[Dict] = None
+        self._start_method = start_method
+        self.call_deadline = call_deadline_seconds
+        self._txn_counter = itertools.count(1)
+        # coordinator 2PC decisions: durable next to the WAL lineage so
+        # a coordinator restart resolves in-doubt transactions the same
+        # way a live recover() does (volatile without a wal_path)
+        self.txnlog = TxnDecisionLog(
+            f"{wal_path}/txnlog" if wal_path else None
+        )
         # inherited observability helpers iterate these; keep them empty
         self._maintainers = {}
         self._aggregates = {}
@@ -286,6 +330,7 @@ class ShardedWarehouse(Warehouse):
                     wire.encode_rows(rows)
                 )
         self._handles = []
+        self._inits: List[Dict] = []  # retained for shard reincarnation
         try:
             for shard in range(self.shards):
                 rows = dict(replicated_rows)
@@ -307,15 +352,39 @@ class ShardedWarehouse(Warehouse):
                     init["segment_bytes"] = segment_bytes
                 if retry is not None:
                     init["retry"] = asdict(retry)
+                self._inits.append(init)
                 self._handles.append(
                     make_handle(
                         shard_backend, shard, init, start_method=start_method
                     )
                 )
         except Exception:
+            # terminate (not close) the workers that did spawn: close()
+            # waits out a graceful round-trip per shard, and the caller
+            # holds no reference to clean up with after we re-raise
             for handle in self._handles:
-                handle.close()
+                handle.terminate()
             raise
+        self.supervisor = ShardSupervisor(
+            self,
+            heartbeat_interval=heartbeat_interval_seconds,
+            probe_timeout=probe_timeout_seconds,
+            restart_budget=restart_budget,
+            restart_window=restart_window_seconds,
+        )
+        self.supervisor.attach()
+
+    def _shard_init(self, shard: int) -> Dict:
+        """The init blob a reincarnated worker for *shard* starts from:
+        the retained construction blob (initial partition rows, runtime
+        directories) plus every view created since."""
+        init = dict(self._inits[shard])
+        init["views"] = [
+            {"view": wire.encode_view(self._definitions[name]),
+             "options": self._options[name]}
+            for name in self.view_names
+        ]
+        return init
 
     # ------------------------------------------------------------------
     # plumbing
@@ -324,16 +393,84 @@ class ShardedWarehouse(Warehouse):
         if self._closed:
             raise ShardingError("sharded warehouse is closed")
 
-    def _broadcast(self, cmd: str, **payload) -> Dict[int, Dict]:
+    def _wait_for(
+        self, shard: int, reply, timeout: Optional[float] = None
+    ) -> Dict:
+        """Wait one reply under the per-call deadline.  A timeout means
+        the worker is dead or stuck: tip the supervisor off (it probes
+        and reincarnates off-thread) and hand back an error envelope so
+        the caller fails fast through the normal error path."""
+        limit = self.call_deadline if timeout is None else timeout
+        try:
+            return reply.wait(limit)
+        except ShardUnavailableError as exc:
+            self._note_unresponsive(shard, str(exc))
+            return {
+                "ok": False,
+                "error": "ShardUnavailableError",
+                "message": f"shard {shard}: {exc}",
+            }
+
+    def _call(
+        self, cmd: str, shard: int,
+        timeout: Optional[float] = None, **payload,
+    ) -> Dict:
+        """Deadline-guarded synchronous command against one shard."""
+        reply = self._handles[shard].submit(cmd, **payload)
+        return raise_shard_error(self._wait_for(shard, reply, timeout))
+
+    def _note_unresponsive(self, shard: int, reason: str) -> None:
+        supervisor = getattr(self, "supervisor", None)
+        if supervisor is not None and not self._closed:
+            supervisor.worker_unresponsive(shard, reason)
+
+    def _note_shard_recovery(
+        self,
+        shard: int,
+        *,
+        summary: Optional[Dict],
+        reason: str,
+        degraded: bool,
+        duration_seconds: Optional[float],
+        quarantined: bool = False,
+    ) -> None:
+        """Supervisor callback: surface a reincarnation (or quarantine)
+        through :attr:`last_recovery`, the same channel ``recover()``
+        reports on — ``/healthz`` turns 503 while ``degraded``."""
+        self.last_recovery = {
+            "kind": "quarantine" if quarantined else "reincarnation",
+            "shard": shard,
+            "reason": reason,
+            "summary": summary,
+            "duration_seconds": duration_seconds,
+            "quarantined_shards": sorted(self.supervisor.quarantined),
+            "degraded": bool(degraded or self.supervisor.degraded),
+        }
+
+    def _broadcast(
+        self, cmd: str, _tolerate_unavailable: bool = False, **payload
+    ) -> Dict[int, Dict]:
         """Send *cmd* to every shard, wait for all, raise the first
-        failure (after waiting: no shard is left mid-command)."""
+        failure (after waiting: no shard is left mid-command).  With
+        ``_tolerate_unavailable`` dead shards' error envelopes are
+        returned instead of raised, so health endpoints keep answering
+        while a shard is down."""
         replies = [
             (handle.shard_id, handle.submit(cmd, **payload))
             for handle in self._handles
         ]
-        responses = {shard: reply.wait() for shard, reply in replies}
+        responses = {
+            shard: self._wait_for(shard, reply) for shard, reply in replies
+        }
         for shard in sorted(responses):
-            raise_shard_error(responses[shard])
+            response = responses[shard]
+            if (
+                _tolerate_unavailable
+                and not response.get("ok")
+                and response.get("error") == "ShardUnavailableError"
+            ):
+                continue
+            raise_shard_error(response)
         return responses
 
     def _route(self, table: str, rows: List[Row]) -> Dict[int, List[Row]]:
@@ -386,23 +523,57 @@ class ShardedWarehouse(Warehouse):
         }
 
     def _compensate(
-        self, table: str, operation: str, parts: Dict[int, List[Row]]
+        self,
+        table: str,
+        operation: str,
+        parts: Dict[int, List[Row]],
+        unavailable: Iterable[int] = (),
     ) -> None:
         """Undo a statement on the shards where it succeeded (inverse
         change, unchecked) so a cross-shard failure is all-or-nothing."""
         inverse = DELETE if operation == INSERT else INSERT
+        dead = set(unavailable)
         for shard, rows in sorted(parts.items()):
             if not rows:
                 continue
-            self._handles[shard].call(
-                "change",
-                table=table,
-                operation=inverse,
-                rows=wire.encode_rows(rows),
-                fk_allowed=True,
-                check=False,
-            )
+            try:
+                self._call(
+                    "change",
+                    shard,
+                    table=table,
+                    operation=inverse,
+                    rows=wire.encode_rows(rows),
+                    fk_allowed=True,
+                    check=False,
+                )
+            except ShardUnavailableError:
+                # best effort: a shard that dies before compensation
+                # keeps the applied half in its WAL lineage — surfaced
+                # as divergence by check_consistency, not hidden here
+                dead.add(shard)
+                continue
             self.telemetry.record_shard_compensation(table)
+        if dead and not self.spec.is_partitioned(table):
+            # A replicated statement half-landed on a shard that died:
+            # its reincarnation may have copied the donor *before* the
+            # inverse above — realign once the supervisor settles.
+            # (Partitioned halves legitimately survive in the dead
+            # shard's WAL lineage; check_consistency stays green.)
+            self._realign_after_failure(dead)
+
+    def _realign_after_failure(self, shards: Iterable[int]) -> None:
+        supervisor = getattr(self, "supervisor", None)
+        if supervisor is None or self._closed:
+            return
+        # bounded: a revive normally settles in milliseconds (thread
+        # backend) to a few seconds (process backend); past that the
+        # divergence is surfaced by check_consistency instead
+        supervisor.wait_quiesced(5.0)
+        for shard in sorted(set(shards)):
+            try:
+                supervisor.realign_replicated(shard)
+            except ReproError:
+                continue
 
     # ------------------------------------------------------------------
     # view DDL
@@ -458,8 +629,10 @@ class ShardedWarehouse(Warehouse):
     @property
     def quarantined_views(self) -> List[str]:
         quarantined = set()
-        for response in self._broadcast("stats").values():
-            quarantined.update(response["quarantined"])
+        responses = self._broadcast("stats", _tolerate_unavailable=True)
+        for response in responses.values():
+            if response.get("ok"):
+                quarantined.update(response["quarantined"])
         return sorted(quarantined)
 
     # ------------------------------------------------------------------
@@ -536,14 +709,23 @@ class ShardedWarehouse(Warehouse):
         failures = {}
         deleted: Dict[int, List[Row]] = {}
         for shard, reply in replies.items():
-            resp = reply.wait()
+            resp = self._wait_for(shard, reply)
             if resp["ok"]:
                 responses[shard] = resp
                 deleted[shard] = wire.decode_rows(resp.get("deleted") or [])
             else:
                 failures[shard] = resp
         if failures:
-            self._compensate(table, DELETE, deleted)
+            self._compensate(
+                table,
+                DELETE,
+                deleted,
+                unavailable=[
+                    s
+                    for s, resp in failures.items()
+                    if resp.get("error") == "ShardUnavailableError"
+                ],
+            )
             raise_shard_error(failures[min(failures)])
         return self._merge_report_blobs(
             [responses[s]["reports"] for s in sorted(responses)]
@@ -659,8 +841,9 @@ class ShardedWarehouse(Warehouse):
         plan = self._plan_of(view)
         shard = self._fastpath_shard(view, equalities)
         if shard is not None:
-            resp = self._handles[shard].call(
+            resp = self._call(
                 "query",
+                shard,
                 view=view,
                 equalities=dict(equalities),
                 seq=None if seqs is None else seqs[shard],
@@ -668,8 +851,9 @@ class ShardedWarehouse(Warehouse):
             rows = wire.decode_rows(resp["rows"])
             self.telemetry.record_shard_query(True)
         elif plan.replicated_only:
-            resp = self._handles[0].call(
+            resp = self._call(
                 "query",
+                0,
                 view=view,
                 equalities=dict(equalities),
                 seq=None if seqs is None else seqs[0],
@@ -688,7 +872,9 @@ class ShardedWarehouse(Warehouse):
             }
             fragments = []
             for shard_id in sorted(replies):
-                resp = raise_shard_error(replies[shard_id].wait())
+                resp = raise_shard_error(
+                    self._wait_for(shard_id, replies[shard_id])
+                )
                 fragments.append(wire.decode_rows(resp["rows"]))
             merge_started = time.perf_counter()
             rows = merge_view_rows(plan, fragments)
@@ -745,7 +931,7 @@ class ShardedWarehouse(Warehouse):
         if table not in self.db.tables:
             raise CatalogError(f"no table named {table!r}")
         if not self.spec.is_partitioned(table):
-            resp = self._handles[0].call("dump")
+            resp = self._call("dump", 0)
             return wire.decode_rows(resp["tables"][table])
         rows: List[Row] = []
         for shard, resp in sorted(self._dump_all().items()):
@@ -807,16 +993,49 @@ class ShardedWarehouse(Warehouse):
         """Recover every shard (checkpoint restore + WAL suffix replay,
         shard by shard) and aggregate the per-shard summaries into
         :attr:`last_recovery` — ``degraded`` when any shard quarantined
-        WAL segments or detected corruption."""
+        WAL segments or detected corruption.  In-doubt cross-shard
+        transactions are resolved *first* from the coordinator decision
+        log: a durable commit decision commits the open worker
+        transaction everywhere; no decision means presumed abort."""
         self._require_open()
+        resolved = self._resolve_indoubt()
         summaries = {
             shard: response["summary"]
             for shard, response in self._broadcast("recover").items()
         }
-        self._aggregate_recovery(summaries)
+        self._aggregate_recovery(summaries, resolved=resolved)
         return []
 
-    def _aggregate_recovery(self, summaries: Dict[int, Dict]) -> None:
+    def _resolve_indoubt(self) -> List[Dict]:
+        """Drive every shard's open transaction (if any) to the outcome
+        the coordinator decision log recorded — commit when a durable
+        commit decision exists, presumed abort otherwise — then forget
+        the decisions.  Idempotent; shards with no open transaction
+        answer ``resolved: None``."""
+        records = self.txnlog.pending()
+        commits = [r.txn_id for r in records if r.decision == "commit"]
+        responses = self._broadcast("txn_resolve", commits=commits)
+        resolved = []
+        for shard in sorted(responses):
+            outcome = responses[shard].get("resolved")
+            if outcome is None:
+                continue
+            txn_id = responses[shard].get("txn_id")
+            resolved.append(
+                {"shard": shard, "txn_id": txn_id, "outcome": outcome}
+            )
+            self.telemetry.record_txn_resolved(txn_id, outcome)
+        # only forget once every shard acknowledged its resolution: a
+        # failure above leaves the decisions for the next recover()
+        for record in records:
+            self.txnlog.forget(record.txn_id)
+        return resolved
+
+    def _aggregate_recovery(
+        self,
+        summaries: Dict[int, Dict],
+        resolved: Optional[List[Dict]] = None,
+    ) -> None:
         shard_summaries = {s: summaries[s] or {} for s in summaries}
         quarantined = {
             s: list(info.get("quarantined_segments") or [])
@@ -845,6 +1064,7 @@ class ShardedWarehouse(Warehouse):
                     )
                 )
             ),
+            "resolved_transactions": resolved or [],
             "degraded": bool(quarantined) or corruption,
         }
         self.telemetry.record_recovery(self.last_recovery)
@@ -868,7 +1088,11 @@ class ShardedWarehouse(Warehouse):
             shard: response["summary"]
             for shard, response in self._broadcast("crash_hard").items()
         }
-        self._aggregate_recovery(summaries)
+        # a hard crash also takes the coordinator: open worker txns died
+        # with their shards, so resolution is a no-op sweep that retires
+        # stale decision records
+        resolved = self._resolve_indoubt()
+        self._aggregate_recovery(summaries, resolved=resolved)
 
     def crash_restart(self) -> None:
         """Orderly stop + reopen of every shard over its own WAL and
@@ -878,7 +1102,8 @@ class ShardedWarehouse(Warehouse):
             shard: response["summary"]
             for shard, response in self._broadcast("restart").items()
         }
-        self._aggregate_recovery(summaries)
+        resolved = self._resolve_indoubt()
+        self._aggregate_recovery(summaries, resolved=resolved)
 
     # ------------------------------------------------------------------
     # health
@@ -887,11 +1112,21 @@ class ShardedWarehouse(Warehouse):
         """Per-shard row counts, queue depths and skew, plus rebalance
         advisories for partitioned tables whose max/mean partition size
         exceeds :data:`REBALANCE_SKEW_THRESHOLD`.  Everything is also
-        pushed through :class:`~repro.obs.Telemetry`."""
+        pushed through :class:`~repro.obs.Telemetry`.  Dead or
+        quarantined shards are reported under ``unavailable`` instead
+        of failing the whole call, and ``supervisor`` carries each
+        shard's liveness state and restart history."""
         self._require_open()
+        responses = self._broadcast("stats", _tolerate_unavailable=True)
         stats = {
             shard: response
-            for shard, response in self._broadcast("stats").items()
+            for shard, response in responses.items()
+            if response.get("ok")
+        }
+        unavailable = {
+            shard: response.get("message", "shard unavailable")
+            for shard, response in responses.items()
+            if not response.get("ok")
         }
         for shard, info in stats.items():
             self.telemetry.record_shard_rows(shard, info["table_rows"])
@@ -934,6 +1169,8 @@ class ShardedWarehouse(Warehouse):
                 }
                 for shard, info in stats.items()
             },
+            "unavailable": unavailable,
+            "supervisor": self.supervisor.status(),
             "skew": skew,
             "rebalance": rebalance,
         }
@@ -995,8 +1232,14 @@ class ShardedWarehouse(Warehouse):
     def close(self) -> None:
         if self._closed:
             return
+        # stop supervision first so shutdown can't race a reincarnation
+        supervisor = getattr(self, "supervisor", None)
+        if supervisor is not None:
+            supervisor.stop()
         try:
             self.flush()
+        except ReproError:
+            pass  # a dead or dying shard must not wedge shutdown
         finally:
             self._closed = True
             for handle in self._handles:
@@ -1006,16 +1249,39 @@ class ShardedWarehouse(Warehouse):
 class ShardedTransaction:
     """Cross-shard atomic batch: a worker-local transaction on every
     shard, committed with a prepare round (deferred FK checks) before
-    the commit round — any shard's violation rolls all of them back."""
+    the commit round — any shard's violation rolls all of them back.
+
+    Commit is crash-safe two-phase: after every shard prepares, the
+    coordinator writes a durable decision record
+    (:class:`~repro.runtime.txnlog.TxnDecisionLog`) *before* the first
+    commit message.  A coordinator crash anywhere in the window is then
+    deterministic — :meth:`ShardedWarehouse.recover` commits in-doubt
+    shards when a decision record exists and aborts them (presumed
+    abort) when it does not, so the outcome is all-or-nothing across
+    shards no matter where the crash landed."""
 
     def __init__(self, warehouse: ShardedWarehouse):
         self.warehouse = warehouse
+        # counter for human-readable ordering; uuid suffix so ids never
+        # collide across facade restarts sharing one decision-log dir
+        self.txn_id = (
+            f"t{next(warehouse._txn_counter)}-{uuid.uuid4().hex[:8]}"
+        )
         self._active = False
 
     # ------------------------------------------------------------------
     def __enter__(self) -> "ShardedTransaction":
         self.warehouse.flush()  # snapshots must bracket a settled state
-        self.warehouse._broadcast("txn_begin")
+        try:
+            self.warehouse._broadcast("txn_begin", txn_id=self.txn_id)
+        except ReproError:
+            # a partial begin (e.g. one shard died mid-broadcast) must
+            # not leak open transactions on the shards that did begin;
+            # an empty-commits resolve is the idempotent abort
+            self.warehouse._broadcast(
+                "txn_resolve", _tolerate_unavailable=True, commits=[]
+            )
+            raise
         self._active = True
         return self
 
@@ -1049,7 +1315,10 @@ class ShardedTransaction:
             )
             for shard in sorted(parts)
         }
-        responses = {shard: reply.wait() for shard, reply in replies.items()}
+        responses = {
+            shard: wh._wait_for(shard, reply)
+            for shard, reply in replies.items()
+        }
         for shard in sorted(responses):
             # a failed statement leaves the transaction active; __exit__
             # (or the caller) rolls every shard back together
@@ -1069,15 +1338,51 @@ class ShardedTransaction:
         replies = [
             (h.shard_id, h.submit("txn_prepare")) for h in wh._handles
         ]
-        responses = {shard: reply.wait() for shard, reply in replies}
+        responses = {
+            shard: wh._wait_for(shard, reply) for shard, reply in replies
+        }
         for shard in sorted(responses):
             raise_shard_error(responses[shard])  # -> __exit__ rolls back
-        # phase 2: all prepared — commit everywhere
+        FAILPOINTS.hit("txn.coordinator.prepared", txn=self.txn_id)
+        # the decision point: one durable record flips the transaction
+        # from presumed-abort to must-commit.  Nothing may roll back
+        # past this line — recover() replays the decision instead — so
+        # _active drops *before* the next crash window opens.
+        wh.txnlog.decide(self.txn_id, list(range(wh.shards)))
         self._active = False
-        wh._broadcast("txn_commit")
+        FAILPOINTS.hit("txn.coordinator.decided", txn=self.txn_id)
+        # phase 2: commit shard by shard; each send has its own crash
+        # window (txn.coordinator.commit) leaving a committed prefix
+        # and in-doubt suffix for recover() to finish
+        commit_replies = []
+        for handle in wh._handles:
+            FAILPOINTS.hit(
+                "txn.coordinator.commit",
+                txn=self.txn_id,
+                shard=handle.shard_id,
+            )
+            commit_replies.append(
+                (handle.shard_id, handle.submit("txn_commit"))
+            )
+        failure: Optional[Dict] = None
+        for shard, reply in commit_replies:
+            response = wh._wait_for(shard, reply)
+            if not response.get("ok") and failure is None:
+                failure = response
+        if failure is not None:
+            # keep the decision record: the unreached shards are in
+            # doubt and the next recover()/reincarnation commits them
+            raise_shard_error(failure)
+        wh.txnlog.forget(self.txn_id)
 
     def _rollback(self) -> None:
         if not self._active:
             return
         self._active = False
-        self.warehouse._broadcast("txn_rollback")
+        # resolve-with-no-commits instead of txn_rollback: it aborts an
+        # open transaction but is a no-op on a shard that lost (or was
+        # reincarnated without) its transaction, so rollback survives a
+        # mid-transaction worker death
+        self.warehouse._broadcast(
+            "txn_resolve", _tolerate_unavailable=True, commits=[]
+        )

@@ -716,14 +716,19 @@ class Warehouse:
             return
         self.checkpoint()
 
-    def recover(self) -> List[FanOutResult]:
+    def recover(self, *, from_origin: bool = False) -> List[FanOutResult]:
         """Bounded, corruption-tolerant restart: checkpoint + suffix.
 
         Restores the newest verifiable checkpoint (when a
         ``checkpoint_dir`` is configured), then replays only the WAL
         entries past its LSN — acknowledged or not, since the restored
         state predates their effects.  Without a checkpoint the whole
-        unacknowledged log replays, as before.  Each replayed entry is
+        unacknowledged log replays, as before — unless ``from_origin``
+        is set, in which case *every* entry replays from LSN 0: the
+        cold-start contract shard reincarnation uses when the worker
+        was rebuilt from its initial partition rows and no checkpoint
+        exists (the acked prefix's effects live only in the WAL then).
+        Each replayed entry is
         re-applied to the database (``check=False`` — it already passed
         integrity checks when first logged), fanned out, and durably
         re-acknowledged.
@@ -755,6 +760,10 @@ class Warehouse:
             # LSN, so replay *all* entries after it — acked or not
             self._restore_checkpoint(checkpoint)
             entries = self.wal.entries_after(checkpoint.lsn)
+        elif from_origin:
+            # cold start: base tables hold their *initial* rows, so the
+            # acked prefix must replay too — the WAL has all of history
+            entries = self.wal.entries_after(0)
         else:
             # no snapshot: base tables are assumed restored to the acked
             # prefix (the legacy contract) — replay only the unacked tail

@@ -1,0 +1,97 @@
+"""Chaos oracle configs: clean agreement under injected worker faults,
+the fault plan actually firing, sensitivity to a seeded recovery bug,
+and the CLI matrix hook excluding chaos from ``--shards`` sweeps."""
+
+import random
+
+import pytest
+
+from repro.fuzz import generate_scenario, run_case
+from repro.fuzz.__main__ import main as fuzz_main
+from repro.fuzz.oracle import (
+    _CHAOS_FAULTS,
+    configs_by_name,
+    default_matrix,
+)
+from repro.runtime import FAILPOINTS
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    FAILPOINTS.reset()
+    yield
+    FAILPOINTS.reset()
+
+
+def _scenario(seed):
+    return generate_scenario(random.Random(seed), seed=str(seed))
+
+
+CHAOS = configs_by_name(["chaos-shard", "chaos-2pc"])
+
+
+def test_matrix_includes_chaos_configs():
+    by_name = {c.name: c for c in default_matrix()}
+    assert by_name["chaos-shard"].chaos == "shard"
+    assert by_name["chaos-shard"].shards == 2
+    assert by_name["chaos-shard"].wal
+    assert by_name["chaos-2pc"].chaos == "2pc"
+    assert by_name["chaos-2pc"].wal
+
+
+def test_clean_seeds_survive_chaos():
+    fired_before = sum(FAILPOINTS.fired(n) for n in _CHAOS_FAULTS)
+    for seed in range(4):
+        result = run_case(_scenario(seed), configs=CHAOS)
+        assert result.ok, f"seed {seed}:\n{result.summary()}"
+    fired_after = sum(FAILPOINTS.fired(n) for n in _CHAOS_FAULTS)
+    # the havoc is real: at least one worker fault landed across seeds
+    assert fired_after > fired_before
+
+
+def test_chaos_2pc_detects_ignored_decision_log(monkeypatch):
+    """Seeded bug: workers presume-abort every in-doubt transaction,
+    ignoring the coordinator's durable commit decisions.  Replaying the
+    2PC anchor case (coordinator crash at the decided window) must flag
+    the divergence — the oracle's reference applies exactly the
+    transactions the decision log committed."""
+    import os
+
+    from repro.fuzz import default_corpus_dir, load_case
+    from repro.runtime.shardproc import ShardServer
+
+    real = ShardServer.cmd_txn_resolve
+
+    def presumed_abort_everything(self, commits):
+        return real(self, [])
+
+    monkeypatch.setattr(
+        ShardServer, "cmd_txn_resolve", presumed_abort_everything
+    )
+    scenario, meta = load_case(
+        os.path.join(
+            default_corpus_dir(), "case-b159aee53609385b.json"
+        )
+    )
+    assert "[chaos-2pc]" in meta["reason"]
+    result = run_case(scenario, configs=configs_by_name(["chaos-2pc"]))
+    assert not result.ok, "ignored decision log went undetected"
+    assert "chaos-divergence" in result.kinds
+
+
+def test_cli_shards_flag_excludes_chaos_configs():
+    # the matrix hook re-runs *clean* sharded equivalence at N shards;
+    # chaos configs choreograph faults around their fixed shard count
+    assert (
+        fuzz_main(
+            ["--configs", "chaos-shard,chaos-2pc", "--shards", "3"]
+        )
+        == 2
+    )
+    from dataclasses import replace  # noqa: F401  (mirror of __main__)
+
+    pool = default_matrix()
+    survivors = [c.name for c in pool if c.shards and not c.chaos]
+    assert "chaos-shard" not in survivors
+    assert "chaos-2pc" not in survivors
+    assert survivors, "no clean sharded configs left for --shards"

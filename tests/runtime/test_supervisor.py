@@ -1,0 +1,308 @@
+"""Shard supervision: fail-fast on dead workers, reincarnation from the
+WAL lineage, flapping quarantine, and the construction/close fixes.
+
+Thread-backend workers except the one process-backend acceptance test
+(the ISSUE's chaos criterion: SIGKILL a real worker process mid-load,
+observe typed failures within the deadline, automatic reincarnation,
+and a consistent merged state).
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ShardingError, ShardUnavailableError
+from repro.runtime.failpoints import FAILPOINTS
+from repro.runtime.shardproc import ThreadShardHandle
+from repro.runtime.supervisor import DeadShardHandle
+from repro.warehouse import Warehouse
+
+from .test_sharded_warehouse import build_db, order_lines_defn
+
+
+def make_supervised(tmp_path=None, shards=2, **kwargs):
+    if tmp_path is not None:
+        kwargs.setdefault("wal_path", str(tmp_path / "wal"))
+    kwargs.setdefault("shard_backend", "thread")
+    kwargs.setdefault("call_deadline_seconds", 2.0)
+    kwargs.setdefault("probe_timeout_seconds", 0.3)
+    wh = Warehouse(build_db(), shards=shards, **kwargs)
+    wh.create_view("order_lines", order_lines_defn())
+    return wh
+
+
+def kill_worker(wh, shard):
+    """Simulate SIGKILL on a thread-backend worker: next command makes
+    the serve loop die abruptly (no reply, no orderly close)."""
+    FAILPOINTS.arm("shard.worker.kill", action="raise", times=1, shard=shard)
+
+
+def wait_all_up(wh, timeout=15.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if wh.supervisor.quiesced and all(
+            s["state"] == "up" for s in wh.supervisor.status().values()
+        ):
+            return True
+        time.sleep(0.02)
+    return False
+
+
+# ---------------------------------------------------------------------------
+# detection + fail-fast
+# ---------------------------------------------------------------------------
+def test_dead_worker_fails_calls_fast_and_reincarnates(tmp_path):
+    wh = make_supervised(tmp_path)
+    try:
+        wh.insert("orders", [(500, 1)])
+        kill_worker(wh, shard=1)
+        started = time.monotonic()
+        with pytest.raises(ShardUnavailableError):
+            # replicated: touches both shards, shard 1 dies mid-call
+            wh.insert("orders", [(501, 2)])
+        assert time.monotonic() - started < wh.call_deadline + 5.0
+        assert wait_all_up(wh), wh.supervisor.status()
+        status = wh.supervisor.status()
+        assert status[1]["restarts"] == 1
+        assert wh.last_recovery["kind"] == "reincarnation"
+        assert not wh.last_recovery["degraded"]
+        # the reincarnated shard serves again and the tier is coherent
+        wh.insert("orders", [(502, 0)])
+        wh.check_consistency()
+    finally:
+        FAILPOINTS.disarm("shard.worker.kill")
+        wh.close()
+
+
+def test_stalled_worker_is_probed_then_replaced(tmp_path):
+    wh = make_supervised(tmp_path, call_deadline_seconds=0.4)
+    try:
+        FAILPOINTS.arm(
+            "shard.worker.stall",
+            action="call",
+            times=1,
+            callback=lambda **_ctx: time.sleep(1.5),
+            shard=0,
+        )
+        with pytest.raises(ShardUnavailableError):
+            wh.insert("orders", [(510, 1)])
+        assert wait_all_up(wh), wh.supervisor.status()
+        assert wh.supervisor.status()[0]["restarts"] == 1
+        wh.check_consistency()
+    finally:
+        FAILPOINTS.disarm("shard.worker.stall")
+        wh.close()
+
+
+def test_reincarnation_replays_wal_lineage(tmp_path):
+    wh = make_supervised(tmp_path)
+    try:
+        wh.insert("orders", [(520, 1)])
+        wh.insert("lineitem", [(520, 0, 9)])
+        kill_worker(wh, shard=0)
+        with pytest.raises(ShardUnavailableError):
+            wh.insert("orders", [(521, 2)])
+        assert wait_all_up(wh)
+        merged = wh.merged_database()
+        # pre-kill durable work survived the worker's death
+        assert 520 in {r[0] for r in merged.tables["orders"].rows}
+        assert (520, 0) in {r[:2] for r in merged.tables["lineitem"].rows}
+        wh.check_consistency()
+    finally:
+        FAILPOINTS.disarm("shard.worker.kill")
+        wh.close()
+
+
+def test_reincarnation_without_wal_is_degraded(tmp_path):
+    # no durable lineage: the shard restarts from its initial rows and
+    # post-construction history is lost — reported, not hidden
+    wh = make_supervised(tmp_path=None)
+    try:
+        kill_worker(wh, shard=1)
+        with pytest.raises(ShardUnavailableError):
+            wh.insert("orders", [(530, 1)])
+        assert wait_all_up(wh)
+        assert wh.last_recovery["degraded"]
+    finally:
+        FAILPOINTS.disarm("shard.worker.kill")
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# flapping -> quarantine
+# ---------------------------------------------------------------------------
+def test_flapping_shard_is_quarantined_and_health_degrades(tmp_path):
+    wh = make_supervised(tmp_path, restart_budget=2)
+    try:
+        for attempt in range(3):
+            kill_worker(wh, shard=1)
+            try:
+                wh.insert("orders", [(540 + attempt, 1)])
+            except ShardUnavailableError:
+                pass
+            wh.supervisor.wait_quiesced(15.0)
+            if wh.supervisor.is_quarantined(1):
+                break
+        assert wh.supervisor.is_quarantined(1)
+        assert wh.supervisor.degraded
+        assert isinstance(wh._handles[1], DeadShardHandle)
+        assert wh.supervisor.status()[1]["state"] == "quarantined"
+        assert wh.last_recovery["kind"] == "quarantine"
+        assert wh.last_recovery["degraded"]
+        assert wh.last_recovery["quarantined_shards"] == [1]
+        # every later call fails fast with the typed error, no hang
+        with pytest.raises(ShardUnavailableError):
+            wh.insert("orders", [(560, 1)])
+        # /healthz turns degraded (-> 503) on a quarantined shard
+        from repro.obs.exposition import ObsServer
+
+        payload = ObsServer(wh.telemetry, warehouse=wh).health_payload()
+        assert payload["status"] == "degraded"
+        assert payload["last_recovery"]["quarantined_shards"] == [1]
+    finally:
+        FAILPOINTS.disarm("shard.worker.kill")
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes: construction leak, fast close
+# ---------------------------------------------------------------------------
+def test_construction_failure_terminates_spawned_workers(monkeypatch):
+    """If the Nth worker fails to spawn, the N-1 already-spawned workers
+    must be terminated, not leaked."""
+    import repro.sharded as sharded_mod
+
+    spawned = []
+    real_make_handle = sharded_mod.make_handle
+
+    def flaky_make_handle(backend, shard, init, **kwargs):
+        if shard == 1:
+            raise ShardingError("injected spawn failure")
+        handle = real_make_handle(backend, shard, init, **kwargs)
+        spawned.append(handle)
+        return handle
+
+    monkeypatch.setattr(sharded_mod, "make_handle", flaky_make_handle)
+    with pytest.raises(ShardingError, match="injected spawn failure"):
+        Warehouse(build_db(), shards=2, shard_backend="thread")
+    assert spawned, "first worker never spawned"
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        if not any(h.is_alive() for h in spawned):
+            break
+        time.sleep(0.02)
+    assert not any(h.is_alive() for h in spawned), "worker leaked"
+
+
+def test_close_resolves_outstanding_when_worker_already_dead():
+    """close() on a handle whose worker died must resolve outstanding
+    replies promptly instead of waiting out the 30s round-trip."""
+    wh = make_supervised(tmp_path=None)
+    try:
+        wh.supervisor.stop()  # keep the supervisor out of this one
+        handle = wh._handles[0]
+        assert isinstance(handle, ThreadShardHandle)
+        kill_worker(wh, shard=0)
+        reply = handle.submit("ping")
+        started = time.monotonic()
+        # the dead worker's reply resolves to a typed error envelope
+        # instead of blocking until the timeout
+        response = reply.wait(10.0)
+        assert response["error"] == "ShardUnavailableError"
+        handle.close(timeout=10.0)
+        assert time.monotonic() - started < 8.0
+    finally:
+        FAILPOINTS.disarm("shard.worker.kill")
+        wh.close()
+
+
+def test_supervisor_stop_drains_inflight_probes():
+    wh = make_supervised(tmp_path=None)
+    try:
+        assert wh.supervisor.quiesced
+        wh.supervisor.worker_unresponsive(0, "test probe")
+        wh.supervisor.stop()
+        assert wh.supervisor.quiesced
+    finally:
+        wh.close()
+
+
+def test_stats_report_unavailable_shards_instead_of_failing(tmp_path):
+    wh = make_supervised(tmp_path, restart_budget=0)
+    try:
+        kill_worker(wh, shard=1)
+        with pytest.raises(ShardUnavailableError):
+            wh.insert("orders", [(570, 1)])
+        wh.supervisor.wait_quiesced(15.0)
+        stats = wh.shard_stats()
+        assert 0 in stats["shards"]
+        assert 1 in stats["unavailable"]
+        assert stats["supervisor"][1]["state"] == "quarantined"
+    finally:
+        FAILPOINTS.disarm("shard.worker.kill")
+        wh.close()
+
+
+def test_broken_pipe_write_surfaces_typed_error(tmp_path):
+    """Submitting to a SIGKILLed worker can hit the broken pipe before
+    the reader thread notices the death — the caller must still see the
+    typed unavailability error, never a raw BrokenPipeError."""
+    wh = make_supervised(
+        tmp_path, shard_backend="process", probe_timeout_seconds=1.0
+    )
+    try:
+        wh._handles[1].process.kill()
+        wh._handles[1].process.join(timeout=10.0)
+        with pytest.raises(ShardingError):
+            # replicated: the facade writes to the dead worker's pipe
+            wh.insert("orders", [(590, 1)])
+        assert wait_all_up(wh, timeout=30.0), wh.supervisor.status()
+        wh.check_consistency()
+    finally:
+        wh.close()
+
+
+# ---------------------------------------------------------------------------
+# acceptance: SIGKILL a real worker process mid-load
+# ---------------------------------------------------------------------------
+def test_process_worker_sigkill_acceptance(tmp_path):
+    wh = make_supervised(
+        tmp_path,
+        shard_backend="process",
+        call_deadline_seconds=10.0,
+        probe_timeout_seconds=1.0,
+    )
+    errors = []
+
+    def hammer(offset):
+        for i in range(4):
+            try:
+                wh.insert("orders", [(600 + offset * 10 + i, 1)])
+            except ShardUnavailableError as exc:
+                errors.append(exc)
+            except ShardingError as exc:  # racing the compensation path
+                errors.append(exc)
+            time.sleep(0.02)
+
+    try:
+        wh.insert("orders", [(599, 0)])
+        threads = [
+            threading.Thread(target=hammer, args=(n,)) for n in range(2)
+        ]
+        started = time.monotonic()
+        for t in threads:
+            t.start()
+        wh._handles[1].process.kill()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert all(not t.is_alive() for t in threads), (
+            "a facade call hung on the killed worker"
+        )
+        assert time.monotonic() - started < 45.0
+        assert wait_all_up(wh, timeout=30.0), wh.supervisor.status()
+        assert wh.supervisor.status()[1]["restarts"] >= 1
+        # merged state matches a recompute over the merged database
+        wh.check_consistency()
+    finally:
+        wh.close()

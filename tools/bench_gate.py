@@ -31,6 +31,12 @@ Gates (mirrors what ``.github/workflows/ci.yml`` used to check inline):
   (fewer cores, where no cpu-bound speedup is physically possible) the
   gate falls back to the process-overlap proxy: 4 shard processes must
   retire >= ``2.5x`` stall-seconds per wall-second.
+* ``chaos`` — under repeated worker SIGKILLs the tier must stay
+  >= ``50%`` available, every facade call must return within ``10s``
+  (no hangs), every shard reincarnation must settle within ``20s``,
+  at least ``2`` kills must actually have landed, and the recovered
+  tier must pass ``check_consistency``.  Deliberately lenient: the
+  gate proves liveness and self-healing, not throughput.
 """
 
 from __future__ import annotations
@@ -48,6 +54,10 @@ OBS_MAX_OVERHEAD_RATIO = 1.15
 SERVING_MAX_P99_RATIO = 5.0
 SHARDED_MIN_SPEEDUP = 2.5
 SHARDED_MIN_OVERLAP = 2.5
+CHAOS_MIN_AVAILABILITY = 0.5
+CHAOS_MAX_OP_SECONDS = 10.0
+CHAOS_MAX_RECOVERY_SECONDS = 20.0
+CHAOS_MIN_KILLS = 2
 
 
 def run_benchmark(which: str, json_path: str, scale: "float | None") -> dict:
@@ -56,8 +66,16 @@ def run_benchmark(which: str, json_path: str, scale: "float | None") -> dict:
         cmd += ["--scale", str(scale)]
     print("+ " + " ".join(cmd), flush=True)
     subprocess.run(cmd, check=True)
-    with open(json_path) as handle:
-        return json.load(handle)
+    try:
+        with open(json_path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        print(
+            f"error: benchmark wrote no record at {json_path} — "
+            f"did `repro.bench {which}` crash before --json?",
+            file=sys.stderr,
+        )
+        sys.exit(1)
 
 
 def check_plancache(record: dict) -> List[str]:
@@ -188,12 +206,56 @@ def check_sharded(record: dict) -> List[str]:
     return []
 
 
+def check_chaos(record: dict) -> List[str]:
+    failures: List[str] = []
+    kills = record.get("kills", 0)
+    if kills < CHAOS_MIN_KILLS:
+        failures.append(
+            f"only {kills} worker SIGKILL(s) landed "
+            f"(need >= {CHAOS_MIN_KILLS} for the run to mean anything)"
+        )
+    availability = record.get("availability")
+    if availability is None or availability < CHAOS_MIN_AVAILABILITY:
+        shown = "n/a" if availability is None else f"{availability:.2f}"
+        failures.append(
+            f"availability under kills fell to {shown} "
+            f"(need >= {CHAOS_MIN_AVAILABILITY})"
+        )
+    max_op = record.get("max_op_seconds")
+    if max_op is None or max_op > CHAOS_MAX_OP_SECONDS:
+        shown = "n/a" if max_op is None else f"{max_op:.2f}s"
+        failures.append(
+            f"slowest facade call took {shown} — a call into a killed "
+            f"shard hung past {CHAOS_MAX_OP_SECONDS}s instead of "
+            f"failing fast"
+        )
+    max_recovery = record.get("max_recovery_seconds")
+    if max_recovery is None or max_recovery > CHAOS_MAX_RECOVERY_SECONDS:
+        shown = "n/a" if max_recovery is None else f"{max_recovery:.2f}s"
+        failures.append(
+            f"slowest shard reincarnation took {shown} "
+            f"(allowed {CHAOS_MAX_RECOVERY_SECONDS}s)"
+        )
+    if not record.get("consistent_after_recovery"):
+        failures.append(
+            "merged state failed check_consistency after recovery"
+        )
+    if not failures:
+        print(
+            f"chaos: {kills} kills, availability {availability:.2f}, "
+            f"max op {max_op:.2f}s, max recovery {max_recovery:.2f}s, "
+            f"consistent after recovery"
+        )
+    return failures
+
+
 CHECKS = {
     "plancache": check_plancache,
     "concurrent": check_concurrent,
     "obs": check_obs,
     "serving": check_serving,
     "sharded": check_sharded,
+    "chaos": check_chaos,
 }
 
 
